@@ -1,0 +1,27 @@
+# Developer entry points.  Everything also works as plain pytest/pip
+# commands; these are just the short spellings.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The paper's exact dataset sizes (slow: hours, not minutes).
+bench-full:
+	REPRO_BENCH_RECORDS=250000 pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		python $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,49 @@
+"""Ablation: BASIC vs FWK vs MWK (paper §4.2, first paragraph).
+
+"Our initial experiments (not reported here for lack of space) confirmed
+that MWK was indeed better than BASIC as expected, and that it performs
+as well or better than FWK."  This benchmark reports what that sentence
+summarizes: all three data-parallel schemes on the complex dataset at
+full processor count, on both machines.
+"""
+
+from repro.bench.harness import run_speedup
+from repro.bench.reporting import save_result, speedup_table
+from repro.bench.workloads import paper_dataset
+from repro.smp.machine import machine_a, machine_b
+
+
+def run_ablation():
+    dataset = paper_dataset(7, 32)
+    return {
+        "machine-a": run_speedup(
+            dataset, machine_a,
+            algorithms=("basic", "fwk", "mwk"), proc_counts=(1, 4),
+        ),
+        "machine-b": run_speedup(
+            dataset, machine_b,
+            algorithms=("basic", "fwk", "mwk"), proc_counts=(1, 8),
+        ),
+    }
+
+
+def test_basic_fwk_mwk(once):
+    curves = once(run_ablation)
+    text = "\n\n".join(speedup_table(c) for c in curves.values())
+    print("\nAblation — BASIC vs FWK vs MWK (F7-A32)\n" + text)
+    save_result("ablation_schemes", text)
+
+    # Machine B (CPU-bound): MWK beats BASIC outright and is as good or
+    # better than FWK — the paper's headline ordering.
+    b = curves["machine-b"]
+    assert b.of("mwk", 8).build_time < b.of("basic", 8).build_time
+    assert b.of("mwk", 8).build_time <= b.of("fwk", 8).build_time * 1.02
+
+    # Machine A (disk-bound at laptop scale): the windowed schemes pay
+    # extra seeks for their 4K-file layout, so the comparison is on
+    # *speedup* — MWK still parallelizes best (paper §4.2; at the
+    # paper's 250K records bandwidth dominates seeks and the absolute
+    # ordering matches machine B's).
+    a = curves["machine-a"]
+    assert a.of("mwk", 4).build_speedup >= a.of("basic", 4).build_speedup
+    assert a.of("mwk", 4).build_speedup >= a.of("fwk", 4).build_speedup

@@ -1,0 +1,63 @@
+"""Ablation: parallelizing the setup/sort phases (paper's future work).
+
+§4.2: the simple datasets' total-time speedups "are not as good (around
+1.4-1.6 on 4 processors) ... These speedups can be improved by
+parallelizing the setup phase more aggressively."  With the parallel
+setup implemented, this benchmark measures exactly how much.
+"""
+
+from repro.bench.reporting import format_table, save_result
+from repro.bench.workloads import paper_dataset
+from repro.core.builder import build_classifier
+from repro.smp.machine import machine_a, machine_b
+
+
+def run_ablation():
+    dataset = paper_dataset(2, 32)  # F2: the setup-dominated function
+    rows = []
+    for machine_factory, procs in ((machine_a, (1, 4)), (machine_b, (1, 8))):
+        for parallel_setup in (False, True):
+            baseline_total = None
+            for n_procs in procs:
+                result = build_classifier(
+                    dataset,
+                    algorithm="mwk",
+                    machine=machine_factory(n_procs),
+                    n_procs=n_procs,
+                    parallel_setup=parallel_setup,
+                )
+                if baseline_total is None:
+                    baseline_total = result.total_time
+                rows.append(
+                    (
+                        machine_factory(1).name,
+                        "parallel" if parallel_setup else "serial",
+                        n_procs,
+                        result.timings["setup"] + result.timings["sort"],
+                        result.total_time,
+                        baseline_total / result.total_time,
+                    )
+                )
+    return rows
+
+
+def test_parallel_setup(once):
+    rows = once(run_ablation)
+    table = format_table(
+        ("machine", "setup phase", "P", "setup+sort (s)", "total (s)",
+         "total speedup"),
+        rows,
+    )
+    print("\nAblation — parallel setup phase (F2-A32)\n" + table)
+    save_result("ablation_setup", table)
+
+    speedups = {(r[0], r[1], r[2]): r[5] for r in rows}
+    # Parallelizing setup lifts the total-time speedup on both machines.
+    assert (
+        speedups[("machine-b", "parallel", 8)]
+        > speedups[("machine-b", "serial", 8)] * 1.2
+    )
+    assert (
+        speedups[("machine-a", "parallel", 4)]
+        > speedups[("machine-a", "serial", 4)]
+    )

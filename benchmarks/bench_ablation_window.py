@@ -1,0 +1,83 @@
+"""Ablation: window size K for FWK/MWK.
+
+The paper: "a window size of 4 works well in practice" (§4.2), and
+qualitatively "a large window size not only increases the overlap but
+also minimizes the number of barrier synchronizations, but a larger
+window implies more temporary files, which incur greater file creation
+overhead and tend to have less locality.  The ideal window size is a
+trade-off" (§3.2.2).
+
+The sweep runs on both machines to expose both arms of the trade-off:
+
+* Machine B (files cached, CPU-bound): only synchronization matters, so
+  growing K monotonically reduces barrier wait and K >= 4 is near-best.
+* Machine A (disk-bound): more window files cost locality, so I/O time
+  *rises* with K — the counter-pressure that caps the useful K.
+"""
+
+from repro.bench.reporting import format_table, save_result
+from repro.bench.workloads import paper_dataset
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_a, machine_b
+
+WINDOWS = (1, 2, 4, 8, 16)
+
+
+def run_sweep():
+    dataset = paper_dataset(7, 32)
+    rows = []
+    for machine_factory, n_procs in ((machine_a, 4), (machine_b, 8)):
+        for algorithm in ("fwk", "mwk"):
+            for window in WINDOWS:
+                result = build_classifier(
+                    dataset,
+                    algorithm=algorithm,
+                    machine=machine_factory(n_procs),
+                    n_procs=n_procs,
+                    params=BuildParams(window=window),
+                )
+                rows.append(
+                    (
+                        machine_factory(1).name,
+                        algorithm,
+                        window,
+                        result.build_time,
+                        sum(result.stats.barrier_wait),
+                        sum(result.stats.condvar_wait),
+                        sum(result.stats.io_time),
+                    )
+                )
+    return rows
+
+
+def test_window_sweep(once):
+    rows = once(run_sweep)
+    table = format_table(
+        ("machine", "algorithm", "K", "build (s)", "barrier wait",
+         "condvar wait", "io time"),
+        rows,
+    )
+    print("\nAblation — window size sweep (F7-A32)\n" + table)
+    save_result("ablation_window", table)
+
+    build = {(r[0], r[1], r[2]): r[3] for r in rows}
+    barrier = {(r[0], r[1], r[2]): r[4] for r in rows}
+    io = {(r[0], r[1], r[2]): r[6] for r in rows}
+
+    for algorithm in ("fwk", "mwk"):
+        # Machine B: pipelining pays; K=4 within 10% of the sweep's best
+        # and never worse than the no-pipeline K=1.
+        b_times = {k: build[("machine-b", algorithm, k)] for k in WINDOWS}
+        assert b_times[4] <= min(b_times.values()) * 1.10, b_times
+        assert b_times[4] <= b_times[1] * 1.02, b_times
+
+        # Machine A: the locality counter-pressure — I/O time grows with K.
+        assert (
+            io[("machine-a", algorithm, 16)] > io[("machine-a", algorithm, 1)]
+        )
+
+    # FWK's barrier wait shrinks as K grows (fewer per-block barriers).
+    assert (
+        barrier[("machine-b", "fwk", 16)] < barrier[("machine-b", "fwk", 1)]
+    )

@@ -1,0 +1,36 @@
+"""Figure 10: main-memory access (Machine B), 32 attributes.
+
+Machine B caches every file after first touch, so the build is
+CPU-bound and both algorithms scale to 8 processors.  Paper §4.3: build
+speedups on 8 processors range roughly 4-7.5 across F2/F7; total-time
+speedups are lower (serial setup/sort).
+"""
+
+from repro.bench.experiments import figure10
+from repro.bench.reporting import save_result, speedup_chart, speedup_table
+
+
+def test_figure10(once):
+    curves = once(figure10)
+    text = "\n\n".join(
+        speedup_table(c) + "\n\n" + speedup_chart(c)
+        for c in curves.values()
+    )
+    print("\nFigure 10 — main memory, 32 attributes\n" + text)
+    save_result("figure10", text)
+
+    for key, curve in curves.items():
+        for algo in ("mwk", "subtree"):
+            p8 = curve.of(algo, 8)
+            assert 3.5 < p8.build_speedup <= 8.0, (key, algo)
+            assert p8.total_speedup < p8.build_speedup
+            # Monotone scaling across the sweep.
+            times = [
+                curve.of(algo, p).build_time for p in (1, 2, 4, 8)
+            ]
+            assert times == sorted(times, reverse=True)
+
+    # Memory configuration beats the disk configuration at equal P by a
+    # visible margin on the complex dataset (cross-figure sanity).
+    f7 = curves["F7"]
+    assert f7.of("mwk", 4).build_speedup > 2.0

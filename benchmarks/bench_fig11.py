@@ -1,0 +1,29 @@
+"""Figure 11: main-memory access (Machine B), 64 attributes.
+
+Same layout as Figure 10 with twice the attributes.  Both algorithms
+must keep scaling to 8 processors ("both algorithms perform very well
+for various datasets even up to 8 processors", §4.3), and the
+attribute-count trends of Figure 9 hold here too.
+"""
+
+from repro.bench.experiments import figure11
+from repro.bench.reporting import save_result, speedup_chart, speedup_table
+
+
+def test_figure11(once):
+    curves = once(figure11)
+    text = "\n\n".join(
+        speedup_table(c) + "\n\n" + speedup_chart(c)
+        for c in curves.values()
+    )
+    print("\nFigure 11 — main memory, 64 attributes\n" + text)
+    save_result("figure11", text)
+
+    for key, curve in curves.items():
+        for algo in ("mwk", "subtree"):
+            p8 = curve.of(algo, 8)
+            assert 3.5 < p8.build_speedup <= 8.0, (key, algo)
+
+    # More attributes give the finer-grained MWK at least parity on F2.
+    f2 = curves["F2"]
+    assert f2.of("mwk", 8).build_time <= f2.of("subtree", 8).build_time * 1.05

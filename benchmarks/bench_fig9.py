@@ -1,0 +1,41 @@
+"""Figure 9: local disk access (Machine A), 64 attributes.
+
+Same layout as Figure 8 with twice the attributes.  The paper's
+attribute-scaling findings (§4.2):
+
+* "increasing the number of attributes worsens the performance of
+  SUBTREE" — idle processors wait in the FREE queue until an existing
+  group finishes a whole level over all its attributes;
+* "MWK has the opposite trend; more attributes lead to a better
+  attribute scheduling" — so MWK's relative advantage grows from A32 to
+  A64.
+"""
+
+from repro.bench.experiments import figure8, figure9
+from repro.bench.reporting import save_result, speedup_chart, speedup_table
+
+
+def test_figure9(once):
+    curves = once(figure9)
+    text = "\n\n".join(
+        speedup_table(c) + "\n\n" + speedup_chart(c)
+        for c in curves.values()
+    )
+    print("\nFigure 9 — local disk, 64 attributes\n" + text)
+    save_result("figure9", text)
+
+    f2, f7 = curves["F2"], curves["F7"]
+    for curve in (f2, f7):
+        for algo in ("mwk", "subtree"):
+            p4 = curve.of(algo, 4)
+            assert 1.5 < p4.build_speedup < 4.0, (curve.dataset_name, algo)
+
+    # The attribute-trend claim: MWK's advantage over SUBTREE at A64
+    # is at least as large as at A32 on the simple function.
+    a32 = figure8()
+    adv_a32 = (
+        a32["F2"].of("subtree", 4).build_time
+        / a32["F2"].of("mwk", 4).build_time
+    )
+    adv_a64 = f2.of("subtree", 4).build_time / f2.of("mwk", 4).build_time
+    assert adv_a64 > adv_a32 * 0.95

@@ -1,0 +1,69 @@
+"""Wall-clock microbenchmarks of the SPRINT kernels.
+
+Unlike the figure/table benchmarks (which report deterministic *virtual*
+seconds), these measure real host time of the library's hot paths with
+pytest-benchmark's usual statistics: gini split evaluation, attribute
+list construction, probe-based splitting and vectorized prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import paper_dataset
+from repro.classify.predict import predict
+from repro.core.builder import build_classifier
+from repro.data.schema import Attribute, AttributeKind
+from repro.sprint.attribute_list import build_attribute_list
+from repro.sprint.gini import best_categorical_split, best_continuous_split
+from repro.sprint.probe import BitProbe
+from repro.sprint.records import CONTINUOUS_RECORD
+from repro.sprint.splitter import split_records
+
+N = 100_000
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def sorted_values():
+    return np.sort(RNG.random(N))
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return RNG.integers(0, 2, N).astype(np.int32)
+
+
+def test_continuous_gini_eval(benchmark, sorted_values, classes):
+    result = benchmark(best_continuous_split, sorted_values, classes, 2)
+    assert result is not None
+
+
+def test_categorical_gini_eval(benchmark, classes):
+    values = RNG.integers(0, 8, N)
+    result = benchmark(best_categorical_split, values, classes, 8, 2)
+    assert result is not None
+
+
+def test_attribute_list_sort(benchmark, classes):
+    attr = Attribute("x", AttributeKind.CONTINUOUS)
+    values = RNG.random(N)
+    alist = benchmark(build_attribute_list, attr, values, classes)
+    assert alist.is_sorted()
+
+
+def test_probe_split(benchmark, sorted_values, classes):
+    records = np.zeros(N, dtype=CONTINUOUS_RECORD)
+    records["value"] = sorted_values
+    records["cls"] = classes
+    records["tid"] = np.arange(N)
+    probe = BitProbe(N)
+    probe.mark_left(np.arange(0, N, 2))
+    left, right = benchmark(split_records, records, probe)
+    assert len(left) + len(right) == N
+
+
+def test_vectorized_predict(benchmark):
+    dataset = paper_dataset(7, 32, 5000)
+    tree = build_classifier(dataset, algorithm="serial").tree
+    labels = benchmark(predict, tree, dataset)
+    assert len(labels) == dataset.n_records

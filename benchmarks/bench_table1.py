@@ -1,0 +1,73 @@
+"""Table 1: dataset characteristics and serial setup/sort breakdown.
+
+Paper columns: DB size (MB), tree levels, max leaves/level, setup time,
+sort time, total (serial) time, setup %, sort %.  The paper's qualitative
+findings this must reproduce:
+
+* F2 (simple function) yields small trees — few levels, few leaves per
+  level; F7 (complex) yields large trees.
+* Setup + sort are a *significant* fraction of total time for F2 and a
+  small fraction for F7 ("For simple datasets such as F2 the setup and
+  sort time can be significant ... for complex datasets such as F7 this
+  time is small", §4.1).
+"""
+
+from repro.bench.experiments import table1
+from repro.bench.reporting import format_table, save_result
+
+
+def test_table1(once):
+    rows = once(table1)
+
+    headers = (
+        "dataset",
+        "DB size (MB)",
+        "levels",
+        "max leaves/lvl",
+        "setup (s)",
+        "sort (s)",
+        "total (s)",
+        "setup %",
+        "sort %",
+    )
+    table = format_table(
+        headers,
+        [
+            (
+                r.dataset_name,
+                r.db_size_mb,
+                r.tree_levels,
+                r.max_leaves_per_level,
+                r.setup_time,
+                r.sort_time,
+                r.total_time,
+                r.setup_pct,
+                r.sort_pct,
+            )
+            for r in rows
+        ],
+    )
+    print("\nTable 1 — dataset characteristics, setup and sort times\n" + table)
+    save_result("table1", table)
+
+    by_name = {r.dataset_name: r for r in rows}
+    f2_32 = next(r for r in rows if r.dataset_name.startswith("F2-A32"))
+    f7_32 = next(r for r in rows if r.dataset_name.startswith("F7-A32"))
+
+    # Complex function -> bigger trees.
+    assert f7_32.tree_levels > f2_32.tree_levels
+    assert f7_32.max_leaves_per_level > f2_32.max_leaves_per_level
+
+    # Setup+sort fraction: significant for F2, small for F7.  (The gap
+    # widens with record count — F7's tree deepens faster than F2's — so
+    # the threshold here is the laptop-scale version of the paper's
+    # "significant vs negligible" contrast.)
+    f2_frac = f2_32.setup_pct + f2_32.sort_pct
+    f7_frac = f7_32.setup_pct + f7_32.sort_pct
+    assert f2_frac > 1.4 * f7_frac
+    assert f2_frac > 15.0
+    assert f7_frac < 15.0
+
+    # Doubling the attributes roughly doubles the database size.
+    f2_64 = next(r for r in rows if r.dataset_name.startswith("F2-A64"))
+    assert 1.7 < f2_64.db_size_mb / f2_32.db_size_mb < 2.3

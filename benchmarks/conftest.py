@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+scale set by ``REPRO_BENCH_RECORDS`` (default 10 000 records; the paper
+uses 250 000 — see EXPERIMENTS.md).  Results are printed and written
+under ``benchmarks/results/``.
+
+Benchmarks are deterministic (virtual time), so each runs exactly once
+via ``benchmark.pedantic`` — repetition would only re-measure the host's
+simulation wall time, not the reported virtual seconds.
+"""
+
+import os
+
+import pytest
+
+# Write result tables next to this file regardless of pytest's cwd.
+os.environ.setdefault(
+    "REPRO_BENCH_RESULTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

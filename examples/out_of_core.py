@@ -1,0 +1,58 @@
+"""Out-of-core build: attribute lists actually living on disk.
+
+SPRINT's defining feature is handling training sets that do not fit in
+memory: attribute lists are disk files scanned sequentially (paper §2).
+This example runs a genuinely disk-resident build through the page-file
+backend — checksummed 8 KB pages under an LRU buffer manager — and
+reports the buffer's hit/miss/eviction statistics, then verifies the
+tree matches an in-memory build bit for bit.
+
+Run:  python examples/out_of_core.py
+"""
+
+import os
+import tempfile
+
+from repro import DatasetSpec, build_classifier, generate_dataset, machine_a
+from repro.storage import DiskBackend
+
+
+def main() -> None:
+    dataset = generate_dataset(
+        DatasetSpec(function=7, n_attributes=9, n_records=5_000, seed=21)
+    )
+    print(f"dataset: {dataset.name}, {dataset.nbytes / 1e6:.1f} MB of tuples")
+
+    reference = build_classifier(dataset, algorithm="serial").tree
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "attribute_lists.pg")
+        # A deliberately tiny buffer pool (64 pages = 512 KB) forces
+        # steady eviction traffic, like the paper's Machine A.
+        backend = DiskBackend(path, buffer_capacity=64)
+        result = build_classifier(
+            dataset,
+            algorithm="mwk",
+            machine=machine_a(4),
+            n_procs=4,
+            backend=backend,
+        )
+        stats = backend.buffer.stats
+        file_mb = os.path.getsize(path) / 1e6
+        print(f"\npage file grew to {file_mb:.1f} MB on disk")
+        print(
+            f"buffer pool: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.1%}), {stats.evictions} evictions"
+        )
+        print(
+            f"physical I/O: {stats.bytes_read / 1e6:.1f} MB read, "
+            f"{stats.bytes_written / 1e6:.1f} MB written"
+        )
+        same = result.tree.signature() == reference.signature()
+        print(f"\ndisk-resident tree identical to in-memory tree: {same}")
+        print(f"virtual build time on machine A, P=4: {result.build_time:.2f}s")
+        backend.close()
+
+
+if __name__ == "__main__":
+    main()

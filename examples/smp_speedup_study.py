@@ -1,0 +1,76 @@
+"""A miniature of the paper's evaluation: speedups on both machines.
+
+Builds the complex-function dataset with every scheme at increasing
+processor counts on Machine A (disk-bound) and Machine B (memory-
+resident), printing the same build-time / speedup panels as the paper's
+Figures 8 and 10, plus a per-processor wait breakdown showing *where*
+each scheme loses time (BASIC: barriers around the serialized W phase;
+MWK: condition variables; SUBTREE: FREE-queue idling).
+
+Run:  python examples/smp_speedup_study.py        (~1 minute)
+"""
+
+from repro import DatasetSpec, build_classifier, generate_dataset
+from repro import machine_a, machine_b
+from repro.bench.reporting import format_table
+
+
+def study(machine_factory, proc_counts, dataset) -> None:
+    name = machine_factory(1).name
+    print(f"\n=== {dataset.name} on {name} ===")
+    rows = []
+    baselines = {}
+    for algorithm in ("basic", "fwk", "mwk", "subtree"):
+        for n_procs in proc_counts:
+            result = build_classifier(
+                dataset,
+                algorithm=algorithm,
+                machine=machine_factory(n_procs),
+                n_procs=n_procs,
+            )
+            baselines.setdefault(algorithm, result.build_time)
+            stats = result.stats
+            rows.append(
+                (
+                    algorithm,
+                    n_procs,
+                    result.build_time,
+                    baselines[algorithm] / result.build_time,
+                    sum(stats.io_time),
+                    sum(stats.barrier_wait),
+                    sum(stats.condvar_wait),
+                )
+            )
+    print(
+        format_table(
+            (
+                "algorithm",
+                "P",
+                "build (s)",
+                "speedup",
+                "io (s)",
+                "barrier wait",
+                "condvar wait",
+            ),
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    dataset = generate_dataset(
+        DatasetSpec(function=7, n_attributes=16, n_records=8000, seed=1)
+    )
+    study(machine_a, (1, 2, 4), dataset)
+    study(machine_b, (1, 2, 4, 8), dataset)
+    print(
+        "\nReading the tables: BASIC accumulates barrier wait around its "
+        "master-serialized W phase; FWK trades some of that for per-block "
+        "barriers; MWK converts nearly all of it into cheap per-leaf "
+        "condition waits; SUBTREE avoids global synchronization but idles "
+        "processors in the FREE queue while the tree is narrow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Parallel decision-tree classification on shared-memory multiprocessors.
+
+A full reproduction of Zaki, Ho & Agrawal, *Parallel Classification for
+Data Mining on Shared-Memory Multiprocessors* (ICDE 1999): serial SPRINT
+plus the BASIC, FWK, MWK and SUBTREE parallel schemes, running on a
+deterministic virtual-time SMP with the paper's two machine
+configurations.
+
+Quick start::
+
+    from repro import DatasetSpec, generate_dataset, build_classifier
+
+    data = generate_dataset(DatasetSpec(function=2, n_attributes=9,
+                                        n_records=10_000))
+    result = build_classifier(data, algorithm="mwk", n_procs=4)
+    print(result.tree.render(max_depth=3))
+    print(f"built in {result.build_time:.2f} virtual seconds")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.classify import accuracy, mdl_prune, predict
+from repro.core import (
+    ALGORITHMS,
+    BuildParams,
+    BuildResult,
+    DecisionTree,
+    Node,
+    Split,
+    build_classifier,
+)
+from repro.data import Dataset, DatasetSpec, Schema, generate_dataset
+from repro.sliq import build_sliq
+from repro.smp import MachineConfig, machine_a, machine_b
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BuildParams",
+    "BuildResult",
+    "Dataset",
+    "DatasetSpec",
+    "DecisionTree",
+    "MachineConfig",
+    "Node",
+    "Schema",
+    "Split",
+    "accuracy",
+    "build_classifier",
+    "build_sliq",
+    "generate_dataset",
+    "machine_a",
+    "machine_b",
+    "mdl_prune",
+    "predict",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Benchmark harness: workloads, speedup runs, reporting.
+
+One module per concern:
+
+* :mod:`repro.bench.workloads` — the paper's dataset grid
+  (``Fx-Ay-DzK``) at a configurable laptop scale,
+* :mod:`repro.bench.harness` — timing/speedup sweeps and Table 1 rows,
+* :mod:`repro.bench.reporting` — fixed-width tables and result files,
+* :mod:`repro.bench.experiments` — one entry point per paper table and
+  figure, used by ``benchmarks/`` and by EXPERIMENTS.md.
+"""
+
+from repro.bench.experiments import figure8, figure9, figure10, figure11, table1
+from repro.bench.harness import (
+    SpeedupCurve,
+    SpeedupPoint,
+    Table1Row,
+    run_speedup,
+    run_table1_row,
+)
+from repro.bench.reporting import format_table, save_result, speedup_chart
+from repro.bench.workloads import (
+    DEFAULT_BENCH_RECORDS,
+    bench_records,
+    paper_dataset,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_RECORDS",
+    "SpeedupCurve",
+    "SpeedupPoint",
+    "Table1Row",
+    "bench_records",
+    "figure10",
+    "figure11",
+    "figure8",
+    "figure9",
+    "format_table",
+    "paper_dataset",
+    "run_speedup",
+    "run_table1_row",
+    "save_result",
+    "speedup_chart",
+    "table1",
+]

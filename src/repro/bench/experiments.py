@@ -1,0 +1,90 @@
+"""One entry point per paper table/figure.
+
+Each function regenerates the corresponding result at benchmark scale
+and returns structured data; the ``benchmarks/`` suite calls these,
+prints the paper-shaped tables and records them under
+``benchmarks/results/``.  EXPERIMENTS.md documents the paper-vs-measured
+comparison produced this way.
+
+Figure layout in the paper (§4.2-4.3):
+
+* Figure 8 — Machine A (local disk), F2/F7, 32 attributes, P in {1,2,4}
+* Figure 9 — Machine A, F2/F7, 64 attributes
+* Figure 10 — Machine B (main memory), F2/F7, 32 attributes, P in {1..8}
+* Figure 11 — Machine B, F2/F7, 64 attributes
+* Table 1 — serial dataset characteristics for all four datasets
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.bench.harness import SpeedupCurve, Table1Row, run_speedup, run_table1_row
+from repro.bench.workloads import PAPER_GRID, bench_records, paper_dataset
+from repro.smp.machine import machine_a, machine_b
+
+#: Processor sweeps per machine, as in the figures.
+MACHINE_A_PROCS = (1, 2, 4)
+MACHINE_B_PROCS = (1, 2, 4, 8)
+
+#: The algorithms the paper's figures compare ("MW" and "SUB").
+FIGURE_ALGORITHMS = ("mwk", "subtree")
+
+
+@lru_cache(maxsize=16)
+def _figure(
+    machine_name: str, n_attributes: int, n_records: int
+) -> Dict[str, SpeedupCurve]:
+    """One figure = the F2 and F7 speedup curves at one attribute count.
+
+    Cached: cross-figure comparisons (e.g. Figure 9's attribute-trend
+    check against Figure 8) reuse results instead of rebuilding.
+    """
+    if machine_name == "machine-a":
+        machine_factory, proc_counts = machine_a, MACHINE_A_PROCS
+    else:
+        machine_factory, proc_counts = machine_b, MACHINE_B_PROCS
+    out: Dict[str, SpeedupCurve] = {}
+    for function in (2, 7):
+        dataset = paper_dataset(function, n_attributes, n_records)
+        out[f"F{function}"] = run_speedup(
+            dataset,
+            machine_factory,
+            algorithms=FIGURE_ALGORITHMS,
+            proc_counts=proc_counts,
+        )
+    return out
+
+
+def _resolve(n_records: int) -> int:
+    return n_records if n_records > 0 else bench_records()
+
+
+def figure8(n_records: int = 0) -> Dict[str, SpeedupCurve]:
+    """Local disk access, 32 attributes (paper Figure 8)."""
+    return _figure("machine-a", 32, _resolve(n_records))
+
+
+def figure9(n_records: int = 0) -> Dict[str, SpeedupCurve]:
+    """Local disk access, 64 attributes (paper Figure 9)."""
+    return _figure("machine-a", 64, _resolve(n_records))
+
+
+def figure10(n_records: int = 0) -> Dict[str, SpeedupCurve]:
+    """Main-memory access, 32 attributes (paper Figure 10)."""
+    return _figure("machine-b", 32, _resolve(n_records))
+
+
+def figure11(n_records: int = 0) -> Dict[str, SpeedupCurve]:
+    """Main-memory access, 64 attributes (paper Figure 11)."""
+    return _figure("machine-b", 64, _resolve(n_records))
+
+
+def table1(n_records: int = 0) -> List[Table1Row]:
+    """Dataset characteristics + serial setup/sort breakdown (Table 1)."""
+    rows: List[Table1Row] = []
+    for function, n_attributes in PAPER_GRID:
+        dataset = paper_dataset(function, n_attributes, n_records)
+        rows.append(run_table1_row(dataset, machine_a(1)))
+    return rows

@@ -1,0 +1,138 @@
+"""Timing and speedup sweeps.
+
+``run_speedup`` reproduces one chart group of Figures 8-11: it builds
+the same dataset with each algorithm at each processor count on one
+machine configuration and reports build time, build speedup, and
+total-time speedup (build + the serial setup and sort phases), exactly
+the three panels the paper plots per dataset.
+
+``run_table1_row`` reproduces one row of Table 1: database size, tree
+shape (levels, max leaves per level) and the serial setup/sort/total
+breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.data.dataset import Dataset
+from repro.smp.machine import MachineConfig
+from repro.sprint.records import record_nbytes
+
+
+@dataclass
+class SpeedupPoint:
+    """One (algorithm, processor count) measurement."""
+
+    algorithm: str
+    n_procs: int
+    build_time: float
+    total_time: float
+    build_speedup: float = 1.0
+    total_speedup: float = 1.0
+    tree_levels: int = 0
+    tree_leaves: int = 0
+
+
+@dataclass
+class SpeedupCurve:
+    """All measurements for one dataset on one machine."""
+
+    dataset_name: str
+    machine_name: str
+    points: List[SpeedupPoint] = field(default_factory=list)
+
+    def of(self, algorithm: str, n_procs: int) -> SpeedupPoint:
+        for p in self.points:
+            if p.algorithm == algorithm and p.n_procs == n_procs:
+                return p
+        raise KeyError(f"no point for {algorithm} at P={n_procs}")
+
+    def best_speedup(self, algorithm: str) -> float:
+        return max(
+            p.build_speedup for p in self.points if p.algorithm == algorithm
+        )
+
+
+def run_speedup(
+    dataset: Dataset,
+    machine_factory: Callable[[int], MachineConfig],
+    algorithms: Sequence[str] = ("mwk", "subtree"),
+    proc_counts: Sequence[int] = (1, 2, 4),
+    params: Optional[BuildParams] = None,
+) -> SpeedupCurve:
+    """Build ``dataset`` for every (algorithm, P); compute speedups vs P=1."""
+    machine_name = machine_factory(1).name
+    curve = SpeedupCurve(dataset.name, machine_name)
+    for algorithm in algorithms:
+        baseline: Optional[SpeedupPoint] = None
+        for n_procs in proc_counts:
+            result = build_classifier(
+                dataset,
+                algorithm=algorithm,
+                machine=machine_factory(n_procs),
+                n_procs=n_procs,
+                params=params,
+            )
+            point = SpeedupPoint(
+                algorithm=algorithm,
+                n_procs=n_procs,
+                build_time=result.build_time,
+                total_time=result.total_time,
+                tree_levels=result.tree.n_levels,
+                tree_leaves=result.tree.n_leaves,
+            )
+            if baseline is None:
+                baseline = point
+            point.build_speedup = baseline.build_time / point.build_time
+            point.total_speedup = baseline.total_time / point.total_time
+            curve.points.append(point)
+    return curve
+
+
+@dataclass
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    dataset_name: str
+    db_size_mb: float
+    tree_levels: int
+    max_leaves_per_level: int
+    setup_time: float
+    sort_time: float
+    total_time: float
+
+    @property
+    def setup_pct(self) -> float:
+        return 100.0 * self.setup_time / self.total_time
+
+    @property
+    def sort_pct(self) -> float:
+        return 100.0 * self.sort_time / self.total_time
+
+
+def run_table1_row(
+    dataset: Dataset,
+    machine: MachineConfig,
+    params: Optional[BuildParams] = None,
+) -> Table1Row:
+    """Serial characteristics of one dataset (paper Table 1)."""
+    result = build_classifier(
+        dataset, algorithm="serial", machine=machine, params=params
+    )
+    db_size = sum(
+        record_nbytes(attr) * dataset.n_records
+        for attr in dataset.schema.attributes
+    )
+    return Table1Row(
+        dataset_name=dataset.name,
+        db_size_mb=db_size / 1e6,
+        tree_levels=result.tree.n_levels,
+        max_leaves_per_level=result.tree.max_leaves_per_level,
+        setup_time=result.timings["setup"],
+        sort_time=result.timings["sort"],
+        total_time=result.total_time,
+    )

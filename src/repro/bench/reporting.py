@@ -1,0 +1,126 @@
+"""Fixed-width tables and benchmark result files."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+#: Default directory for benchmark tables (``REPRO_BENCH_RESULTS`` wins).
+RESULTS_DIR = "benchmarks/results"
+
+
+def results_dir() -> str:
+    return os.environ.get("REPRO_BENCH_RESULTS", RESULTS_DIR)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a right-aligned fixed-width text table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def save_result(name: str, text: str) -> str:
+    """Write a benchmark table under :func:`results_dir`; returns the path."""
+    out_dir = results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+        if not text.endswith("\n"):
+            f.write("\n")
+    return path
+
+
+def speedup_chart(curve, height: int = 12) -> str:
+    """ASCII speedup-vs-processors chart, one letter per algorithm.
+
+    Mirrors the paper's figure panels: the x axis is the processor
+    count, the y axis build speedup; the diagonal of ideal (linear)
+    speedup is drawn with ``.``.
+    """
+    procs = sorted({p.n_procs for p in curve.points})
+    algorithms = []
+    for p in curve.points:
+        if p.algorithm not in algorithms:
+            algorithms.append(p.algorithm)
+    letters = {a: a[0].upper() for a in algorithms}
+    max_y = max(max(p.build_speedup for p in curve.points), max(procs))
+    col_w = 6
+    width = col_w * len(procs) + 2
+
+    def row_of(speedup: float) -> int:
+        return height - 1 - int(round((speedup - 1.0) / (max_y - 1.0)
+                                      * (height - 1))) if max_y > 1 else height - 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, n in enumerate(procs):  # ideal-speedup diagonal
+        grid[row_of(float(n))][2 + i * col_w] = "."
+    for algorithm in algorithms:
+        for i, n in enumerate(procs):
+            try:
+                point = curve.of(algorithm, n)
+            except KeyError:
+                continue
+            r = row_of(point.build_speedup)
+            c = 2 + i * col_w + (algorithms.index(algorithm) % 3)
+            grid[r][c] = letters[algorithm]
+    lines = [f"{curve.dataset_name} on {curve.machine_name} — build speedup"]
+    for r, row in enumerate(grid):
+        y_val = max_y - (max_y - 1.0) * r / (height - 1)
+        label = f"{y_val:4.1f}" if r % 2 == 0 else "    "
+        lines.append(f"{label} |" + "".join(row))
+    axis = "     +" + "-" * width
+    ticks = "      " + "".join(f"P={n}".ljust(col_w) for n in procs)
+    key = "      " + "  ".join(
+        f"{letters[a]}={a}" for a in algorithms
+    ) + "  .=ideal"
+    lines.extend([axis, ticks, key])
+    return "\n".join(lines)
+
+
+def speedup_table(curve) -> str:
+    """Render a :class:`~repro.bench.harness.SpeedupCurve` like the paper's
+    figure panels (build time, build speedup, total speedup per P)."""
+    headers = (
+        "algorithm",
+        "P",
+        "build (s)",
+        "total (s)",
+        "speedup (build)",
+        "speedup (total)",
+    )
+    rows = [
+        (
+            p.algorithm,
+            p.n_procs,
+            p.build_time,
+            p.total_time,
+            p.build_speedup,
+            p.total_speedup,
+        )
+        for p in curve.points
+    ]
+    title = f"{curve.dataset_name} on {curve.machine_name}"
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,66 @@
+"""The paper's workload grid at laptop scale.
+
+The evaluation datasets are ``Fx-Ay-DzK``: Quest function ``x`` in
+{2 (simple), 7 (complex)}, ``y`` in {32, 64} attributes, ``z*1000``
+training records (250K in the paper).  Absolute record counts only scale
+the costs linearly — tree shape and load-balance behaviour are the same —
+so benchmarks default to :data:`DEFAULT_BENCH_RECORDS` and honour the
+``REPRO_BENCH_RECORDS`` environment variable for full-scale runs
+(``REPRO_BENCH_RECORDS=250000`` reproduces the paper's sizes exactly,
+just slowly).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Tuple
+
+from repro.data.dataset import Dataset
+from repro.data.generator import DatasetSpec, generate_dataset
+
+#: Default benchmark training-set size (the paper uses 250_000).
+DEFAULT_BENCH_RECORDS = 10_000
+
+#: The four dataset configurations of Figures 8-11 and Table 1.
+PAPER_GRID: Tuple[Tuple[int, int], ...] = ((2, 32), (7, 32), (2, 64), (7, 64))
+
+#: Seed used by every benchmark dataset (results are deterministic).
+BENCH_SEED = 42
+
+
+def bench_records() -> int:
+    """Benchmark record count (env ``REPRO_BENCH_RECORDS`` overrides)."""
+    raw = os.environ.get("REPRO_BENCH_RECORDS", "")
+    if raw:
+        n = int(raw)
+        if n < 100:
+            raise ValueError(f"REPRO_BENCH_RECORDS too small: {n}")
+        return n
+    return DEFAULT_BENCH_RECORDS
+
+
+@lru_cache(maxsize=8)
+def _cached_dataset(
+    function: int, n_attributes: int, n_records: int, seed: int
+) -> Dataset:
+    return generate_dataset(
+        DatasetSpec(
+            function=function,
+            n_attributes=n_attributes,
+            n_records=n_records,
+            seed=seed,
+        )
+    )
+
+
+def paper_dataset(
+    function: int,
+    n_attributes: int = 32,
+    n_records: int = 0,
+    seed: int = BENCH_SEED,
+) -> Dataset:
+    """One of the paper's datasets (``n_records=0`` -> benchmark default)."""
+    if n_records <= 0:
+        n_records = bench_records()
+    return _cached_dataset(function, n_attributes, n_records, seed)

@@ -1,0 +1,35 @@
+"""Using a built classifier: prediction, pruning, evaluation, SQL export.
+
+The paper concentrates on the tree *growth* phase (its §3 opening: "We
+will only discuss the tree growth phase due to its compute- and
+data-intensive nature") and defers pruning to SLIQ's MDL scheme, noting
+it costs under 1% of build time.  This subpackage completes the
+classifier so the library is usable end to end:
+
+* :mod:`repro.classify.predict` — vectorized tree application,
+* :mod:`repro.classify.prune` — MDL-based bottom-up pruning (SLIQ §4),
+* :mod:`repro.classify.metrics` — accuracy, confusion matrix, error rate,
+* :mod:`repro.classify.sql` — decision tree to SQL (paper §1: "Trees can
+  also be converted into SQL statements").
+"""
+
+from repro.classify.evaluate import CrossValidationReport, cross_validate
+from repro.classify.metrics import accuracy, confusion_matrix, error_rate
+from repro.classify.predict import predict, predict_node_ids, predict_one
+from repro.classify.prune import MDLPruneReport, mdl_prune
+from repro.classify.sql import class_where_clause, tree_to_sql_case
+
+__all__ = [
+    "CrossValidationReport",
+    "MDLPruneReport",
+    "accuracy",
+    "class_where_clause",
+    "confusion_matrix",
+    "cross_validate",
+    "error_rate",
+    "mdl_prune",
+    "predict",
+    "predict_node_ids",
+    "predict_one",
+    "tree_to_sql_case",
+]

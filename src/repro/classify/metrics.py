@@ -1,0 +1,31 @@
+"""Classifier evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classify.predict import predict
+from repro.core.tree import DecisionTree
+from repro.data.dataset import Dataset
+
+
+def accuracy(tree: DecisionTree, dataset: Dataset) -> float:
+    """Fraction of tuples classified correctly."""
+    if dataset.n_records == 0:
+        raise ValueError("cannot score an empty dataset")
+    predicted = predict(tree, dataset)
+    return float(np.mean(predicted == dataset.labels))
+
+
+def error_rate(tree: DecisionTree, dataset: Dataset) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(tree, dataset)
+
+
+def confusion_matrix(tree: DecisionTree, dataset: Dataset) -> np.ndarray:
+    """``matrix[actual, predicted]`` counts."""
+    n = dataset.schema.n_classes
+    predicted = predict(tree, dataset)
+    matrix = np.zeros((n, n), dtype=np.int64)
+    np.add.at(matrix, (dataset.labels, predicted), 1)
+    return matrix

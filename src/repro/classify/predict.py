@@ -1,0 +1,80 @@
+"""Applying a decision tree to tuples.
+
+``predict`` is vectorized: it routes whole column arrays down the tree
+with boolean masks, one pass per node, so classifying a large test set
+costs O(n * depth) numpy work rather than Python-level per-tuple loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from repro.core.tree import DecisionTree, Node
+from repro.data.dataset import Dataset
+
+Columns = Mapping[str, np.ndarray]
+
+
+def _columns_of(data: Union[Dataset, Columns]) -> Columns:
+    return data.columns if isinstance(data, Dataset) else data
+
+
+def _n_rows(columns: Columns) -> int:
+    for col in columns.values():
+        return len(col)
+    return 0
+
+
+def predict(tree: DecisionTree, data: Union[Dataset, Columns]) -> np.ndarray:
+    """Class indices for every tuple in ``data``."""
+    columns = _columns_of(data)
+    n = _n_rows(columns)
+    out = np.empty(n, dtype=np.int32)
+    _route(tree.root, columns, np.arange(n), out, leaf_field="class")
+    return out
+
+
+def predict_node_ids(
+    tree: DecisionTree, data: Union[Dataset, Columns]
+) -> np.ndarray:
+    """The leaf node id each tuple lands in (for pruning/diagnostics)."""
+    columns = _columns_of(data)
+    n = _n_rows(columns)
+    out = np.empty(n, dtype=np.int64)
+    _route(tree.root, columns, np.arange(n), out, leaf_field="node_id")
+    return out
+
+
+def _route(
+    node: Node,
+    columns: Columns,
+    rows: np.ndarray,
+    out: np.ndarray,
+    leaf_field: str,
+) -> None:
+    if len(rows) == 0:
+        return
+    if node.is_leaf:
+        out[rows] = (
+            node.majority_class if leaf_field == "class" else node.node_id
+        )
+        return
+    split = node.split
+    values = columns[split.attribute][rows]
+    if split.is_continuous:
+        left_mask = values < split.threshold
+    else:
+        members = np.fromiter(split.subset, dtype=np.int64)
+        left_mask = np.isin(values.astype(np.int64), members)
+    _route(node.left, columns, rows[left_mask], out, leaf_field)
+    _route(node.right, columns, rows[~left_mask], out, leaf_field)
+
+
+def predict_one(tree: DecisionTree, tuple_values: Dict[str, float]) -> int:
+    """Class index of one tuple given as an attribute-name -> value dict."""
+    node = tree.root
+    while not node.is_leaf:
+        node = node.route(tuple_values[node.split.attribute])
+    return node.majority_class

@@ -1,0 +1,92 @@
+"""Decision tree to SQL.
+
+The paper motivates decision trees for database mining partly because
+"trees can also be converted into SQL statements that can be used to
+access databases efficiently" (§1, citing Agrawal et al.'s interval
+classifier).  Two exports are provided:
+
+* :func:`tree_to_sql_case` — a ``SELECT *, CASE ... END AS class`` query
+  labelling every row of a table,
+* :func:`class_where_clause` — the disjunction of root-to-leaf path
+  predicates for one class, usable as a ``WHERE`` filter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tree import DecisionTree, Node, Split
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _predicate(split: Split, branch_left: bool) -> str:
+    col = _quote(split.attribute)
+    if split.is_continuous:
+        op = "<" if branch_left else ">="
+        return f"{col} {op} {split.threshold:g}"
+    members = ", ".join(str(v) for v in sorted(split.subset))
+    negation = "" if branch_left else "NOT "
+    return f"{col} {negation}IN ({members})"
+
+
+def _paths_to_class(
+    node: Node, class_index: int, conditions: List[str], out: List[List[str]]
+) -> None:
+    if node.is_leaf:
+        if node.majority_class == class_index:
+            out.append(list(conditions))
+        return
+    for child, branch_left in ((node.left, True), (node.right, False)):
+        conditions.append(_predicate(node.split, branch_left))
+        _paths_to_class(child, class_index, conditions, out)
+        conditions.pop()
+
+
+def class_where_clause(tree: DecisionTree, class_name: str) -> str:
+    """A WHERE-clause expression selecting rows the tree labels
+    ``class_name``.
+
+    Each root-to-leaf path to a leaf of that class becomes one
+    parenthesized conjunction; the clause is their disjunction.  Returns
+    ``'FALSE'`` when no leaf carries the class.
+    """
+    class_index = tree.schema.class_index(class_name)
+    paths: List[List[str]] = []
+    _paths_to_class(tree.root, class_index, [], paths)
+    if not paths:
+        return "FALSE"
+    clauses = []
+    for path in paths:
+        if not path:  # root is itself a leaf of this class
+            return "TRUE"
+        clauses.append("(" + " AND ".join(path) + ")")
+    return "\n   OR ".join(clauses)
+
+
+def tree_to_sql_case(tree: DecisionTree, table: str = "training_set") -> str:
+    """A query labelling every row of ``table`` with the tree's class.
+
+    Produces nested ``CASE WHEN <test> THEN ... ELSE ... END`` mirroring
+    the tree structure, so evaluation order matches the tree exactly.
+    """
+
+    def case_for(node: Node, indent: str) -> str:
+        if node.is_leaf:
+            label = tree.schema.class_names[node.majority_class]
+            return f"'{label}'"
+        inner = indent + "  "
+        test = _predicate(node.split, branch_left=True)
+        return (
+            f"CASE WHEN {test}\n"
+            f"{inner}THEN {case_for(node.left, inner)}\n"
+            f"{inner}ELSE {case_for(node.right, inner)}\n"
+            f"{indent}END"
+        )
+
+    return (
+        f"SELECT *,\n  {case_for(tree.root, '  ')} AS predicted_class\n"
+        f"FROM {_quote(table)};"
+    )

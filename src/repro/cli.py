@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Everything the library does, driveable from a shell::
+
+    python -m repro generate  --function 7 --attributes 32 \
+                              --records 10000 -o data.npz
+    python -m repro build     -i data.npz --algorithm mwk --procs 4 \
+                              --machine b -o tree.json --prune
+    python -m repro classify  -i data.npz --tree tree.json
+    python -m repro benchmark --experiment fig10
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, speedup_table
+from repro.classify.metrics import accuracy, confusion_matrix
+from repro.classify.prune import mdl_prune
+from repro.core.builder import ALGORITHMS, build_classifier
+from repro.core.params import BuildParams
+from repro.core.serialize import load_tree, save_tree
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.io import (
+    load_dataset_csv,
+    load_dataset_npz,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+from repro.smp.machine import machine_a, machine_b
+
+_MACHINES = {"a": machine_a, "b": machine_b}
+
+
+def _load_dataset(path: str):
+    if path.endswith(".csv"):
+        return load_dataset_csv(path)
+    return load_dataset_npz(path)
+
+
+def _save_dataset(dataset, path: str) -> None:
+    if path.endswith(".csv"):
+        save_dataset_csv(dataset, path)
+    else:
+        save_dataset_npz(dataset, path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = DatasetSpec(
+        function=args.function,
+        n_attributes=args.attributes,
+        n_records=args.records,
+        perturbation=args.perturbation,
+        seed=args.seed,
+    )
+    dataset = generate_dataset(spec)
+    _save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.name}: {dataset.n_records} records, "
+        f"{dataset.n_attributes} attributes, "
+        f"{dataset.nbytes / 1e6:.1f} MB -> {args.output}"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.input)
+    machine = _MACHINES[args.machine](args.procs)
+    params = BuildParams(window=args.window, max_depth=args.max_depth)
+    result = build_classifier(
+        dataset,
+        algorithm=args.algorithm,
+        machine=machine,
+        n_procs=args.procs,
+        params=params,
+    )
+    tree = result.tree
+    if args.prune:
+        tree, report = mdl_prune(tree)
+        print(
+            f"pruned {report.nodes_removed} nodes "
+            f"({report.nodes_before} -> {report.nodes_after})"
+        )
+    t = result.timings
+    print(
+        f"{dataset.name} via {result.algorithm} on {result.n_procs} "
+        f"processor(s) [{machine.name}]: setup {t['setup']:.2f}s, "
+        f"sort {t['sort']:.2f}s, build {t['build']:.2f}s, "
+        f"total {t['total']:.2f}s (virtual)"
+    )
+    print(
+        f"tree: {tree.n_nodes} nodes, {tree.n_leaves} leaves, "
+        f"{tree.n_levels} levels; training accuracy "
+        f"{accuracy(tree, dataset):.4f}"
+    )
+    if args.output:
+        save_tree(tree, args.output)
+        print(f"tree saved to {args.output}")
+    if args.render:
+        print(tree.render(max_depth=args.render_depth))
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.input)
+    tree = load_tree(args.tree)
+    acc = accuracy(tree, dataset)
+    matrix = confusion_matrix(tree, dataset)
+    print(f"accuracy on {dataset.name or args.input}: {acc:.4f}")
+    classes = tree.schema.class_names
+    rows = [
+        (classes[i], *[int(matrix[i, j]) for j in range(len(classes))])
+        for i in range(len(classes))
+    ]
+    print(format_table(("actual \\ predicted", *classes), rows))
+    return 0
+
+
+def cmd_benchmark(args: argparse.Namespace) -> int:
+    name = args.experiment
+    if name == "table1":
+        rows = experiments.table1(args.records)
+        print(
+            format_table(
+                ("dataset", "DB (MB)", "levels", "max leaves", "setup (s)",
+                 "sort (s)", "total (s)", "setup %", "sort %"),
+                [
+                    (r.dataset_name, r.db_size_mb, r.tree_levels,
+                     r.max_leaves_per_level, r.setup_time, r.sort_time,
+                     r.total_time, r.setup_pct, r.sort_pct)
+                    for r in rows
+                ],
+            )
+        )
+        return 0
+    figures = {
+        "fig8": experiments.figure8,
+        "fig9": experiments.figure9,
+        "fig10": experiments.figure10,
+        "fig11": experiments.figure11,
+    }
+    if name not in figures:
+        print(f"unknown experiment {name!r}; choose from "
+              f"{sorted(figures) + ['table1']}", file=sys.stderr)
+        return 2
+    curves = figures[name](args.records)
+    print("\n\n".join(speedup_table(c) for c in curves.values()))
+    return 0
+
+
+def cmd_cross_validate(args: argparse.Namespace) -> int:
+    from repro.classify.evaluate import cross_validate
+
+    dataset = _load_dataset(args.input)
+    report = cross_validate(
+        dataset,
+        k=args.folds,
+        algorithm=args.algorithm,
+        prune=not args.no_prune,
+        seed=args.seed,
+    )
+    rows = [
+        (f.fold, f.train_records, f.test_records, f.test_accuracy,
+         f.tree_nodes, f.pruned_nodes)
+        for f in report.folds
+    ]
+    print(
+        format_table(
+            ("fold", "train", "test", "accuracy", "grown nodes",
+             "final nodes"),
+            rows,
+        )
+    )
+    print(report.summary())
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.smp.runtime import VirtualSMP
+    from repro.smp.trace import Tracer, render_timeline, utilization_table
+
+    dataset = _load_dataset(args.input)
+    machine = _MACHINES[args.machine](args.procs)
+    tracer = Tracer()
+    runtime = VirtualSMP(machine, args.procs, tracer=tracer)
+    result = build_classifier(
+        dataset, algorithm=args.algorithm, runtime=runtime, n_procs=args.procs
+    )
+    print(
+        f"{args.algorithm} on {args.procs} processor(s): build "
+        f"{result.build_time:.2f}s (virtual)"
+    )
+    print(render_timeline(tracer, width=args.width))
+    print(utilization_table(tracer))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name, description in ALGORITHMS.items():
+        print(f"  {name:10s} {description}")
+    print("\nmachines:")
+    for key, factory in _MACHINES.items():
+        m = factory()
+        print(
+            f"  {key}: {m.name} — {m.n_processors} processors, "
+            f"{'memory-resident files' if m.files_cached else 'disk-bound'}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel decision-tree classification on shared-memory "
+            "multiprocessors (Zaki, Ho & Agrawal, ICDE 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a Quest synthetic dataset")
+    g.add_argument("--function", type=int, default=2, help="Quest function 1-10")
+    g.add_argument("--attributes", type=int, default=9)
+    g.add_argument("--records", type=int, default=10_000)
+    g.add_argument("--perturbation", type=float, default=0.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", required=True,
+                   help=".npz (lossless) or .csv")
+    g.set_defaults(func=cmd_generate)
+
+    b = sub.add_parser("build", help="build a decision-tree classifier")
+    b.add_argument("-i", "--input", required=True, help=".npz or .csv dataset")
+    b.add_argument("--algorithm", default="mwk", choices=sorted(ALGORITHMS))
+    b.add_argument("--procs", type=int, default=1)
+    b.add_argument("--machine", default="b", choices=sorted(_MACHINES))
+    b.add_argument("--window", type=int, default=4)
+    b.add_argument("--max-depth", type=int, default=64)
+    b.add_argument("--prune", action="store_true", help="MDL-prune the tree")
+    b.add_argument("-o", "--output", help="save the tree as JSON")
+    b.add_argument("--render", action="store_true", help="print the tree")
+    b.add_argument("--render-depth", type=int, default=3)
+    b.set_defaults(func=cmd_build)
+
+    c = sub.add_parser("classify", help="evaluate a saved tree on a dataset")
+    c.add_argument("-i", "--input", required=True)
+    c.add_argument("--tree", required=True, help="tree JSON from `build -o`")
+    c.set_defaults(func=cmd_classify)
+
+    n = sub.add_parser("benchmark", help="rerun one paper experiment")
+    n.add_argument(
+        "--experiment", required=True,
+        help="table1, fig8, fig9, fig10 or fig11",
+    )
+    n.add_argument("--records", type=int, default=0,
+                   help="dataset size (0 = benchmark default)")
+    n.set_defaults(func=cmd_benchmark)
+
+    v = sub.add_parser(
+        "cross-validate", help="k-fold cross-validation on a dataset"
+    )
+    v.add_argument("-i", "--input", required=True)
+    v.add_argument("--folds", type=int, default=5)
+    v.add_argument("--algorithm", default="serial", choices=sorted(ALGORITHMS))
+    v.add_argument("--no-prune", action="store_true")
+    v.add_argument("--seed", type=int, default=0)
+    v.set_defaults(func=cmd_cross_validate)
+
+    t = sub.add_parser(
+        "timeline", help="trace a build and render a processor timeline"
+    )
+    t.add_argument("-i", "--input", required=True)
+    t.add_argument("--algorithm", default="mwk", choices=sorted(ALGORITHMS))
+    t.add_argument("--procs", type=int, default=4)
+    t.add_argument("--machine", default="b", choices=sorted(_MACHINES))
+    t.add_argument("--width", type=int, default=100)
+    t.set_defaults(func=cmd_timeline)
+
+    i = sub.add_parser("info", help="list algorithms and machine models")
+    i.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

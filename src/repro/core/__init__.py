@@ -1,0 +1,33 @@
+"""The paper's primary contribution: parallel decision-tree construction.
+
+* :mod:`repro.core.tree` — decision-tree model (nodes, splits),
+* :mod:`repro.core.params` — build parameters and stopping rules,
+* :mod:`repro.core.context` — shared build state and the E/W/S kernels,
+* :mod:`repro.core.serial` — serial SPRINT (the baseline of §2),
+* :mod:`repro.core.basic` — the BASIC attribute-data-parallel scheme,
+* :mod:`repro.core.fwk` — Fixed-Window-K task pipelining,
+* :mod:`repro.core.mwk` — Moving-Window-K (the headline algorithm),
+* :mod:`repro.core.subtree` — dynamic SUBTREE task parallelism,
+* :mod:`repro.core.builder` — the public ``build_classifier`` entry point.
+"""
+
+from repro.core.builder import ALGORITHMS, BuildResult, build_classifier
+from repro.core.params import BuildParams
+from repro.core.serialize import load_tree, save_tree, tree_from_dict, tree_to_dict
+from repro.core.tree import DecisionTree, Node, Split
+from repro.core.validate import check_tree
+
+__all__ = [
+    "ALGORITHMS",
+    "BuildParams",
+    "BuildResult",
+    "DecisionTree",
+    "Node",
+    "Split",
+    "build_classifier",
+    "check_tree",
+    "load_tree",
+    "save_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+]

@@ -1,0 +1,99 @@
+"""The BASIC scheme: attribute data parallelism (paper §3.2.1).
+
+Per level: every processor dynamically grabs attributes and evaluates
+them across *all* leaves of the level (step E, attribute-major for
+sequential file access); a barrier; the pre-designated master serially
+finds each leaf's winner and builds the probes (step W — BASIC's known
+sequential bottleneck); a barrier; processors dynamically grab attributes
+again and split them across all leaves (step S); a barrier; the master
+forms the next leaf frontier.
+
+``basic_level`` is also the per-level subroutine of SUBTREE (§3.3 "apply
+BASIC algorithm on L with P processors").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import BuildContext
+from repro.core.scheduling import LevelState, static_partition
+from repro.core.tree import DecisionTree
+
+
+def basic_level(
+    ctx: BuildContext,
+    state: LevelState,
+    barrier,
+    is_master: bool,
+    static_pid: Optional[tuple] = None,
+) -> None:
+    """Run one level's E/W/S with BASIC's schedule.
+
+    ``static_pid`` — ``(pid, n_procs)`` — switches to static attribute
+    partitioning; used only by the scheduling ablation benchmark.
+    """
+    if static_pid is None:
+        eval_attrs = state.eval_counter.drain()
+    else:
+        eval_attrs = iter(static_partition(ctx.n_attrs, *static_pid))
+    for attr_index in eval_attrs:  # step E
+        for task in state.tasks:
+            ctx.evaluate_attribute(task, attr_index)
+    barrier.wait()
+
+    if is_master:  # step W, serialized at the master
+        for task in state.tasks:
+            ctx.winner_phase(task)
+    barrier.wait()
+
+    if static_pid is None:
+        split_attrs = state.split_counter.drain()
+    else:
+        split_attrs = iter(static_partition(ctx.n_attrs, *static_pid))
+    for attr_index in split_attrs:  # step S
+        for task in state.tasks:
+            ctx.split_attribute(task, attr_index)
+    barrier.wait()
+
+
+class BasicScheme:
+    """Level-synchronous BASIC over the whole tree."""
+
+    name = "basic"
+
+    def __init__(self, ctx: BuildContext, static_scheduling: bool = False):
+        self.ctx = ctx
+        self.static_scheduling = static_scheduling
+        self.barrier = ctx.runtime.make_barrier()
+        root = ctx.make_root_task()
+        self.state: Optional[LevelState] = (
+            LevelState(ctx.runtime, [root], ctx.n_attrs)
+            if root is not None
+            else None
+        )
+
+    def build(self) -> DecisionTree:
+        self.ctx.runtime.run(self._worker)
+        return self.ctx.finish()
+
+    def _worker(self, pid: int) -> None:
+        ctx = self.ctx
+        n_procs = ctx.runtime.n_procs
+        while True:
+            state = self.state
+            if state is None:
+                break
+            basic_level(
+                ctx,
+                state,
+                self.barrier,
+                is_master=(pid == 0),
+                static_pid=(pid, n_procs) if self.static_scheduling else None,
+            )
+            if pid == 0:
+                tasks = ctx.next_frontier(state.tasks)
+                self.state = (
+                    LevelState(ctx.runtime, tasks, ctx.n_attrs) if tasks else None
+                )
+            self.barrier.wait()

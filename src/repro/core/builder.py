@@ -1,0 +1,199 @@
+"""Public entry point: build a decision-tree classifier.
+
+Ties everything together: generates the attribute lists (setup + sort,
+charged serially as in the paper), picks the scheme, runs it on the
+requested machine/processor count, and returns the tree together with
+the paper's timing breakdown (setup, sort, build, total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.basic import BasicScheme
+from repro.core.context import BuildContext, write_root_segments
+from repro.core.fwk import FwkScheme
+from repro.core.mwk import MwkScheme
+from repro.core.params import BuildParams
+from repro.core.recordpar import RecordParScheme
+from repro.core.serial import build_serial
+from repro.core.setup_parallel import parallel_setup as run_parallel_setup
+from repro.core.subtree import SubtreeScheme
+from repro.core.tree import DecisionTree
+from repro.data.dataset import Dataset
+from repro.smp.machine import MachineConfig, machine_b
+from repro.smp.runtime import SMPRuntime, VirtualSMP
+from repro.smp.sync import WaitStats
+from repro.smp.threads import RealThreadRuntime
+from repro.sprint.attribute_files import FileLayout
+from repro.sprint.records import record_nbytes
+from repro.storage.backends import MemoryBackend, StorageBackend
+
+#: Algorithm name -> description (the public registry).
+ALGORITHMS: Dict[str, str] = {
+    "serial": "serial SPRINT (uniprocessor baseline, paper §2)",
+    "basic": "attribute data parallelism with master-serialized W (§3.2.1)",
+    "fwk": "fixed-window-K pipelining of E and W (§3.2.2)",
+    "mwk": "moving-window-K with per-leaf condition variables (§3.2.3)",
+    "subtree": "dynamic subtree task parallelism with a FREE queue (§3.3)",
+    "recordpar": (
+        "record data parallelism (parallel SPRINT's distributed-memory "
+        "scheme; the contrast case of §3.1)"
+    ),
+}
+
+
+@dataclass
+class BuildResult:
+    """A built tree plus the paper's timing breakdown."""
+
+    tree: DecisionTree
+    algorithm: str
+    n_procs: int
+    machine: MachineConfig
+    #: Virtual seconds: {"setup", "sort", "build", "total"}.
+    timings: Dict[str, float]
+    #: Per-processor wait/busy breakdown (virtual runtime only).
+    stats: Optional[WaitStats] = None
+    dataset_name: str = ""
+
+    @property
+    def build_time(self) -> float:
+        return self.timings["build"]
+
+    @property
+    def total_time(self) -> float:
+        return self.timings["total"]
+
+
+def _layout_for(algorithm: str, params: BuildParams) -> FileLayout:
+    """The paper's physical-file layout per scheme (4 / 4K / per-group)."""
+    if algorithm in ("fwk", "mwk"):
+        return FileLayout(slots=params.window)
+    return FileLayout(slots=1)
+
+
+def _make_scheme(algorithm: str, ctx: BuildContext):
+    if algorithm == "basic":
+        return BasicScheme(ctx)
+    if algorithm == "fwk":
+        return FwkScheme(ctx)
+    if algorithm == "mwk":
+        return MwkScheme(ctx)
+    if algorithm == "subtree":
+        return SubtreeScheme(ctx)
+    if algorithm == "recordpar":
+        return RecordParScheme(ctx)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+    )
+
+
+def build_classifier(
+    dataset: Dataset,
+    algorithm: str = "mwk",
+    machine: Optional[MachineConfig] = None,
+    n_procs: Optional[int] = None,
+    params: Optional[BuildParams] = None,
+    backend: Optional[StorageBackend] = None,
+    runtime: Union[str, SMPRuntime, None] = "virtual",
+    parallel_setup: bool = False,
+) -> BuildResult:
+    """Build a decision tree from ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The training set (see :func:`repro.data.generate_dataset`).
+    algorithm:
+        One of :data:`ALGORITHMS`; default is the paper's best performer,
+        MWK.
+    machine:
+        Cost model (default: the paper's Machine B sized to ``n_procs``).
+    n_procs:
+        Processor count (default: the machine's; forced to 1 for
+        ``"serial"``).
+    params:
+        Stopping rules and scheme knobs (:class:`BuildParams`).
+    backend:
+        Attribute-list storage (default in-memory; pass a
+        :class:`~repro.storage.backends.DiskBackend` for a real
+        out-of-core build).
+    runtime:
+        ``"virtual"`` (timing model, deterministic), ``"threads"`` (real
+        OS threads, no timing), or a pre-built :class:`SMPRuntime`.
+    parallel_setup:
+        Parallelize the setup/sort phases over the processors — the
+        improvement the paper names as future work (§4.2).  Default off,
+        matching the paper's measured configuration.
+
+    Returns
+    -------
+    BuildResult
+        The tree plus {"setup", "sort", "build", "total"} timings in
+        virtual seconds (wall seconds under ``"threads"``).
+    """
+    if dataset.n_records == 0:
+        raise ValueError("cannot build a classifier from an empty dataset")
+    params = params if params is not None else BuildParams()
+    if algorithm == "serial":
+        n_procs = 1
+    if machine is None:
+        machine = machine_b(n_procs if n_procs is not None else 1)
+    if n_procs is None:
+        n_procs = machine.n_processors
+    backend = backend if backend is not None else MemoryBackend()
+
+    if isinstance(runtime, SMPRuntime):
+        rt: SMPRuntime = runtime
+    elif runtime == "virtual":
+        rt = VirtualSMP(machine, n_procs)
+    elif runtime == "threads":
+        rt = RealThreadRuntime(n_procs, machine)
+    else:
+        raise ValueError(
+            f"runtime must be 'virtual', 'threads' or an SMPRuntime, "
+            f"got {runtime!r}"
+        )
+
+    ctx = BuildContext(
+        dataset, rt, backend, params, layout=_layout_for(algorithm, params)
+    )
+    if parallel_setup and isinstance(rt, VirtualSMP):
+        setup_timings = run_parallel_setup(
+            dataset, backend, machine, n_procs, ctx.segment_key
+        )
+    else:
+        setup_timings = write_root_segments(ctx)
+    if isinstance(rt, VirtualSMP):
+        # The setup phase leaves the lists it just wrote in the file
+        # cache (all of them on Machine B; whatever fits on Machine A).
+        for attr_index, attr in enumerate(dataset.schema.attributes):
+            rt.disk.warm(
+                ctx.segment_key(attr_index, ctx.root.node_id),
+                record_nbytes(attr) * dataset.n_records,
+            )
+
+    if algorithm == "serial":
+        tree = build_serial(ctx)
+    else:
+        tree = _make_scheme(algorithm, ctx).build()
+
+    build_time = rt.elapsed if rt.elapsed is not None else 0.0
+    timings = {
+        "setup": setup_timings["setup"],
+        "sort": setup_timings["sort"],
+        "build": build_time,
+        "total": setup_timings["setup"] + setup_timings["sort"] + build_time,
+    }
+    stats = rt.stats if isinstance(rt, VirtualSMP) else None
+    return BuildResult(
+        tree=tree,
+        algorithm=algorithm,
+        n_procs=n_procs,
+        machine=machine,
+        timings=timings,
+        stats=stats,
+        dataset_name=dataset.name,
+    )

@@ -1,0 +1,454 @@
+"""Shared build state and the E/W/S kernels.
+
+The paper decomposes the per-level work at every node into three steps
+(§3.1): **E** — evaluate split points for each attribute; **W** — pick
+the winning split and build the probe from the winning attribute's list;
+**S** — split all attribute lists using the probe.  Every scheme (serial,
+BASIC, FWK, MWK, SUBTREE) is a different way of scheduling these same
+kernels onto processors, so they live here, once, and the schemes stay
+small.
+
+All kernels are *runtime-charged*: each reads/writes attribute-list
+segments through the storage backend (real data movement) and charges
+virtual CPU/IO time through the SMP runtime (timing model).  Running the
+same kernels under different schemes therefore yields bit-identical
+trees with scheme-specific timings.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.params import BuildParams
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.dataset import Dataset
+from repro.smp.runtime import SMPRuntime
+from repro.sprint.attribute_files import FileLayout
+from repro.sprint.attribute_list import build_attribute_list
+from repro.sprint.criteria import get_criterion
+from repro.sprint.gini import (
+    SplitCandidate,
+    best_categorical_split,
+    best_continuous_split,
+    gini_from_counts,
+)
+from repro.sprint.probe import BitProbe, HashProbe
+from repro.sprint.records import record_nbytes
+from repro.sprint.splitter import winner_left_mask
+from repro.storage.backends import StorageBackend
+
+
+class LeafTask:
+    """Per-level work unit: one active leaf awaiting E/W/S.
+
+    ``slot`` is the leaf's relabeled index within its level (finalized
+    children are excluded before slots are assigned — the paper's purity
+    pre-test + relabeling, Figure 5).
+    """
+
+    __slots__ = (
+        "node",
+        "slot",
+        "level",
+        "candidates",
+        "evals_done",
+        "next_attr",
+        "w_done",
+        "valid_children",
+        "probe",
+        "layout",
+        "split_steps",
+    )
+
+    def __init__(
+        self,
+        node: Node,
+        slot: int,
+        level: int,
+        n_attrs: int,
+        layout: Optional[FileLayout] = None,
+    ) -> None:
+        self.node = node
+        self.slot = slot
+        self.level = level
+        self.candidates: List[Optional[SplitCandidate]] = [None] * n_attrs
+        #: Attributes fully evaluated so far (guarded by a scheme lock).
+        self.evals_done = 0
+        #: Next attribute index to hand out (leaf-local dynamic scheduling).
+        self.next_attr = 0
+        self.w_done = False
+        self.valid_children: List[Node] = []
+        self.probe = None  # set at W when params.probe == "hash"
+        #: Per-task file layout override (SUBTREE groups have private files).
+        self.layout = layout
+        #: Passes over the attribute lists during step S (1 unless the
+        #: probe exceeds the memory budget; paper §2.3).
+        self.split_steps = 1
+
+    @property
+    def n_records(self) -> int:
+        return self.node.n_records
+
+
+class BuildContext:
+    """Everything the kernels need: data, storage, runtime, bookkeeping."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        runtime: SMPRuntime,
+        backend: StorageBackend,
+        params: BuildParams,
+        layout: Optional[FileLayout] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.schema = dataset.schema
+        self.n_classes = dataset.schema.n_classes
+        self.n_attrs = dataset.schema.n_attributes
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.backend = backend
+        self.params = params
+        self.layout = layout if layout is not None else FileLayout()
+        self.bit_probe = BitProbe(dataset.n_records)
+        #: Per-processor last physical file touched, for seek locality.
+        self._last_read: Dict[int, str] = {}
+        self._last_write: Dict[int, str] = {}
+        #: Physical files already created this level (create-once charging).
+        self._created: Set[str] = set()
+        #: Guards _created and the locality maps under the real-thread
+        #: backend; uncontended no-op ordering under the virtual engine.
+        self._meta_lock = threading.Lock()
+        self.root = Node(0, 0, dataset.class_histogram())
+
+    # -- storage + I/O charging --------------------------------------------------
+
+    def segment_key(self, attr_index: int, node_id: int) -> str:
+        return f"seg.a{attr_index}.n{node_id}"
+
+    def read_segment(self, attr_index: int, task: LeafTask) -> np.ndarray:
+        """Read one leaf's list for one attribute, charging I/O time.
+
+        Cache behaviour is keyed on the segment (so a child list written
+        at S is found cached at the next level's E on Machine B), while
+        seek cost is keyed on the *physical file*: a processor continuing
+        its scan of the physical file it touched last pays no positioning
+        cost.  This is how BASIC's attribute-major sweeps earn their
+        locality (paper §3.2.1: "each attribute list is accessed only
+        once sequentially during the evaluation for a level").
+        """
+        key = self.segment_key(attr_index, task.node.node_id)
+        records = self.backend.read(key)
+        layout = task.layout if task.layout is not None else self.layout
+        phys = layout.physical_name(attr_index, task.slot, task.level)
+        pid = self.runtime.pid()
+        with self._meta_lock:
+            sequential = self._last_read.get(pid) == phys
+            self._last_read[pid] = phys
+        self.runtime.read_file(key, records.nbytes, sequential=sequential)
+        return records
+
+    def write_segment(
+        self,
+        attr_index: int,
+        child: Node,
+        parent_task: LeafTask,
+        side: str,
+        records: np.ndarray,
+    ) -> None:
+        """Write one child's list for one attribute, charging I/O time."""
+        key = self.segment_key(attr_index, child.node_id)
+        self.backend.write(key, records)
+        phys = self._child_phys(attr_index, parent_task, side)
+        create_key = (phys, parent_task.level + 1)
+        pid = self.runtime.pid()
+        with self._meta_lock:
+            newly_created = create_key not in self._created
+            if newly_created:
+                self._created.add(create_key)
+            sequential = self._last_write.get(pid) == phys
+            self._last_write[pid] = phys
+        if newly_created:
+            self.runtime.create_file(phys)
+        self.runtime.write_file(key, records.nbytes, sequential=sequential)
+
+    def delete_segment(self, attr_index: int, node_id: int) -> None:
+        key = self.segment_key(attr_index, node_id)
+        self.backend.delete(key)
+        self.runtime.drop_file(key)
+
+    def _child_phys(
+        self, attr_index: int, parent_task: LeafTask, side: str
+    ) -> str:
+        """Physical file a child segment lands in (creation accounting).
+
+        Children inherit the parent's window position; the level tag
+        alternates generations (the paper's current/alternate file pairs).
+        """
+        layout = (
+            parent_task.layout if parent_task.layout is not None else self.layout
+        )
+        window_pos = parent_task.slot % layout.slots
+        prefix = f"grp{layout.group}." if layout.group is not None else ""
+        gen = (parent_task.level + 1) % 2
+        return f"{prefix}a{attr_index}.w{window_pos}.{side}.g{gen}"
+
+    # -- step E: evaluate one attribute at one leaf -------------------------------
+
+    def evaluate_attribute(self, task: LeafTask, attr_index: int) -> None:
+        """Find the best split of ``attr_index`` at this leaf (step E)."""
+        attr = self.schema.attributes[attr_index]
+        records = self.read_segment(attr_index, task)
+        n = len(records)
+        machine = self.machine
+        if attr.is_continuous:
+            candidate = best_continuous_split(
+                records["value"],
+                records["cls"],
+                self.n_classes,
+                criterion=self.params.criterion,
+            )
+            self.runtime.compute(machine.cpu_eval_record * n)
+        else:
+            candidate = best_categorical_split(
+                records["value"].astype(np.int64, copy=False),
+                records["cls"],
+                attr.cardinality,
+                self.n_classes,
+                max_exhaustive=self.params.max_exhaustive_subset,
+                criterion=self.params.criterion,
+            )
+            subsets = candidate.work_points if candidate is not None else 1
+            self.runtime.compute(
+                machine.cpu_count_record * n + machine.cpu_subset_eval * subsets
+            )
+        task.candidates[attr_index] = candidate
+
+    # -- step W: winner + probe + children ---------------------------------------
+
+    def choose_winner(
+        self, task: LeafTask
+    ) -> Optional[Tuple[int, SplitCandidate]]:
+        """The winning (attribute, candidate), or None to finalize as leaf.
+
+        Deterministic: minimum weighted impurity, ties to the lowest
+        attribute index, and the split must improve on the node's own
+        impurity by ``min_gini_improvement``.
+        """
+        if self.params.criterion == "gini":
+            node_gini = gini_from_counts(task.node.class_counts)
+        else:
+            node_gini = float(
+                get_criterion(self.params.criterion)(
+                    task.node.class_counts[np.newaxis, :]
+                )[0]
+            )
+        best: Optional[Tuple[int, SplitCandidate]] = None
+        for attr_index, cand in enumerate(task.candidates):
+            if cand is None:
+                continue
+            if best is None or cand.weighted_gini < best[1].weighted_gini:
+                best = (attr_index, cand)
+        if best is None:
+            return None
+        if best[1].weighted_gini >= node_gini - self.params.min_gini_improvement:
+            return None
+        return best
+
+    def winner_phase(self, task: LeafTask) -> None:
+        """Step W: pick winner, scan its list, build probe, make children."""
+        node = task.node
+        choice = self.choose_winner(task)
+        if choice is None:
+            node.make_leaf()
+            task.valid_children = []
+            task.w_done = True
+            return
+        attr_index, cand = choice
+        attr = self.schema.attributes[attr_index]
+        records = self.read_segment(attr_index, task)
+        left_mask = winner_left_mask(records, cand)
+        tids = records["tid"]
+        if self.params.probe == "bit":
+            probe = self.bit_probe
+            probe.mark_left(tids[left_mask])
+            probe.clear(tids[~left_mask])
+        else:
+            probe = HashProbe()
+            probe.mark_left(tids[left_mask])
+        task.probe = probe
+        self.runtime.compute(self.machine.cpu_probe_record * len(records))
+
+        limit = self.params.probe_memory_entries
+        if limit is not None:
+            # SPRINT keeps the smaller child's tids; when even that
+            # exceeds memory, S partitions the lists in multiple passes.
+            smaller = min(cand.n_left, cand.n_right)
+            task.split_steps = max(1, -(-smaller // limit))
+
+        left_counts = np.bincount(
+            records["cls"][left_mask], minlength=self.n_classes
+        )
+        self.finalize_winner(task, attr_index, cand, left_counts)
+
+    def finalize_winner(
+        self,
+        task: LeafTask,
+        attr_index: int,
+        cand: SplitCandidate,
+        left_counts: np.ndarray,
+    ) -> None:
+        """Install the winning split and create the children.
+
+        Split out of :meth:`winner_phase` so schemes that compute the
+        probe and the left-child histogram differently (the chunked
+        record-parallel scheme) can share the node bookkeeping.
+        """
+        node = task.node
+        attr = self.schema.attributes[attr_index]
+        right_counts = node.class_counts - left_counts
+        left = Node(2 * node.node_id + 1, node.depth + 1, left_counts)
+        right = Node(2 * node.node_id + 2, node.depth + 1, right_counts)
+        split = Split(
+            attribute=attr.name,
+            attribute_index=attr_index,
+            threshold=cand.threshold,
+            subset=cand.subset,
+            weighted_gini=cand.weighted_gini,
+        )
+        node.set_split(split, left, right)
+        task.valid_children = [
+            child for child in (left, right) if not self._pre_finalize(child)
+        ]
+        task.w_done = True
+
+    def _pre_finalize(self, child: Node) -> bool:
+        """The purity pre-test (generalized to every stopping rule).
+
+        Children that can never split are finalized as leaves now, so
+        they are excluded from file relabeling and from the next level's
+        schedule — no holes in the window (paper §3.2.2, Figure 5).
+        """
+        params = self.params
+        if (
+            child.is_pure
+            or child.n_records < params.min_split_records
+            or child.depth >= params.depth_limit
+        ):
+            child.make_leaf()
+            return True
+        return False
+
+    # -- step S: split one attribute's list at one leaf -----------------------------
+
+    def split_attribute(self, task: LeafTask, attr_index: int) -> None:
+        """Step S: route this attribute's records to the children.
+
+        When the probe did not fit in memory (``task.split_steps > 1``)
+        the list is re-read and re-scanned once per step, partitioning a
+        portion of the tids each time (paper §2.3); the output is the
+        same, the cost is multiplied.
+        """
+        node = task.node
+        if node.is_leaf:
+            # The leaf was finalized at W; its lists are simply dropped.
+            self.delete_segment(attr_index, node.node_id)
+            return
+        records = self.read_segment(attr_index, task)
+        for _extra_pass in range(task.split_steps - 1):
+            records = self.read_segment(attr_index, task)
+        mask = task.probe.is_left(records["tid"])
+        self.runtime.compute(
+            self.machine.cpu_split_record * len(records) * task.split_steps
+        )
+        parts = {"l": records[mask], "r": records[~mask]}
+        for side, child in (("l", node.left), ("r", node.right)):
+            if child in task.valid_children:
+                self.write_segment(attr_index, child, task, side, parts[side])
+        self.delete_segment(attr_index, node.node_id)
+
+    # -- frontier management ------------------------------------------------------
+
+    def make_root_task(self) -> Optional[LeafTask]:
+        """The level-0 task, or None when the root is already a leaf."""
+        if self._pre_finalize(self.root):
+            return None
+        return LeafTask(
+            self.root, slot=0, level=0, n_attrs=self.n_attrs, layout=self.layout
+        )
+
+    def next_frontier(
+        self,
+        tasks: List[LeafTask],
+        layout: Optional[FileLayout] = None,
+    ) -> List[LeafTask]:
+        """Form the next level's task list.
+
+        With ``params.relabel`` (the default, paper Figure 5's "relabel
+        scheme") finalized children are removed *before* slots are
+        assigned, so the window schedule has no holes.  With it off (the
+        "simple scheme") every child — finalized or not — consumes a
+        slot position, and the valid children inherit their raw, gappy
+        positions.
+        """
+        if not tasks:
+            return []
+        level = tasks[0].level
+        out: List[LeafTask] = []
+        raw_position = 0
+        slot = 0
+        for task in tasks:
+            for child in task.node.children():
+                valid = child in task.valid_children
+                if valid:
+                    out.append(
+                        LeafTask(
+                            child,
+                            slot=slot if self.params.relabel else raw_position,
+                            level=level + 1,
+                            n_attrs=self.n_attrs,
+                            layout=layout if layout is not None else self.layout,
+                        )
+                    )
+                    slot += 1
+                raw_position += 1
+        return out
+
+    def finish(self) -> DecisionTree:
+        if not self.root.finalized and self.root.split is None:
+            self.root.make_leaf()
+        return DecisionTree(self.schema, self.root)
+
+
+def write_root_segments(ctx: BuildContext) -> Dict[str, float]:
+    """The setup phase: build, sort and store the root attribute lists.
+
+    Returns the virtual time breakdown ``{"setup": s, "sort": s}``
+    computed from the machine's cost model (Table 1 reports these
+    serially; the paper does not parallelize setup, §4.1).
+    """
+    dataset = ctx.dataset
+    machine = ctx.machine
+    n = dataset.n_records
+    setup_cpu = 0.0
+    sort_cpu = 0.0
+    io_time = 0.0
+    log_n = float(np.log2(max(n, 2)))
+    for attr_index, attr in enumerate(dataset.schema.attributes):
+        alist = build_attribute_list(
+            attr, dataset.columns[attr.name], dataset.labels
+        )
+        key = ctx.segment_key(attr_index, ctx.root.node_id)
+        ctx.backend.write(key, alist.records)
+        setup_cpu += machine.cpu_setup_record * n
+        if attr.is_continuous:
+            sort_cpu += machine.cpu_sort_record * n * log_n
+        nbytes = record_nbytes(attr) * n
+        if machine.files_cached:
+            io_time += machine.memory_transfer_time(nbytes)
+        else:
+            io_time += machine.disk_transfer_time(nbytes)
+    return {"setup": setup_cpu + io_time, "sort": sort_cpu}

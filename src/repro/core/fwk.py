@@ -1,0 +1,109 @@
+"""The Fixed-Window-K scheme (paper §3.2.2).
+
+FWK attacks BASIC's serialized W step by pipelining: the level's leaves
+are grouped into blocks of K.  Within a block, attributes are scheduled
+dynamically *per leaf*; the last processor to finish a leaf's evaluation
+immediately performs that leaf's W (winner + probe) while the others move
+on to the next leaf's E — W_i overlaps E_{i+1..K}.  A barrier at the end
+of each block keeps the window fixed.  Step S and frontier formation
+proceed as in BASIC.
+
+The purity pre-test + relabeling (handled in
+:meth:`~repro.core.context.BuildContext.next_frontier`) keeps the blocks
+free of holes, as in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.context import BuildContext, LeafTask
+from repro.core.scheduling import WindowLevelState
+from repro.core.tree import DecisionTree
+
+
+def window_blocks(n_tasks: int, window: int) -> List[range]:
+    """Index ranges of the K-blocks covering a level's tasks."""
+    return [
+        range(start, min(start + window, n_tasks))
+        for start in range(0, n_tasks, window)
+    ]
+
+
+def slot_blocks(tasks: List[LeafTask], window: int) -> List[List[int]]:
+    """Task indices grouped into K-blocks by *file slot*.
+
+    Under the relabel scheme slots are consecutive and this equals
+    :func:`window_blocks`; under the "simple scheme" (paper Figure 5,
+    ``params.relabel=False``) finalized children leave holes, so blocks
+    hold fewer than K usable leaves — exactly the lost overlap the
+    relabeling exists to repair.
+    """
+    blocks: List[List[int]] = []
+    current_block = -1
+    for index, task in enumerate(tasks):
+        block = task.slot // window
+        if block != current_block:
+            blocks.append([])
+            current_block = block
+        blocks[-1].append(index)
+    return blocks
+
+
+class FwkScheme:
+    """Fixed-window pipelining of E and W."""
+
+    name = "fwk"
+
+    def __init__(self, ctx: BuildContext):
+        self.ctx = ctx
+        self.window = ctx.params.window
+        self.barrier = ctx.runtime.make_barrier()
+        root = ctx.make_root_task()
+        self.state: Optional[WindowLevelState] = (
+            WindowLevelState(ctx.runtime, [root], ctx.n_attrs)
+            if root is not None
+            else None
+        )
+
+    def build(self) -> DecisionTree:
+        self.ctx.runtime.run(self._worker)
+        return self.ctx.finish()
+
+    def _worker(self, pid: int) -> None:
+        ctx = self.ctx
+        while True:
+            state = self.state
+            if state is None:
+                break
+            self._ew_blocks(state)
+            for attr_index in state.split_counter.drain():  # step S
+                for task in state.tasks:
+                    ctx.split_attribute(task, attr_index)
+            self.barrier.wait()
+            if pid == 0:
+                tasks = ctx.next_frontier(state.tasks)
+                self.state = (
+                    WindowLevelState(ctx.runtime, tasks, ctx.n_attrs)
+                    if tasks
+                    else None
+                )
+            self.barrier.wait()
+
+    def _ew_blocks(self, state: WindowLevelState) -> None:
+        """Pipelined E/W over the level's K-blocks."""
+        ctx = self.ctx
+        for block in slot_blocks(state.tasks, self.window):
+            for leaf_index in block:
+                task = state.tasks[leaf_index]
+                while True:
+                    attr_index = state.grab_leaf_attr(leaf_index)
+                    if attr_index is None:
+                        break
+                    ctx.evaluate_attribute(task, attr_index)
+                    if state.finish_leaf_attr(leaf_index):
+                        # Last to exit this leaf's evaluation: do its W,
+                        # overlapped with other processors' E of later
+                        # leaves in the block.
+                        ctx.winner_phase(task)
+            self.barrier.wait()  # fixed window: synchronize per block

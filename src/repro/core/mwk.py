@@ -1,0 +1,149 @@
+"""The Moving-Window-K scheme — the paper's headline algorithm (§3.2.3).
+
+MWK removes FWK's per-block barrier: before touching leaf ``i`` (window
+position ``s = i mod K``, block ``b = i div K``), a processor checks a
+per-position condition variable — it may proceed once the *previous
+block's* leaf at the same window position has completed its W step (its
+files and probe slot are then free for reuse).  The last processor to
+finish a leaf's evaluation performs that leaf's W and signals the
+condition, waking any sleepers.  Parallelism therefore flows across block
+boundaries: with K=2 and leaves L1 R1 L2 R2, work overlaps not only
+inside {L1,R1} and {L2,R2} but also across {R1,L2} — the example of
+§3.2.3.
+
+Step S is dynamically scheduled attribute-major like BASIC, with each
+leaf gated on its own W completion via the same condition variables, so
+no barrier separates E/W from S either.  Only the level transition
+synchronizes all processors (frontier formation and file-generation
+swap), replacing BASIC's four barriers per level with one wait point per
+leaf plus two level-end barriers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.context import BuildContext, LeafTask
+from repro.core.scheduling import WindowLevelState
+from repro.core.tree import DecisionTree
+
+
+class MwkLevelState(WindowLevelState):
+    """Window state plus the per-position progress conditions.
+
+    Progress is tracked per *window position* (``slot % K``) in terms of
+    the highest file slot whose W has completed there.  A leaf must wait
+    for the previous leaf occupying the same position — its predecessor
+    in file reuse — before its evaluation may start.  Under the relabel
+    scheme predecessors are exactly one block back; under the "simple
+    scheme" (``params.relabel=False``) holes stretch the chains.
+    """
+
+    def __init__(self, ctx: BuildContext, tasks: List[LeafTask], window: int):
+        super().__init__(ctx.runtime, tasks, ctx.n_attrs)
+        self.window = window
+        runtime = ctx.runtime
+        #: Highest slot whose leaf completed W, per window position.
+        self.slot_done = [-1] * window
+        self.slot_locks = [runtime.make_lock() for _ in range(window)]
+        self.slot_conds = [
+            runtime.make_condition(lock) for lock in self.slot_locks
+        ]
+        #: Per task index: the slot of the previous task at the same
+        #: window position (-1 when it is the first there).
+        self.predecessor_slot = []
+        last_at_position = [-1] * window
+        for task in tasks:
+            position = task.slot % window
+            self.predecessor_slot.append(last_at_position[position])
+            last_at_position[position] = task.slot
+
+    def await_predecessor(self, leaf_index: int) -> None:
+        """Sleep until this leaf's file-slot predecessor has done W."""
+        needed = self.predecessor_slot[leaf_index]
+        if needed < 0:
+            return
+        position = self.tasks[leaf_index].slot % self.window
+        if self.slot_done[position] >= needed:
+            return  # fast path, racy-but-safe: values only grow
+        with self.slot_locks[position]:
+            while self.slot_done[position] < needed:
+                self.slot_conds[position].wait()
+
+    def await_own_w(self, leaf_index: int) -> None:
+        """Sleep until this leaf's own W has completed (split gating)."""
+        task = self.tasks[leaf_index]
+        position = task.slot % self.window
+        if self.slot_done[position] >= task.slot:
+            return
+        with self.slot_locks[position]:
+            while self.slot_done[position] < task.slot:
+                self.slot_conds[position].wait()
+
+    def mark_w_done(self, leaf_index: int) -> None:
+        """Publish W completion and wake sleepers on this position."""
+        task = self.tasks[leaf_index]
+        position = task.slot % self.window
+        with self.slot_locks[position]:
+            if task.slot > self.slot_done[position]:
+                self.slot_done[position] = task.slot
+            self.slot_conds[position].broadcast()
+
+
+class MwkScheme:
+    """Moving-window pipelining with per-leaf condition variables."""
+
+    name = "mwk"
+
+    def __init__(self, ctx: BuildContext):
+        self.ctx = ctx
+        self.window = ctx.params.window
+        self.barrier = ctx.runtime.make_barrier()
+        root = ctx.make_root_task()
+        self.state: Optional[MwkLevelState] = (
+            MwkLevelState(ctx, [root], self.window) if root is not None else None
+        )
+
+    def build(self) -> DecisionTree:
+        self.ctx.runtime.run(self._worker)
+        return self.ctx.finish()
+
+    def _worker(self, pid: int) -> None:
+        ctx = self.ctx
+        while True:
+            state = self.state
+            if state is None:
+                break
+            self._ew_moving_window(state)
+            self._gated_split(state)
+            self.barrier.wait()
+            if pid == 0:
+                tasks = ctx.next_frontier(state.tasks)
+                self.state = (
+                    MwkLevelState(ctx, tasks, self.window) if tasks else None
+                )
+            self.barrier.wait()
+
+    def _ew_moving_window(self, state: MwkLevelState) -> None:
+        """E/W across the level, gated per window position, no barriers."""
+        ctx = self.ctx
+        for leaf_index, task in enumerate(state.tasks):
+            # "if (last block's i-th leaf not done) then wait" (Fig 6).
+            state.await_predecessor(leaf_index)
+            while True:
+                attr_index = state.grab_leaf_attr(leaf_index)
+                if attr_index is None:
+                    break
+                ctx.evaluate_attribute(task, attr_index)
+                if state.finish_leaf_attr(leaf_index):
+                    ctx.winner_phase(task)
+                    state.mark_w_done(leaf_index)
+
+    def _gated_split(self, state: MwkLevelState) -> None:
+        """Step S, attribute-major, each leaf gated on its own W."""
+        ctx = self.ctx
+        for attr_index in state.split_counter.drain():
+            for leaf_index, task in enumerate(state.tasks):
+                if not task.w_done:
+                    state.await_own_w(leaf_index)
+                ctx.split_attribute(task, attr_index)

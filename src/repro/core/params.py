@@ -1,0 +1,90 @@
+"""Build parameters and stopping rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sprint.gini import DEFAULT_MAX_EXHAUSTIVE
+
+
+@dataclass(frozen=True)
+class BuildParams:
+    """Knobs shared by every build scheme.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard depth limit; 0 or negative disables the limit.  SPRINT grows
+        to purity on noise-free data, so the default is "no limit" with a
+        safety stop at 64 (deeper than any Quest tree).
+    min_split_records:
+        Nodes with fewer records become leaves.
+    min_gini_improvement:
+        A split must beat the node's own gini by at least this much or
+        the node becomes a leaf.  The tiny default only rejects splits
+        that make no progress at all.
+    max_exhaustive_subset:
+        Categorical subset search switches from exhaustive enumeration to
+        greedy hill-climbing above this many present values (paper §2.2).
+    window:
+        The K of FWK/MWK — how many leaves overlap in the pipeline.  The
+        paper found "a window size of 4 works well in practice" (§4.2).
+    probe:
+        ``"bit"`` for the global bit probe (the paper's BASIC choice) or
+        ``"hash"`` for per-leaf hash tables (its first alternative).
+    probe_memory_entries:
+        Maximum probe entries held in memory at once.  When a node's
+        probe exceeds it, the split runs in multiple steps, each
+        re-scanning the attribute lists for one portion of the tids —
+        the paper's "If the probe structure is too big to fit in memory,
+        the splitting takes multiple steps.  In each step only a portion
+        of the attribute lists are partitioned" (§2.3).  ``None`` (the
+        default) means the probe always fits.
+    """
+
+    max_depth: int = 64
+    min_split_records: int = 2
+    min_gini_improvement: float = 1e-12
+    max_exhaustive_subset: int = DEFAULT_MAX_EXHAUSTIVE
+    window: int = 4
+    probe: str = "bit"
+    probe_memory_entries: Optional[int] = None
+    #: Impurity measure: ``"gini"`` (SPRINT's, paper §2.2) or
+    #: ``"entropy"`` (the C4.5-family alternative of reference [11]).
+    criterion: str = "gini"
+    #: SUBTREE extension: split a group's leaf frontier by *record count*
+    #: rather than leaf count.  The paper splits by leaf count ("split
+    #: NewL into L1 and L2", §3.3) and suffers load imbalance on skewed
+    #: trees; this knob measures how much balance buys (an ablation, off
+    #: by default to match the paper).
+    subtree_weighted: bool = False
+    #: The relabeling scheme of the paper's Figure 5: finalized (pure)
+    #: children are excluded before window slots are assigned, so the
+    #: K-block schedule has no holes.  Setting this False reproduces the
+    #: paper's "simple scheme" straw man — children keep their raw
+    #: positions, holes and all — for the relabeling ablation.
+    relabel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_split_records < 2:
+            raise ValueError("min_split_records must be >= 2")
+        if self.max_exhaustive_subset < 1:
+            raise ValueError("max_exhaustive_subset must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.probe not in ("bit", "hash"):
+            raise ValueError(f"probe must be 'bit' or 'hash', got {self.probe!r}")
+        if self.probe_memory_entries is not None and self.probe_memory_entries < 1:
+            raise ValueError("probe_memory_entries must be >= 1 or None")
+        from repro.sprint.criteria import CRITERIA
+
+        if self.criterion not in CRITERIA:
+            raise ValueError(
+                f"criterion must be one of {sorted(CRITERIA)}, "
+                f"got {self.criterion!r}"
+            )
+
+    @property
+    def depth_limit(self) -> int:
+        return self.max_depth if self.max_depth > 0 else 1 << 30

@@ -1,0 +1,320 @@
+"""Record data parallelism — the scheme the paper argues *against*.
+
+Parallel SPRINT on the IBM SP (Shafer et al., VLDB 1996) partitions every
+attribute list into P contiguous ranges, one per processor (paper §3.1).
+The paper's position: "Record parallelism is not well suited to SMP
+systems since it is likely to cause excessive synchronization, and
+replication of data structures."  This module implements the scheme on
+the SMP runtime so the claim can be measured
+(``benchmarks/bench_ablation_recordpar.py``).
+
+Per leaf, per level:
+
+1. every processor scans its chunk of every attribute, building partial
+   class histograms (continuous) or partial count matrices (categorical)
+   — the *replicated data structures*;
+2. a barrier, then each processor derives its prefix counts from the
+   published partials and evaluates its chunk's candidate splits
+   (:func:`~repro.sprint.gini.best_continuous_split_chunk`);
+3. a barrier, then the master reduces per-chunk bests (earliest global
+   boundary wins ties, so the tree is bit-identical to serial SPRINT's),
+   merges the categorical matrices and runs the subset search;
+4. a barrier, then all processors mark their chunk of the winning
+   attribute in the shared probe and publish partial left-histograms;
+5. a barrier, the master creates the children;
+6. a barrier, then the split phase: every processor partitions its chunk
+   of every attribute and appends to the children's lists **in chunk
+   order** (a condition-variable chain per attribute — order must be
+   preserved to keep the lists sorted).
+
+That is five barriers plus an ordered-append chain per leaf per level,
+versus MWK's single condition wait per leaf — the synchronization gap
+the paper predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.context import BuildContext, LeafTask
+from repro.core.tree import DecisionTree
+from repro.sprint.gini import (
+    SplitCandidate,
+    best_categorical_split_from_counts,
+    best_continuous_split_chunk,
+)
+from repro.sprint.splitter import winner_left_mask
+
+
+def chunk_bounds(n: int, pid: int, n_procs: int) -> Tuple[int, int]:
+    """Contiguous range ``[lo, hi)`` of records owned by ``pid``."""
+    base, extra = divmod(n, n_procs)
+    lo = pid * base + min(pid, extra)
+    hi = lo + base + (1 if pid < extra else 0)
+    return lo, hi
+
+
+class _LeafShared:
+    """Published per-chunk partials for one leaf (the replicated state)."""
+
+    def __init__(self, n_procs: int, n_attrs: int) -> None:
+        #: [pid][attr] -> class-count vector (continuous) or count matrix.
+        self.partials: List[List[Optional[np.ndarray]]] = [
+            [None] * n_attrs for _ in range(n_procs)
+        ]
+        #: [pid][attr] -> chunk-best tuple from best_continuous_split_chunk.
+        self.chunk_bests: List[List[Optional[tuple]]] = [
+            [None] * n_attrs for _ in range(n_procs)
+        ]
+        #: [pid] -> partial left-child class counts after probe marking.
+        self.left_partials: List[Optional[np.ndarray]] = [None] * n_procs
+        #: Per-attribute ordered-append cursor for the split phase.
+        self.append_next: List[int] = [0] * n_attrs
+        #: (attr_index, candidate) chosen by the reduce phase, consumed
+        #: by the probe/finalize phases on the other side of a barrier.
+        self.winner: Optional[Tuple[int, SplitCandidate]] = None
+
+
+class RecordParScheme:
+    """Record-partitioned SPRINT on the SMP runtime."""
+
+    name = "recordpar"
+
+    def __init__(self, ctx: BuildContext):
+        self.ctx = ctx
+        runtime = ctx.runtime
+        self.n_procs = runtime.n_procs
+        self.barrier = runtime.make_barrier()
+        self.append_lock = runtime.make_lock()
+        self.append_cond = runtime.make_condition(self.append_lock)
+        root = ctx.make_root_task()
+        self.tasks: Optional[List[LeafTask]] = (
+            [root] if root is not None else None
+        )
+        self.shared: Dict[int, _LeafShared] = {}
+        if self.tasks:
+            self._alloc_shared(self.tasks)
+        #: Per-processor cache of the chunks read in phase 1, reused by
+        #: the evaluate/probe/split phases (one physical scan per level).
+        self._chunks: Dict[int, Dict[tuple, np.ndarray]] = {}
+
+    def _alloc_shared(self, tasks: List[LeafTask]) -> None:
+        self.shared = {
+            t.node.node_id: _LeafShared(self.n_procs, self.ctx.n_attrs)
+            for t in tasks
+        }
+
+    def build(self) -> DecisionTree:
+        if self.tasks is not None:
+            self.ctx.runtime.run(self._worker)
+        return self.ctx.finish()
+
+    # -- worker -----------------------------------------------------------------
+
+    def _worker(self, pid: int) -> None:
+        ctx = self.ctx
+        while True:
+            tasks = self.tasks
+            if tasks is None:
+                break
+            self._chunks[pid] = {}
+            for task in tasks:
+                self._leaf_ews(pid, task)
+            self.barrier.wait()
+            if pid == 0:
+                frontier = ctx.next_frontier(tasks)
+                self.tasks = frontier if frontier else None
+                if frontier:
+                    self._alloc_shared(frontier)
+            self.barrier.wait()
+
+    # -- per-leaf phases ---------------------------------------------------------
+
+    def _leaf_ews(self, pid: int, task: LeafTask) -> None:
+        ctx = self.ctx
+        shared = self.shared[task.node.node_id]
+
+        self._phase_scan(pid, task, shared)
+        self.barrier.wait()
+        self._phase_evaluate(pid, task, shared)
+        self.barrier.wait()
+        if pid == 0:
+            self._phase_reduce(task, shared)
+        self.barrier.wait()
+        if shared.winner is not None:
+            self._phase_probe(pid, task, shared)
+            self.barrier.wait()
+            if pid == 0:
+                left_counts = np.sum(shared.left_partials, axis=0)
+                attr_index, cand = shared.winner
+                ctx.finalize_winner(task, attr_index, cand, left_counts)
+            self.barrier.wait()
+        self._phase_split(pid, task, shared)
+        self.barrier.wait()
+
+    def _read_chunk(
+        self, pid: int, task: LeafTask, attr_index: int
+    ) -> np.ndarray:
+        """Read (and cache) this processor's chunk of one attribute."""
+        cache = self._chunks[pid]
+        key = (task.node.node_id, attr_index)
+        if key in cache:
+            return cache[key]
+        ctx = self.ctx
+        seg_key = ctx.segment_key(attr_index, task.node.node_id)
+        records = ctx.backend.read(seg_key)
+        lo, hi = chunk_bounds(len(records), pid, self.n_procs)
+        # +1 record of lookahead so chunk-boundary candidates can be
+        # evaluated by the earlier chunk's owner.
+        chunk = records[lo : min(hi + 1, len(records))]
+        nbytes = chunk.nbytes
+        ctx.runtime.read_file(seg_key, nbytes)  # each proc seeks separately
+        cache[key] = (chunk, lo, hi)
+        return cache[key]
+
+    def _phase_scan(self, pid: int, task: LeafTask, shared: _LeafShared) -> None:
+        """Phase 1: partial histograms / count matrices per attribute."""
+        ctx = self.ctx
+        machine = ctx.machine
+        for attr_index, attr in enumerate(ctx.schema.attributes):
+            chunk, lo, hi = self._read_chunk(pid, task, attr_index)
+            own = chunk[: hi - lo]
+            if attr.is_continuous:
+                partial = np.bincount(own["cls"], minlength=ctx.n_classes)
+            else:
+                partial = np.zeros(
+                    (attr.cardinality, ctx.n_classes), dtype=np.int64
+                )
+                np.add.at(
+                    partial,
+                    (own["value"].astype(np.int64), own["cls"]),
+                    1,
+                )
+            ctx.runtime.compute(machine.cpu_count_record * len(own))
+            shared.partials[pid][attr_index] = partial
+
+    def _phase_evaluate(
+        self, pid: int, task: LeafTask, shared: _LeafShared
+    ) -> None:
+        """Phase 2: evaluate this chunk's candidates per continuous attr."""
+        ctx = self.ctx
+        machine = ctx.machine
+        totals = task.node.class_counts
+        n_total = task.n_records
+        for attr_index, attr in enumerate(ctx.schema.attributes):
+            if not attr.is_continuous:
+                continue
+            chunk, lo, hi = self._chunks[pid][(task.node.node_id, attr_index)]
+            own = chunk[: hi - lo]
+            prefix = np.zeros(ctx.n_classes, dtype=np.int64)
+            for p in range(pid):
+                prefix += shared.partials[p][attr_index]
+            next_value = (
+                float(chunk["value"][hi - lo]) if len(chunk) > hi - lo else None
+            )
+            ctx.runtime.compute(machine.cpu_eval_record * len(own))
+            shared.chunk_bests[pid][attr_index] = best_continuous_split_chunk(
+                own["value"],
+                own["cls"],
+                next_value,
+                prefix,
+                totals,
+                n_total,
+            )
+
+    def _phase_reduce(self, task: LeafTask, shared: _LeafShared) -> None:
+        """Phase 3 (master): global candidates, winner selection."""
+        ctx = self.ctx
+        machine = ctx.machine
+        n_total = task.n_records
+        for attr_index, attr in enumerate(ctx.schema.attributes):
+            if attr.is_continuous:
+                best = None
+                for p in range(self.n_procs):
+                    entry = shared.chunk_bests[p][attr_index]
+                    if entry is None:
+                        continue
+                    if best is None or (entry[0], entry[1]) < (best[0], best[1]):
+                        best = entry
+                if best is None:
+                    cand = None
+                else:
+                    gini_value, _boundary, threshold, n_left = best
+                    cand = SplitCandidate(
+                        weighted_gini=gini_value,
+                        threshold=threshold,
+                        subset=None,
+                        n_left=n_left,
+                        n_right=n_total - n_left,
+                        work_points=n_total,
+                    )
+            else:
+                merged = np.sum(
+                    [shared.partials[p][attr_index] for p in range(self.n_procs)],
+                    axis=0,
+                )
+                cand = best_categorical_split_from_counts(
+                    merged, n_total,
+                    max_exhaustive=ctx.params.max_exhaustive_subset,
+                )
+                subsets = cand.work_points if cand is not None else 1
+                ctx.runtime.compute(machine.cpu_subset_eval * subsets)
+            task.candidates[attr_index] = cand
+
+        choice = ctx.choose_winner(task)
+        if choice is None:
+            task.node.make_leaf()
+            task.valid_children = []
+            task.w_done = True
+            return
+        shared.winner = choice
+
+    def _phase_probe(self, pid: int, task: LeafTask, shared: _LeafShared) -> None:
+        """Phase 4: chunked probe marking for the winning attribute."""
+        ctx = self.ctx
+        attr_index, cand = shared.winner
+        chunk, lo, hi = self._chunks[pid][(task.node.node_id, attr_index)]
+        own = chunk[: hi - lo]
+        mask = winner_left_mask(own, cand)
+        probe = ctx.bit_probe
+        probe.mark_left(own["tid"][mask])
+        probe.clear(own["tid"][~mask])
+        task.probe = probe
+        ctx.runtime.compute(ctx.machine.cpu_probe_record * len(own))
+        shared.left_partials[pid] = np.bincount(
+            own["cls"][mask], minlength=ctx.n_classes
+        )
+
+    def _phase_split(self, pid: int, task: LeafTask, shared: _LeafShared) -> None:
+        """Phase 6: chunked splits with ordered appends per attribute."""
+        ctx = self.ctx
+        node = task.node
+        machine = ctx.machine
+        for attr_index in range(ctx.n_attrs):
+            chunk, lo, hi = self._chunks[pid][(node.node_id, attr_index)]
+            own = chunk[: hi - lo]
+            if node.is_leaf:
+                parts = None
+            else:
+                mask = task.probe.is_left(own["tid"])
+                parts = (own[mask], own[~mask])
+                ctx.runtime.compute(machine.cpu_split_record * len(own))
+            # Ordered append: processor p writes after p-1 so the child
+            # lists keep global record order (sorted lists stay sorted).
+            with self.append_lock:
+                while shared.append_next[attr_index] != pid:
+                    self.append_cond.wait()
+            if parts is not None:
+                for child, part in zip((node.left, node.right), parts):
+                    if child in task.valid_children:
+                        key = ctx.segment_key(attr_index, child.node_id)
+                        ctx.backend.append(key, part)
+                        ctx.runtime.write_file(key, part.nbytes)
+            with self.append_lock:
+                shared.append_next[attr_index] += 1
+                self.append_cond.broadcast()
+        if pid == self.n_procs - 1:
+            for attr_index in range(ctx.n_attrs):
+                ctx.delete_segment(attr_index, node.node_id)

@@ -1,0 +1,89 @@
+"""Dynamic scheduling state shared by the parallel schemes.
+
+The paper's data-parallel schemes all use *dynamic attribute scheduling*:
+"a processor acquires the lock, grabs an attribute, increments the
+counter, and releases the lock" (§3.2.1).  Static partitioning is also
+implemented (for the ablation benchmark) — the paper explains why it
+loses: attribute costs differ by kind and value distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.context import LeafTask
+from repro.smp.runtime import SMPRuntime
+
+
+class AttributeCounter:
+    """Lock-protected shared counter handing out attribute indices."""
+
+    def __init__(self, runtime: SMPRuntime, n_attrs: int) -> None:
+        self._lock = runtime.make_lock()
+        self._next = 0
+        self._n_attrs = n_attrs
+
+    def grab(self) -> Optional[int]:
+        """Take the next attribute index, or None when exhausted."""
+        with self._lock:
+            i = self._next
+            self._next += 1
+        return i if i < self._n_attrs else None
+
+    def drain(self) -> Iterator[int]:
+        """Iterate attribute indices until the counter runs out."""
+        while True:
+            i = self.grab()
+            if i is None:
+                return
+            yield i
+
+
+def static_partition(n_attrs: int, pid: int, n_procs: int) -> List[int]:
+    """The static alternative: processor ``pid`` owns every ``n_procs``-th
+    attribute.  Used only by the scheduling ablation."""
+    return list(range(pid, n_attrs, n_procs))
+
+
+class LevelState:
+    """Shared state for one level of BASIC-style execution."""
+
+    def __init__(self, runtime: SMPRuntime, tasks: List[LeafTask], n_attrs: int):
+        self.tasks = tasks
+        self.eval_counter = AttributeCounter(runtime, n_attrs)
+        self.split_counter = AttributeCounter(runtime, n_attrs)
+
+
+class WindowLevelState(LevelState):
+    """Level state for the windowed schemes: per-leaf dynamic scheduling.
+
+    Each leaf carries its own attribute counter (``task.next_attr`` /
+    ``task.evals_done``) guarded by a per-leaf lock, so attributes of one
+    leaf can be grabbed by any processor — the finer grain the paper
+    credits for MWK's load balance (§3.4).
+    """
+
+    def __init__(self, runtime: SMPRuntime, tasks: List[LeafTask], n_attrs: int):
+        super().__init__(runtime, tasks, n_attrs)
+        self.n_attrs = n_attrs
+        self.leaf_locks = [runtime.make_lock() for _ in tasks]
+
+    def grab_leaf_attr(self, leaf_index: int) -> Optional[int]:
+        """Take the next attribute of leaf ``leaf_index`` (or None)."""
+        task = self.tasks[leaf_index]
+        with self.leaf_locks[leaf_index]:
+            i = task.next_attr
+            task.next_attr += 1
+        return i if i < self.n_attrs else None
+
+    def finish_leaf_attr(self, leaf_index: int) -> bool:
+        """Record one completed evaluation; True if it was the last.
+
+        The processor that completes the leaf's final attribute performs
+        step W for it ("the last processor to exit the evaluation for
+        that leaf", §3.2.2).
+        """
+        task = self.tasks[leaf_index]
+        with self.leaf_locks[leaf_index]:
+            task.evals_done += 1
+            return task.evals_done == self.n_attrs

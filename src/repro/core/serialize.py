@@ -1,0 +1,125 @@
+"""Decision-tree persistence: JSON round-trips.
+
+Trees are the *output* of the expensive build phase; a deployment
+pipeline wants to build once and ship the model.  The format is plain
+JSON — schema (attributes + classes) plus a nested node structure — so
+it is diffable, versionable and language-neutral.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+#: Format identifier written into every file.
+FORMAT = "repro-decision-tree"
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    return {
+        "attributes": [
+            {
+                "name": a.name,
+                "kind": a.kind.value,
+                "cardinality": a.cardinality,
+            }
+            for a in schema.attributes
+        ],
+        "class_names": list(schema.class_names),
+    }
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    attributes = [
+        Attribute(
+            a["name"], AttributeKind(a["kind"]), a.get("cardinality")
+        )
+        for a in data["attributes"]
+    ]
+    return Schema(attributes, class_names=tuple(data["class_names"]))
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "id": node.node_id,
+        "depth": node.depth,
+        "class_counts": [int(c) for c in node.class_counts],
+    }
+    if node.split is not None:
+        split = node.split
+        out["split"] = {
+            "attribute": split.attribute,
+            "attribute_index": split.attribute_index,
+            "threshold": split.threshold,
+            "subset": sorted(split.subset) if split.subset else None,
+            "weighted_gini": split.weighted_gini,
+        }
+        out["left"] = _node_to_dict(node.left)
+        out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(data: Dict[str, Any]) -> Node:
+    node = Node(
+        data["id"], data["depth"], np.array(data["class_counts"], dtype=np.int64)
+    )
+    split_data = data.get("split")
+    if split_data is None:
+        node.make_leaf()
+        return node
+    split = Split(
+        attribute=split_data["attribute"],
+        attribute_index=split_data["attribute_index"],
+        threshold=split_data["threshold"],
+        subset=(
+            frozenset(split_data["subset"])
+            if split_data["subset"] is not None
+            else None
+        ),
+        weighted_gini=split_data.get("weighted_gini", 0.0),
+    )
+    node.set_split(
+        split, _node_from_dict(data["left"]), _node_from_dict(data["right"])
+    )
+    return node
+
+
+def tree_to_dict(tree: DecisionTree) -> Dict[str, Any]:
+    """A JSON-serializable representation of ``tree``."""
+    return {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "schema": schema_to_dict(tree.schema),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> DecisionTree:
+    """Rebuild a tree from :func:`tree_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('version')!r}")
+    return DecisionTree(
+        schema_from_dict(data["schema"]), _node_from_dict(data["root"])
+    )
+
+
+def save_tree(tree: DecisionTree, path: str) -> None:
+    """Write ``tree`` as JSON to ``path``."""
+    with open(path, "w") as f:
+        json.dump(tree_to_dict(tree), f, indent=1)
+
+
+def load_tree(path: str) -> DecisionTree:
+    """Read a tree saved by :func:`save_tree`."""
+    with open(path) as f:
+        return tree_from_dict(json.load(f))

@@ -1,0 +1,217 @@
+"""The SUBTREE scheme: dynamic task parallelism over subtrees (paper §3.3).
+
+All processors start as one group at the root.  Each group runs BASIC on
+its leaf frontier for one level (with its own barrier and master — the
+member with the smallest id).  At the level boundary the group master:
+
+* dissolves the group if no children remain — every member inserts
+  itself into the global FREE queue;
+* otherwise grabs every processor currently in the FREE queue, then
+  either keeps the enlarged group together (single leaf, or single
+  processor) or splits the processors and the leaf frontier into two new
+  groups, which proceed independently.
+
+Idle processors sleeping in the FREE queue are woken either by a master
+that acquired them or by global termination (the last live group
+dissolving).  Each group has private physical attribute files, which is
+why SUBTREE needs up to 4P files per attribute (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.basic import basic_level
+from repro.core.context import BuildContext, LeafTask
+from repro.core.scheduling import LevelState
+from repro.core.tree import DecisionTree
+from repro.sprint.attribute_files import FileLayout
+
+#: Mailbox value meaning "join the FREE queue".
+_FREE = "FREE"
+
+
+class _Group:
+    """One processor group working on one subtree frontier for one level."""
+
+    __slots__ = ("group_id", "members", "tasks", "barrier", "state",
+                 "end_lock", "end_cond", "next_assignment", "layout")
+
+    def __init__(
+        self,
+        ctx: BuildContext,
+        group_id: int,
+        members: List[int],
+        tasks: List[LeafTask],
+    ) -> None:
+        self.group_id = group_id
+        self.members = sorted(members)
+        self.tasks = tasks
+        self.layout = FileLayout(slots=1, group=group_id)
+        for task in tasks:
+            task.layout = self.layout
+        runtime = ctx.runtime
+        self.barrier = runtime.make_barrier(len(self.members))
+        self.state = LevelState(runtime, tasks, ctx.n_attrs)
+        self.end_lock = runtime.make_lock()
+        self.end_cond = runtime.make_condition(self.end_lock)
+        #: pid -> next _Group, or _FREE; published by the master.
+        self.next_assignment: Optional[Dict[int, Union["_Group", str]]] = None
+
+    @property
+    def master(self) -> int:
+        return self.members[0]
+
+
+class SubtreeScheme:
+    """Dynamic subtree task parallelism with a FREE queue."""
+
+    name = "subtree"
+
+    def __init__(self, ctx: BuildContext):
+        self.ctx = ctx
+        runtime = ctx.runtime
+        self.free_lock = runtime.make_lock()
+        self.free_cond = runtime.make_condition(self.free_lock)
+        self.free_procs: List[int] = []
+        #: Mailboxes for processors grabbed out of the FREE queue.
+        self.free_assignment: Dict[int, _Group] = {}
+        self.done = False
+        self.live_groups = 0
+        self._next_group_id = 0
+        root = ctx.make_root_task()
+        if root is None:
+            self.initial_group: Optional[_Group] = None
+        else:
+            self.live_groups = 1
+            self.initial_group = self._new_group(
+                list(range(runtime.n_procs)), [root]
+            )
+
+    # -- public entry -----------------------------------------------------------
+
+    def build(self) -> DecisionTree:
+        if self.initial_group is None:
+            return self.ctx.finish()
+        self.ctx.runtime.run(self._worker)
+        return self.ctx.finish()
+
+    # -- worker -----------------------------------------------------------------
+
+    def _worker(self, pid: int) -> None:
+        group: Optional[_Group] = self.initial_group
+        while group is not None:
+            group = self._run_level(pid, group)
+
+    def _run_level(self, pid: int, group: _Group) -> Optional[_Group]:
+        """One BASIC level within the group, then regrouping.
+
+        Returns the processor's next group, or None to terminate.
+        """
+        basic_level(
+            self.ctx, group.state, group.barrier, is_master=(pid == group.master)
+        )
+        if pid == group.master:
+            self._master_regroup(group)
+            assignment = group.next_assignment[pid]
+        else:
+            # "all processors except the master go to sleep on a
+            # conditional variable" (§3.3).
+            with group.end_lock:
+                while group.next_assignment is None:
+                    group.end_cond.wait()
+                assignment = group.next_assignment[pid]
+        if assignment is _FREE:
+            return self._enter_free_queue(pid)
+        return assignment
+
+    # -- master-side regrouping ---------------------------------------------------
+
+    def _master_regroup(self, group: _Group) -> None:
+        """Form the next groups (or dissolve) and wake everyone involved."""
+        children = self.ctx.next_frontier(group.tasks)
+        if not children:
+            with self.free_lock:
+                self.live_groups -= 1
+                if self.live_groups == 0:
+                    self.done = True
+                    self.free_cond.broadcast()
+            assignment: Dict[int, Union[_Group, str]] = {
+                m: _FREE for m in group.members
+            }
+        else:
+            with self.free_lock:
+                grabbed = list(self.free_procs)
+                self.free_procs.clear()
+            members = group.members + grabbed
+            subgroups = self._partition(members, children)
+            if len(subgroups) > 1:
+                with self.free_lock:
+                    self.live_groups += len(subgroups) - 1
+            assignment = {}
+            for sub in subgroups:
+                for m in sub.members:
+                    assignment[m] = sub
+            if grabbed:
+                with self.free_lock:
+                    for m in grabbed:
+                        self.free_assignment[m] = assignment[m]
+                    self.free_cond.broadcast()
+        with group.end_lock:
+            group.next_assignment = assignment
+            group.end_cond.broadcast()
+
+    def _partition(
+        self, members: List[int], tasks: List[LeafTask]
+    ) -> List[_Group]:
+        """Split (processors, leaves) into one or two new groups.
+
+        Mirrors the paper's three cases: one leaf left -> everyone works
+        on it; one processor -> it takes the whole frontier; otherwise
+        split both sets in two.  With ``params.subtree_weighted`` the
+        leaf split balances *record counts* instead of leaf counts (a
+        load-balance extension; see BuildParams).
+        """
+        members = sorted(members)
+        if len(tasks) == 1 or len(members) == 1:
+            return [self._new_group(members, tasks)]
+        half_tasks = self._split_point(tasks)
+        half_members = (len(members) + 1) // 2
+        return [
+            self._new_group(members[:half_members], tasks[:half_tasks]),
+            self._new_group(members[half_members:], tasks[half_tasks:]),
+        ]
+
+    def _split_point(self, tasks: List[LeafTask]) -> int:
+        """Index where the frontier is cut in two (both halves non-empty)."""
+        if not self.ctx.params.subtree_weighted:
+            return (len(tasks) + 1) // 2
+        total = sum(t.n_records for t in tasks)
+        best_index, best_gap = 1, float("inf")
+        prefix = 0
+        for i in range(1, len(tasks)):
+            prefix += tasks[i - 1].n_records
+            gap = abs(2 * prefix - total)  # |prefix - (total - prefix)|
+            if gap < best_gap:
+                best_index, best_gap = i, gap
+        return best_index
+
+    def _new_group(self, members: List[int], tasks: List[LeafTask]) -> _Group:
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        return _Group(self.ctx, group_id, members, tasks)
+
+    # -- FREE queue ---------------------------------------------------------------
+
+    def _enter_free_queue(self, pid: int) -> Optional[_Group]:
+        """Insert self in the FREE queue; sleep until reassigned or done."""
+        with self.free_lock:
+            self.free_procs.append(pid)
+            while pid not in self.free_assignment:
+                if self.done:
+                    # Never reassigned; drop out (remove stale entry).
+                    if pid in self.free_procs:
+                        self.free_procs.remove(pid)
+                    return None
+                self.free_cond.wait()
+            return self.free_assignment.pop(pid)

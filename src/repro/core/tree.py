@@ -1,0 +1,228 @@
+"""Decision-tree model.
+
+A node is either a leaf carrying a class, or a decision node carrying a
+binary split test — ``value(A) < x`` for continuous attributes,
+``value(A) in X`` for categorical ones (paper §2).  Nodes are numbered
+by binary-heap position (root 0, children of ``i`` at ``2i+1``/``2i+2``)
+so every scheme assigns identical, globally unique ids without
+coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.schema import Schema
+
+
+@dataclass(frozen=True)
+class Split:
+    """A binary split test at a decision node."""
+
+    attribute: str
+    attribute_index: int
+    threshold: Optional[float] = None
+    subset: Optional[FrozenSet[int]] = None
+    weighted_gini: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.threshold is None) == (self.subset is None):
+            raise ValueError("exactly one of threshold/subset must be set")
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.threshold is not None
+
+    def goes_left(self, value) -> bool:
+        """Apply the test to a scalar attribute value."""
+        if self.threshold is not None:
+            return bool(value < self.threshold)
+        return int(value) in self.subset
+
+    def describe(self) -> str:
+        if self.threshold is not None:
+            return f"{self.attribute} < {self.threshold:g}"
+        members = ", ".join(str(v) for v in sorted(self.subset))
+        return f"{self.attribute} in {{{members}}}"
+
+
+class Node:
+    """One tree node.  Mutable during construction, then frozen in use."""
+
+    __slots__ = (
+        "node_id",
+        "depth",
+        "class_counts",
+        "split",
+        "left",
+        "right",
+        "finalized",
+    )
+
+    def __init__(
+        self, node_id: int, depth: int, class_counts: np.ndarray
+    ) -> None:
+        self.node_id = node_id
+        self.depth = depth
+        self.class_counts = np.asarray(class_counts, dtype=np.int64)
+        self.split: Optional[Split] = None
+        self.left: Optional["Node"] = None
+        self.right: Optional["Node"] = None
+        #: True once the node is known to be a leaf (or has been split).
+        self.finalized = False
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return int(self.class_counts.sum())
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split is None
+
+    @property
+    def majority_class(self) -> int:
+        return int(np.argmax(self.class_counts))
+
+    @property
+    def is_pure(self) -> bool:
+        return int(np.count_nonzero(self.class_counts)) <= 1
+
+    # -- construction helpers ---------------------------------------------------
+
+    def make_leaf(self) -> None:
+        self.split = None
+        self.left = None
+        self.right = None
+        self.finalized = True
+
+    def set_split(self, split: Split, left: "Node", right: "Node") -> None:
+        self.split = split
+        self.left = left
+        self.right = right
+        self.finalized = True
+
+    def children(self) -> List["Node"]:
+        return [] if self.is_leaf else [self.left, self.right]
+
+    def route(self, value) -> "Node":
+        """Child this attribute value falls into (decision nodes only)."""
+        if self.split is None:
+            raise ValueError(f"node {self.node_id} is a leaf")
+        return self.left if self.split.goes_left(value) else self.right
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"split[{self.split.describe()}]"
+        return (
+            f"Node(id={self.node_id}, depth={self.depth}, "
+            f"n={self.n_records}, {kind})"
+        )
+
+
+@dataclass
+class DecisionTree:
+    """A fully built classifier: the root node plus its schema."""
+
+    schema: Schema
+    root: Node
+
+    # -- traversal -------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Breadth-first iteration over all nodes."""
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            yield node
+            queue.extend(node.children())
+
+    def levels(self) -> List[List[Node]]:
+        """Nodes grouped by depth."""
+        out: List[List[Node]] = []
+        frontier = [self.root]
+        while frontier:
+            out.append(frontier)
+            frontier = [c for n in frontier for c in n.children()]
+        return out
+
+    # -- statistics (paper Table 1 reports these) ---------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels())
+
+    @property
+    def max_leaves_per_level(self) -> int:
+        """Max count of *leaf* nodes at any single depth (Table 1)."""
+        return max(
+            sum(1 for n in level if n.is_leaf) for level in self.levels()
+        )
+
+    @property
+    def max_nodes_per_level(self) -> int:
+        return max(len(level) for level in self.levels())
+
+    # -- comparison and rendering ---------------------------------------------
+
+    def signature(self) -> tuple:
+        """Hashable structural fingerprint for tree-equality tests.
+
+        Two trees with equal signatures make identical decisions: same
+        splits at same positions, same class counts, same leaf classes.
+        """
+        def node_sig(node: Optional[Node]) -> tuple:
+            if node is None:
+                return ()
+            split = node.split
+            split_sig = (
+                None
+                if split is None
+                else (
+                    split.attribute_index,
+                    split.threshold,
+                    None if split.subset is None else tuple(sorted(split.subset)),
+                )
+            )
+            return (
+                tuple(int(c) for c in node.class_counts),
+                split_sig,
+                node_sig(node.left),
+                node_sig(node.right),
+            )
+
+        return node_sig(self.root)
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        """ASCII rendering of the tree (for examples and debugging)."""
+        lines: List[str] = []
+
+        def walk(node: Node, prefix: str, tag: str) -> None:
+            if max_depth is not None and node.depth > max_depth:
+                return
+            if node.is_leaf:
+                cls = self.schema.class_names[node.majority_class]
+                lines.append(
+                    f"{prefix}{tag}class {cls}  "
+                    f"(n={node.n_records}, counts={node.class_counts.tolist()})"
+                )
+            else:
+                lines.append(
+                    f"{prefix}{tag}{node.split.describe()}  (n={node.n_records})"
+                )
+                walk(node.left, prefix + "  ", "yes: ")
+                walk(node.right, prefix + "  ", "no:  ")
+
+        walk(self.root, "", "")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Decision-tree invariant checker.
+
+``check_tree`` returns a list of human-readable violations (empty means
+the tree is well-formed).  Checked invariants:
+
+* every decision node has both children and a split; every leaf has
+  neither;
+* children's class counts partition the parent's exactly;
+* children sit one level deeper and carry heap-numbered ids;
+* split tests are well-formed (categorical subsets within the
+  attribute's domain, split attribute exists in the schema);
+* with a dataset: routing every tuple reproduces each node's class
+  counts exactly.
+
+Used by the test suite after every build, and available to library
+users as a cheap model sanity check after deserialization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tree import DecisionTree, Node
+from repro.data.dataset import Dataset
+
+
+def check_tree(
+    tree: DecisionTree, dataset: Optional[Dataset] = None
+) -> List[str]:
+    """All invariant violations found in ``tree`` (empty list = valid)."""
+    problems: List[str] = []
+    schema = tree.schema
+
+    def walk(node: Node) -> None:
+        n_id = node.node_id
+        if (node.left is None) != (node.right is None):
+            problems.append(f"node {n_id}: exactly one child is missing")
+            return
+        if node.is_leaf:
+            if node.left is not None:
+                problems.append(f"leaf {n_id}: has children but no split")
+            return
+        if node.left is None:
+            problems.append(f"node {n_id}: split without children")
+            return
+        split = node.split
+        try:
+            attr = schema.attribute(split.attribute)
+            if schema.index_of(split.attribute) != split.attribute_index:
+                problems.append(
+                    f"node {n_id}: attribute_index does not match schema"
+                )
+            if split.subset is not None:
+                if attr.is_continuous:
+                    problems.append(
+                        f"node {n_id}: subset split on continuous attribute"
+                    )
+                elif any(
+                    not 0 <= v < attr.cardinality for v in split.subset
+                ):
+                    problems.append(
+                        f"node {n_id}: subset outside attribute domain"
+                    )
+            elif attr.is_categorical:
+                problems.append(
+                    f"node {n_id}: threshold split on categorical attribute"
+                )
+        except KeyError:
+            problems.append(
+                f"node {n_id}: unknown split attribute {split.attribute!r}"
+            )
+        combined = node.left.class_counts + node.right.class_counts
+        if not np.array_equal(combined, node.class_counts):
+            problems.append(
+                f"node {n_id}: children's class counts do not partition "
+                f"the parent's"
+            )
+        for child, expected_id in (
+            (node.left, 2 * n_id + 1),
+            (node.right, 2 * n_id + 2),
+        ):
+            if child.node_id != expected_id:
+                problems.append(
+                    f"node {n_id}: child id {child.node_id} is not "
+                    f"heap-numbered ({expected_id})"
+                )
+            if child.depth != node.depth + 1:
+                problems.append(
+                    f"node {n_id}: child depth {child.depth} != "
+                    f"{node.depth + 1}"
+                )
+        walk(node.left)
+        walk(node.right)
+
+    walk(tree.root)
+    if tree.root.depth != 0:
+        problems.append("root depth is not 0")
+
+    if dataset is not None:
+        problems.extend(_check_against_dataset(tree, dataset))
+    return problems
+
+
+def _check_against_dataset(tree: DecisionTree, dataset: Dataset) -> List[str]:
+    """Routing the training set must reproduce every node's counts."""
+    problems: List[str] = []
+    if set(dataset.schema.attribute_names) != set(
+        tree.schema.attribute_names
+    ):
+        return ["dataset schema does not match tree schema"]
+
+    def walk(node: Node, rows: np.ndarray) -> None:
+        counts = np.bincount(
+            dataset.labels[rows], minlength=tree.schema.n_classes
+        )
+        if not np.array_equal(counts, node.class_counts):
+            problems.append(
+                f"node {node.node_id}: routed class counts "
+                f"{counts.tolist()} != stored "
+                f"{node.class_counts.tolist()}"
+            )
+        if node.is_leaf:
+            return
+        split = node.split
+        values = dataset.columns[split.attribute][rows]
+        if split.is_continuous:
+            mask = values < split.threshold
+        else:
+            members = np.fromiter(split.subset, dtype=np.int64)
+            mask = np.isin(values.astype(np.int64), members)
+        walk(node.left, rows[mask])
+        walk(node.right, rows[~mask])
+
+    walk(tree.root, np.arange(dataset.n_records))
+    return problems

@@ -1,0 +1,32 @@
+"""Synthetic training-data substrate (IBM Quest generator).
+
+The paper evaluates on the synthetic datasets of Agrawal, Imielinski and
+Swami ("Database mining: a performance perspective", IEEE TKDE 1993) — the
+same generator used by SLIQ and SPRINT.  This subpackage implements:
+
+* :mod:`repro.data.schema` — attribute and schema descriptions,
+* :mod:`repro.data.functions` — the ten Quest classification functions,
+* :mod:`repro.data.generator` — the tuple generator (base attributes,
+  padding attributes, label perturbation),
+* :mod:`repro.data.dataset` — the in-memory training-set container.
+
+The paper's dataset notation ``Fx-Ay-DzK`` (function ``x``, ``y``
+attributes, ``z * 1000`` records) maps to
+``generate_dataset(function=x, n_attributes=y, n_records=z * 1000)``.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.functions import QUEST_FUNCTIONS, quest_function
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Dataset",
+    "DatasetSpec",
+    "QUEST_FUNCTIONS",
+    "Schema",
+    "generate_dataset",
+    "quest_function",
+]

@@ -1,0 +1,130 @@
+"""In-memory training-set container.
+
+A :class:`Dataset` is a column-oriented table: one numpy array per
+predictor attribute plus a label array.  Tuple identifiers (*tids*) are
+implicit row positions ``0 .. n_records - 1``, exactly the tids SPRINT
+carries through its attribute lists (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.data.schema import Schema
+
+
+@dataclass
+class Dataset:
+    """A training set: schema, one column per attribute, labels.
+
+    Parameters
+    ----------
+    schema:
+        Attribute and class descriptions.
+    columns:
+        Mapping of attribute name to a 1-D value array.  Continuous
+        attributes are float arrays; categorical attributes are integer
+        code arrays in ``0 .. cardinality - 1``.
+    labels:
+        Integer class indices, one per tuple.
+    name:
+        Optional human-readable name (e.g. ``F2-A32-D250K``).
+    """
+
+    schema: Schema
+    columns: Dict[str, np.ndarray]
+    labels: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        expected = set(self.schema.attribute_names)
+        got = set(self.columns)
+        if expected != got:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise ValueError(
+                f"columns do not match schema (missing={missing}, extra={extra})"
+            )
+        n = len(self.labels)
+        for attr_name, col in self.columns.items():
+            if col.ndim != 1:
+                raise ValueError(f"column {attr_name!r} must be 1-D")
+            if len(col) != n:
+                raise ValueError(
+                    f"column {attr_name!r} has {len(col)} rows, labels have {n}"
+                )
+        if n and (self.labels.min() < 0 or self.labels.max() >= self.schema.n_classes):
+            raise ValueError("label index out of range for schema classes")
+        for attr in self.schema.attributes:
+            col = self.columns[attr.name]
+            if attr.is_categorical:
+                if n and (col.min() < 0 or col.max() >= attr.cardinality):
+                    raise ValueError(
+                        f"categorical column {attr.name!r} has codes outside "
+                        f"0..{attr.cardinality - 1}"
+                    )
+            elif n and not np.all(np.isfinite(col)):
+                raise ValueError(
+                    f"continuous column {attr.name!r} contains non-finite "
+                    f"values (NaN/inf break sorted attribute lists)"
+                )
+
+    @property
+    def n_records(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_attributes(self) -> int:
+        return self.schema.n_attributes
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the column and label data in bytes."""
+        return sum(c.nbytes for c in self.columns.values()) + self.labels.nbytes
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def tuple_at(self, tid: int) -> Dict[str, float]:
+        """Materialize the tuple with identifier ``tid`` as a dict."""
+        return {name: col[tid] for name, col in self.columns.items()}
+
+    def iter_tuples(self) -> Iterator[Dict[str, float]]:
+        """Iterate over tuples as attribute-name -> value dicts."""
+        for tid in range(self.n_records):
+            yield self.tuple_at(tid)
+
+    def class_name_of(self, tid: int) -> str:
+        return self.schema.class_names[int(self.labels[tid])]
+
+    def class_histogram(self) -> np.ndarray:
+        """Counts per class over the whole training set."""
+        return np.bincount(self.labels, minlength=self.schema.n_classes)
+
+    def take(self, tids: np.ndarray, name: str = "") -> "Dataset":
+        """A new dataset containing the rows in ``tids`` (in that order)."""
+        return Dataset(
+            schema=self.schema,
+            columns={n: c[tids] for n, c in self.columns.items()},
+            labels=self.labels[tids],
+            name=name or self.name,
+        )
+
+    def split(
+        self, fraction: float, seed: int = 0
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Random train/test split; returns ``(train, test)``.
+
+        ``fraction`` is the share of rows placed in the training part.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(self.n_records)
+        cut = int(round(self.n_records * fraction))
+        train = self.take(np.sort(perm[:cut]), name=f"{self.name}[train]")
+        test = self.take(np.sort(perm[cut:]), name=f"{self.name}[test]")
+        return train, test

@@ -1,0 +1,199 @@
+"""Training-set generator (IBM Quest synthetic data).
+
+Generates the nine base "person" attributes with the distributions of
+Agrawal et al. (TKDE 1993), labels each tuple with a Quest classification
+function, optionally perturbs labels, and pads the schema with extra noise
+attributes so that datasets with an arbitrary attribute count can be
+produced (the paper evaluates 32- and 64-attribute datasets; SPRINT's
+scale-up experiments pad the nine-attribute Quest schema the same way).
+
+The paper's notation ``Fx-Ay-DzK`` corresponds to::
+
+    generate_dataset(DatasetSpec(function=x, n_attributes=y,
+                                 n_records=z * 1000))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.functions import quest_function
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+#: Names of the nine base Quest attributes, in generation order.
+BASE_ATTRIBUTE_NAMES = (
+    "salary",
+    "commission",
+    "age",
+    "elevel",
+    "car",
+    "zipcode",
+    "hvalue",
+    "hyears",
+    "loan",
+)
+
+#: Cardinality of the categorical base attributes.
+_BASE_CARDINALITY = {"elevel": 5, "car": 20, "zipcode": 9}
+
+#: Cardinality used for generated categorical padding attributes.
+PAD_CATEGORICAL_CARDINALITY = 20
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of one synthetic dataset (``Fx-Ay-DzK`` in the paper).
+
+    Parameters
+    ----------
+    function:
+        Quest classification function number (1-10).  The paper uses 2
+        (simple, small trees) and 7 (complex, large trees).
+    n_attributes:
+        Total number of predictor attributes.  The first nine are the
+        Quest base attributes; the rest are random noise attributes
+        (alternating continuous/categorical) that carry no class signal.
+        Must be >= 9.
+    n_records:
+        Number of training tuples.
+    perturbation:
+        Probability that a tuple's label is flipped to the other group —
+        the Quest generator's noise knob.  Default 0 (noise-free, as in
+        the paper's timing experiments).
+    seed:
+        PRNG seed; the generator is fully deterministic given the spec.
+    """
+
+    function: int = 2
+    n_attributes: int = 9
+    n_records: int = 10_000
+    perturbation: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.function <= 10:
+            raise ValueError(f"function must be 1-10, got {self.function}")
+        if self.n_attributes < len(BASE_ATTRIBUTE_NAMES):
+            raise ValueError(
+                f"n_attributes must be >= {len(BASE_ATTRIBUTE_NAMES)}, "
+                f"got {self.n_attributes}"
+            )
+        if self.n_records < 1:
+            raise ValueError(f"n_records must be positive, got {self.n_records}")
+        if not 0.0 <= self.perturbation < 1.0:
+            raise ValueError(
+                f"perturbation must be in [0, 1), got {self.perturbation}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The paper's dataset name, e.g. ``F2-A32-D250K``."""
+        n = self.n_records
+        if n % 1000 == 0:
+            size = f"{n // 1000}K"
+        else:
+            size = str(n)
+        return f"F{self.function}-A{self.n_attributes}-D{size}"
+
+
+def _generate_base_columns(
+    rng: np.random.Generator, n: int
+) -> Dict[str, np.ndarray]:
+    """Draw the nine Quest base attributes for ``n`` tuples."""
+    salary = rng.uniform(20_000.0, 150_000.0, n)
+    commission = np.where(
+        salary >= 75_000.0, 0.0, rng.uniform(10_000.0, 75_000.0, n)
+    )
+    age = rng.uniform(20.0, 80.0, n)
+    elevel = rng.integers(0, 5, n, dtype=np.int64)
+    car = rng.integers(0, 20, n, dtype=np.int64)
+    zipcode = rng.integers(0, 9, n, dtype=np.int64)
+    # House value depends on the zipcode's price level k = zipcode + 1.
+    k = (zipcode + 1).astype(np.float64)
+    hvalue = rng.uniform(0.5, 1.5, n) * k * 100_000.0
+    hyears = rng.uniform(1.0, 30.0, n)
+    loan = rng.uniform(0.0, 500_000.0, n)
+    return {
+        "salary": salary,
+        "commission": commission,
+        "age": age,
+        "elevel": elevel,
+        "car": car,
+        "zipcode": zipcode,
+        "hvalue": hvalue,
+        "hyears": hyears,
+        "loan": loan,
+    }
+
+
+def _padding_attributes(n_extra: int) -> List[Attribute]:
+    """Schema entries for the noise attributes beyond the base nine.
+
+    Padding alternates continuous and categorical so both evaluation code
+    paths are exercised at every attribute count, as in SPRINT's
+    attribute-scaling experiments.
+    """
+    attrs: List[Attribute] = []
+    for i in range(n_extra):
+        if i % 2 == 0:
+            attrs.append(Attribute(f"pad_c{i:03d}", AttributeKind.CONTINUOUS))
+        else:
+            attrs.append(
+                Attribute(
+                    f"pad_d{i:03d}",
+                    AttributeKind.CATEGORICAL,
+                    PAD_CATEGORICAL_CARDINALITY,
+                )
+            )
+    return attrs
+
+
+def quest_schema(n_attributes: int = 9) -> Schema:
+    """The Quest schema padded to ``n_attributes`` predictors."""
+    base = [
+        Attribute(
+            name,
+            AttributeKind.CATEGORICAL
+            if name in _BASE_CARDINALITY
+            else AttributeKind.CONTINUOUS,
+            _BASE_CARDINALITY.get(name),
+        )
+        for name in BASE_ATTRIBUTE_NAMES
+    ]
+    extra = _padding_attributes(n_attributes - len(base))
+    return Schema(base + extra, class_names=("A", "B"))
+
+
+def generate_dataset(spec: DatasetSpec) -> Dataset:
+    """Generate the synthetic training set described by ``spec``.
+
+    Returns a :class:`~repro.data.dataset.Dataset` whose label array holds
+    class index 0 for group A and 1 for group B.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = spec.n_records
+    columns = _generate_base_columns(rng, n)
+
+    predicate = quest_function(spec.function)
+    in_group_a = predicate(columns)
+    labels = np.where(in_group_a, 0, 1).astype(np.int32)
+
+    if spec.perturbation > 0.0:
+        flip = rng.random(n) < spec.perturbation
+        labels = np.where(flip, 1 - labels, labels).astype(np.int32)
+
+    schema = quest_schema(spec.n_attributes)
+    for attr in schema.attributes[len(BASE_ATTRIBUTE_NAMES):]:
+        if attr.is_continuous:
+            columns[attr.name] = rng.uniform(0.0, 100_000.0, n)
+        else:
+            columns[attr.name] = rng.integers(
+                0, attr.cardinality, n, dtype=np.int64
+            )
+
+    ordered = {a.name: columns[a.name] for a in schema.attributes}
+    return Dataset(schema=schema, columns=ordered, labels=labels, name=spec.name)

@@ -1,0 +1,107 @@
+"""Dataset persistence: NPZ (lossless) and CSV (interoperable).
+
+NPZ keeps exact dtypes and embeds the schema, so
+``load_dataset_npz(save_dataset_npz(d)) == d`` bit for bit.  CSV is for
+moving data in and out of other tools; the schema rides in a sidecar
+JSON file (``<path>.schema.json``) because CSV alone cannot express
+attribute kinds or class names.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.core.serialize import schema_from_dict, schema_to_dict
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+
+
+def save_dataset_npz(dataset: Dataset, path: str) -> None:
+    """Write ``dataset`` to an ``.npz`` archive (lossless)."""
+    meta = {
+        "schema": schema_to_dict(dataset.schema),
+        "name": dataset.name,
+    }
+    np.savez(
+        path,
+        __meta__=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+        __labels__=dataset.labels,
+        **{f"col_{k}": v for k, v in dataset.columns.items()},
+    )
+
+
+def load_dataset_npz(path: str) -> Dataset:
+    """Read a dataset written by :func:`save_dataset_npz`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        schema = schema_from_dict(meta["schema"])
+        columns = {
+            a.name: archive[f"col_{a.name}"] for a in schema.attributes
+        }
+        labels = archive["__labels__"]
+    return Dataset(schema, columns, labels, name=meta.get("name", ""))
+
+
+def save_dataset_csv(dataset: Dataset, path: str) -> None:
+    """Write ``dataset`` as CSV plus a ``<path>.schema.json`` sidecar."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        names = dataset.schema.attribute_names
+        writer.writerow(names + ["class"])
+        class_names = dataset.schema.class_names
+        for tid in range(dataset.n_records):
+            row = [dataset.columns[n][tid] for n in names]
+            writer.writerow(row + [class_names[int(dataset.labels[tid])]])
+    with open(path + ".schema.json", "w") as f:
+        json.dump(
+            {"schema": schema_to_dict(dataset.schema), "name": dataset.name},
+            f,
+            indent=1,
+        )
+
+
+def load_dataset_csv(path: str, schema: Optional[Schema] = None) -> Dataset:
+    """Read a CSV dataset; the schema comes from the sidecar unless given."""
+    name = ""
+    if schema is None:
+        sidecar = path + ".schema.json"
+        if not os.path.exists(sidecar):
+            raise FileNotFoundError(
+                f"no schema given and sidecar {sidecar} not found"
+            )
+        with open(sidecar) as f:
+            meta = json.load(f)
+        schema = schema_from_dict(meta["schema"])
+        name = meta.get("name", "")
+
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        expected = schema.attribute_names + ["class"]
+        if header != expected:
+            raise ValueError(
+                f"CSV header {header} does not match schema columns {expected}"
+            )
+        raw_rows = list(reader)
+
+    columns = {}
+    for i, attr in enumerate(schema.attributes):
+        if attr.is_continuous:
+            columns[attr.name] = np.array(
+                [float(r[i]) for r in raw_rows], dtype=np.float64
+            )
+        else:
+            columns[attr.name] = np.array(
+                [int(r[i]) for r in raw_rows], dtype=np.int64
+            )
+    labels = np.array(
+        [schema.class_index(r[-1]) for r in raw_rows], dtype=np.int32
+    )
+    return Dataset(schema, columns, labels, name=name)

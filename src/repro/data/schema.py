@@ -1,0 +1,139 @@
+"""Attribute and schema descriptions for training sets.
+
+A training set is a table of tuples.  Each tuple has several predictor
+attributes and one class label.  Attributes are either *continuous*
+(ordered domain, split tests of the form ``value(A) < x``) or *categorical*
+(unordered domain, split tests of the form ``value(A) in X``) — exactly the
+two attribute kinds SPRINT distinguishes (paper §1, §2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class AttributeKind(enum.Enum):
+    """The two attribute kinds handled by SPRINT-style classifiers."""
+
+    CONTINUOUS = "continuous"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Description of one predictor attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    kind:
+        Continuous or categorical.
+    cardinality:
+        For categorical attributes, the number of distinct values; values
+        are the integer codes ``0 .. cardinality - 1``.  ``None`` for
+        continuous attributes.
+    """
+
+    name: str
+    kind: AttributeKind
+    cardinality: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.kind is AttributeKind.CATEGORICAL:
+            if self.cardinality is None or self.cardinality < 2:
+                raise ValueError(
+                    f"categorical attribute {self.name!r} needs cardinality >= 2, "
+                    f"got {self.cardinality!r}"
+                )
+        elif self.cardinality is not None:
+            raise ValueError(
+                f"continuous attribute {self.name!r} must not set cardinality"
+            )
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.kind is AttributeKind.CONTINUOUS
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+
+def continuous(name: str) -> Attribute:
+    """Shorthand constructor for a continuous attribute."""
+    return Attribute(name, AttributeKind.CONTINUOUS)
+
+
+def categorical(name: str, cardinality: int) -> Attribute:
+    """Shorthand constructor for a categorical attribute."""
+    return Attribute(name, AttributeKind.CATEGORICAL, cardinality)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of predictor attributes plus class labels.
+
+    The class attribute is kept separate from the predictors: SPRINT
+    stores the class label *with every attribute-list record* rather than
+    as a column of its own (paper §2.1).
+    """
+
+    attributes: Tuple[Attribute, ...]
+    class_names: Tuple[str, ...] = ("A", "B")
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        class_names: Sequence[str] = ("A", "B"),
+    ) -> None:
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "class_names", tuple(class_names))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.attributes:
+            raise ValueError("schema needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {dupes}")
+        if len(self.class_names) < 2:
+            raise ValueError("need at least two classes")
+        if len(set(self.class_names)) != len(self.class_names):
+            raise ValueError("duplicate class names")
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``.
+
+        Raises :class:`KeyError` if the schema has no such attribute.
+        """
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        raise KeyError(f"no attribute named {name!r}")
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    def class_index(self, name: str) -> int:
+        try:
+            return self.class_names.index(name)
+        except ValueError:
+            raise KeyError(f"no class named {name!r}") from None

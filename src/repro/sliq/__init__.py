@@ -1,0 +1,20 @@
+"""SLIQ: the paper's predecessor classifier (reference [9]).
+
+SLIQ (Mehta, Agrawal & Rissanen, EDBT 1996) grows the same gini-minimizing
+binary trees as SPRINT but keeps a **memory-resident class list** — one
+entry per training tuple holding its class and current leaf — instead of
+splitting attribute lists between children.  Attribute lists are written
+once at setup and never rewritten; only the class list's leaf pointers
+change as the tree grows.  SPRINT removed that memory-resident structure
+to scale beyond RAM (paper §1), which is precisely why the paper
+parallelizes SPRINT rather than SLIQ.
+
+Having both classifiers is a strong cross-check: they must produce
+bit-identical trees on identical data (the test suite asserts this), and
+SLIQ supplies the MDL pruning scheme reused in
+:mod:`repro.classify.prune`.
+"""
+
+from repro.sliq.classifier import build_sliq
+
+__all__ = ["build_sliq"]

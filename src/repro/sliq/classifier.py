@@ -1,0 +1,226 @@
+"""Serial SLIQ classifier.
+
+The structure follows the SLIQ paper:
+
+* **Setup** — one attribute list per attribute holding ``(value, tid)``;
+  continuous lists pre-sorted by value (tid tiebreak, matching SPRINT's
+  setup so the two classifiers see identical candidate orders).
+* **Class list** — ``labels[tid]`` plus ``leaf_of[tid]``, the tuple's
+  current leaf.  This is the memory-resident structure SPRINT eliminates.
+* **Breadth-first growth** — each level scans every attribute list once;
+  a record's leaf comes from the class list, so one pass evaluates the
+  split points of *all* active leaves simultaneously.
+* **UpdateLabels** — after the winners are chosen, the splitting
+  attribute values reassign each tuple's leaf pointer in place; no
+  attribute list is ever rewritten.
+
+Stopping rules and tie-breaking mirror
+:class:`repro.core.context.BuildContext` exactly, so SLIQ and SPRINT
+build bit-identical trees (asserted by tests/sliq/).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import BuildParams
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.dataset import Dataset
+from repro.sprint.gini import (
+    SplitCandidate,
+    best_categorical_split,
+    best_continuous_split,
+    gini_from_counts,
+)
+
+
+class _ClassList:
+    """SLIQ's central in-memory structure: class + leaf per tuple."""
+
+    def __init__(self, labels: np.ndarray, root: Node) -> None:
+        self.labels = labels
+        self.leaf_of = np.full(len(labels), root.node_id, dtype=np.int64)
+
+    def tuples_of(self, node_id: int) -> np.ndarray:
+        """Tids currently assigned to ``node_id`` (ascending)."""
+        return np.flatnonzero(self.leaf_of == node_id)
+
+    def reassign(self, tids: np.ndarray, node_id: int) -> None:
+        self.leaf_of[tids] = node_id
+
+
+def _sorted_attribute_lists(dataset: Dataset) -> List[np.ndarray]:
+    """Per-attribute tid orderings: value order (continuous) or tuple
+    order (categorical).  SLIQ stores (value, tid); keeping just the tid
+    permutation is equivalent since values come from the columns."""
+    orders = []
+    for attr in dataset.schema.attributes:
+        column = dataset.columns[attr.name]
+        if attr.is_continuous:
+            tids = np.arange(dataset.n_records, dtype=np.int64)
+            orders.append(np.lexsort((tids, column)))
+        else:
+            orders.append(np.arange(dataset.n_records, dtype=np.int64))
+    return orders
+
+
+def build_sliq(
+    dataset: Dataset, params: Optional[BuildParams] = None
+) -> DecisionTree:
+    """Grow a decision tree with SLIQ; returns the same trees as SPRINT."""
+    if dataset.n_records == 0:
+        raise ValueError("cannot build a classifier from an empty dataset")
+    params = params if params is not None else BuildParams()
+    schema = dataset.schema
+    n_classes = schema.n_classes
+
+    root = Node(0, 0, dataset.class_histogram())
+    tree = DecisionTree(schema, root)
+    if _should_stop(root, params):
+        root.make_leaf()
+        return tree
+
+    class_list = _ClassList(dataset.labels, root)
+    orders = _sorted_attribute_lists(dataset)
+    active: List[Node] = [root]
+
+    while active:
+        candidates = _evaluate_level(dataset, orders, class_list, active, params)
+        next_active: List[Node] = []
+        for node in active:
+            choice = _choose(node, candidates[node.node_id], params)
+            if choice is None:
+                node.make_leaf()
+                continue
+            attr_index, cand = choice
+            children = _apply_split(
+                dataset, class_list, node, attr_index, cand
+            )
+            for child in children:
+                if _should_stop(child, params):
+                    child.make_leaf()
+                else:
+                    next_active.append(child)
+        active = next_active
+    return tree
+
+
+def _should_stop(node: Node, params: BuildParams) -> bool:
+    return (
+        node.is_pure
+        or node.n_records < params.min_split_records
+        or node.depth >= params.depth_limit
+    )
+
+
+def _evaluate_level(
+    dataset: Dataset,
+    orders: List[np.ndarray],
+    class_list: _ClassList,
+    active: List[Node],
+    params: BuildParams,
+) -> Dict[int, List[Optional[SplitCandidate]]]:
+    """One pass per attribute list evaluates every active leaf (SLIQ's
+    simultaneous-histogram trick)."""
+    schema = dataset.schema
+    n_classes = schema.n_classes
+    active_ids = {node.node_id for node in active}
+    candidates: Dict[int, List[Optional[SplitCandidate]]] = {
+        node.node_id: [None] * schema.n_attributes for node in active
+    }
+    for attr_index, attr in enumerate(schema.attributes):
+        order = orders[attr_index]
+        values = dataset.columns[attr.name][order]
+        classes = class_list.labels[order]
+        leaves = class_list.leaf_of[order]
+        for node in active:
+            mask = leaves == node.node_id
+            leaf_values = values[mask]
+            leaf_classes = classes[mask].astype(np.int32)
+            if attr.is_continuous:
+                cand = best_continuous_split(
+                    leaf_values, leaf_classes, n_classes,
+                    criterion=params.criterion,
+                )
+            else:
+                cand = best_categorical_split(
+                    leaf_values.astype(np.int64),
+                    leaf_classes,
+                    attr.cardinality,
+                    n_classes,
+                    max_exhaustive=params.max_exhaustive_subset,
+                    criterion=params.criterion,
+                )
+            candidates[node.node_id][attr_index] = cand
+    return candidates
+
+
+def _choose(
+    node: Node,
+    cands: List[Optional[SplitCandidate]],
+    params: BuildParams,
+) -> Optional[Tuple[int, SplitCandidate]]:
+    """Winner selection — identical rule to BuildContext.choose_winner."""
+    if params.criterion == "gini":
+        node_gini = gini_from_counts(node.class_counts)
+    else:
+        from repro.sprint.criteria import get_criterion
+
+        node_gini = float(
+            get_criterion(params.criterion)(
+                node.class_counts[np.newaxis, :]
+            )[0]
+        )
+    best: Optional[Tuple[int, SplitCandidate]] = None
+    for attr_index, cand in enumerate(cands):
+        if cand is None:
+            continue
+        if best is None or cand.weighted_gini < best[1].weighted_gini:
+            best = (attr_index, cand)
+    if best is None:
+        return None
+    if best[1].weighted_gini >= node_gini - params.min_gini_improvement:
+        return None
+    return best
+
+
+def _apply_split(
+    dataset: Dataset,
+    class_list: _ClassList,
+    node: Node,
+    attr_index: int,
+    cand: SplitCandidate,
+) -> Tuple[Node, Node]:
+    """SLIQ's UpdateLabels: repoint the class list at the children."""
+    attr = dataset.schema.attributes[attr_index]
+    tids = class_list.tuples_of(node.node_id)
+    values = dataset.columns[attr.name][tids]
+    if cand.is_continuous:
+        left_mask = values < cand.threshold
+    else:
+        members = np.fromiter(cand.subset, dtype=np.int64)
+        left_mask = np.isin(values.astype(np.int64), members)
+
+    left_counts = np.bincount(
+        class_list.labels[tids[left_mask]],
+        minlength=dataset.schema.n_classes,
+    )
+    right_counts = node.class_counts - left_counts
+    left = Node(2 * node.node_id + 1, node.depth + 1, left_counts)
+    right = Node(2 * node.node_id + 2, node.depth + 1, right_counts)
+    node.set_split(
+        Split(
+            attribute=attr.name,
+            attribute_index=attr_index,
+            threshold=cand.threshold,
+            subset=cand.subset,
+            weighted_gini=cand.weighted_gini,
+        ),
+        left,
+        right,
+    )
+    class_list.reassign(tids[left_mask], left.node_id)
+    class_list.reassign(tids[~left_mask], right.node_id)
+    return left, right

@@ -1,0 +1,46 @@
+"""Shared-memory multiprocessor (SMP) substrate.
+
+The paper runs on real 4- and 8-way PowerPC SMPs with POSIX threads.  In
+CPython the GIL makes real thread parallelism unobservable for this
+workload, so the substrate is a **virtual-time SMP**: every simulated
+processor is a real thread, but the engine serializes execution (exactly
+one runs at a time) and advances a per-processor *virtual clock* through
+a calibrated cost model.  The algorithms execute for real — parallel
+builds produce trees bit-identical to the serial builder — while elapsed
+time, lock contention, barrier waits and disk queueing are accounted in
+virtual time.  See DESIGN.md §2 for why this preserves the paper's
+behaviour.
+
+Modules:
+
+* :mod:`repro.smp.machine` — cost-model configurations (Machine A: 4-way,
+  disk-bound; Machine B: 8-way, memory-resident),
+* :mod:`repro.smp.engine` — the virtual-time scheduler,
+* :mod:`repro.smp.sync` — locks, barriers and condition variables in
+  virtual time,
+* :mod:`repro.smp.disk` — the shared-disk contention and caching model,
+* :mod:`repro.smp.runtime` — the facade the classifier schemes program
+  against,
+* :mod:`repro.smp.threads` — a real-:mod:`threading` backend with the
+  same interface (correctness under true preemption; no timing model).
+"""
+
+from repro.smp.engine import DeadlockError, VirtualTimeEngine
+from repro.smp.machine import MachineConfig, machine_a, machine_b
+from repro.smp.runtime import SMPRuntime, VirtualSMP
+from repro.smp.threads import RealThreadRuntime
+from repro.smp.trace import Tracer, render_timeline, utilization_table
+
+__all__ = [
+    "DeadlockError",
+    "MachineConfig",
+    "RealThreadRuntime",
+    "SMPRuntime",
+    "Tracer",
+    "VirtualSMP",
+    "VirtualTimeEngine",
+    "machine_a",
+    "machine_b",
+    "render_timeline",
+    "utilization_table",
+]

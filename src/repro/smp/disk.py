@@ -1,0 +1,133 @@
+"""Shared-disk contention and file-cache model.
+
+Both of the paper's machines have a single local disk that every
+processor can access (§1).  Concurrent requests queue: the disk serves
+one transfer at a time, FCFS in virtual time.  On top sits the OS file
+cache:
+
+* **Machine B** (1 GB memory) caches everything — "after the very first
+  access the data will be cached in main-memory" (§4.3).  Reads and
+  writes of cached files stream at memory bandwidth with no disk
+  queueing.
+* **Machine A** (128 MB memory, ~160-320 MB of attribute lists) cannot
+  hold the large top-level attribute lists, which stream from disk every
+  pass, while the small deep-level files fit and stay cached.  The cache
+  is a byte-bounded LRU; ``MachineConfig.file_cache_bytes`` preserves the
+  paper's cache-to-data *ratio* at laptop scale (see DESIGN.md §5).
+
+Writes are write-through on Machine A (the paper: "data reads/writes
+will go to disk each time") and write-back on Machine B (temporary files
+never leave memory).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+from repro.smp.engine import VirtualTimeEngine
+from repro.smp.machine import MachineConfig
+
+
+class SharedDisk:
+    """Virtual-time model of one shared disk plus the OS file cache."""
+
+    def __init__(self, machine: MachineConfig, engine: VirtualTimeEngine) -> None:
+        self._machine = machine
+        self._engine = engine
+        self._free_at = 0.0
+        #: LRU of cached files: key -> cached byte count.
+        self._cache: "OrderedDict[str, int]" = OrderedDict()
+        self._cache_used = 0
+        #: Cumulative virtual seconds of disk busy time (utilization metric).
+        self.busy_time = 0.0
+        #: Bytes moved from/to the platter vs. served from cache.
+        self.disk_bytes = 0
+        self.cached_bytes = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def read(self, key: str, nbytes: int, sequential: bool = False) -> float:
+        """Charge a read of ``nbytes`` from file ``key``; returns the delay.
+
+        ``sequential`` requests continue a scan the caller was already
+        performing on the same physical file and skip the seek.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._memory_hit(nbytes)
+        delay = self._disk_transfer(nbytes, sequential)
+        self._admit(key, nbytes)
+        return delay
+
+    def write(self, key: str, nbytes: int, sequential: bool = False) -> float:
+        """Charge a write of ``nbytes`` to file ``key``; returns the delay."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        self._admit(key, nbytes)
+        if self._machine.write_through:
+            return self._disk_transfer(nbytes, sequential)
+        return self._memory_hit(nbytes)
+
+    def drop(self, key: str) -> None:
+        """Forget a deleted file (its cache space is reclaimed)."""
+        nbytes = self._cache.pop(key, None)
+        if nbytes is not None:
+            self._cache_used -= nbytes
+
+    def create_file(self, key: str) -> float:
+        """Charge the creation/truncation of one physical file."""
+        overhead = self._machine.file_create_overhead
+        if overhead:
+            self._engine.advance(overhead)
+        return overhead
+
+    def is_cached(self, key: str) -> bool:
+        return key in self._cache
+
+    def warm(self, key: str, nbytes: int) -> None:
+        """Pre-populate the cache (e.g. files written during setup)."""
+        self._admit(key, nbytes)
+
+    # -- internals -----------------------------------------------------------
+
+    def _memory_hit(self, nbytes: int) -> float:
+        delay = self._machine.memory_transfer_time(nbytes)
+        self.cached_bytes += nbytes
+        self._engine.advance(delay)
+        return delay
+
+    def _disk_transfer(self, nbytes: int, sequential: bool) -> float:
+        engine = self._engine
+        now = engine.now()
+        service = nbytes / self._machine.disk_bandwidth
+        if not sequential:
+            service += self._machine.disk_seek
+        start = max(now, self._free_at)
+        end = start + service
+        self._free_at = end
+        self.busy_time += service
+        self.disk_bytes += nbytes
+        engine.advance_to(end)
+        return end - now
+
+    def _admit(self, key: str, nbytes: int) -> None:
+        capacity = self._machine.file_cache_bytes
+        if capacity <= 0:
+            return
+        old = self._cache.pop(key, None)
+        if old is not None:
+            self._cache_used -= old
+        if not math.isinf(capacity) and nbytes > capacity:
+            return  # larger than the whole cache: never cacheable
+        self._cache[key] = nbytes
+        self._cache_used += nbytes
+        while self._cache_used > capacity:
+            _victim, victim_bytes = self._cache.popitem(last=False)
+            self._cache_used -= victim_bytes

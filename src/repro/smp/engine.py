@@ -1,0 +1,210 @@
+"""Virtual-time scheduler: real threads, one runnable at a time.
+
+Every simulated processor is a real :class:`threading.Thread`, but the
+engine enforces that exactly one executes user code at any moment and
+that it is always the *runnable processor with the smallest virtual
+clock* (ties broken by processor id, so runs are deterministic).  This
+turns the thread set into a discrete-event simulation while letting the
+classifier schemes be written as ordinary imperative thread code — the
+same code runs unmodified on the real-thread backend.
+
+A processor's thread interacts with the engine at *yield points*:
+
+* :meth:`VirtualTimeEngine.advance` — charge compute/IO time to the
+  processor's clock,
+* :meth:`VirtualTimeEngine.block_current` /
+  :meth:`VirtualTimeEngine.unblock` — used by the synchronization
+  primitives in :mod:`repro.smp.sync`,
+* returning from the worker function.
+
+Because only the scheduled thread runs, primitive state (lock queues,
+barrier counts) needs no locking of its own; the engine's monitor only
+guards the scheduling handoff.
+
+If every remaining processor is blocked the engine raises
+:class:`DeadlockError` in all of them — a synchronization bug in a
+scheme fails loudly instead of hanging the process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+
+class DeadlockError(RuntimeError):
+    """All live processors are blocked on synchronization objects."""
+
+
+class _EngineAbort(BaseException):
+    """Internal: unwind a processor thread after another one failed."""
+
+
+class VirtualTimeEngine:
+    """Deterministic virtual-time executor for ``n_procs`` processors."""
+
+    def __init__(self, n_procs: int) -> None:
+        if n_procs < 1:
+            raise ValueError(f"need >= 1 processor, got {n_procs}")
+        self.n_procs = n_procs
+        self.clock: List[float] = [0.0] * n_procs
+        self._state: List[str] = ["new"] * n_procs  # new/runnable/blocked/done
+        self._current: Optional[int] = None
+        self._monitor = threading.Condition()
+        self._tls = threading.local()
+        self._failure: Optional[BaseException] = None
+        self._started = False
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, worker: Callable[[int], None]) -> float:
+        """Execute ``worker(pid)`` on every processor; return the makespan.
+
+        The makespan is the maximum final virtual clock.  Any exception
+        raised by a worker is re-raised here after all threads unwind.
+        """
+        if self._started:
+            raise RuntimeError("engine instances are single-use")
+        self._started = True
+        threads = [
+            threading.Thread(
+                target=self._thread_main,
+                args=(pid, worker),
+                name=f"vproc-{pid}",
+                daemon=True,
+            )
+            for pid in range(self.n_procs)
+        ]
+        for t in threads:
+            t.start()
+        with self._monitor:
+            for pid in range(self.n_procs):
+                self._state[pid] = "runnable"
+            self._schedule_locked()
+        for t in threads:
+            t.join()
+        if self._failure is not None:
+            raise self._failure
+        return max(self.clock)
+
+    def current_pid(self) -> int:
+        """The processor id of the calling thread."""
+        pid = getattr(self._tls, "pid", None)
+        if pid is None:
+            raise RuntimeError("not running on an engine processor thread")
+        return pid
+
+    def now(self) -> float:
+        """Virtual clock of the calling processor."""
+        return self.clock[self.current_pid()]
+
+    def advance(self, dt: float) -> None:
+        """Charge ``dt`` seconds of virtual time to the calling processor."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative time {dt}")
+        pid = self.current_pid()
+        self.clock[pid] += dt
+        self._yield_point(pid)
+
+    def advance_to(self, t: float) -> None:
+        """Move the calling processor's clock forward to at least ``t``."""
+        pid = self.current_pid()
+        if t > self.clock[pid]:
+            self.clock[pid] = t
+        self._yield_point(pid)
+
+    # -- primitive support (used by repro.smp.sync) ----------------------------
+
+    def block_current(self) -> None:
+        """Block the calling processor until :meth:`unblock` wakes it.
+
+        Returns once the processor has been unblocked *and* scheduled
+        again; its clock will have been set by the waker.
+        """
+        pid = self.current_pid()
+        with self._monitor:
+            self._state[pid] = "blocked"
+            self._current = None
+            self._schedule_locked()
+            self._wait_for_turn_locked(pid)
+
+    def unblock(self, pid: int, at_time: float) -> None:
+        """Make ``pid`` runnable no earlier than virtual time ``at_time``.
+
+        Called by the currently running processor (e.g. when releasing a
+        lock); the woken processor resumes when the scheduler next picks
+        it.
+        """
+        if self._state[pid] != "blocked":
+            raise RuntimeError(f"processor {pid} is not blocked")
+        with self._monitor:
+            self._state[pid] = "runnable"
+            if at_time > self.clock[pid]:
+                self.clock[pid] = at_time
+
+    def is_blocked(self, pid: int) -> bool:
+        return self._state[pid] == "blocked"
+
+    # -- internals -----------------------------------------------------------
+
+    def _thread_main(self, pid: int, worker: Callable[[int], None]) -> None:
+        self._tls.pid = pid
+        try:
+            with self._monitor:
+                self._wait_for_turn_locked(pid)
+            worker(pid)
+        except _EngineAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via run()
+            with self._monitor:
+                if self._failure is None:
+                    self._failure = exc
+        finally:
+            with self._monitor:
+                self._state[pid] = "done"
+                if self._current == pid:
+                    self._current = None
+                self._schedule_locked()
+
+    def _yield_point(self, pid: int) -> None:
+        """Hand control to the min-clock runnable processor."""
+        with self._monitor:
+            if self._failure is not None:
+                raise _EngineAbort()
+            nxt = self._pick_next_locked()
+            if nxt == pid:
+                return  # still the front of virtual time; keep running
+            self._current = None
+            self._schedule_locked()
+            self._wait_for_turn_locked(pid)
+
+    def _pick_next_locked(self) -> Optional[int]:
+        best: Optional[int] = None
+        for pid in range(self.n_procs):
+            if self._state[pid] != "runnable":
+                continue
+            if best is None or self.clock[pid] < self.clock[best]:
+                best = pid
+        return best
+
+    def _schedule_locked(self) -> None:
+        nxt = self._pick_next_locked()
+        if nxt is None:
+            live = [p for p in range(self.n_procs) if self._state[p] != "done"]
+            if live and self._failure is None:
+                self._failure = DeadlockError(
+                    f"processors {live} are all blocked; "
+                    "no runnable processor remains"
+                )
+            self._monitor.notify_all()
+            return
+        self._current = nxt
+        self._monitor.notify_all()
+
+    def _wait_for_turn_locked(self, pid: int) -> None:
+        while self._current != pid:
+            if self._failure is not None:
+                raise _EngineAbort()
+            self._monitor.wait()
+        if self._failure is not None:
+            raise _EngineAbort()

@@ -1,0 +1,164 @@
+"""The runtime facade the classifier schemes program against.
+
+A scheme is written once as ordinary thread code against
+:class:`SMPRuntime` and runs unmodified on either backend:
+
+* :class:`VirtualSMP` — the virtual-time engine (deterministic, models
+  the paper's machines; used for all timing experiments),
+* :class:`~repro.smp.threads.RealThreadRuntime` — real
+  :mod:`threading` primitives (validates synchronization correctness
+  under true preemption; no timing model).
+
+Work is charged explicitly: the scheme computes a cost from its
+:class:`~repro.smp.machine.MachineConfig` (e.g. ``machine.cpu_eval_record
+* n_records``) and calls :meth:`SMPRuntime.compute`; file traffic is
+charged through :meth:`read_file`/:meth:`write_file`, which on the
+virtual backend route through the shared-disk contention model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.smp.disk import SharedDisk
+from repro.smp.engine import VirtualTimeEngine
+from repro.smp.machine import MachineConfig
+from repro.smp.sync import VBarrier, VCondition, VLock, WaitStats
+
+
+class SMPRuntime:
+    """Abstract SMP runtime: processors, time, files, synchronization."""
+
+    machine: MachineConfig
+    n_procs: int
+
+    def run(self, worker: Callable[[int], None]) -> float:
+        """Run ``worker(pid)`` on every processor; return elapsed seconds."""
+        raise NotImplementedError
+
+    def pid(self) -> int:
+        """Processor id of the calling thread (only valid inside run)."""
+        raise NotImplementedError
+
+    def now(self) -> float:
+        """Current time (virtual or wall) for the calling processor."""
+        raise NotImplementedError
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of CPU work to the calling processor."""
+        raise NotImplementedError
+
+    def read_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        """Charge a file read of ``nbytes`` from physical file ``key``.
+
+        ``sequential`` marks a request continuing the caller's previous
+        scan of the same file; it skips the positioning cost.
+        """
+        raise NotImplementedError
+
+    def write_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        """Charge a file write of ``nbytes`` to physical file ``key``."""
+        raise NotImplementedError
+
+    def create_file(self, key: str) -> None:
+        """Charge the creation/truncation of physical file ``key``."""
+        raise NotImplementedError
+
+    def drop_file(self, key: str) -> None:
+        """Tell the I/O model that file ``key`` was deleted."""
+        raise NotImplementedError
+
+    def make_lock(self):
+        """A mutex with ``acquire``/``release`` and context-manager support."""
+        raise NotImplementedError
+
+    def make_barrier(self, parties: Optional[int] = None):
+        """A reusable barrier for ``parties`` processors (default: all)."""
+        raise NotImplementedError
+
+    def make_condition(self, lock):
+        """A condition variable bound to ``lock`` (wait/signal/broadcast)."""
+        raise NotImplementedError
+
+
+class VirtualSMP(SMPRuntime):
+    """Virtual-time SMP: deterministic simulation of one machine config.
+
+    Single-use: build one per classifier run.  After :meth:`run` returns,
+    :attr:`elapsed` holds the makespan and :attr:`stats` the per-processor
+    wait/busy breakdown.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_procs: Optional[int] = None,
+        tracer=None,
+    ) -> None:
+        self.machine = machine
+        self.n_procs = n_procs if n_procs is not None else machine.n_processors
+        if self.n_procs < 1:
+            raise ValueError(f"need >= 1 processor, got {self.n_procs}")
+        self.engine = VirtualTimeEngine(self.n_procs)
+        self.stats = WaitStats(self.n_procs)
+        self.stats.tracer = tracer
+        self.tracer = tracer
+        self.disk = SharedDisk(machine, self.engine)
+        self.elapsed: Optional[float] = None
+
+    def run(self, worker: Callable[[int], None]) -> float:
+        self.elapsed = self.engine.run(worker)
+        return self.elapsed
+
+    def pid(self) -> int:
+        return self.engine.current_pid()
+
+    def now(self) -> float:
+        return self.engine.now()
+
+    def compute(self, seconds: float) -> None:
+        pid = self.engine.current_pid()
+        self.stats.busy[pid] += seconds
+        if self.tracer is not None and seconds > 0:
+            start = self.engine.now()
+            self.tracer.record(pid, "busy", start, start + seconds)
+        self.engine.advance(seconds)
+
+    def read_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        pid = self.engine.current_pid()
+        start = self.engine.now()
+        delay = self.disk.read(key, nbytes, sequential)
+        self.stats.io_time[pid] += delay
+        if self.tracer is not None and delay > 0:
+            self.tracer.record(pid, "io", start, start + delay)
+
+    def write_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        pid = self.engine.current_pid()
+        start = self.engine.now()
+        delay = self.disk.write(key, nbytes, sequential)
+        self.stats.io_time[pid] += delay
+        if self.tracer is not None and delay > 0:
+            self.tracer.record(pid, "io", start, start + delay)
+
+    def create_file(self, key: str) -> None:
+        pid = self.engine.current_pid()
+        self.stats.io_time[pid] += self.disk.create_file(key)
+
+    def drop_file(self, key: str) -> None:
+        self.disk.drop(key)
+
+    def make_lock(self) -> VLock:
+        return VLock(self.engine, self.machine.lock_overhead, self.stats)
+
+    def make_barrier(self, parties: Optional[int] = None) -> VBarrier:
+        return VBarrier(
+            self.engine,
+            parties if parties is not None else self.n_procs,
+            self.machine.barrier_overhead,
+            self.stats,
+        )
+
+    def make_condition(self, lock: VLock) -> VCondition:
+        return VCondition(
+            self.engine, lock, self.machine.condvar_overhead, self.stats
+        )

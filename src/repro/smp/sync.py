@@ -1,0 +1,200 @@
+"""pthread-style synchronization primitives in virtual time.
+
+The paper's schemes use exactly three primitives (§3): mutex locks (the
+dynamic attribute-scheduling counter, the FREE queue), barriers (BASIC's
+per-phase synchronization, FWK's per-block synchronization) and condition
+variables (MWK's per-leaf "previous block done" signalling, SUBTREE's
+group wakeup).  Each primitive charges a per-operation overhead from the
+:class:`~repro.smp.machine.MachineConfig` and accounts the time a
+processor spends waiting, so experiments can attribute lost time to
+contention.
+
+Primitive state needs no internal locking: the engine guarantees exactly
+one processor thread executes at a time (see :mod:`repro.smp.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.smp.engine import VirtualTimeEngine
+
+
+class WaitStats:
+    """Per-processor accounting of time spent waiting, by cause.
+
+    When a :class:`~repro.smp.trace.Tracer` is attached, the same events
+    are also recorded as intervals for timeline rendering.
+    """
+
+    def __init__(self, n_procs: int) -> None:
+        self.lock_wait = [0.0] * n_procs
+        self.barrier_wait = [0.0] * n_procs
+        self.condvar_wait = [0.0] * n_procs
+        self.io_time = [0.0] * n_procs
+        self.busy = [0.0] * n_procs
+        self.tracer = None  # Optional[repro.smp.trace.Tracer]
+
+    def total(self, field: str) -> float:
+        return sum(getattr(self, field))
+
+    def add_wait(self, kind: str, pid: int, start: float, end: float) -> None:
+        """Account a wait interval (and trace it when tracing is on)."""
+        field = {
+            "lock": self.lock_wait,
+            "barrier": self.barrier_wait,
+            "cond": self.condvar_wait,
+        }[kind]
+        field[pid] += end - start
+        if self.tracer is not None:
+            self.tracer.record(pid, kind, start, end)
+
+
+class VLock:
+    """FIFO mutex in virtual time."""
+
+    def __init__(
+        self, engine: VirtualTimeEngine, overhead: float, stats: WaitStats
+    ) -> None:
+        self._engine = engine
+        self._overhead = overhead
+        self._stats = stats
+        self._holder: Optional[int] = None
+        self._waiters: List[int] = []
+
+    @property
+    def holder(self) -> Optional[int]:
+        return self._holder
+
+    def acquire(self) -> None:
+        engine = self._engine
+        pid = engine.current_pid()
+        if self._holder == pid:
+            raise RuntimeError(f"processor {pid} already holds this lock")
+        if self._holder is None:
+            self._holder = pid
+            engine.advance(self._overhead)
+        else:
+            arrived = engine.now()
+            self._waiters.append(pid)
+            engine.block_current()
+            # The releaser transferred ownership and set our clock.
+            if self._holder != pid:
+                raise RuntimeError("woken without lock ownership")
+            self._stats.add_wait("lock", pid, arrived, engine.now())
+
+    def release(self) -> None:
+        engine = self._engine
+        pid = engine.current_pid()
+        if self._holder != pid:
+            raise RuntimeError(
+                f"processor {pid} releasing a lock held by {self._holder}"
+            )
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            self._holder = nxt
+            wake = max(engine.now(), engine.clock[nxt]) + self._overhead
+            engine.unblock(nxt, wake)
+        else:
+            self._holder = None
+
+    def __enter__(self) -> "VLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class VBarrier:
+    """All-arrive-then-all-leave barrier in virtual time.
+
+    The last arriver releases everyone at ``max(arrival clocks) +
+    overhead`` — the cost model of a centralized sense-reversing barrier.
+    Reusable across phases.
+    """
+
+    def __init__(
+        self,
+        engine: VirtualTimeEngine,
+        parties: int,
+        overhead: float,
+        stats: WaitStats,
+    ) -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self._engine = engine
+        self.parties = parties
+        self._overhead = overhead
+        self._stats = stats
+        self._arrived: List[int] = []
+
+    def wait(self) -> None:
+        engine = self._engine
+        pid = engine.current_pid()
+        if pid in self._arrived:
+            raise RuntimeError(f"processor {pid} re-entered the barrier")
+        self._arrived.append(pid)
+        if len(self._arrived) < self.parties:
+            arrived_at = engine.now()
+            engine.block_current()
+            self._stats.add_wait("barrier", pid, arrived_at, engine.now())
+        else:
+            release_at = (
+                max(engine.clock[p] for p in self._arrived) + self._overhead
+            )
+            waiters = [p for p in self._arrived if p != pid]
+            self._arrived = []
+            for w in waiters:
+                engine.unblock(w, release_at)
+            engine.advance_to(release_at)
+
+
+class VCondition:
+    """Mesa-semantics condition variable bound to a :class:`VLock`."""
+
+    def __init__(
+        self,
+        engine: VirtualTimeEngine,
+        lock: VLock,
+        overhead: float,
+        stats: WaitStats,
+    ) -> None:
+        self._engine = engine
+        self._lock = lock
+        self._overhead = overhead
+        self._stats = stats
+        self._waiters: List[int] = []
+
+    @property
+    def lock(self) -> VLock:
+        return self._lock
+
+    def wait(self) -> None:
+        """Atomically release the lock and sleep; reacquire on wakeup."""
+        engine = self._engine
+        pid = engine.current_pid()
+        if self._lock.holder != pid:
+            raise RuntimeError("condition wait without holding the lock")
+        started = engine.now()
+        self._waiters.append(pid)
+        self._lock.release()
+        engine.block_current()
+        self._stats.add_wait("cond", pid, started, engine.now())
+        self._lock.acquire()
+
+    def signal(self) -> None:
+        """Wake one waiter (no-op if none are waiting)."""
+        engine = self._engine
+        if self._waiters:
+            w = self._waiters.pop(0)
+            wake = max(engine.now(), engine.clock[w]) + self._overhead
+            engine.unblock(w, wake)
+
+    def broadcast(self) -> None:
+        """Wake every waiter."""
+        engine = self._engine
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            wake = max(engine.now(), engine.clock[w]) + self._overhead
+            engine.unblock(w, wake)

@@ -1,0 +1,134 @@
+"""Real-:mod:`threading` backend for the SMP runtime interface.
+
+Runs the identical scheme code under true OS-thread preemption.  Used by
+the test suite to demonstrate that the schemes' synchronization is
+correct with real races (the GIL serializes bytecode, not interleaving),
+not only under the deterministic virtual-time engine.  Time charging is
+a no-op; :meth:`RealThreadRuntime.run` returns wall-clock seconds, which
+carry no speedup information in CPython.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.smp.machine import MachineConfig, machine_b
+from repro.smp.runtime import SMPRuntime
+
+
+class _RealCondition:
+    """Adapter: pthread-style signal/broadcast names over threading.Condition."""
+
+    def __init__(self, lock: "_RealLock") -> None:
+        self._cond = threading.Condition(lock._lock)
+
+    def wait(self) -> None:
+        self._cond.wait()
+
+    def signal(self) -> None:
+        self._cond.notify()
+
+    def broadcast(self) -> None:
+        self._cond.notify_all()
+
+
+class _RealLock:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "_RealLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _RealBarrier:
+    def __init__(self, parties: int) -> None:
+        self._barrier = threading.Barrier(parties)
+
+    def wait(self) -> None:
+        self._barrier.wait()
+
+
+class RealThreadRuntime(SMPRuntime):
+    """SMP runtime over real OS threads.  Single-use, like VirtualSMP."""
+
+    def __init__(
+        self, n_procs: int, machine: Optional[MachineConfig] = None
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError(f"need >= 1 processor, got {n_procs}")
+        self.n_procs = n_procs
+        self.machine = machine if machine is not None else machine_b(n_procs)
+        self._tls = threading.local()
+        self._failure: Optional[BaseException] = None
+        self._failure_lock = threading.Lock()
+        self.elapsed: Optional[float] = None
+
+    def run(self, worker: Callable[[int], None]) -> float:
+        start = time.perf_counter()
+        threads: List[threading.Thread] = []
+        for pid in range(self.n_procs):
+            t = threading.Thread(
+                target=self._thread_main, args=(pid, worker), name=f"proc-{pid}"
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join()
+        self.elapsed = time.perf_counter() - start
+        if self._failure is not None:
+            raise self._failure
+        return self.elapsed
+
+    def _thread_main(self, pid: int, worker: Callable[[int], None]) -> None:
+        self._tls.pid = pid
+        try:
+            worker(pid)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in run()
+            with self._failure_lock:
+                if self._failure is None:
+                    self._failure = exc
+
+    def pid(self) -> int:
+        pid = getattr(self._tls, "pid", None)
+        if pid is None:
+            raise RuntimeError("not running on a runtime processor thread")
+        return pid
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def compute(self, seconds: float) -> None:
+        """No-op: the caller's real work *is* the compute."""
+
+    def read_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        """No-op: real I/O happens in the storage backend."""
+
+    def write_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
+        """No-op: real I/O happens in the storage backend."""
+
+    def create_file(self, key: str) -> None:
+        """No-op."""
+
+    def drop_file(self, key: str) -> None:
+        """No-op."""
+
+    def make_lock(self) -> _RealLock:
+        return _RealLock()
+
+    def make_barrier(self, parties: Optional[int] = None) -> _RealBarrier:
+        return _RealBarrier(parties if parties is not None else self.n_procs)
+
+    def make_condition(self, lock: _RealLock) -> _RealCondition:
+        return _RealCondition(lock)

@@ -1,0 +1,120 @@
+"""Execution tracing for the virtual-time SMP.
+
+A :class:`Tracer` records every busy, I/O and wait interval per
+processor, and :func:`render_timeline` draws them as a text Gantt chart
+— the quickest way to *see* BASIC's serialized W phase (every lane but
+the master's blocked at a barrier) or MWK's pipeline (condition waits
+threaded between busy stripes).
+
+Tracing is opt-in (``VirtualSMP(..., tracer=Tracer())``) and costs one
+list append per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Interval kinds, in drawing priority order.
+KINDS = ("busy", "io", "lock", "barrier", "cond")
+
+_GLYPH = {"busy": "#", "io": "~", "lock": "L", "barrier": "B", "cond": "C"}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One traced interval on one processor."""
+
+    pid: int
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects intervals; attach to a VirtualSMP before running."""
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+
+    def record(self, pid: int, kind: str, start: float, end: float) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown interval kind {kind!r}")
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        if end > start:
+            self.intervals.append(Interval(pid, kind, start, end))
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def per_processor(self) -> Dict[int, List[Interval]]:
+        out: Dict[int, List[Interval]] = {}
+        for iv in self.intervals:
+            out.setdefault(iv.pid, []).append(iv)
+        return out
+
+    def utilization(self) -> Dict[int, Dict[str, float]]:
+        """Per-processor seconds by kind, plus idle time."""
+        span = self.makespan
+        out: Dict[int, Dict[str, float]] = {}
+        for pid, intervals in sorted(self.per_processor().items()):
+            row = {kind: 0.0 for kind in KINDS}
+            for iv in intervals:
+                row[iv.kind] += iv.duration
+            row["idle"] = max(0.0, span - sum(row.values()))
+            out[pid] = row
+        return out
+
+
+def render_timeline(tracer: Tracer, width: int = 100) -> str:
+    """Text Gantt chart: one lane per processor, one column per slice.
+
+    Glyphs: ``#`` busy, ``~`` I/O, ``L`` lock wait, ``B`` barrier wait,
+    ``C`` condition wait, ``.`` idle.  When several kinds overlap a
+    column, the busiest kind in that slice wins.
+    """
+    span = tracer.makespan
+    if span == 0.0 or width < 1:
+        return "(empty trace)"
+    slice_w = span / width
+    lanes = []
+    for pid, intervals in sorted(tracer.per_processor().items()):
+        # Accumulate per-slice time by kind.
+        fill = [dict() for _ in range(width)]
+        for iv in intervals:
+            first = min(int(iv.start / slice_w), width - 1)
+            last = min(int(iv.end / slice_w), width - 1)
+            for col in range(first, last + 1):
+                lo = max(iv.start, col * slice_w)
+                hi = min(iv.end, (col + 1) * slice_w)
+                if hi > lo:
+                    fill[col][iv.kind] = fill[col].get(iv.kind, 0.0) + hi - lo
+        chars = []
+        for col in fill:
+            if not col:
+                chars.append(".")
+            else:
+                kind = max(col.items(), key=lambda kv: kv[1])[0]
+                chars.append(_GLYPH[kind])
+        lanes.append(f"P{pid:<2d} |" + "".join(chars) + "|")
+    legend = "legend: # busy  ~ io  L lock  B barrier  C cond  . idle"
+    scale = f"0 {'-' * (width - len(f'{span:.2f}s') - 4)} {span:.2f}s"
+    return "\n".join(lanes + [scale, legend])
+
+
+def utilization_table(tracer: Tracer) -> str:
+    """Fixed-width per-processor utilization summary."""
+    rows = []
+    for pid, row in tracer.utilization().items():
+        rows.append(
+            f"P{pid}: busy {row['busy']:8.2f}s  io {row['io']:8.2f}s  "
+            f"lock {row['lock']:6.2f}s  barrier {row['barrier']:6.2f}s  "
+            f"cond {row['cond']:6.2f}s  idle {row['idle']:6.2f}s"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,79 @@
+"""Physical attribute-file layout and I/O accounting.
+
+SPRINT avoids creating one file per (attribute, node): since splits are
+binary, **four reusable physical files per attribute** suffice — one for
+all left children, one for all right children, plus two alternates that
+hold the parents' lists (paper §2.3 "Avoiding multiple attribute lists").
+The windowed schemes need a pair of current/alternate files per window
+position (``4K`` files per attribute, §3.2.2), and SUBTREE needs a
+private set per processor group (§3.3).
+
+Logically, a leaf's list for an attribute is a *segment* of one physical
+file.  We store each segment under its own backend key (correctness) and
+map it onto a physical file name for the runtime's I/O accounting — the
+disk cache, seek locality and file-creation overheads are all charged at
+physical-file granularity, exactly the granularity the paper's design
+arguments are about.
+
+The purity pre-test and relabeling (paper Figure 5) live here as
+:func:`relabel_slots`: children already known to be finalized (pure, or
+hitting a stopping rule) are removed before slots are assigned, so the
+window schedule has no holes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FileLayout:
+    """Physical-file naming rules for one scheme instance.
+
+    ``slots`` is the number of file pairs per attribute per generation:
+    1 for BASIC (one left + one right file), K for FWK/MWK (a pair per
+    window position).  ``group`` tags SUBTREE's per-group private files.
+    """
+
+    slots: int = 1
+    group: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+
+    @property
+    def files_per_attribute(self) -> int:
+        """Physical files per attribute (the paper's 4 / 4K count)."""
+        return 4 * self.slots
+
+    def physical_name(self, attr_index: int, leaf_slot: int, level: int) -> str:
+        """Physical file holding ``leaf_slot``'s segment at ``level``.
+
+        ``leaf_slot`` is the leaf's relabeled index within its level; the
+        window position is ``leaf_slot % slots`` and the left/right role
+        alternates with it.  Generation ``level % 2`` implements the
+        current/alternate file reuse.
+        """
+        window_pos = leaf_slot % self.slots
+        side = "l" if (leaf_slot // self.slots) % 2 == 0 else "r"
+        gen = level % 2
+        prefix = f"grp{self.group}." if self.group is not None else ""
+        return f"{prefix}a{attr_index}.w{window_pos}.{side}.g{gen}"
+
+    def segment_key(self, attr_index: int, node_id: int) -> str:
+        """Backend key of one leaf's list for one attribute."""
+        prefix = f"grp{self.group}." if self.group is not None else ""
+        return f"{prefix}seg.a{attr_index}.n{node_id}"
+
+
+def relabel_slots(children_valid: list) -> dict:
+    """Assign consecutive slots to the valid (non-finalized) children.
+
+    ``children_valid`` is the level's child nodes in left-to-right order
+    with finalized children already removed.  Returns
+    ``{node_id: slot}``.  This is the paper's relabeling scheme: without
+    it, pure children would leave holes in the window schedule (Figure 5).
+    """
+    return {child.node_id: slot for slot, child in enumerate(children_valid)}

@@ -1,0 +1,361 @@
+"""Gini-index split evaluation (vectorized production path).
+
+SPRINT chooses the split minimizing the weighted gini index
+``gini_split = (n_L * gini(L) + n_R * gini(R)) / n`` where
+``gini(S) = 1 - sum_j p_j^2`` (paper §2.2).
+
+* Continuous attributes: candidate points are mid-points between
+  consecutive distinct values of the pre-sorted list; evaluated with
+  cumulative class counts in O(n) vectorized work.
+* Categorical attributes: all subsets of the present values are
+  considered; above :data:`DEFAULT_MAX_EXHAUSTIVE` present values a
+  greedy hill-climbing subsetting is used instead (paper §2.2: "If the
+  cardinality is too large a greedy subsetting algorithm is used").
+
+Ties are broken toward the earliest candidate in scan order, which makes
+every scheme (serial, BASIC, FWK, MWK, SUBTREE, any processor count)
+produce bit-identical trees.
+
+Every search accepts ``criterion="gini"`` (SPRINT's measure, the fast
+inlined path) or ``"entropy"`` (the C4.5-family alternative, via
+:mod:`repro.sprint.criteria`); ``SplitCandidate.weighted_gini`` holds
+whichever weighted impurity was minimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.sprint.criteria import get_criterion, weighted_impurity
+
+#: Largest number of *present* categorical values for which subsets are
+#: enumerated exhaustively; above it the greedy algorithm runs.
+DEFAULT_MAX_EXHAUSTIVE = 10
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """The best split found for one attribute at one leaf.
+
+    Exactly one of ``threshold`` (continuous: test ``value < threshold``)
+    and ``subset`` (categorical: test ``value in subset``) is set.
+    ``work_points`` counts gini evaluations performed, used by the cost
+    model (continuous: records scanned; categorical: subsets evaluated).
+    """
+
+    weighted_gini: float
+    threshold: Optional[float]
+    subset: Optional[FrozenSet[int]]
+    n_left: int
+    n_right: int
+    work_points: int
+
+    def __post_init__(self) -> None:
+        if (self.threshold is None) == (self.subset is None):
+            raise ValueError("exactly one of threshold/subset must be set")
+        if self.n_left <= 0 or self.n_right <= 0:
+            raise ValueError("both sides of a split must be non-empty")
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.threshold is not None
+
+
+def gini_from_counts(counts: np.ndarray) -> float:
+    """``gini = 1 - sum_j p_j^2`` for a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.dot(p, p))
+
+
+def gini(class_labels: np.ndarray, n_classes: int) -> float:
+    """Gini index of a set of class labels."""
+    return gini_from_counts(np.bincount(class_labels, minlength=n_classes))
+
+
+def best_continuous_split(
+    values: np.ndarray,
+    classes: np.ndarray,
+    n_classes: int,
+    criterion: str = "gini",
+) -> Optional[SplitCandidate]:
+    """Best ``value < x`` split of a *sorted* attribute list.
+
+    Returns ``None`` when no valid split point exists (fewer than two
+    records, or all values equal).  ``criterion`` selects the impurity
+    measure ("gini" — SPRINT's — or "entropy").
+    """
+    n = len(values)
+    if n < 2:
+        return None
+    boundaries = np.flatnonzero(values[:-1] != values[1:])
+    if len(boundaries) == 0:
+        return None
+
+    # Cumulative class counts: below[i, j] = count of class j in records
+    # 0..i inclusive (the left side of a split after position i).
+    below = np.empty((n, n_classes), dtype=np.int64)
+    for j in range(n_classes):
+        np.cumsum(classes == j, out=below[:, j])
+    totals = below[-1]
+
+    left = below[boundaries]
+    right = totals[np.newaxis, :] - left
+    n_left = left.sum(axis=1)
+    n_right = n - n_left
+
+    if criterion == "gini":
+        # Weighted gini = (n_L (1 - sum p_L^2) + n_R (1 - sum p_R^2)) / n.
+        sq_left = (left.astype(np.float64) ** 2).sum(axis=1)
+        sq_right = (right.astype(np.float64) ** 2).sum(axis=1)
+        weighted = (
+            n_left * (1.0 - sq_left / (n_left.astype(np.float64) ** 2))
+            + n_right * (1.0 - sq_right / (n_right.astype(np.float64) ** 2))
+        ) / n
+    else:
+        weighted = weighted_impurity(left, right, get_criterion(criterion))
+
+    best_pos = int(np.argmin(weighted))  # argmin takes the earliest tie
+    i = int(boundaries[best_pos])
+    threshold = (float(values[i]) + float(values[i + 1])) / 2.0
+    return SplitCandidate(
+        weighted_gini=float(weighted[best_pos]),
+        threshold=threshold,
+        subset=None,
+        n_left=int(n_left[best_pos]),
+        n_right=int(n_right[best_pos]),
+        work_points=n,
+    )
+
+
+def best_continuous_split_chunk(
+    values: np.ndarray,
+    classes: np.ndarray,
+    next_value: Optional[float],
+    prefix_counts: np.ndarray,
+    total_counts: np.ndarray,
+    n_total: int,
+) -> Optional[Tuple[float, int, float, int]]:
+    """Evaluate one processor's *chunk* of a partitioned attribute list.
+
+    Record data parallelism (SPRINT's distributed-memory scheme, paper
+    §3.1) gives each processor a contiguous range of the sorted list.
+    Candidate split points inside the chunk need the class counts of all
+    *earlier* chunks — ``prefix_counts`` — which the processors exchange
+    in a prefix-sum step before calling this.
+
+    Parameters
+    ----------
+    values, classes:
+        The chunk's records (sorted ascending, as the global list is).
+    next_value:
+        First attribute value of the following chunk, or ``None`` for
+        the last chunk; the boundary between two chunks is evaluated by
+        the earlier chunk's owner.
+    prefix_counts:
+        Class counts of all records before this chunk.
+    total_counts:
+        Class counts of the whole leaf.
+    n_total:
+        Total records at the leaf.
+
+    Returns ``(weighted_gini, global_boundary_index, threshold, n_left)``
+    for the chunk's best candidate, or ``None`` when the chunk offers no
+    candidate.  ``global_boundary_index`` makes the cross-processor
+    reduction deterministic (earliest boundary wins ties), so the
+    record-parallel scheme builds the identical tree.
+    """
+    n = len(values)
+    if n == 0:
+        return None
+    if next_value is None:
+        changes = values[:-1] != values[1:]  # no boundary after the end
+    else:
+        extended = np.append(values, next_value)
+        changes = extended[:n] != extended[1 : n + 1]
+    boundaries = np.flatnonzero(changes)
+    if len(boundaries) == 0:
+        return None
+    n_classes = len(total_counts)
+    below = np.empty((n, n_classes), dtype=np.int64)
+    for j in range(n_classes):
+        np.cumsum(classes == j, out=below[:, j])
+    left = below[boundaries] + prefix_counts[np.newaxis, :]
+    right = total_counts[np.newaxis, :] - left
+    n_left = left.sum(axis=1)
+    n_right = n_total - n_left
+    valid = (n_left > 0) & (n_right > 0)
+    if not np.any(valid):
+        return None
+    sq_left = (left.astype(np.float64) ** 2).sum(axis=1)
+    sq_right = (right.astype(np.float64) ** 2).sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        weighted = (
+            n_left * (1.0 - sq_left / (n_left.astype(np.float64) ** 2))
+            + n_right * (1.0 - sq_right / (n_right.astype(np.float64) ** 2))
+        ) / n_total
+    weighted = np.where(valid, weighted, np.inf)
+    best_pos = int(np.argmin(weighted))
+    i = int(boundaries[best_pos])
+    upper = next_value if i == n - 1 else float(values[i + 1])
+    threshold = (float(values[i]) + float(upper)) / 2.0
+    offset = int(prefix_counts.sum())
+    return (
+        float(weighted[best_pos]),
+        offset + i,
+        threshold,
+        int(n_left[best_pos]),
+    )
+
+
+def best_categorical_split(
+    values: np.ndarray,
+    classes: np.ndarray,
+    cardinality: int,
+    n_classes: int,
+    max_exhaustive: int = DEFAULT_MAX_EXHAUSTIVE,
+    criterion: str = "gini",
+) -> Optional[SplitCandidate]:
+    """Best ``value in X`` split of a categorical attribute list.
+
+    Enumerates all subsets of the present values when few enough,
+    otherwise runs greedy hill-climbing.  Returns ``None`` when fewer
+    than two distinct values are present.
+    """
+    n = len(values)
+    if n < 2:
+        return None
+    counts = np.zeros((cardinality, n_classes), dtype=np.int64)
+    np.add.at(counts, (values, classes), 1)
+    return best_categorical_split_from_counts(
+        counts, n, max_exhaustive, criterion
+    )
+
+
+def best_categorical_split_from_counts(
+    counts: np.ndarray,
+    n: int,
+    max_exhaustive: int = DEFAULT_MAX_EXHAUSTIVE,
+    criterion: str = "gini",
+) -> Optional[SplitCandidate]:
+    """Subset search over a pre-built count matrix.
+
+    Used directly by the record-parallel scheme, which builds the matrix
+    from per-processor partial matrices merged under a lock.
+    """
+    present = np.flatnonzero(counts.sum(axis=1))
+    if len(present) < 2:
+        return None
+    if len(present) <= max_exhaustive:
+        return _exhaustive_subsets(counts, present, n, criterion)
+    return _greedy_subsets(counts, present, n, criterion)
+
+
+def _weighted_gini(
+    left: np.ndarray, totals: np.ndarray, n: int, criterion: str = "gini"
+) -> Optional[float]:
+    """Weighted impurity for a candidate left-side count vector."""
+    n_left = int(left.sum())
+    n_right = n - n_left
+    if n_left == 0 or n_right == 0:
+        return None
+    right = totals - left
+    if criterion == "gini":
+        g_l = 1.0 - float(np.dot(left, left)) / (n_left * n_left)
+        g_r = 1.0 - float(np.dot(right, right)) / (n_right * n_right)
+        return (n_left * g_l + n_right * g_r) / n
+    fn = get_criterion(criterion)
+    return float(
+        weighted_impurity(left[np.newaxis, :], right[np.newaxis, :], fn)[0]
+    )
+
+
+def _exhaustive_subsets(
+    counts: np.ndarray, present: np.ndarray, n: int, criterion: str = "gini"
+) -> Optional[SplitCandidate]:
+    """Enumerate every proper subset of the present values.
+
+    The last present value is pinned to the right side so each binary
+    partition is generated exactly once.
+    """
+    totals = counts[present].sum(axis=0)
+    free = present[:-1]
+    best_gini: Optional[float] = None
+    best_mask = 0
+    evaluated = 0
+    for mask in range(1, 1 << len(free)):
+        members = [free[b] for b in range(len(free)) if mask >> b & 1]
+        left = counts[members].sum(axis=0)
+        g = _weighted_gini(left, totals, n, criterion)
+        evaluated += 1
+        if g is not None and (best_gini is None or g < best_gini):
+            best_gini = g
+            best_mask = mask
+    if best_gini is None:
+        return None
+    subset = frozenset(
+        int(free[b]) for b in range(len(free)) if best_mask >> b & 1
+    )
+    left = counts[sorted(subset)].sum(axis=0)
+    n_left = int(left.sum())
+    return SplitCandidate(
+        weighted_gini=best_gini,
+        threshold=None,
+        subset=subset,
+        n_left=n_left,
+        n_right=n - n_left,
+        work_points=evaluated,
+    )
+
+
+def _greedy_subsets(
+    counts: np.ndarray, present: np.ndarray, n: int, criterion: str = "gini"
+) -> Optional[SplitCandidate]:
+    """Greedy hill-climbing: grow the subset by the best single value.
+
+    Starts empty and repeatedly moves the value whose addition most
+    lowers the weighted gini, stopping when no addition improves it (or
+    when only one value would remain on the right).
+    """
+    totals = counts[present].sum(axis=0)
+    chosen: list = []
+    left = np.zeros_like(totals)
+    remaining = list(present)
+    best_overall: Optional[float] = None
+    best_subset: Optional[FrozenSet[int]] = None
+    best_n_left = 0
+    evaluated = 0
+    while len(remaining) > 1:
+        step_gini: Optional[float] = None
+        step_value = None
+        for v in remaining:
+            g = _weighted_gini(left + counts[v], totals, n, criterion)
+            evaluated += 1
+            if g is not None and (step_gini is None or g < step_gini):
+                step_gini = g
+                step_value = v
+        if step_gini is None:
+            break
+        if best_overall is not None and step_gini >= best_overall:
+            break  # no improvement from growing further
+        left = left + counts[step_value]
+        chosen.append(int(step_value))
+        remaining.remove(step_value)
+        best_overall = step_gini
+        best_subset = frozenset(chosen)
+        best_n_left = int(left.sum())
+    if best_subset is None:
+        return None
+    return SplitCandidate(
+        weighted_gini=best_overall,
+        threshold=None,
+        subset=best_subset,
+        n_left=best_n_left,
+        n_right=n - best_n_left,
+        work_points=evaluated,
+    )

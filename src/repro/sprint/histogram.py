@@ -1,0 +1,132 @@
+"""Class histograms and count matrices.
+
+SPRINT evaluates continuous splits by scanning the sorted attribute list
+while maintaining two class histograms, ``C_below`` (records before the
+candidate split point) and ``C_above`` (records at or after it); for
+categorical attributes it tabulates a *count matrix* of class counts per
+attribute value (paper §2.1-2.2).  Only one leaf/attribute's histograms
+are live at a time, mirroring the paper's memory argument.
+
+This module also provides a *scan-based reference implementation* of
+split evaluation built directly on the histograms.  The production path
+(:mod:`repro.sprint.gini`) is vectorized; the test suite cross-checks the
+two on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sprint.gini import SplitCandidate, gini_from_counts
+
+
+class ClassHistogram:
+    """The ``C_below``/``C_above`` histogram pair for a continuous scan."""
+
+    def __init__(self, n_classes: int, class_counts: np.ndarray) -> None:
+        if len(class_counts) != n_classes:
+            raise ValueError("class_counts length must equal n_classes")
+        self.below = np.zeros(n_classes, dtype=np.int64)
+        self.above = np.asarray(class_counts, dtype=np.int64).copy()
+
+    @property
+    def n_below(self) -> int:
+        return int(self.below.sum())
+
+    @property
+    def n_above(self) -> int:
+        return int(self.above.sum())
+
+    def advance(self, cls: int) -> None:
+        """Move one record of class ``cls`` from above to below the point."""
+        if self.above[cls] <= 0:
+            raise ValueError(f"no remaining records of class {cls} above")
+        self.above[cls] -= 1
+        self.below[cls] += 1
+
+    def split_gini(self) -> float:
+        """Weighted gini of the two-way partition at the current point."""
+        n_b, n_a = self.n_below, self.n_above
+        total = n_b + n_a
+        if total == 0:
+            return 0.0
+        return (
+            n_b * gini_from_counts(self.below) + n_a * gini_from_counts(self.above)
+        ) / total
+
+
+class CountMatrix:
+    """Class counts per categorical value: shape (cardinality, n_classes)."""
+
+    def __init__(self, cardinality: int, n_classes: int) -> None:
+        self.counts = np.zeros((cardinality, n_classes), dtype=np.int64)
+
+    @classmethod
+    def from_records(
+        cls, values: np.ndarray, classes: np.ndarray, cardinality: int, n_classes: int
+    ) -> "CountMatrix":
+        matrix = cls(cardinality, n_classes)
+        np.add.at(matrix.counts, (values, classes), 1)
+        return matrix
+
+    def add(self, value: int, cls_index: int) -> None:
+        self.counts[value, cls_index] += 1
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def present_values(self) -> np.ndarray:
+        """Attribute values that actually occur in the records."""
+        return np.flatnonzero(self.counts.sum(axis=1))
+
+    def subset_gini(self, subset: np.ndarray) -> float:
+        """Weighted gini of the split ``value in subset`` vs. the rest."""
+        left = self.counts[subset].sum(axis=0)
+        right = self.counts.sum(axis=0) - left
+        n_l, n_r = int(left.sum()), int(right.sum())
+        total = n_l + n_r
+        if total == 0:
+            return 0.0
+        return (
+            n_l * gini_from_counts(left) + n_r * gini_from_counts(right)
+        ) / total
+
+
+def scan_continuous_split(
+    values: np.ndarray, classes: np.ndarray, n_classes: int
+) -> Optional[SplitCandidate]:
+    """Reference (record-at-a-time) continuous split evaluation.
+
+    ``values`` must be sorted ascending.  Returns the best candidate, or
+    ``None`` when all values are equal (no valid split point).  Candidate
+    split points are the mid-points between consecutive distinct values
+    (paper §2.2).
+    """
+    n = len(values)
+    if n < 2:
+        return None
+    totals = np.bincount(classes, minlength=n_classes)
+    hist = ClassHistogram(n_classes, totals)
+    best: Optional[Tuple[float, float, int]] = None  # (gini, threshold, n_left)
+    for i in range(n - 1):
+        hist.advance(int(classes[i]))
+        if values[i] == values[i + 1]:
+            continue
+        g = hist.split_gini()
+        if best is None or g < best[0]:
+            threshold = (float(values[i]) + float(values[i + 1])) / 2.0
+            best = (g, threshold, hist.n_below)
+    if best is None:
+        return None
+    g, threshold, n_left = best
+    return SplitCandidate(
+        weighted_gini=g,
+        threshold=threshold,
+        subset=None,
+        n_left=n_left,
+        n_right=n - n_left,
+        work_points=n,
+    )

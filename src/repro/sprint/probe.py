@@ -1,0 +1,95 @@
+"""Probe structures for splitting attribute lists.
+
+While the winning attribute's list is scanned (step W), a probe keyed on
+tuple ids records which child each tuple belongs to; the losing
+attributes' lists then consult it during the split (step S).  The paper
+discusses three variants (§3.2.1) and BASIC adopts the second:
+
+1. per-leaf hash tables of the smaller child's tids — :class:`HashProbe`,
+2. a **global bit probe** with one bit per training tuple, shared by all
+   current leaves (tid sets of different leaves are disjoint) —
+   :class:`BitProbe`,
+3. relabeled per-leaf bit probes (not implemented; equivalent to 2 with
+   smaller memory).
+
+Both classes implement ``mark_left``/``is_left`` so the splitter and the
+benchmark ablation can swap them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+
+class BitProbe:
+    """One bit per training tuple: set = tuple goes to the left child.
+
+    A single instance serves every leaf of the current level because
+    SPRINT partitions tids between leaves.  ``clear`` resets only the
+    given tids, so concurrent leaves never interfere.
+    """
+
+    def __init__(self, n_tuples: int) -> None:
+        if n_tuples < 0:
+            raise ValueError("n_tuples must be >= 0")
+        self._bits = np.zeros(n_tuples, dtype=bool)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bits.nbytes
+
+    def mark_left(self, tids: np.ndarray) -> None:
+        """Record that the tuples in ``tids`` belong to the left child."""
+        self._bits[tids] = True
+
+    def clear(self, tids: np.ndarray) -> None:
+        """Reset the bits of ``tids`` (before reusing them at a new level)."""
+        self._bits[tids] = False
+
+    def is_left(self, tids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``tids`` go left."""
+        return self._bits[tids]
+
+
+class HashProbe:
+    """Per-leaf hash table of the left child's tids.
+
+    Memory-proportional to the smaller child rather than the training
+    set; the paper's first alternative.  The caller passes the *left*
+    child's tids (by convention the probe stores whichever side the
+    winner scan marks — SPRINT keeps "the smaller child's tids" to halve
+    memory; we expose that choice via ``invert``).
+    """
+
+    def __init__(self, invert: bool = False) -> None:
+        self._tids: Set[int] = set()
+        #: When True the stored set is the *right* child and lookups negate.
+        self.invert = invert
+
+    @property
+    def nbytes(self) -> int:
+        # CPython set-of-int footprint approximation: 32 bytes/entry.
+        return 32 * len(self._tids)
+
+    def mark_left(self, tids: np.ndarray) -> None:
+        if self.invert:
+            raise RuntimeError("inverted probe stores right-side tids; "
+                               "use mark_right")
+        self._tids.update(int(t) for t in tids)
+
+    def mark_right(self, tids: np.ndarray) -> None:
+        if not self.invert:
+            raise RuntimeError("non-inverted probe stores left-side tids; "
+                               "use mark_left")
+        self._tids.update(int(t) for t in tids)
+
+    def clear(self, tids: np.ndarray) -> None:
+        self._tids.difference_update(int(t) for t in tids)
+
+    def is_left(self, tids: np.ndarray) -> np.ndarray:
+        member = np.fromiter(
+            (int(t) in self._tids for t in tids), dtype=bool, count=len(tids)
+        )
+        return ~member if self.invert else member

@@ -1,0 +1,46 @@
+"""Attribute-list record layouts.
+
+Each entry of a SPRINT attribute list holds ``(attribute value, class
+label, tuple id)`` (paper §2.1).  We call the entries *records*, as the
+paper does, to distinguish them from training-set *tuples*.  Continuous
+and categorical lists differ only in the value field's type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Attribute
+
+#: Record layout for continuous attribute lists.
+CONTINUOUS_RECORD = np.dtype(
+    [("value", np.float64), ("cls", np.int32), ("tid", np.int64)]
+)
+
+#: Record layout for categorical attribute lists (value = category code).
+CATEGORICAL_RECORD = np.dtype(
+    [("value", np.int64), ("cls", np.int32), ("tid", np.int64)]
+)
+
+
+def record_dtype(attribute: Attribute) -> np.dtype:
+    """The record dtype for ``attribute``'s list."""
+    return CONTINUOUS_RECORD if attribute.is_continuous else CATEGORICAL_RECORD
+
+
+def make_records(
+    attribute: Attribute, values: np.ndarray, labels: np.ndarray, tids: np.ndarray
+) -> np.ndarray:
+    """Assemble an (unsorted) attribute-list record array."""
+    if not (len(values) == len(labels) == len(tids)):
+        raise ValueError("values, labels and tids must have equal length")
+    out = np.empty(len(values), dtype=record_dtype(attribute))
+    out["value"] = values
+    out["cls"] = labels
+    out["tid"] = tids
+    return out
+
+
+def record_nbytes(attribute: Attribute) -> int:
+    """On-disk size of one record of ``attribute``'s list."""
+    return record_dtype(attribute).itemsize

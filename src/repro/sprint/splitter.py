@@ -1,0 +1,44 @@
+"""Order-preserving attribute-list splits (step S).
+
+Having found the winning split and built the probe, every attribute list
+of the node is divided between the two children by consulting the probe
+on each record's tid (paper §2.3).  Splits preserve record order, so
+continuous lists stay sorted with no re-sorting — the heart of SPRINT's
+pre-sorting design.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def split_records(records: np.ndarray, probe) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition ``records`` into (left, right) via ``probe.is_left``.
+
+    Both outputs preserve the input's relative order.
+    """
+    mask = probe.is_left(records["tid"])
+    return records[mask], records[~mask]
+
+
+def split_winner_records(
+    records: np.ndarray, candidate
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition the *winning* attribute's records by the split test itself.
+
+    The winner needs no probe: the test is applied directly while the
+    probe is being built (paper §2.3: "partitioned simply by scanning the
+    list and applying the split test to each record").
+    """
+    mask = winner_left_mask(records, candidate)
+    return records[mask], records[~mask]
+
+
+def winner_left_mask(records: np.ndarray, candidate) -> np.ndarray:
+    """Boolean mask of records going to the left child under ``candidate``."""
+    if candidate.is_continuous:
+        return records["value"] < candidate.threshold
+    subset = np.fromiter(candidate.subset, dtype=np.int64)
+    return np.isin(records["value"], subset)

@@ -1,0 +1,44 @@
+"""Disk storage substrate.
+
+SPRINT is a *disk-based* classifier: attribute lists live in files and are
+scanned sequentially (paper §2.1, §2.3).  This subpackage provides the
+storage layer those files sit on:
+
+* :mod:`repro.storage.pagefile` — fixed-size-page files with per-page
+  checksums and a free list,
+* :mod:`repro.storage.buffer` — an LRU buffer manager with pin counts,
+  dirty write-back and hit/miss statistics,
+* :mod:`repro.storage.backends` — record-array storage backends: an
+  in-memory backend (fast; used with the virtual-time I/O *cost* model for
+  benchmarks) and a page-file backend (actually disk-resident; used to
+  validate the out-of-core path end to end).
+
+Physical placement and *charged* I/O time are deliberately separate
+concerns: benchmarks keep bytes in memory but charge Machine A/B disk
+costs through :mod:`repro.smp`; correctness tests run the page-file
+backend for real.
+"""
+
+from repro.storage.backends import (
+    DiskBackend,
+    MemoryBackend,
+    StorageBackend,
+    StorageStats,
+)
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.external_sort import SortStats, external_sort
+from repro.storage.pagefile import PAGE_SIZE, PageCorruptionError, PageFile
+
+__all__ = [
+    "BufferManager",
+    "BufferStats",
+    "DiskBackend",
+    "MemoryBackend",
+    "PAGE_SIZE",
+    "PageCorruptionError",
+    "PageFile",
+    "SortStats",
+    "StorageBackend",
+    "StorageStats",
+    "external_sort",
+]

@@ -1,0 +1,298 @@
+"""Record-array storage backends.
+
+SPRINT's attribute lists are arrays of fixed-width records stored in
+physical files.  A :class:`StorageBackend` stores numpy record arrays
+under string keys and supports append (several leaves share one physical
+file, paper §2.3), full read, and deletion.
+
+Two implementations:
+
+* :class:`MemoryBackend` — arrays held in a dict.  Fast; benchmarks pair
+  it with the virtual-time I/O *cost* model so that Machine A still pays
+  disk time even though bytes live in RAM.
+* :class:`DiskBackend` — arrays chunked into checksummed pages via the
+  buffer manager; actually disk-resident.  Used to validate the
+  out-of-core path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.storage.buffer import BufferManager
+from repro.storage.pagefile import PAGE_PAYLOAD, PageFile
+
+
+@dataclass
+class StorageStats:
+    """Cumulative per-backend I/O counters (physical bytes moved)."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+class StorageBackend:
+    """Interface for record-array storage.
+
+    All methods are thread-safe: the SMP schemes call them from several
+    (virtual) processors at once.  Keys are independent; the SPRINT file
+    layout guarantees no two processors write one key concurrently, but
+    the backend still locks internally so misuse fails safe rather than
+    corrupting data.
+    """
+
+    def write(self, key: str, records: np.ndarray) -> None:
+        """Replace the contents of ``key`` with ``records``."""
+        raise NotImplementedError
+
+    def append(self, key: str, records: np.ndarray) -> None:
+        """Append ``records`` to ``key`` (creating it if absent)."""
+        raise NotImplementedError
+
+    def read(self, key: str) -> np.ndarray:
+        """Return the full contents of ``key``."""
+        raise NotImplementedError
+
+    def read_range(self, key: str, start: int, stop: int) -> np.ndarray:
+        """Return records ``[start, stop)`` of ``key``.
+
+        The default implementation slices a full read; the disk backend
+        overrides it to fetch only the pages covering the range (what
+        makes external sorting actually external).
+        """
+        return self.read(key)[start:stop]
+
+    def n_records(self, key: str) -> int:
+        """Number of records stored under ``key`` (0 if absent)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``; no-op if absent."""
+        raise NotImplementedError
+
+    def exists(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def nbytes(self, key: str) -> int:
+        """Payload size of ``key`` in bytes (0 if absent)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; the backend is unusable afterwards."""
+
+
+class MemoryBackend(StorageBackend):
+    """Arrays in a dict.  Appends concatenate lazily for O(1) amortized cost."""
+
+    def __init__(self) -> None:
+        self._chunks: Dict[str, List[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.stats = StorageStats()
+
+    def write(self, key: str, records: np.ndarray) -> None:
+        with self._lock:
+            self._chunks[key] = [records]
+            self.stats.writes += 1
+            self.stats.bytes_written += records.nbytes
+
+    def append(self, key: str, records: np.ndarray) -> None:
+        with self._lock:
+            self._chunks.setdefault(key, []).append(records)
+            self.stats.writes += 1
+            self.stats.bytes_written += records.nbytes
+
+    def read(self, key: str) -> np.ndarray:
+        with self._lock:
+            try:
+                chunks = self._chunks[key]
+            except KeyError:
+                raise KeyError(f"no stored records under key {key!r}") from None
+            if len(chunks) > 1:
+                merged = np.concatenate(chunks)
+                self._chunks[key] = [merged]
+            out = self._chunks[key][0]
+            self.stats.reads += 1
+            self.stats.bytes_read += out.nbytes
+            return out
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._chunks.pop(key, None)
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._chunks
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._chunks)
+
+    def nbytes(self, key: str) -> int:
+        with self._lock:
+            chunks = self._chunks.get(key)
+            if not chunks:
+                return 0
+            return sum(c.nbytes for c in chunks)
+
+    def n_records(self, key: str) -> int:
+        with self._lock:
+            chunks = self._chunks.get(key)
+            if not chunks:
+                return 0
+            return sum(len(c) for c in chunks)
+
+
+class _DiskEntry:
+    """Metadata for one key: dtype + the pages holding its bytes."""
+
+    __slots__ = ("dtype_descr", "pages", "total_bytes")
+
+    def __init__(self, dtype_descr) -> None:
+        self.dtype_descr = dtype_descr
+        self.pages: List[Tuple[int, int]] = []  # (page_id, payload_len)
+        self.total_bytes = 0
+
+
+class DiskBackend(StorageBackend):
+    """Arrays chunked into buffer-managed, checksummed pages.
+
+    One page file backs all keys; a per-key page map lives in memory
+    (attribute lists are temporaries — they never outlive the build).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self._pagefile = PageFile(path)
+        self._buffer = BufferManager(self._pagefile, capacity=buffer_capacity)
+        self._entries: Dict[str, _DiskEntry] = {}
+        self._lock = threading.Lock()
+        self.stats = StorageStats()
+
+    @property
+    def buffer(self) -> BufferManager:
+        return self._buffer
+
+    def write(self, key: str, records: np.ndarray) -> None:
+        with self._lock:
+            self._delete_locked(key)
+            self._append_locked(key, records)
+
+    def append(self, key: str, records: np.ndarray) -> None:
+        with self._lock:
+            self._append_locked(key, records)
+
+    def read(self, key: str) -> np.ndarray:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise KeyError(f"no stored records under key {key!r}")
+            raw = b"".join(
+                self._buffer.get(page_id) for page_id, _length in entry.pages
+            )
+            self.stats.reads += 1
+            self.stats.bytes_read += len(raw)
+            dtype = np.dtype(pickle.loads(entry.dtype_descr))
+            return np.frombuffer(raw, dtype=dtype).copy()
+
+    def read_range(self, key: str, start: int, stop: int) -> np.ndarray:
+        """Fetch only the pages covering records ``[start, stop)``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise KeyError(f"no stored records under key {key!r}")
+            dtype = np.dtype(pickle.loads(entry.dtype_descr))
+            itemsize = dtype.itemsize
+            lo_byte = max(start, 0) * itemsize
+            hi_byte = min(stop * itemsize, entry.total_bytes)
+            if hi_byte <= lo_byte:
+                return np.empty(0, dtype=dtype)
+            raw = bytearray()
+            offset = 0
+            for page_id, length in entry.pages:
+                page_lo, page_hi = offset, offset + length
+                if page_hi > lo_byte and page_lo < hi_byte:
+                    payload = self._buffer.get(page_id)
+                    take_lo = max(lo_byte - page_lo, 0)
+                    take_hi = min(hi_byte - page_lo, length)
+                    raw += payload[take_lo:take_hi]
+                offset = page_hi
+                if offset >= hi_byte:
+                    break
+            self.stats.reads += 1
+            self.stats.bytes_read += len(raw)
+            return np.frombuffer(bytes(raw), dtype=dtype).copy()
+
+    def n_records(self, key: str) -> int:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.total_bytes == 0:
+                return 0
+            dtype = np.dtype(pickle.loads(entry.dtype_descr))
+            return entry.total_bytes // dtype.itemsize
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._delete_locked(key)
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def nbytes(self, key: str) -> int:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.total_bytes if entry else 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._buffer.flush()
+            self._pagefile.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _append_locked(self, key: str, records: np.ndarray) -> None:
+        records = np.ascontiguousarray(records)
+        descr = pickle.dumps(records.dtype.descr)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _DiskEntry(descr)
+            self._entries[key] = entry
+        elif entry.total_bytes and entry.dtype_descr != descr:
+            raise ValueError(
+                f"append to {key!r} with mismatched dtype "
+                f"{records.dtype} (stored dtype differs)"
+            )
+        raw = records.tobytes()
+        for offset in range(0, len(raw), PAGE_PAYLOAD):
+            chunk = raw[offset : offset + PAGE_PAYLOAD]
+            page_id = self._pagefile.allocate()
+            self._buffer.put(page_id, chunk)
+            entry.pages.append((page_id, len(chunk)))
+        entry.total_bytes += len(raw)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(raw)
+
+    def _delete_locked(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for page_id, _length in entry.pages:
+            self._buffer.invalidate(page_id)
+            self._pagefile.free(page_id)

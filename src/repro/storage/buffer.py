@@ -1,0 +1,169 @@
+"""LRU buffer manager over a :class:`~repro.storage.pagefile.PageFile`.
+
+Models the memory hierarchy the paper's two machine configurations
+exercise: Machine A's 128 MB cannot hold the attribute lists, so scans go
+to disk each time (buffer misses dominate); Machine B's 1 GB caches
+everything after first touch (hits dominate).  The manager tracks hits,
+misses and bytes moved so experiments can report the distinction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.pagefile import PageFile
+
+
+@dataclass
+class BufferStats:
+    """Cumulative buffer-manager counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Frame:
+    __slots__ = ("payload", "dirty", "pins")
+
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferManager:
+    """Fixed-capacity page cache with pinning and LRU replacement.
+
+    Parameters
+    ----------
+    pagefile:
+        The underlying page file.
+    capacity:
+        Maximum number of resident pages.  Must be >= 1.
+    """
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._file = pagefile
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def n_resident(self) -> int:
+        return len(self._frames)
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, page_id: int, pin: bool = False) -> bytes:
+        """Return the payload of ``page_id``, faulting it in if needed."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.stats.misses += 1
+            payload = self._file.read_page(page_id)
+            self.stats.bytes_read += len(payload)
+            frame = _Frame(payload)
+            self._admit(page_id, frame)
+        if pin:
+            frame.pins += 1
+        return frame.payload
+
+    def put(self, page_id: int, payload: bytes, pin: bool = False) -> None:
+        """Install ``payload`` for ``page_id`` (write-back on eviction)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.payload = payload
+            frame.dirty = True
+            self._frames.move_to_end(page_id)
+        else:
+            frame = _Frame(payload)
+            frame.dirty = True
+            self._admit(page_id, frame)
+        if pin:
+            frame.pins += 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on ``page_id``."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins == 0:
+            raise ValueError(f"page {page_id} is not pinned")
+        frame.pins -= 1
+
+    def flush(self, page_id: Optional[int] = None) -> None:
+        """Write back one dirty page, or all dirty pages when ``None``."""
+        ids = [page_id] if page_id is not None else list(self._frames)
+        for pid in ids:
+            frame = self._frames.get(pid)
+            if frame is not None and frame.dirty:
+                self._write_back(pid, frame)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the cache without writing it back.
+
+        Used when the underlying page is freed; a pinned page cannot be
+        invalidated.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pins:
+            raise ValueError(f"cannot invalidate pinned page {page_id}")
+        del self._frames[page_id]
+
+    def clear(self) -> None:
+        """Flush everything and empty the cache."""
+        self.flush()
+        for pid, frame in self._frames.items():
+            if frame.pins:
+                raise ValueError(f"cannot clear: page {pid} is pinned")
+        self._frames.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit(self, page_id: int, frame: _Frame) -> None:
+        while len(self._frames) >= self._capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                raise RuntimeError(
+                    "buffer pool exhausted: all resident pages are pinned"
+                )
+            self._evict(victim)
+        self._frames[page_id] = frame
+
+    def _pick_victim(self) -> Optional[int]:
+        for pid, frame in self._frames.items():  # OrderedDict: LRU first
+            if frame.pins == 0:
+                return pid
+        return None
+
+    def _evict(self, page_id: int) -> None:
+        frame = self._frames.pop(page_id)
+        if frame.dirty:
+            self._write_back(page_id, frame, resident=False)
+        self.stats.evictions += 1
+
+    def _write_back(
+        self, page_id: int, frame: _Frame, resident: bool = True
+    ) -> None:
+        self._file.write_page(page_id, frame.payload)
+        self.stats.bytes_written += len(frame.payload)
+        if resident:
+            frame.dirty = False

@@ -1,0 +1,149 @@
+"""External merge sort for disk-resident attribute lists.
+
+SPRINT's setup phase sorts every continuous attribute list once; at the
+paper's scale the lists exceed memory, so the sort must be external.
+The classic two-phase algorithm:
+
+1. **Run formation** — read the input in memory-sized chunks, sort each
+   by ``(value, tid)`` (the same deterministic order the in-memory setup
+   uses) and write it back as a sorted run;
+2. **K-way merge** — stream all runs through bounded per-run buffers,
+   repeatedly emitting the globally smallest record into the output.
+
+Both phases move data through the storage backend's ranged reads, so
+under the :class:`~repro.storage.backends.DiskBackend` the peak resident
+set really is ``O(memory_records)`` regardless of input size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.storage.backends import StorageBackend
+
+
+@dataclass
+class SortStats:
+    """What one external sort did."""
+
+    n_records: int
+    n_runs: int
+    memory_records: int
+
+
+def _sort_chunk(records: np.ndarray) -> np.ndarray:
+    """Deterministic (value, tid) order — identical to the in-memory
+    setup's ``np.lexsort`` ordering."""
+    return records[np.lexsort((records["tid"], records["value"]))]
+
+
+class _RunCursor:
+    """Buffered sequential reader over one sorted run."""
+
+    def __init__(
+        self, backend: StorageBackend, key: str, buffer_records: int
+    ) -> None:
+        self._backend = backend
+        self._key = key
+        self._buffer_records = max(buffer_records, 1)
+        self._total = backend.n_records(key)
+        self._position = 0
+        self._buffer = None
+        self._buffer_offset = 0
+        self._fill()
+
+    def _fill(self) -> None:
+        if self._position >= self._total:
+            self._buffer = None
+            return
+        stop = min(self._position + self._buffer_records, self._total)
+        self._buffer = self._backend.read_range(
+            self._key, self._position, stop
+        )
+        self._buffer_offset = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._buffer is None
+
+    def head(self):
+        return self._buffer[self._buffer_offset]
+
+    def advance(self) -> None:
+        self._buffer_offset += 1
+        self._position += 1
+        if self._buffer_offset >= len(self._buffer):
+            self._fill()
+
+
+def external_sort(
+    backend: StorageBackend,
+    input_key: str,
+    output_key: str,
+    memory_records: int,
+    output_batch: int = 1024,
+) -> SortStats:
+    """Sort ``input_key`` into ``output_key`` by ``(value, tid)``.
+
+    ``memory_records`` bounds both the run-formation chunk size and the
+    total merge buffering.  The input is left untouched; temporary run
+    keys (``<output_key>.run<i>``) are deleted before returning.
+    """
+    if memory_records < 2:
+        raise ValueError(f"memory_records must be >= 2, got {memory_records}")
+    total = backend.n_records(input_key)
+    if total == 0:
+        # Propagates KeyError for a missing input; copies an empty one.
+        backend.write(output_key, backend.read(input_key))
+        return SortStats(0, 0, memory_records)
+
+    # Phase 1: sorted runs.
+    run_keys: List[str] = []
+    for start in range(0, total, memory_records):
+        chunk = backend.read_range(
+            input_key, start, min(start + memory_records, total)
+        )
+        run_key = f"{output_key}.run{len(run_keys)}"
+        backend.write(run_key, _sort_chunk(chunk))
+        run_keys.append(run_key)
+
+    if len(run_keys) == 1:
+        backend.write(output_key, backend.read(run_keys[0]))
+        backend.delete(run_keys[0])
+        return SortStats(total, 1, memory_records)
+
+    # Phase 2: k-way merge through bounded buffers.
+    per_run = max(memory_records // len(run_keys), 1)
+    cursors = [_RunCursor(backend, k, per_run) for k in run_keys]
+    heap = [
+        (float(c.head()["value"]), int(c.head()["tid"]), i)
+        for i, c in enumerate(cursors)
+        if not c.exhausted
+    ]
+    heapq.heapify(heap)
+
+    backend.delete(output_key)
+    out_batch: List = []
+    dtype = backend.read_range(input_key, 0, 1).dtype
+    while heap:
+        _value, _tid, index = heapq.heappop(heap)
+        cursor = cursors[index]
+        out_batch.append(cursor.head())
+        cursor.advance()
+        if not cursor.exhausted:
+            head = cursor.head()
+            heapq.heappush(
+                heap, (float(head["value"]), int(head["tid"]), index)
+            )
+        if len(out_batch) >= output_batch:
+            backend.append(output_key, np.array(out_batch, dtype=dtype))
+            out_batch = []
+    if out_batch:
+        backend.append(output_key, np.array(out_batch, dtype=dtype))
+    for key in run_keys:
+        backend.delete(key)
+    return SortStats(total, len(run_keys), memory_records)

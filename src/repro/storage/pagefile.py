@@ -1,0 +1,153 @@
+"""Fixed-size-page file with per-page checksums.
+
+A :class:`PageFile` is a flat file divided into pages of
+:data:`PAGE_SIZE` bytes.  Each page stores a small header (magic, page id,
+payload length, CRC32 of the payload) followed by the payload.  Pages are
+allocated from a free list so files can be reused as attribute lists are
+split and discarded — SPRINT's "four reusable files per attribute" scheme
+relies on cheap file reuse (paper §2.3).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import List
+
+#: Total size of one page on disk, including the header.
+PAGE_SIZE = 8192
+
+_HEADER = struct.Struct("<IIII")  # magic, page_id, payload_len, crc32
+_MAGIC = 0x53505254  # "SPRT"
+
+#: Usable payload bytes per page.
+PAGE_PAYLOAD = PAGE_SIZE - _HEADER.size
+
+
+class PageCorruptionError(RuntimeError):
+    """A page failed its checksum or header validation."""
+
+
+class PageFile:
+    """A file of fixed-size, checksummed pages.
+
+    Not thread-safe on its own; callers serialize access (the SPRINT file
+    layout guarantees no two processors touch the same physical file at
+    the same time, paper §3.2.1).
+    """
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        self.path = path
+        flags = os.O_RDWR | (os.O_CREAT if create else 0)
+        self._fd = os.open(path, flags, 0o644)
+        self._n_pages = os.fstat(self._fd).st_size // PAGE_SIZE
+        self._free: List[int] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages ever allocated (including freed ones)."""
+        return self._n_pages
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Return a page id, reusing a freed page when possible."""
+        self._check_open()
+        if self._free:
+            return self._free.pop()
+        page_id = self._n_pages
+        self._n_pages += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list for reuse."""
+        self._check_open()
+        self._check_page_id(page_id)
+        if page_id in self._free:
+            raise ValueError(f"page {page_id} already freed")
+        self._free.append(page_id)
+
+    def truncate(self) -> None:
+        """Drop all pages; the file becomes empty."""
+        self._check_open()
+        os.ftruncate(self._fd, 0)
+        self._n_pages = 0
+        self._free.clear()
+
+    # -- I/O ---------------------------------------------------------------
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Write ``payload`` (at most :data:`PAGE_PAYLOAD` bytes)."""
+        self._check_open()
+        self._check_page_id(page_id)
+        if len(payload) > PAGE_PAYLOAD:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{PAGE_PAYLOAD}"
+            )
+        header = _HEADER.pack(_MAGIC, page_id, len(payload), zlib.crc32(payload))
+        block = header + payload
+        block += b"\x00" * (PAGE_SIZE - len(block))
+        os.pwrite(self._fd, block, page_id * PAGE_SIZE)
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read and verify a page; returns its payload."""
+        self._check_open()
+        self._check_page_id(page_id)
+        block = os.pread(self._fd, PAGE_SIZE, page_id * PAGE_SIZE)
+        if len(block) < _HEADER.size:
+            raise PageCorruptionError(
+                f"{self.path}: page {page_id} is truncated ({len(block)} bytes)"
+            )
+        magic, stored_id, length, crc = _HEADER.unpack_from(block)
+        if magic != _MAGIC:
+            raise PageCorruptionError(
+                f"{self.path}: page {page_id} has bad magic {magic:#x}"
+            )
+        if stored_id != page_id:
+            raise PageCorruptionError(
+                f"{self.path}: page {page_id} header claims id {stored_id}"
+            )
+        payload = block[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length:
+            raise PageCorruptionError(
+                f"{self.path}: page {page_id} payload truncated"
+            )
+        if zlib.crc32(payload) != crc:
+            raise PageCorruptionError(
+                f"{self.path}: page {page_id} failed checksum"
+            )
+        return payload
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"page file {self.path} is closed")
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._n_pages:
+            raise ValueError(
+                f"page id {page_id} out of range (file has {self._n_pages} pages)"
+            )

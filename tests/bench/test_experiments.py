@@ -1,0 +1,60 @@
+"""Fast structural smoke tests for the paper-experiment entry points.
+
+The benchmarks run these at full scale; here a few hundred records
+verify the plumbing (dataset grid, curve structure, caching) quickly.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+@pytest.fixture(autouse=True, scope="module")
+def clear_caches():
+    experiments._figure.cache_clear()
+    yield
+    experiments._figure.cache_clear()
+
+
+TINY = 400
+
+
+class TestFigures:
+    def test_figure8_structure(self):
+        curves = experiments.figure8(TINY)
+        assert set(curves) == {"F2", "F7"}
+        for curve in curves.values():
+            assert curve.machine_name == "machine-a"
+            algos = {p.algorithm for p in curve.points}
+            assert algos == {"mwk", "subtree"}
+            procs = {p.n_procs for p in curve.points}
+            assert procs == {1, 2, 4}
+
+    def test_figure10_uses_machine_b_to_8(self):
+        curves = experiments.figure10(TINY)
+        curve = curves["F2"]
+        assert curve.machine_name == "machine-b"
+        assert {p.n_procs for p in curve.points} == {1, 2, 4, 8}
+
+    def test_caching_returns_same_object(self):
+        a = experiments.figure8(TINY)
+        b = experiments.figure8(TINY)
+        assert a is b
+
+    def test_speedups_at_baseline_are_one(self):
+        curves = experiments.figure10(TINY)  # cached from the earlier test
+        for curve in curves.values():
+            for algorithm in ("mwk", "subtree"):
+                assert curve.of(algorithm, 1).build_speedup == 1.0
+
+
+class TestTable1:
+    def test_four_rows(self):
+        rows = experiments.table1(TINY)
+        names = [r.dataset_name for r in rows]
+        assert names == [
+            "F2-A32-D400", "F7-A32-D400", "F2-A64-D400", "F7-A64-D400",
+        ]
+        for row in rows:
+            assert row.total_time > 0
+            assert 0 <= row.setup_pct <= 100

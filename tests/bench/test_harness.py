@@ -1,0 +1,108 @@
+"""Unit tests for the speedup/Table-1 harness and reporting."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_speedup, run_table1_row
+from repro.bench.reporting import format_table, save_result, speedup_table
+from repro.smp.machine import machine_a, machine_b
+
+
+@pytest.fixture(scope="module")
+def curve(small_f2):
+    return run_speedup(
+        small_f2, machine_b, algorithms=("mwk",), proc_counts=(1, 2)
+    )
+
+
+# module-scoped dataset for the expensive fixtures above
+@pytest.fixture(scope="module")
+def small_f2():
+    from repro.data.generator import DatasetSpec, generate_dataset
+
+    return generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=600, seed=3)
+    )
+
+
+class TestRunSpeedup:
+    def test_points_per_combination(self, curve):
+        assert len(curve.points) == 2
+
+    def test_baseline_speedup_is_one(self, curve):
+        p1 = curve.of("mwk", 1)
+        assert p1.build_speedup == pytest.approx(1.0)
+        assert p1.total_speedup == pytest.approx(1.0)
+
+    def test_speedup_computed_vs_p1(self, curve):
+        p1, p2 = curve.of("mwk", 1), curve.of("mwk", 2)
+        assert p2.build_speedup == pytest.approx(p1.build_time / p2.build_time)
+
+    def test_missing_point_raises(self, curve):
+        with pytest.raises(KeyError):
+            curve.of("mwk", 16)
+
+    def test_best_speedup(self, curve):
+        assert curve.best_speedup("mwk") >= 1.0
+
+    def test_tree_shape_recorded(self, curve):
+        assert curve.of("mwk", 1).tree_levels > 1
+
+
+class TestTable1Row:
+    def test_row_fields(self, small_f2):
+        row = run_table1_row(small_f2, machine_a(1))
+        assert row.dataset_name == small_f2.name
+        assert row.db_size_mb > 0
+        assert row.tree_levels > 1
+        assert row.max_leaves_per_level >= 1
+        assert 0 < row.setup_pct < 100
+        assert 0 < row.sort_pct < 100
+        assert row.total_time > row.setup_time + row.sort_time
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (30, 4.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        assert "2.50" in lines[2] and "4.25" in lines[3]
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a",), [(1, 2)])
+
+    def test_save_result(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.delenv("REPRO_BENCH_RESULTS", raising=False)
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        path = save_result("unit", "hello")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"
+
+    def test_speedup_table_renders(self, curve):
+        text = speedup_table(curve)
+        assert "speedup (build)" in text
+        assert "mwk" in text
+
+    def test_speedup_chart_renders(self, curve):
+        from repro.bench.reporting import speedup_chart
+
+        text = speedup_chart(curve)
+        assert "build speedup" in text
+        assert "M=mwk" in text
+        assert ".=ideal" in text
+        assert "P=1" in text and "P=2" in text
+
+    def test_speedup_chart_marks_every_point(self, curve):
+        from repro.bench.reporting import speedup_chart
+
+        text = speedup_chart(curve)
+        # Two measured points -> at least two 'M' marks on the canvas.
+        canvas = "\n".join(
+            line for line in text.splitlines() if line.strip().endswith("")
+        )
+        assert canvas.count("M") >= 3  # 2 points + legend

@@ -1,0 +1,45 @@
+"""Edge cases for the reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import SpeedupCurve, SpeedupPoint
+from repro.bench.reporting import format_table, speedup_chart, speedup_table
+
+
+def one_point_curve():
+    curve = SpeedupCurve("F2-A9-D1K", "machine-b")
+    curve.points.append(
+        SpeedupPoint("mwk", 1, build_time=2.0, total_time=3.0)
+    )
+    return curve
+
+
+class TestSpeedupChartEdges:
+    def test_single_point(self):
+        text = speedup_chart(one_point_curve())
+        assert "M=mwk" in text
+        assert "P=1" in text
+
+    def test_missing_grid_points_tolerated(self):
+        curve = SpeedupCurve("x", "machine-a")
+        curve.points.append(SpeedupPoint("mwk", 1, 4.0, 5.0))
+        curve.points.append(SpeedupPoint("mwk", 4, 1.0, 2.0, 4.0, 2.5))
+        curve.points.append(SpeedupPoint("subtree", 1, 4.0, 5.0))
+        # subtree has no P=4 point; chart must still render.
+        text = speedup_chart(curve)
+        assert "S=subtree" in text
+
+    def test_table_single_point(self):
+        text = speedup_table(one_point_curve())
+        assert "F2-A9-D1K on machine-b" in text
+
+
+class TestFormatTableEdges:
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert text.splitlines()[0].strip().startswith("a")
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_mixed_types(self):
+        text = format_table(("x",), [(None,), (1.5,), ("s",)])
+        assert "None" in text and "1.50" in text and "s" in text

@@ -1,0 +1,45 @@
+"""Unit tests for benchmark workloads."""
+
+import pytest
+
+from repro.bench.workloads import (
+    DEFAULT_BENCH_RECORDS,
+    PAPER_GRID,
+    bench_records,
+    paper_dataset,
+)
+
+
+class TestBenchRecords:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_RECORDS", raising=False)
+        assert bench_records() == DEFAULT_BENCH_RECORDS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RECORDS", "25000")
+        assert bench_records() == 25000
+
+    def test_too_small_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RECORDS", "10")
+        with pytest.raises(ValueError, match="too small"):
+            bench_records()
+
+
+class TestPaperDataset:
+    def test_grid(self):
+        assert PAPER_GRID == ((2, 32), (7, 32), (2, 64), (7, 64))
+
+    def test_naming(self):
+        data = paper_dataset(2, 32, 1000)
+        assert data.name == "F2-A32-D1K"
+        assert data.n_attributes == 32
+
+    def test_cached(self):
+        a = paper_dataset(2, 32, 1000)
+        b = paper_dataset(2, 32, 1000)
+        assert a is b
+
+    def test_default_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_RECORDS", raising=False)
+        data = paper_dataset(7, 32)
+        assert data.n_records == DEFAULT_BENCH_RECORDS

@@ -1,0 +1,61 @@
+"""Tests for k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.classify.evaluate import cross_validate
+from repro.data.generator import DatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(
+        DatasetSpec(2, 9, 2000, seed=8, perturbation=0.05)
+    )
+
+
+class TestCrossValidate:
+    def test_fold_structure(self, data):
+        report = cross_validate(data, k=4, prune=False)
+        assert len(report.folds) == 4
+        total_test = sum(f.test_records for f in report.folds)
+        assert total_test == data.n_records
+        for fold in report.folds:
+            assert fold.train_records + fold.test_records == data.n_records
+
+    def test_accuracy_reasonable(self, data):
+        report = cross_validate(data, k=4)
+        assert 0.8 < report.mean_accuracy <= 1.0
+        assert report.std_accuracy < 0.1
+
+    def test_pruning_reported(self, data):
+        report = cross_validate(data, k=3, prune=True)
+        for fold in report.folds:
+            assert fold.pruned_nodes <= fold.tree_nodes
+
+    def test_deterministic(self, data):
+        a = cross_validate(data, k=3, seed=5)
+        b = cross_validate(data, k=3, seed=5)
+        np.testing.assert_array_equal(a.accuracies, b.accuracies)
+
+    def test_different_seeds_differ(self, data):
+        a = cross_validate(data, k=3, seed=5)
+        b = cross_validate(data, k=3, seed=6)
+        assert not np.array_equal(a.accuracies, b.accuracies)
+
+    def test_k_validated(self, data):
+        with pytest.raises(ValueError, match="folds"):
+            cross_validate(data, k=1)
+
+    def test_too_small_dataset(self, car_insurance):
+        with pytest.raises(ValueError, match="folds"):
+            cross_validate(car_insurance, k=10)
+
+    def test_summary_text(self, data):
+        report = cross_validate(data, k=3)
+        text = report.summary()
+        assert "3-fold CV" in text and "accuracy" in text
+
+    def test_parallel_algorithm(self, data):
+        report = cross_validate(data, k=3, algorithm="mwk")
+        assert 0.8 < report.mean_accuracy <= 1.0

@@ -1,0 +1,49 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.classify.metrics import accuracy, confusion_matrix, error_rate
+from repro.core.builder import build_classifier
+
+
+class TestAccuracy:
+    def test_perfect_on_car_insurance(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        assert accuracy(tree, car_insurance) == 1.0
+        assert error_rate(tree, car_insurance) == 0.0
+
+    def test_accuracy_error_sum_to_one(self, small_f7):
+        tree = build_classifier(small_f7).tree
+        a = accuracy(tree, small_f7)
+        e = error_rate(tree, small_f7)
+        assert a + e == pytest.approx(1.0)
+
+    def test_empty_dataset_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        empty = car_insurance.take(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(tree, empty)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_on_perfect_fit(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        matrix = confusion_matrix(tree, car_insurance)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 1] == 0 and matrix[1, 0] == 0
+        assert matrix.sum() == car_insurance.n_records
+
+    def test_rows_sum_to_class_counts(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        matrix = confusion_matrix(tree, small_f2)
+        np.testing.assert_array_equal(
+            matrix.sum(axis=1), small_f2.class_histogram()
+        )
+
+    def test_trace_matches_accuracy(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        matrix = confusion_matrix(tree, small_f2)
+        assert np.trace(matrix) / matrix.sum() == pytest.approx(
+            accuracy(tree, small_f2)
+        )

@@ -1,0 +1,86 @@
+"""Unit and property tests for tree application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.predict import predict, predict_node_ids, predict_one
+from repro.core.builder import build_classifier
+from repro.data.generator import DatasetSpec, generate_dataset
+
+
+class TestPredict:
+    def test_training_set_high_accuracy(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        predicted = predict(tree, small_f2)
+        assert np.mean(predicted == small_f2.labels) > 0.99
+
+    def test_vectorized_matches_scalar(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        vector = predict(tree, small_f2)
+        for tid in range(0, small_f2.n_records, 37):
+            assert vector[tid] == predict_one(tree, small_f2.tuple_at(tid))
+
+    def test_generalization_to_test_split(self):
+        data = generate_dataset(DatasetSpec(2, 9, 4000, seed=1))
+        train, test = data.split(0.75, seed=2)
+        tree = build_classifier(train).tree
+        predicted = predict(tree, test)
+        assert np.mean(predicted == test.labels) > 0.9
+
+    def test_single_leaf_tree(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0, 2.0]),
+             "car": np.array([0, 1], dtype=np.int64)},
+            np.array([1, 1], dtype=np.int32),
+        )
+        tree = build_classifier(pure).tree
+        np.testing.assert_array_equal(predict(tree, pure), [1, 1])
+
+    def test_empty_input(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        cols = {k: v[:0] for k, v in small_f2.columns.items()}
+        assert len(predict(tree, cols)) == 0
+
+    def test_accepts_raw_columns(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        out = predict(tree, car_insurance.columns)
+        np.testing.assert_array_equal(out, car_insurance.labels)
+
+
+class TestPredictNodeIds:
+    def test_all_ids_are_leaves(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        leaf_ids = {n.node_id for n in tree.iter_nodes() if n.is_leaf}
+        landed = predict_node_ids(tree, small_f2)
+        assert set(landed.tolist()) <= leaf_ids
+
+    def test_leaf_populations_match_counts(self, small_f2):
+        """Routing the training set reproduces each leaf's record count."""
+        tree = build_classifier(small_f2).tree
+        landed = predict_node_ids(tree, small_f2)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert int(np.sum(landed == node.node_id)) == node.n_records
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), function=st.integers(1, 10))
+def test_predict_total_on_any_input(seed, function):
+    """predict() never fails and always returns valid class indices,
+    even on tuples far outside the training distribution."""
+    data = generate_dataset(DatasetSpec(function, 9, 200, seed=seed))
+    tree = build_classifier(data).tree
+    rng = np.random.default_rng(seed)
+    wild = {}
+    for attr in data.schema.attributes:
+        if attr.is_continuous:
+            wild[attr.name] = rng.uniform(-1e9, 1e9, 50)
+        else:
+            wild[attr.name] = rng.integers(0, attr.cardinality, 50)
+    out = predict(tree, wild)
+    assert out.min() >= 0 and out.max() < data.schema.n_classes

@@ -1,0 +1,80 @@
+"""Unit tests for MDL pruning."""
+
+import numpy as np
+import pytest
+
+from repro.classify.metrics import accuracy
+from repro.classify.prune import mdl_prune
+from repro.core.builder import build_classifier
+from repro.data.generator import DatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def noisy_data():
+    return generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=2000,
+                    seed=5, perturbation=0.08)
+    )
+
+
+class TestMdlPrune:
+    def test_returns_new_tree(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        pruned, report = mdl_prune(tree)
+        assert pruned is not tree
+        assert tree.n_nodes == report.nodes_before  # original untouched
+
+    def test_never_grows(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        pruned, report = mdl_prune(tree)
+        assert pruned.n_nodes <= tree.n_nodes
+        assert report.nodes_removed >= 0
+
+    def test_cost_never_increases(self, noisy_data):
+        tree = build_classifier(noisy_data).tree
+        _, report = mdl_prune(tree)
+        assert report.cost_after <= report.cost_before
+
+    def test_noise_overfit_is_pruned(self, noisy_data):
+        """Label noise inflates the tree; MDL shrinks it substantially."""
+        tree = build_classifier(noisy_data).tree
+        pruned, report = mdl_prune(tree)
+        assert pruned.n_nodes < tree.n_nodes
+
+    def test_pruning_helps_generalization(self):
+        data = generate_dataset(
+            DatasetSpec(function=2, n_attributes=9, n_records=4000,
+                        seed=6, perturbation=0.1)
+        )
+        train, test = data.split(0.7, seed=0)
+        tree = build_classifier(train).tree
+        pruned, _ = mdl_prune(tree)
+        # Pruning must not hurt held-out accuracy materially; usually helps.
+        assert accuracy(pruned, test) >= accuracy(tree, test) - 0.01
+
+    def test_single_leaf_unchanged(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0, 2.0]),
+             "car": np.array([0, 1], dtype=np.int64)},
+            np.array([0, 0], dtype=np.int32),
+        )
+        tree = build_classifier(pure).tree
+        pruned, report = mdl_prune(tree)
+        assert pruned.n_nodes == 1
+        assert report.pruned_subtrees == 0
+
+    def test_idempotent(self, noisy_data):
+        tree = build_classifier(noisy_data).tree
+        once, _ = mdl_prune(tree)
+        twice, report = mdl_prune(once)
+        assert twice.n_nodes == once.n_nodes
+
+    def test_class_counts_preserved(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        pruned, _ = mdl_prune(tree)
+        np.testing.assert_array_equal(
+            pruned.root.class_counts, tree.root.class_counts
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the tree-to-SQL export."""
+
+import numpy as np
+import pytest
+
+from repro.classify.sql import class_where_clause, tree_to_sql_case
+from repro.core.builder import build_classifier
+from repro.core.tree import DecisionTree, Node
+from repro.data.dataset import Dataset
+
+
+class TestWhereClause:
+    def test_car_insurance_high_risk(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        clause = class_where_clause(tree, "high")
+        assert '"age" <' in clause
+
+    def test_unknown_class_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        with pytest.raises(KeyError):
+            class_where_clause(tree, "medium")
+
+    def test_clause_semantics_match_predictions(self, car_insurance):
+        """Evaluating the WHERE clause in Python selects exactly the rows
+        the tree labels with that class."""
+        tree = build_classifier(car_insurance).tree
+        clause = class_where_clause(tree, "high")
+        import re
+
+        pyexpr = (
+            clause.replace('"', "")
+            .replace(" AND ", " and ")
+            .replace("\n   OR ", " or ")
+            .replace(" IN ", " in ")
+            .replace("NOT ", "not ")
+        )
+        # Make single-member SQL IN-lists valid Python tuples: (1) -> (1,).
+        pyexpr = re.sub(r"in \(([^)]*)\)", r"in (\1,)", pyexpr)
+        from repro.classify.predict import predict
+
+        predicted = predict(tree, car_insurance)
+        for tid in range(car_insurance.n_records):
+            env = {
+                k: (int(v) if k == "car_type" else float(v))
+                for k, v in car_insurance.tuple_at(tid).items()
+            }
+            env = {k: v for k, v in env.items()}
+            # `x in (1, 2)` needs tuples; our SQL renders (1, 2) already.
+            selected = eval(pyexpr, {"__builtins__": {}}, env)  # noqa: S307
+            assert selected == (predicted[tid] == 0)
+
+    def test_root_leaf_tree(self, tiny_schema):
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0]), "car": np.array([0], dtype=np.int64)},
+            np.array([1], dtype=np.int32),
+        )
+        tree = build_classifier(pure).tree
+        assert class_where_clause(tree, "no") == "TRUE"
+        assert class_where_clause(tree, "yes") == "FALSE"
+
+
+class TestCaseExport:
+    def test_structure(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        sql = tree_to_sql_case(tree, table="policies")
+        assert sql.startswith("SELECT *,")
+        assert 'FROM "policies";' in sql
+        assert sql.count("CASE WHEN") == sum(
+            1 for n in tree.iter_nodes() if not n.is_leaf
+        )
+        assert "'high'" in sql and "'low'" in sql
+
+    def test_identifier_quoting(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        sql = tree_to_sql_case(tree, table='weird"name')
+        assert '"weird""name"' in sql
+
+    def test_leaf_only_tree(self, tiny_schema):
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0]), "car": np.array([0], dtype=np.int64)},
+            np.array([0], dtype=np.int32),
+        )
+        tree = build_classifier(pure).tree
+        sql = tree_to_sql_case(tree)
+        assert "CASE" not in sql
+        assert "'yes'" in sql

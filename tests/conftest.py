@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic datasets and machines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.smp.machine import machine_a, machine_b
+
+
+@pytest.fixture(scope="session")
+def small_f2():
+    """A small simple-function dataset (fast, small tree)."""
+    return generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=600, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_f7():
+    """A small complex-function dataset (deeper, bushier tree)."""
+    return generate_dataset(
+        DatasetSpec(function=7, n_attributes=9, n_records=600, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_f2():
+    return generate_dataset(
+        DatasetSpec(function=2, n_attributes=12, n_records=3000, seed=11)
+    )
+
+
+@pytest.fixture
+def tiny_schema():
+    return Schema(
+        [
+            Attribute("age", AttributeKind.CONTINUOUS),
+            Attribute("car", AttributeKind.CATEGORICAL, 3),
+        ],
+        class_names=("yes", "no"),
+    )
+
+
+@pytest.fixture
+def car_insurance():
+    """The paper's Figure 1 training set (six tuples, two attributes)."""
+    from repro.data.dataset import Dataset
+
+    schema = Schema(
+        [
+            Attribute("age", AttributeKind.CONTINUOUS),
+            Attribute("car_type", AttributeKind.CATEGORICAL, 3),
+        ],
+        class_names=("high", "low"),
+    )
+    # car_type codes: 0 = family, 1 = sports, 2 = truck.
+    columns = {
+        "age": np.array([23.0, 17.0, 43.0, 68.0, 32.0, 20.0]),
+        "car_type": np.array([0, 1, 1, 0, 2, 0], dtype=np.int64),
+    }
+    labels = np.array([0, 0, 0, 1, 1, 0], dtype=np.int32)
+    return Dataset(schema, columns, labels, name="car-insurance")
+
+
+@pytest.fixture
+def mach_a():
+    return machine_a(4)
+
+
+@pytest.fixture
+def mach_b():
+    return machine_b(8)

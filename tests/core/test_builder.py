@@ -1,0 +1,108 @@
+"""Unit tests for the public build_classifier entry point."""
+
+import math
+
+import pytest
+
+from repro.core.builder import ALGORITHMS, build_classifier
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_a, machine_b
+from repro.storage.backends import DiskBackend, MemoryBackend
+
+
+class TestAPI:
+    def test_algorithm_registry(self):
+        assert set(ALGORITHMS) == {
+            "serial", "basic", "fwk", "mwk", "subtree", "recordpar",
+        }
+
+    def test_unknown_algorithm(self, small_f2):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_classifier(small_f2, algorithm="quantum")
+
+    def test_unknown_runtime(self, small_f2):
+        with pytest.raises(ValueError, match="runtime"):
+            build_classifier(small_f2, runtime="gpu")
+
+    def test_empty_dataset_rejected(self, tiny_schema):
+        import numpy as np
+
+        from repro.data.dataset import Dataset
+
+        empty = Dataset(
+            tiny_schema,
+            {"age": np.array([]), "car": np.array([], dtype=np.int64)},
+            np.array([], dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="empty"):
+            build_classifier(empty)
+
+    def test_serial_forces_one_proc(self, small_f2):
+        result = build_classifier(small_f2, algorithm="serial", n_procs=8)
+        assert result.n_procs == 1
+
+    def test_default_machine(self, small_f2):
+        result = build_classifier(small_f2, algorithm="mwk", n_procs=2)
+        assert result.machine.name == "machine-b"
+        assert result.n_procs == 2
+
+
+class TestTimings:
+    def test_breakdown_keys(self, small_f2):
+        result = build_classifier(small_f2, algorithm="serial")
+        assert set(result.timings) == {"setup", "sort", "build", "total"}
+        assert result.total_time == pytest.approx(
+            result.timings["setup"]
+            + result.timings["sort"]
+            + result.timings["build"]
+        )
+
+    def test_setup_sort_independent_of_procs(self, small_f2):
+        """Setup and sort are serial phases (paper §4.1)."""
+        r1 = build_classifier(small_f2, algorithm="mwk",
+                              machine=machine_b(1), n_procs=1)
+        r4 = build_classifier(small_f2, algorithm="mwk",
+                              machine=machine_b(4), n_procs=4)
+        assert r1.timings["setup"] == pytest.approx(r4.timings["setup"])
+        assert r1.timings["sort"] == pytest.approx(r4.timings["sort"])
+
+    def test_stats_present_for_virtual(self, small_f2):
+        result = build_classifier(small_f2, algorithm="mwk", n_procs=2)
+        assert result.stats is not None
+        assert len(result.stats.busy) == 2
+
+    def test_stats_absent_for_threads(self, small_f2):
+        result = build_classifier(
+            small_f2, algorithm="mwk", n_procs=2, runtime="threads"
+        )
+        assert result.stats is None
+
+    def test_machine_a_slower_than_machine_b(self, small_f7):
+        """Out-of-core I/O makes the disk configuration slower."""
+        a = build_classifier(small_f7, algorithm="serial",
+                             machine=machine_a(1))
+        b = build_classifier(small_f7, algorithm="serial",
+                             machine=machine_b(1))
+        assert a.build_time > b.build_time
+
+
+class TestBackends:
+    def test_disk_backend_end_to_end(self, small_f2, tmp_path):
+        """A fully disk-resident build produces the reference tree."""
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        backend = DiskBackend(str(tmp_path / "lists.pg"), buffer_capacity=32)
+        result = build_classifier(
+            small_f2, algorithm="mwk", n_procs=2, backend=backend
+        )
+        assert result.tree.signature() == reference.signature()
+        backend.close()
+
+    def test_disk_backend_actually_touches_disk(self, small_f2, tmp_path):
+        backend = DiskBackend(str(tmp_path / "lists.pg"), buffer_capacity=4)
+        build_classifier(small_f2, algorithm="serial", backend=backend)
+        assert backend.buffer.stats.bytes_written > 0
+        backend.close()
+
+    def test_dataset_name_propagated(self, small_f2):
+        result = build_classifier(small_f2)
+        assert result.dataset_name == small_f2.name

@@ -1,0 +1,66 @@
+"""Builder edge cases added after the main suites."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_b
+
+
+class TestBuilderEdges:
+    def test_parallel_setup_with_threads_runtime(self, small_f2):
+        """parallel_setup only applies to the virtual runtime; with real
+        threads it falls back to the serial setup and still works."""
+        result = build_classifier(
+            small_f2,
+            algorithm="mwk",
+            n_procs=2,
+            runtime="threads",
+            parallel_setup=True,
+        )
+        assert result.tree.root is not None
+
+    def test_two_record_dataset(self, tiny_schema):
+        import numpy as np
+
+        from repro.data.dataset import Dataset
+
+        data = Dataset(
+            tiny_schema,
+            {
+                "age": np.array([1.0, 2.0]),
+                "car": np.array([0, 1], dtype=np.int64),
+            },
+            np.array([0, 1], dtype=np.int32),
+        )
+        tree = build_classifier(data).tree
+        assert not tree.root.is_leaf  # a perfect 1-vs-1 split exists
+        assert tree.root.left.is_leaf and tree.root.right.is_leaf
+
+    def test_more_processors_than_attributes(self, small_f2):
+        """P > d: the dynamic scheduler leaves processors idle but the
+        build must stay correct."""
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        result = build_classifier(
+            small_f2, algorithm="basic", machine=machine_b(16), n_procs=16
+        )
+        assert result.tree.signature() == reference.signature()
+
+    def test_window_larger_than_any_level(self, small_f2):
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        result = build_classifier(
+            small_f2,
+            algorithm="mwk",
+            n_procs=4,
+            params=BuildParams(window=1000),
+        )
+        assert result.tree.signature() == reference.signature()
+
+    def test_min_gini_improvement_high_stops_early(self, small_f7):
+        strict = build_classifier(
+            small_f7,
+            algorithm="serial",
+            params=BuildParams(min_gini_improvement=0.2),
+        ).tree
+        default = build_classifier(small_f7, algorithm="serial").tree
+        assert strict.n_nodes < default.n_nodes

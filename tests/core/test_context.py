@@ -1,0 +1,195 @@
+"""Unit tests for the E/W/S kernels and build context."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import BuildContext, write_root_segments
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.storage.backends import MemoryBackend
+
+
+def make_ctx(dataset, params=None, n_procs=1):
+    rt = VirtualSMP(machine_b(n_procs), n_procs)
+    ctx = BuildContext(
+        dataset, rt, MemoryBackend(), params or BuildParams()
+    )
+    return ctx, rt
+
+
+def run_serial_level(ctx, rt, body):
+    """Run `body()` on a single virtual processor."""
+    rt.run(lambda pid: body())
+
+
+class TestSetupPhase:
+    def test_root_segments_written(self, car_insurance):
+        ctx, _ = make_ctx(car_insurance)
+        timings = write_root_segments(ctx)
+        assert timings["setup"] > 0 and timings["sort"] > 0
+        for attr_index in range(ctx.n_attrs):
+            key = ctx.segment_key(attr_index, 0)
+            assert ctx.backend.exists(key)
+
+    def test_continuous_root_segment_sorted(self, car_insurance):
+        ctx, _ = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        age = ctx.backend.read(ctx.segment_key(0, 0))
+        assert np.all(np.diff(age["value"]) >= 0)
+
+
+class TestEvaluate:
+    def test_car_insurance_winner_is_age(self, car_insurance):
+        """The paper's Figure 1/2 example splits the root on Age < 27.5."""
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            choice = ctx.choose_winner(task)
+            assert choice is not None
+            attr_index, cand = choice
+            assert ctx.schema.attributes[attr_index].name == "age"
+
+        run_serial_level(ctx, rt, body)
+
+    def test_candidates_filled(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+
+        run_serial_level(ctx, rt, body)
+        assert all(c is not None for c in task.candidates)
+
+
+class TestWinnerPhase:
+    def test_children_partition_counts(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+
+        run_serial_level(ctx, rt, body)
+        node = task.node
+        assert not node.is_leaf
+        total = node.left.class_counts + node.right.class_counts
+        np.testing.assert_array_equal(total, node.class_counts)
+        assert task.w_done
+
+    def test_pure_node_becomes_leaf(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        pure = Dataset(
+            tiny_schema,
+            {
+                "age": np.array([1.0, 2.0]),
+                "car": np.array([0, 1], dtype=np.int64),
+            },
+            np.array([0, 0], dtype=np.int32),
+        )
+        ctx, _ = make_ctx(pure)
+        assert ctx.make_root_task() is None
+        tree = ctx.finish()
+        assert tree.root.is_leaf
+
+    def test_depth_limit_prefinalizes_children(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance, BuildParams(max_depth=1))
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+
+        run_serial_level(ctx, rt, body)
+        assert task.valid_children == []  # both children at depth limit
+        assert task.node.left.is_leaf and task.node.right.is_leaf
+
+
+class TestSplitPhase:
+    def test_segments_move_to_children(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+            for a in range(ctx.n_attrs):
+                ctx.split_attribute(task, a)
+
+        run_serial_level(ctx, rt, body)
+        node = task.node
+        for a in range(ctx.n_attrs):
+            assert not ctx.backend.exists(ctx.segment_key(a, node.node_id))
+            for child in task.valid_children:
+                seg = ctx.backend.read(ctx.segment_key(a, child.node_id))
+                assert len(seg) == child.n_records
+
+    def test_split_preserves_sort_order(self, small_f2):
+        ctx, rt = make_ctx(small_f2)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+            for a in range(ctx.n_attrs):
+                ctx.split_attribute(task, a)
+
+        run_serial_level(ctx, rt, body)
+        for a, attr in enumerate(ctx.schema.attributes):
+            if not attr.is_continuous:
+                continue
+            for child in task.valid_children:
+                seg = ctx.backend.read(ctx.segment_key(a, child.node_id))
+                assert np.all(np.diff(seg["value"]) >= 0)
+
+
+class TestFrontier:
+    def test_next_frontier_relabels(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+
+        run_serial_level(ctx, rt, body)
+        frontier = ctx.next_frontier([task])
+        assert [t.slot for t in frontier] == list(range(len(frontier)))
+        assert all(t.level == 1 for t in frontier)
+
+    def test_empty_frontier(self, car_insurance):
+        ctx, _ = make_ctx(car_insurance)
+        assert ctx.next_frontier([]) == []
+
+    def test_node_ids_heap_numbered(self, car_insurance):
+        ctx, rt = make_ctx(car_insurance)
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body():
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+
+        run_serial_level(ctx, rt, body)
+        assert task.node.left.node_id == 1
+        assert task.node.right.node_id == 2

@@ -1,0 +1,83 @@
+"""Tests for the depth-first growth strawman."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.context import BuildContext, write_root_segments
+from repro.core.params import BuildParams
+from repro.core.serial import build_serial, build_serial_depth_first
+from repro.smp.machine import machine_a, machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.storage.backends import MemoryBackend
+
+
+def build_df(dataset, machine):
+    rt = VirtualSMP(machine, 1)
+    ctx = BuildContext(dataset, rt, MemoryBackend(), BuildParams())
+    write_root_segments(ctx)
+    tree = build_serial_depth_first(ctx)
+    return tree, rt
+
+
+class TestDepthFirst:
+    def test_same_tree_as_breadth_first(self, small_f7):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        tree, _ = build_df(small_f7, machine_b(1))
+        assert tree.signature() == reference.signature()
+
+    def test_same_tree_f2(self, small_f2):
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        tree, _ = build_df(small_f2, machine_b(1))
+        assert tree.signature() == reference.signature()
+
+    def test_requires_single_processor(self, small_f2):
+        rt = VirtualSMP(machine_b(2), 2)
+        ctx = BuildContext(small_f2, rt, MemoryBackend(), BuildParams())
+        with pytest.raises(ValueError, match="1-processor"):
+            build_serial_depth_first(ctx)
+
+    def test_more_io_time_on_disk_machine(self, small_f7):
+        """Depth-first destroys the attribute-major sequential sweeps;
+        on the disk machine it pays more seek time."""
+        bf = build_classifier(
+            small_f7, algorithm="serial", machine=machine_a(1)
+        )
+        _, rt_df = build_df(small_f7, machine_a(1))
+        assert sum(rt_df.stats.io_time) >= sum(bf.stats.io_time) * 0.95
+
+    def test_segments_cleaned_up(self, small_f2):
+        rt = VirtualSMP(machine_b(1), 1)
+        backend = MemoryBackend()
+        ctx = BuildContext(small_f2, rt, backend, BuildParams())
+        write_root_segments(ctx)
+        build_serial_depth_first(ctx)
+        assert backend.keys() == []
+
+
+class TestNonFiniteValidation:
+    def test_nan_rejected(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        with pytest.raises(ValueError, match="non-finite"):
+            Dataset(
+                tiny_schema,
+                {
+                    "age": np.array([1.0, np.nan]),
+                    "car": np.array([0, 1], dtype=np.int64),
+                },
+                np.array([0, 1], dtype=np.int32),
+            )
+
+    def test_inf_rejected(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        with pytest.raises(ValueError, match="non-finite"):
+            Dataset(
+                tiny_schema,
+                {
+                    "age": np.array([1.0, np.inf]),
+                    "car": np.array([0, 1], dtype=np.int64),
+                },
+                np.array([0, 1], dtype=np.int32),
+            )

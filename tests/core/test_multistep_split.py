@@ -1,0 +1,83 @@
+"""Tests for multi-step splitting under a probe memory budget (§2.3)."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_a, machine_b
+
+
+class TestMultiStepSplit:
+    def test_same_tree(self, small_f7):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        limited = build_classifier(
+            small_f7,
+            algorithm="serial",
+            params=BuildParams(probe_memory_entries=50),
+        ).tree
+        assert limited.signature() == reference.signature()
+
+    def test_costs_more_time(self, small_f7):
+        unlimited = build_classifier(
+            small_f7, algorithm="serial", machine=machine_a(1)
+        ).build_time
+        limited = build_classifier(
+            small_f7,
+            algorithm="serial",
+            machine=machine_a(1),
+            params=BuildParams(probe_memory_entries=50),
+        ).build_time
+        assert limited > unlimited * 1.2
+
+    def test_large_budget_is_free(self, small_f7):
+        unlimited = build_classifier(
+            small_f7, algorithm="serial", machine=machine_a(1)
+        ).build_time
+        roomy = build_classifier(
+            small_f7,
+            algorithm="serial",
+            machine=machine_a(1),
+            params=BuildParams(probe_memory_entries=10**9),
+        ).build_time
+        assert roomy == pytest.approx(unlimited)
+
+    def test_parallel_schemes_respect_budget(self, small_f7):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        for algorithm in ("basic", "mwk", "subtree"):
+            result = build_classifier(
+                small_f7,
+                algorithm=algorithm,
+                machine=machine_b(3),
+                n_procs=3,
+                params=BuildParams(probe_memory_entries=40),
+            )
+            assert result.tree.signature() == reference.signature()
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="probe_memory_entries"):
+            BuildParams(probe_memory_entries=0)
+
+    def test_steps_scale_with_smaller_child(self, small_f7):
+        """The step count follows the smaller child (SPRINT keeps only
+        the smaller child's tids)."""
+        from repro.core.context import BuildContext, write_root_segments
+        from repro.smp.runtime import VirtualSMP
+        from repro.storage.backends import MemoryBackend
+
+        rt = VirtualSMP(machine_b(1), 1)
+        ctx = BuildContext(
+            small_f7, rt, MemoryBackend(),
+            BuildParams(probe_memory_entries=10),
+        )
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+
+        def body(pid):
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+
+        rt.run(body)
+        node = task.node
+        smaller = min(node.left.n_records, node.right.n_records)
+        assert task.split_steps == -(-smaller // 10)

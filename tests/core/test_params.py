@@ -1,0 +1,39 @@
+"""Unit tests for build parameters."""
+
+import pytest
+
+from repro.core.params import BuildParams
+
+
+class TestBuildParams:
+    def test_defaults_match_paper(self):
+        p = BuildParams()
+        assert p.window == 4  # "a window size of 4 works well" (§4.2)
+        assert p.probe == "bit"  # BASIC's choice (§3.2.1)
+
+    def test_min_split_records_validated(self):
+        with pytest.raises(ValueError, match="min_split_records"):
+            BuildParams(min_split_records=1)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            BuildParams(window=0)
+
+    def test_probe_validated(self):
+        with pytest.raises(ValueError, match="probe"):
+            BuildParams(probe="bloom")
+
+    def test_max_exhaustive_validated(self):
+        with pytest.raises(ValueError, match="max_exhaustive"):
+            BuildParams(max_exhaustive_subset=0)
+
+    def test_depth_limit_disabled(self):
+        assert BuildParams(max_depth=0).depth_limit > 1_000_000
+        assert BuildParams(max_depth=-1).depth_limit > 1_000_000
+
+    def test_depth_limit_enabled(self):
+        assert BuildParams(max_depth=5).depth_limit == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BuildParams().window = 8

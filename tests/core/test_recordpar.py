@@ -1,0 +1,127 @@
+"""Scheme-specific tests for record data parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.recordpar import chunk_bounds
+from repro.smp.machine import machine_b
+from repro.sprint.gini import (
+    best_continuous_split,
+    best_continuous_split_chunk,
+)
+
+
+class TestChunkBounds:
+    def test_even_division(self):
+        bounds = [chunk_bounds(12, p, 4) for p in range(4)]
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_spread_to_low_pids(self):
+        bounds = [chunk_bounds(10, p, 4) for p in range(4)]
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_partition_is_exact(self):
+        for n in (0, 1, 5, 17, 100):
+            for n_procs in (1, 2, 3, 7):
+                ranges = [chunk_bounds(n, p, n_procs) for p in range(n_procs)]
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == n
+                for (_lo1, hi), (lo, _hi2) in zip(ranges, ranges[1:]):
+                    assert hi == lo
+
+    def test_more_procs_than_records(self):
+        bounds = [chunk_bounds(2, p, 4) for p in range(4)]
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+class TestChunkedEvaluation:
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 5])
+    def test_chunked_matches_global(self, n_procs):
+        """Reducing per-chunk bests reproduces the global best split."""
+        rng = np.random.default_rng(7)
+        n = 97
+        values = np.sort(rng.integers(0, 25, n).astype(np.float64))
+        classes = rng.integers(0, 2, n).astype(np.int32)
+        totals = np.bincount(classes, minlength=2)
+
+        reference = best_continuous_split(values, classes, 2)
+
+        best = None
+        for pid in range(n_procs):
+            lo, hi = chunk_bounds(n, pid, n_procs)
+            chunk_v = values[lo:hi]
+            chunk_c = classes[lo:hi]
+            next_value = float(values[hi]) if hi < n else None
+            prefix = np.bincount(classes[:lo], minlength=2)
+            entry = best_continuous_split_chunk(
+                chunk_v, chunk_c, next_value, prefix, totals, n
+            )
+            if entry is None:
+                continue
+            if best is None or (entry[0], entry[1]) < (best[0], best[1]):
+                best = entry
+        assert (best is None) == (reference is None)
+        if reference is not None:
+            gini_value, _boundary, threshold, n_left = best
+            assert gini_value == pytest.approx(reference.weighted_gini)
+            assert threshold == pytest.approx(reference.threshold)
+            assert n_left == reference.n_left
+
+    def test_empty_chunk(self):
+        out = best_continuous_split_chunk(
+            np.array([]), np.array([], dtype=np.int32), 1.0,
+            np.zeros(2, dtype=np.int64), np.array([3, 3]), 6,
+        )
+        assert out is None
+
+    def test_constant_chunk_without_boundary(self):
+        out = best_continuous_split_chunk(
+            np.array([2.0, 2.0]), np.array([0, 1], dtype=np.int32), 2.0,
+            np.zeros(2, dtype=np.int64), np.array([2, 2]), 4,
+        )
+        assert out is None  # next chunk starts with the same value
+
+
+class TestRecordParScheme:
+    @pytest.mark.parametrize("n_procs", [1, 2, 4])
+    def test_tree_equality(self, small_f2, n_procs):
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        result = build_classifier(
+            small_f2, algorithm="recordpar",
+            machine=machine_b(n_procs), n_procs=n_procs,
+        )
+        assert result.tree.signature() == reference.signature()
+
+    def test_tree_equality_complex(self, small_f7):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        result = build_classifier(
+            small_f7, algorithm="recordpar", machine=machine_b(3), n_procs=3
+        )
+        assert result.tree.signature() == reference.signature()
+
+    def test_more_synchronization_than_mwk(self, small_f7):
+        """The paper's claim: record parallelism over-synchronizes."""
+        rp = build_classifier(
+            small_f7, algorithm="recordpar", machine=machine_b(4), n_procs=4
+        )
+        mwk = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(4), n_procs=4
+        )
+        assert sum(rp.stats.barrier_wait) > sum(mwk.stats.barrier_wait)
+
+    def test_threads_runtime(self, small_f2):
+        reference = build_classifier(small_f2, algorithm="serial").tree
+        result = build_classifier(
+            small_f2, algorithm="recordpar", n_procs=3, runtime="threads"
+        )
+        assert result.tree.signature() == reference.signature()
+
+    def test_segments_cleaned_up(self, small_f2):
+        from repro.storage.backends import MemoryBackend
+
+        backend = MemoryBackend()
+        build_classifier(
+            small_f2, algorithm="recordpar", n_procs=2, backend=backend
+        )
+        assert backend.keys() == []

@@ -1,0 +1,100 @@
+"""Tests for the Figure 5 relabeling scheme vs the simple scheme."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.fwk import slot_blocks
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_b
+
+
+class TestSlotAssignment:
+    def _frontier_slots(self, dataset, relabel):
+        """Build one level by hand and report the next frontier's slots."""
+        from repro.core.context import BuildContext, write_root_segments
+        from repro.smp.runtime import VirtualSMP
+        from repro.storage.backends import MemoryBackend
+
+        rt = VirtualSMP(machine_b(1), 1)
+        ctx = BuildContext(
+            dataset, rt, MemoryBackend(),
+            BuildParams(relabel=relabel, max_depth=2),
+        )
+        write_root_segments(ctx)
+        task = ctx.make_root_task()
+        slots = {}
+
+        def body(pid):
+            for a in range(ctx.n_attrs):
+                ctx.evaluate_attribute(task, a)
+            ctx.winner_phase(task)
+            for a in range(ctx.n_attrs):
+                ctx.split_attribute(task, a)
+            frontier = ctx.next_frontier([task])
+            slots["value"] = [t.slot for t in frontier]
+
+        rt.run(body)
+        return slots["value"]
+
+    def test_relabel_slots_consecutive(self, small_f7):
+        slots = self._frontier_slots(small_f7, relabel=True)
+        assert slots == list(range(len(slots)))
+
+    def test_simple_scheme_may_leave_holes(self, small_f2):
+        """Raw positions are used; they are a subsequence of 0..2n-1."""
+        slots = self._frontier_slots(small_f2, relabel=False)
+        assert slots == sorted(slots)
+        assert all(0 <= s < 2 for s in slots)  # root has two children
+
+
+class TestSlotBlocks:
+    class _T:
+        def __init__(self, slot):
+            self.slot = slot
+
+    def test_consecutive_slots(self):
+        tasks = [self._T(s) for s in range(6)]
+        assert slot_blocks(tasks, 3) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_gappy_slots_make_ragged_blocks(self):
+        # Slots 0, 2, 5, 6: K=2 blocks are {0,2->block0? no: 0//2=0,
+        # 2//2=1, 5//2=2, 6//2=3} -> four singleton blocks.
+        tasks = [self._T(s) for s in (0, 2, 5, 6)]
+        blocks = slot_blocks(tasks, 2)
+        assert blocks == [[0], [1], [2], [3]]
+
+    def test_empty(self):
+        assert slot_blocks([], 4) == []
+
+
+class TestTreesUnchanged:
+    @pytest.mark.parametrize("algorithm", ["fwk", "mwk"])
+    def test_simple_scheme_builds_same_tree(self, small_f7, algorithm):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        result = build_classifier(
+            small_f7,
+            algorithm=algorithm,
+            machine=machine_b(4),
+            n_procs=4,
+            params=BuildParams(relabel=False),
+        )
+        assert result.tree.signature() == reference.signature()
+
+
+class TestPerformanceClaim:
+    def test_relabeling_never_slower_fwk(self, small_f7):
+        """Figure 5's point: holes in the schedule cost FWK overlap."""
+        relabeled = build_classifier(
+            small_f7, algorithm="fwk", machine=machine_b(4), n_procs=4,
+            params=BuildParams(relabel=True),
+        )
+        simple = build_classifier(
+            small_f7, algorithm="fwk", machine=machine_b(4), n_procs=4,
+            params=BuildParams(relabel=False),
+        )
+        assert relabeled.build_time <= simple.build_time * 1.02
+        # The simple scheme runs more, smaller blocks -> more barriers.
+        assert (
+            sum(relabeled.stats.barrier_wait)
+            <= sum(simple.stats.barrier_wait) * 1.05
+        )

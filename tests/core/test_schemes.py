@@ -1,0 +1,152 @@
+"""Cross-scheme integration: every scheme builds the identical tree.
+
+This is the central correctness property of the paper's design: BASIC,
+FWK, MWK and SUBTREE are *schedules* of the same E/W/S work, so the tree
+must be bit-identical to serial SPRINT's for every processor count,
+window size and probe structure.
+"""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_a, machine_b
+
+ALGOS = ("basic", "fwk", "mwk", "subtree")
+
+
+@pytest.fixture(scope="module")
+def reference_f2(small_f2):
+    return build_classifier(small_f2, algorithm="serial").tree.signature()
+
+
+@pytest.fixture(scope="module")
+def reference_f7(small_f7):
+    return build_classifier(small_f7, algorithm="serial").tree.signature()
+
+
+# conftest fixtures are function-scoped by default; redefine at module scope.
+@pytest.fixture(scope="module")
+def small_f2():
+    from repro.data.generator import DatasetSpec, generate_dataset
+
+    return generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=600, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def small_f7():
+    from repro.data.generator import DatasetSpec, generate_dataset
+
+    return generate_dataset(
+        DatasetSpec(function=7, n_attributes=9, n_records=600, seed=3)
+    )
+
+
+class TestTreeEquality:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4])
+    def test_f2_equal_trees(self, small_f2, reference_f2, algorithm, n_procs):
+        result = build_classifier(
+            small_f2, algorithm=algorithm,
+            machine=machine_b(n_procs), n_procs=n_procs,
+        )
+        assert result.tree.signature() == reference_f2
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_f7_equal_trees(self, small_f7, reference_f7, algorithm):
+        result = build_classifier(
+            small_f7, algorithm=algorithm, machine=machine_b(4), n_procs=4
+        )
+        assert result.tree.signature() == reference_f7
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 8])
+    @pytest.mark.parametrize("algorithm", ["fwk", "mwk"])
+    def test_window_size_does_not_change_tree(
+        self, small_f2, reference_f2, algorithm, window
+    ):
+        result = build_classifier(
+            small_f2,
+            algorithm=algorithm,
+            machine=machine_b(3),
+            n_procs=3,
+            params=BuildParams(window=window),
+        )
+        assert result.tree.signature() == reference_f2
+
+    def test_hash_probe_same_tree(self, small_f2, reference_f2):
+        result = build_classifier(
+            small_f2,
+            algorithm="mwk",
+            machine=machine_b(2),
+            n_procs=2,
+            params=BuildParams(probe="hash"),
+        )
+        assert result.tree.signature() == reference_f2
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_machine_model_does_not_change_tree(
+        self, small_f2, reference_f2, algorithm
+    ):
+        """The cost model only changes timings, never decisions."""
+        result = build_classifier(
+            small_f2, algorithm=algorithm, machine=machine_a(4), n_procs=4
+        )
+        assert result.tree.signature() == reference_f2
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, small_f7):
+        a = build_classifier(small_f7, algorithm="mwk", n_procs=4)
+        b = build_classifier(small_f7, algorithm="mwk", n_procs=4)
+        assert a.tree.signature() == b.tree.signature()
+        assert a.build_time == b.build_time  # virtual time is deterministic
+
+    def test_subtree_deterministic(self, small_f7):
+        a = build_classifier(small_f7, algorithm="subtree", n_procs=4)
+        b = build_classifier(small_f7, algorithm="subtree", n_procs=4)
+        assert a.build_time == b.build_time
+
+
+class TestRealThreads:
+    """The same scheme code under true OS-thread preemption."""
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_threads_build_reference_tree(
+        self, small_f2, reference_f2, algorithm
+    ):
+        result = build_classifier(
+            small_f2, algorithm=algorithm, n_procs=4, runtime="threads"
+        )
+        assert result.tree.signature() == reference_f2
+
+    def test_threads_repeatable(self, small_f7, reference_f7):
+        for _ in range(3):
+            result = build_classifier(
+                small_f7, algorithm="mwk", n_procs=3, runtime="threads"
+            )
+            assert result.tree.signature() == reference_f7
+
+
+class TestTimingSanity:
+    def test_parallel_never_slower_than_half_serial_efficiency(self, small_f7):
+        """4 processors give at least some speedup on a CPU-bound build."""
+        t1 = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(1), n_procs=1
+        ).build_time
+        t4 = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(4), n_procs=4
+        ).build_time
+        assert t4 < t1
+        assert t1 / t4 > 1.5
+
+    def test_mwk_not_slower_than_basic(self, small_f7):
+        """MWK removes BASIC's serial W bottleneck (paper §3.2.3)."""
+        basic = build_classifier(
+            small_f7, algorithm="basic", machine=machine_b(4), n_procs=4
+        ).build_time
+        mwk = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(4), n_procs=4
+        ).build_time
+        assert mwk <= basic * 1.05

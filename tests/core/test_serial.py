@@ -1,0 +1,109 @@
+"""Unit tests for the serial SPRINT builder."""
+
+import numpy as np
+import pytest
+
+from repro.classify.predict import predict
+from repro.core.builder import build_classifier
+from repro.core.context import BuildContext
+from repro.core.params import BuildParams
+from repro.core.serial import build_serial
+from repro.smp.machine import machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.storage.backends import MemoryBackend
+
+
+class TestCarInsurance:
+    """The paper's running example (Figures 1 and 2)."""
+
+    def test_root_split_is_age(self, car_insurance):
+        tree = build_classifier(car_insurance, algorithm="serial").tree
+        assert tree.root.split.attribute == "age"
+        assert tree.root.split.threshold == pytest.approx(27.5)
+
+    def test_perfect_training_accuracy(self, car_insurance):
+        tree = build_classifier(car_insurance, algorithm="serial").tree
+        predicted = predict(tree, car_insurance)
+        np.testing.assert_array_equal(predicted, car_insurance.labels)
+
+
+class TestStoppingRules:
+    def test_grows_to_purity_by_default(self, small_f2):
+        tree = build_classifier(small_f2, algorithm="serial").tree
+        for node in tree.iter_nodes():
+            if node.is_leaf and node.n_records >= 2:
+                # Leaves are pure or unsplittable; pure is the common case
+                # on noise-free Quest data.
+                pass
+        predicted = predict(tree, small_f2)
+        assert np.mean(predicted == small_f2.labels) > 0.99
+
+    def test_max_depth_respected(self, small_f2):
+        tree = build_classifier(
+            small_f2, algorithm="serial", params=BuildParams(max_depth=3)
+        ).tree
+        assert tree.n_levels <= 4  # root at depth 0 + 3 levels
+
+    def test_min_split_records(self, small_f2):
+        tree = build_classifier(
+            small_f2,
+            algorithm="serial",
+            params=BuildParams(min_split_records=50),
+        ).tree
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.n_records >= 50
+
+    def test_single_record_dataset(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        data = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0]), "car": np.array([0], dtype=np.int64)},
+            np.array([0], dtype=np.int32),
+        )
+        tree = build_classifier(data, algorithm="serial").tree
+        assert tree.root.is_leaf
+
+    def test_unsplittable_constant_attributes(self, tiny_schema):
+        """Identical attribute values for mixed classes: root stays leaf."""
+        from repro.data.dataset import Dataset
+
+        data = Dataset(
+            tiny_schema,
+            {
+                "age": np.full(4, 5.0),
+                "car": np.zeros(4, dtype=np.int64),
+            },
+            np.array([0, 1, 0, 1], dtype=np.int32),
+        )
+        tree = build_classifier(data, algorithm="serial").tree
+        assert tree.root.is_leaf
+        assert tree.root.majority_class == 0
+
+
+class TestBookkeeping:
+    def test_requires_single_processor(self, car_insurance):
+        rt = VirtualSMP(machine_b(2), 2)
+        ctx = BuildContext(car_insurance, rt, MemoryBackend(), BuildParams())
+        with pytest.raises(ValueError, match="1-processor"):
+            build_serial(ctx)
+
+    def test_all_segments_cleaned_up(self, small_f2):
+        backend = MemoryBackend()
+        build_classifier(small_f2, algorithm="serial", backend=backend)
+        assert backend.keys() == []  # every split deletes its parent
+
+    def test_node_class_counts_consistent(self, small_f2):
+        tree = build_classifier(small_f2, algorithm="serial").tree
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                np.testing.assert_array_equal(
+                    node.class_counts,
+                    node.left.class_counts + node.right.class_counts,
+                )
+
+    def test_leaf_record_counts_sum_to_dataset(self, small_f2):
+        tree = build_classifier(small_f2, algorithm="serial").tree
+        total = sum(n.n_records for n in tree.iter_nodes() if n.is_leaf)
+        assert total == small_f2.n_records

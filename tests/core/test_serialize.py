@@ -1,0 +1,91 @@
+"""Unit tests for tree persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.classify.predict import predict
+from repro.core.builder import build_classifier
+from repro.core.serialize import (
+    load_tree,
+    save_tree,
+    schema_from_dict,
+    schema_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip(self, tiny_schema):
+        restored = schema_from_dict(schema_to_dict(tiny_schema))
+        assert restored.attribute_names == tiny_schema.attribute_names
+        assert restored.class_names == tiny_schema.class_names
+        assert restored.attribute("car").cardinality == 3
+
+    def test_json_serializable(self, tiny_schema):
+        json.dumps(schema_to_dict(tiny_schema))
+
+
+class TestTreeRoundTrip:
+    def test_signature_preserved(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.signature() == tree.signature()
+
+    def test_predictions_preserved(self, small_f7):
+        tree = build_classifier(small_f7).tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(
+            predict(tree, small_f7), predict(restored, small_f7)
+        )
+
+    def test_file_round_trip(self, small_f2, tmp_path):
+        tree = build_classifier(small_f2).tree
+        path = str(tmp_path / "tree.json")
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert restored.signature() == tree.signature()
+
+    def test_file_is_json(self, car_insurance, tmp_path):
+        tree = build_classifier(car_insurance).tree
+        path = str(tmp_path / "tree.json")
+        save_tree(tree, path)
+        with open(path) as f:
+            data = json.load(f)
+        assert data["format"] == "repro-decision-tree"
+        assert "schema" in data and "root" in data
+
+    def test_categorical_subset_survives(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        # The car_type subsplit is categorical: subsets must round-trip
+        # as frozensets.
+        node = restored.root.right
+        assert node.split.subset == frozenset({1})
+
+    def test_leaf_only_tree(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0]), "car": np.array([0], dtype=np.int64)},
+            np.array([0], dtype=np.int32),
+        )
+        tree = build_classifier(pure).tree
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.root.is_leaf
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            tree_from_dict({"format": "pickle", "version": 1})
+
+    def test_wrong_version_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        data = tree_to_dict(tree)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            tree_from_dict(data)

@@ -1,0 +1,78 @@
+"""Tests for the parallel setup phase (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.smp.machine import machine_a, machine_b
+
+
+class TestParallelSetup:
+    def test_same_tree(self, small_f2):
+        reference = build_classifier(small_f2, algorithm="mwk", n_procs=2)
+        parallel = build_classifier(
+            small_f2, algorithm="mwk", n_procs=2, parallel_setup=True
+        )
+        assert parallel.tree.signature() == reference.tree.signature()
+
+    def test_setup_time_shrinks(self, medium_f2):
+        serial = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_b(4), n_procs=4
+        )
+        parallel = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_b(4), n_procs=4,
+            parallel_setup=True,
+        )
+        serial_phase = serial.timings["setup"] + serial.timings["sort"]
+        parallel_phase = parallel.timings["setup"] + parallel.timings["sort"]
+        assert parallel_phase < serial_phase / 1.5
+
+    def test_build_time_unchanged(self, medium_f2):
+        serial = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_b(4), n_procs=4
+        )
+        parallel = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_b(4), n_procs=4,
+            parallel_setup=True,
+        )
+        assert parallel.timings["build"] == pytest.approx(
+            serial.timings["build"]
+        )
+
+    def test_total_speedup_improves(self, medium_f2):
+        """The paper's §4.2 prediction: parallel setup lifts total-time
+        speedup on simple datasets."""
+        def total_speedup(parallel_setup):
+            t1 = build_classifier(
+                medium_f2, algorithm="mwk", machine=machine_b(1), n_procs=1,
+                parallel_setup=parallel_setup,
+            ).total_time
+            t4 = build_classifier(
+                medium_f2, algorithm="mwk", machine=machine_b(4), n_procs=4,
+                parallel_setup=parallel_setup,
+            ).total_time
+            return t1 / t4
+
+        assert total_speedup(True) > total_speedup(False)
+
+    def test_disk_contention_still_charged(self, medium_f2):
+        """On machine A the parallel setup's writes still queue on the
+        shared disk, so the phase cannot speed up past the disk."""
+        serial = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_a(4), n_procs=4
+        )
+        parallel = build_classifier(
+            medium_f2, algorithm="mwk", machine=machine_a(4), n_procs=4,
+            parallel_setup=True,
+        )
+        s = serial.timings["setup"] + serial.timings["sort"]
+        p = parallel.timings["setup"] + parallel.timings["sort"]
+        assert p < s  # faster...
+        assert p > s / 4  # ...but not by the full processor count
+
+    def test_phase_breakdown_remains_positive(self, small_f2):
+        result = build_classifier(
+            small_f2, algorithm="mwk", n_procs=4, parallel_setup=True
+        )
+        assert result.timings["setup"] > 0
+        assert result.timings["sort"] > 0

@@ -1,0 +1,95 @@
+"""Scheme-specific tests for SUBTREE's group machinery."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.context import BuildContext
+from repro.core.params import BuildParams
+from repro.core.subtree import SubtreeScheme
+from repro.smp.machine import machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.storage.backends import MemoryBackend
+
+
+def make_scheme(dataset, n_procs, params=None):
+    rt = VirtualSMP(machine_b(n_procs), n_procs)
+    ctx = BuildContext(dataset, rt, MemoryBackend(), params or BuildParams())
+    from repro.core.context import write_root_segments
+
+    write_root_segments(ctx)
+    return SubtreeScheme(ctx), ctx
+
+
+class TestGroups:
+    def test_initial_group_holds_all_processors(self, small_f2):
+        scheme, _ = make_scheme(small_f2, 4)
+        assert scheme.initial_group.members == [0, 1, 2, 3]
+        assert scheme.live_groups == 1
+
+    def test_more_procs_than_leaves(self, car_insurance):
+        """Six records, tiny tree: groups stay coherent and terminate."""
+        result = build_classifier(
+            car_insurance, algorithm="subtree", n_procs=8
+        )
+        assert result.tree.root.split is not None
+
+    def test_single_processor_group(self, small_f7):
+        result = build_classifier(small_f7, algorithm="subtree", n_procs=1)
+        serial = build_classifier(small_f7, algorithm="serial")
+        assert result.tree.signature() == serial.tree.signature()
+
+    def test_free_queue_drains(self, small_f7):
+        """After the build every processor has left the FREE queue."""
+        scheme, ctx = make_scheme(small_f7, 4)
+        scheme.build()
+        assert scheme.done
+        assert scheme.free_assignment == {}
+        assert scheme.live_groups == 0
+
+    def test_group_ids_unique(self, small_f7):
+        scheme, _ = make_scheme(small_f7, 4)
+        scheme.build()
+        # At least the initial group plus some splits happened.
+        assert scheme._next_group_id >= 2
+
+
+class TestPartition:
+    def test_one_leaf_keeps_group_together(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4)
+        root_task = scheme.initial_group.tasks
+        groups = scheme._partition([0, 1, 2, 3], root_task)
+        assert len(groups) == 1
+        assert groups[0].members == [0, 1, 2, 3]
+
+    def test_single_processor_takes_all_leaves(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4)
+        tasks = scheme.initial_group.tasks * 1
+        fake_tasks = tasks + tasks  # two tasks
+        groups = scheme._partition([2], fake_tasks)
+        assert len(groups) == 1
+        assert groups[0].members == [2]
+        assert len(groups[0].tasks) == 2
+
+    def test_binary_split(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4)
+        t = scheme.initial_group.tasks[0]
+        groups = scheme._partition([0, 1, 2, 3], [t, t, t, t])
+        assert len(groups) == 2
+        assert groups[0].members == [0, 1]
+        assert groups[1].members == [2, 3]
+        assert len(groups[0].tasks) == 2 and len(groups[1].tasks) == 2
+
+    def test_odd_split_sizes(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4)
+        t = scheme.initial_group.tasks[0]
+        groups = scheme._partition([0, 1, 2], [t, t, t])
+        assert [len(g.members) for g in groups] == [2, 1]
+        assert [len(g.tasks) for g in groups] == [2, 1]
+
+
+class TestLayout:
+    def test_groups_have_private_layouts(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 2)
+        t = scheme.initial_group.tasks[0]
+        g1, g2 = scheme._partition([0, 1], [t, t])
+        assert g1.layout.group != g2.layout.group

@@ -1,0 +1,80 @@
+"""Tests for the weighted SUBTREE partition extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.context import BuildContext, LeafTask
+from repro.core.params import BuildParams
+from repro.core.subtree import SubtreeScheme
+from repro.core.tree import Node
+from repro.smp.machine import machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.storage.backends import MemoryBackend
+
+
+def make_scheme(dataset, n_procs, weighted):
+    params = BuildParams(subtree_weighted=weighted)
+    rt = VirtualSMP(machine_b(n_procs), n_procs)
+    ctx = BuildContext(dataset, rt, MemoryBackend(), params)
+    from repro.core.context import write_root_segments
+
+    write_root_segments(ctx)
+    return SubtreeScheme(ctx), ctx
+
+
+def fake_task(ctx, node_id, n_records):
+    node = Node(node_id, 1, np.array([n_records, 0]))
+    return LeafTask(node, slot=0, level=1, n_attrs=ctx.n_attrs)
+
+
+class TestSplitPoint:
+    def test_unweighted_halves_by_count(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4, weighted=False)
+        tasks = [fake_task(ctx, i, 10) for i in range(5)]
+        assert scheme._split_point(tasks) == 3  # ceil(5/2)
+
+    def test_weighted_balances_records(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4, weighted=True)
+        # One huge leaf followed by four small ones: the weighted cut
+        # isolates the huge leaf; the unweighted cut would put three
+        # leaves (including the huge one) in the first half.
+        sizes = [1000, 10, 10, 10, 10]
+        tasks = [fake_task(ctx, i, s) for i, s in enumerate(sizes)]
+        assert scheme._split_point(tasks) == 1
+
+    def test_weighted_balanced_input_splits_evenly(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4, weighted=True)
+        tasks = [fake_task(ctx, i, 10) for i in range(6)]
+        assert scheme._split_point(tasks) == 3
+
+    def test_both_halves_nonempty(self, small_f2):
+        scheme, ctx = make_scheme(small_f2, 4, weighted=True)
+        tasks = [fake_task(ctx, 0, 10_000), fake_task(ctx, 1, 1)]
+        cut = scheme._split_point(tasks)
+        assert 1 <= cut <= 1
+
+
+class TestWeightedBuilds:
+    def test_same_tree(self, small_f7):
+        reference = build_classifier(small_f7, algorithm="serial").tree
+        weighted = build_classifier(
+            small_f7,
+            algorithm="subtree",
+            n_procs=4,
+            params=BuildParams(subtree_weighted=True),
+        )
+        assert weighted.tree.signature() == reference.signature()
+
+    def test_never_much_worse_than_unweighted(self, small_f7):
+        plain = build_classifier(
+            small_f7, algorithm="subtree", machine=machine_b(4), n_procs=4
+        ).build_time
+        weighted = build_classifier(
+            small_f7,
+            algorithm="subtree",
+            machine=machine_b(4),
+            n_procs=4,
+            params=BuildParams(subtree_weighted=True),
+        ).build_time
+        assert weighted <= plain * 1.1

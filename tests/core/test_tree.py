@@ -1,0 +1,126 @@
+"""Unit tests for the decision-tree model."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute("age", AttributeKind.CONTINUOUS),
+            Attribute("car", AttributeKind.CATEGORICAL, 3),
+        ],
+        class_names=("high", "low"),
+    )
+
+
+def leaf(node_id, counts, depth=1):
+    n = Node(node_id, depth, np.array(counts))
+    n.make_leaf()
+    return n
+
+
+@pytest.fixture
+def small_tree(schema):
+    """age < 25 -> high; else car in {1} -> high else low."""
+    root = Node(0, 0, np.array([4, 2]))
+    young = leaf(1, [2, 0])
+    old = Node(2, 1, np.array([2, 2]))
+    sporty = leaf(5, [2, 0], depth=2)
+    other = leaf(6, [0, 2], depth=2)
+    old.set_split(
+        Split("car", 1, subset=frozenset({1})), sporty, other
+    )
+    root.set_split(Split("age", 0, threshold=25.0), young, old)
+    return DecisionTree(schema, root)
+
+
+class TestSplit:
+    def test_exactly_one_test(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Split("x", 0)
+        with pytest.raises(ValueError, match="exactly one"):
+            Split("x", 0, threshold=1.0, subset=frozenset({1}))
+
+    def test_goes_left_continuous(self):
+        s = Split("age", 0, threshold=25.0)
+        assert s.goes_left(20.0)
+        assert not s.goes_left(25.0)  # boundary goes right
+
+    def test_goes_left_categorical(self):
+        s = Split("car", 1, subset=frozenset({0, 2}))
+        assert s.goes_left(0) and s.goes_left(2)
+        assert not s.goes_left(1)
+
+    def test_describe(self):
+        assert Split("age", 0, threshold=25.0).describe() == "age < 25"
+        assert Split("car", 1, subset=frozenset({2, 0})).describe() == (
+            "car in {0, 2}"
+        )
+
+
+class TestNode:
+    def test_leaf_properties(self):
+        n = leaf(1, [3, 1])
+        assert n.is_leaf
+        assert n.majority_class == 0
+        assert n.n_records == 4
+        assert not n.is_pure
+
+    def test_pure(self):
+        assert leaf(1, [0, 5]).is_pure
+        assert leaf(1, [0, 0]).is_pure  # vacuously pure
+
+    def test_route(self, small_tree):
+        root = small_tree.root
+        assert root.route(20.0).node_id == 1
+        assert root.route(30.0).node_id == 2
+
+    def test_route_on_leaf_rejected(self, small_tree):
+        with pytest.raises(ValueError, match="leaf"):
+            small_tree.root.left.route(1.0)
+
+
+class TestDecisionTree:
+    def test_counts(self, small_tree):
+        assert small_tree.n_nodes == 5
+        assert small_tree.n_leaves == 3
+        assert small_tree.n_levels == 3
+
+    def test_levels(self, small_tree):
+        levels = small_tree.levels()
+        assert [len(lv) for lv in levels] == [1, 2, 2]
+
+    def test_max_leaves_per_level(self, small_tree):
+        assert small_tree.max_leaves_per_level == 2
+
+    def test_iter_nodes_breadth_first(self, small_tree):
+        ids = [n.node_id for n in small_tree.iter_nodes()]
+        assert ids == [0, 1, 2, 5, 6]
+
+    def test_signature_equality(self, small_tree, schema):
+        other = DecisionTree(schema, small_tree.root)
+        assert small_tree.signature() == other.signature()
+
+    def test_signature_detects_differences(self, small_tree, schema):
+        root2 = Node(0, 0, np.array([4, 2]))
+        root2.set_split(
+            Split("age", 0, threshold=30.0),  # different threshold
+            leaf(1, [2, 0]),
+            leaf(2, [2, 2]),
+        )
+        assert small_tree.signature() != DecisionTree(schema, root2).signature()
+
+    def test_render_contains_tests_and_classes(self, small_tree):
+        text = small_tree.render()
+        assert "age < 25" in text
+        assert "car in {1}" in text
+        assert "class high" in text and "class low" in text
+
+    def test_render_depth_cutoff(self, small_tree):
+        shallow = small_tree.render(max_depth=0)
+        assert "car in" not in shallow

@@ -1,0 +1,89 @@
+"""Tests for the tree invariant checker."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.tree import DecisionTree, Node, Split
+from repro.core.validate import check_tree
+
+
+class TestValidTrees:
+    @pytest.mark.parametrize(
+        "algorithm", ["serial", "basic", "fwk", "mwk", "subtree", "recordpar"]
+    )
+    def test_built_trees_are_valid(self, small_f7, algorithm):
+        result = build_classifier(small_f7, algorithm=algorithm, n_procs=3)
+        assert check_tree(result.tree) == []
+
+    def test_valid_against_dataset(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        assert check_tree(tree, small_f2) == []
+
+    def test_pruned_tree_valid(self, small_f7):
+        from repro.classify.prune import mdl_prune
+
+        tree = build_classifier(small_f7).tree
+        pruned, _ = mdl_prune(tree)
+        assert check_tree(pruned) == []
+
+    def test_sliq_tree_valid(self, small_f2):
+        from repro.sliq import build_sliq
+
+        assert check_tree(build_sliq(small_f2), small_f2) == []
+
+
+class TestInvalidTrees:
+    def make_tree(self, schema):
+        root = Node(0, 0, np.array([2, 2]))
+        left = Node(1, 1, np.array([2, 0]))
+        left.make_leaf()
+        right = Node(2, 1, np.array([0, 2]))
+        right.make_leaf()
+        root.set_split(Split("age", 0, threshold=5.0), left, right)
+        return DecisionTree(schema, root)
+
+    def test_bad_class_partition(self, tiny_schema):
+        tree = self.make_tree(tiny_schema)
+        tree.root.left.class_counts = np.array([1, 1])
+        assert any("partition" in p for p in check_tree(tree))
+
+    def test_bad_child_ids(self, tiny_schema):
+        tree = self.make_tree(tiny_schema)
+        tree.root.left.node_id = 99
+        assert any("heap-numbered" in p for p in check_tree(tree))
+
+    def test_bad_depth(self, tiny_schema):
+        tree = self.make_tree(tiny_schema)
+        tree.root.right.depth = 5
+        assert any("depth" in p for p in check_tree(tree))
+
+    def test_unknown_attribute(self, tiny_schema):
+        tree = self.make_tree(tiny_schema)
+        object.__setattr__(tree.root.split, "attribute", "ghost")
+        assert any("unknown split attribute" in p for p in check_tree(tree))
+
+    def test_subset_on_continuous(self, tiny_schema):
+        root = Node(0, 0, np.array([2, 2]))
+        left = Node(1, 1, np.array([2, 0]))
+        left.make_leaf()
+        right = Node(2, 1, np.array([0, 2]))
+        right.make_leaf()
+        root.set_split(Split("age", 0, subset=frozenset({1})), left, right)
+        tree = DecisionTree(tiny_schema, root)
+        assert any("subset split on continuous" in p for p in check_tree(tree))
+
+    def test_subset_outside_domain(self, tiny_schema):
+        root = Node(0, 0, np.array([2, 2]))
+        left = Node(1, 1, np.array([2, 0]))
+        left.make_leaf()
+        right = Node(2, 1, np.array([0, 2]))
+        right.make_leaf()
+        root.set_split(Split("car", 1, subset=frozenset({7})), left, right)
+        tree = DecisionTree(tiny_schema, root)
+        assert any("outside attribute domain" in p for p in check_tree(tree))
+
+    def test_dataset_mismatch_detected(self, tiny_schema, car_insurance):
+        tree = self.make_tree(tiny_schema)
+        problems = check_tree(tree, car_insurance)
+        assert problems  # different schema entirely

@@ -1,0 +1,64 @@
+"""Scheme-specific tests for FWK and MWK window machinery."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.fwk import window_blocks
+from repro.core.params import BuildParams
+from repro.smp.machine import machine_b
+
+
+class TestWindowBlocks:
+    def test_exact_multiple(self):
+        assert [list(r) for r in window_blocks(6, 3)] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_ragged_tail(self):
+        assert [list(r) for r in window_blocks(5, 2)] == [[0, 1], [2, 3], [4]]
+
+    def test_window_larger_than_level(self):
+        assert [list(r) for r in window_blocks(2, 8)] == [[0, 1]]
+
+    def test_empty(self):
+        assert window_blocks(0, 4) == []
+
+
+class TestWindowBehaviour:
+    def test_window_one_fwk_equals_basic_tree(self, small_f2):
+        """K=1 degenerates to per-leaf barriers; tree is unchanged."""
+        base = build_classifier(small_f2, algorithm="basic", n_procs=2)
+        fwk = build_classifier(
+            small_f2, algorithm="fwk", n_procs=2, params=BuildParams(window=1)
+        )
+        assert fwk.tree.signature() == base.tree.signature()
+
+    def test_larger_window_fewer_barrier_syncs_fwk(self, small_f7):
+        """Bigger K means fewer per-block barriers in FWK (paper §3.2.2)."""
+        k1 = build_classifier(
+            small_f7, algorithm="fwk", machine=machine_b(4), n_procs=4,
+            params=BuildParams(window=1),
+        )
+        k8 = build_classifier(
+            small_f7, algorithm="fwk", machine=machine_b(4), n_procs=4,
+            params=BuildParams(window=8),
+        )
+        assert sum(k8.stats.barrier_wait) <= sum(k1.stats.barrier_wait)
+
+    def test_mwk_less_barrier_wait_than_basic(self, small_f7):
+        """MWK replaces barriers with per-leaf conditions (paper §3.2.3)."""
+        basic = build_classifier(
+            small_f7, algorithm="basic", machine=machine_b(4), n_procs=4
+        )
+        mwk = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(4), n_procs=4
+        )
+        assert sum(mwk.stats.barrier_wait) < sum(basic.stats.barrier_wait)
+
+    def test_mwk_uses_condition_variables(self, small_f7):
+        mwk = build_classifier(
+            small_f7, algorithm="mwk", machine=machine_b(4), n_procs=4
+        )
+        basic = build_classifier(
+            small_f7, algorithm="basic", machine=machine_b(4), n_procs=4
+        )
+        assert sum(mwk.stats.condvar_wait) >= 0.0
+        assert sum(basic.stats.condvar_wait) == 0.0

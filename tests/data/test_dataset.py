@@ -1,0 +1,97 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+def make(schema, columns, labels):
+    return Dataset(schema, columns, np.asarray(labels, dtype=np.int32))
+
+
+class TestValidation:
+    def test_missing_column(self, tiny_schema):
+        with pytest.raises(ValueError, match="missing"):
+            make(tiny_schema, {"age": np.zeros(2)}, [0, 1])
+
+    def test_extra_column(self, tiny_schema):
+        cols = {
+            "age": np.zeros(2),
+            "car": np.zeros(2, dtype=np.int64),
+            "oops": np.zeros(2),
+        }
+        with pytest.raises(ValueError, match="extra"):
+            make(tiny_schema, cols, [0, 1])
+
+    def test_length_mismatch(self, tiny_schema):
+        cols = {"age": np.zeros(3), "car": np.zeros(2, dtype=np.int64)}
+        with pytest.raises(ValueError, match="rows"):
+            make(tiny_schema, cols, [0, 1])
+
+    def test_label_out_of_range(self, tiny_schema):
+        cols = {"age": np.zeros(2), "car": np.zeros(2, dtype=np.int64)}
+        with pytest.raises(ValueError, match="label"):
+            make(tiny_schema, cols, [0, 2])
+
+    def test_categorical_code_out_of_range(self, tiny_schema):
+        cols = {"age": np.zeros(2), "car": np.array([0, 3], dtype=np.int64)}
+        with pytest.raises(ValueError, match="codes outside"):
+            make(tiny_schema, cols, [0, 1])
+
+    def test_non_1d_column(self, tiny_schema):
+        cols = {
+            "age": np.zeros((2, 1)),
+            "car": np.zeros(2, dtype=np.int64),
+        }
+        with pytest.raises(ValueError, match="1-D"):
+            make(tiny_schema, cols, [0, 1])
+
+
+class TestAccessors:
+    def test_tuple_at(self, car_insurance):
+        t = car_insurance.tuple_at(3)
+        assert t["age"] == 68.0 and t["car_type"] == 0
+
+    def test_iter_tuples(self, car_insurance):
+        tuples = list(car_insurance.iter_tuples())
+        assert len(tuples) == car_insurance.n_records
+        assert tuples[0]["age"] == 23.0
+
+    def test_class_name_of(self, car_insurance):
+        assert car_insurance.class_name_of(0) == "high"
+        assert car_insurance.class_name_of(3) == "low"
+
+    def test_class_histogram(self, car_insurance):
+        np.testing.assert_array_equal(
+            car_insurance.class_histogram(), [4, 2]
+        )
+
+    def test_nbytes_positive(self, car_insurance):
+        assert car_insurance.nbytes > 0
+
+
+class TestTakeAndSplit:
+    def test_take_order(self, car_insurance):
+        sub = car_insurance.take(np.array([3, 0]))
+        assert sub.n_records == 2
+        assert sub.columns["age"][0] == 68.0
+        assert sub.columns["age"][1] == 23.0
+
+    def test_split_partitions(self):
+        data = generate_dataset(DatasetSpec(2, 9, 1000, seed=0))
+        train, test = data.split(0.8, seed=1)
+        assert train.n_records == 800
+        assert test.n_records == 200
+
+    def test_split_deterministic(self):
+        data = generate_dataset(DatasetSpec(2, 9, 500, seed=0))
+        a_train, _ = data.split(0.7, seed=5)
+        b_train, _ = data.split(0.7, seed=5)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)
+
+    def test_split_fraction_validated(self, car_insurance):
+        with pytest.raises(ValueError, match="fraction"):
+            car_insurance.split(1.0)

@@ -1,0 +1,68 @@
+"""Statistical checks on the Quest generator's attribute distributions."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import DatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def big():
+    return generate_dataset(DatasetSpec(1, 12, 30_000, seed=99))
+
+
+class TestRanges:
+    def test_salary(self, big):
+        s = big.columns["salary"]
+        assert s.min() >= 20_000 and s.max() <= 150_000
+
+    def test_age(self, big):
+        a = big.columns["age"]
+        assert a.min() >= 20 and a.max() <= 80
+
+    def test_loan(self, big):
+        loan = big.columns["loan"]
+        assert loan.min() >= 0 and loan.max() <= 500_000
+
+    def test_hyears(self, big):
+        h = big.columns["hyears"]
+        assert h.min() >= 1 and h.max() <= 30
+
+
+class TestMoments:
+    def test_salary_uniform_mean(self, big):
+        assert abs(big.columns["salary"].mean() - 85_000) < 1_500
+
+    def test_age_uniform_mean(self, big):
+        assert abs(big.columns["age"].mean() - 50) < 0.7
+
+    def test_elevel_frequencies(self, big):
+        counts = np.bincount(big.columns["elevel"], minlength=5)
+        expected = len(big.labels) / 5
+        assert np.all(np.abs(counts - expected) < expected * 0.1)
+
+    def test_zipcode_frequencies(self, big):
+        counts = np.bincount(big.columns["zipcode"], minlength=9)
+        expected = len(big.labels) / 9
+        assert np.all(np.abs(counts - expected) < expected * 0.15)
+
+
+class TestStructure:
+    def test_commission_zero_iff_high_salary(self, big):
+        salary = big.columns["salary"]
+        commission = big.columns["commission"]
+        high = salary >= 75_000
+        assert np.all(commission[high] == 0)
+        assert np.all(commission[~high] > 0)
+
+    def test_function1_class_balance(self, big):
+        """F1 puts age<40 or age>=60 in group A: 2/3 of a uniform age."""
+        frac_a = float(np.mean(big.labels == 0))
+        assert abs(frac_a - 2 / 3) < 0.02
+
+    def test_padding_carries_no_signal(self, big):
+        """Noise attributes are independent of the label (correlation
+        indistinguishable from zero at this sample size)."""
+        pad = big.columns["pad_c000"]
+        corr = np.corrcoef(pad, big.labels)[0, 1]
+        assert abs(corr) < 0.02

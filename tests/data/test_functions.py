@@ -1,0 +1,146 @@
+"""Unit tests for the ten Quest classification functions."""
+
+import numpy as np
+import pytest
+
+from repro.data.functions import QUEST_FUNCTIONS, quest_function
+
+
+def cols(**overrides):
+    """A single-tuple column set with neutral defaults."""
+    base = {
+        "salary": 100_000.0,
+        "commission": 0.0,
+        "age": 30.0,
+        "elevel": 0,
+        "car": 0,
+        "zipcode": 0,
+        "hvalue": 100_000.0,
+        "hyears": 10.0,
+        "loan": 0.0,
+    }
+    base.update(overrides)
+    return {k: np.array([v]) for k, v in base.items()}
+
+
+def in_group_a(fn, **overrides) -> bool:
+    return bool(quest_function(fn)(cols(**overrides))[0])
+
+
+class TestFunction1:
+    def test_young_is_a(self):
+        assert in_group_a(1, age=25)
+
+    def test_old_is_a(self):
+        assert in_group_a(1, age=65)
+
+    def test_middle_is_b(self):
+        assert not in_group_a(1, age=50)
+
+    def test_boundaries(self):
+        assert not in_group_a(1, age=40)
+        assert in_group_a(1, age=60)
+
+
+class TestFunction2:
+    @pytest.mark.parametrize(
+        "age,salary,expected",
+        [
+            (30, 75_000, True),
+            (30, 40_000, False),
+            (30, 110_000, False),
+            (50, 100_000, True),
+            (50, 60_000, False),
+            (70, 50_000, True),
+            (70, 100_000, False),
+        ],
+    )
+    def test_bands(self, age, salary, expected):
+        assert in_group_a(2, age=age, salary=salary) is expected
+
+
+class TestFunction3:
+    def test_young_low_education(self):
+        assert in_group_a(3, age=30, elevel=0)
+        assert in_group_a(3, age=30, elevel=1)
+        assert not in_group_a(3, age=30, elevel=2)
+
+    def test_old_high_education(self):
+        assert in_group_a(3, age=70, elevel=4)
+        assert not in_group_a(3, age=70, elevel=1)
+
+
+class TestFunction4:
+    def test_young_low_elevel_uses_low_band(self):
+        assert in_group_a(4, age=30, elevel=0, salary=50_000)
+        assert not in_group_a(4, age=30, elevel=0, salary=90_000)
+
+    def test_young_high_elevel_uses_high_band(self):
+        assert in_group_a(4, age=30, elevel=3, salary=90_000)
+        assert not in_group_a(4, age=30, elevel=3, salary=30_000)
+
+
+class TestFunction5:
+    def test_loan_band_depends_on_salary(self):
+        assert in_group_a(5, age=30, salary=75_000, loan=200_000)
+        assert not in_group_a(5, age=30, salary=75_000, loan=450_000)
+        assert in_group_a(5, age=30, salary=120_000, loan=300_000)
+
+
+class TestFunction6:
+    def test_total_income(self):
+        # salary below 75K generates commission; total income decides.
+        assert in_group_a(6, age=30, salary=60_000, commission=20_000)
+        assert not in_group_a(6, age=30, salary=60_000, commission=60_000)
+
+
+class TestFunction7:
+    def test_positive_disposable(self):
+        # 0.67*150000 - 0 - 20000 > 0
+        assert in_group_a(7, salary=150_000, commission=0, loan=0)
+
+    def test_negative_disposable(self):
+        # 0.67*30000 - 0.2*400000 - 20000 < 0
+        assert not in_group_a(7, salary=30_000, commission=0, loan=400_000)
+
+    def test_loan_tips_the_balance(self):
+        assert in_group_a(7, salary=90_000, loan=0)
+        assert not in_group_a(7, salary=90_000, loan=250_000)
+
+
+class TestFunctions8To10:
+    def test_function8_elevel_deduction(self):
+        assert in_group_a(8, salary=60_000, elevel=0)
+        assert not in_group_a(8, salary=20_000, commission=0, elevel=4)
+
+    def test_function9_loan_term(self):
+        assert in_group_a(9, salary=90_000, elevel=0, loan=0)
+        assert not in_group_a(9, salary=30_000, commission=0, elevel=4,
+                              loan=400_000)
+
+    def test_function10_equity_matters(self):
+        rich_home = dict(
+            salary=20_000, commission=0, elevel=2,
+            hvalue=900_000.0, hyears=30.0,
+        )
+        poor_home = dict(rich_home, hvalue=100_000.0, hyears=5.0)
+        assert in_group_a(10, **rich_home)
+        assert not in_group_a(10, **poor_home)
+
+
+class TestRegistry:
+    def test_all_ten_present(self):
+        assert sorted(QUEST_FUNCTIONS) == list(range(1, 11))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="1-10"):
+            quest_function(11)
+
+    def test_vectorized_shape(self):
+        rng = np.random.default_rng(0)
+        batch = {k: v.repeat(100) for k, v in cols().items()}
+        batch["age"] = rng.uniform(20, 80, 100)
+        for fn in range(1, 11):
+            result = quest_function(fn)(batch)
+            assert result.shape == (100,)
+            assert result.dtype == bool

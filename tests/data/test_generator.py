@@ -1,0 +1,130 @@
+"""Unit and property tests for the Quest data generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.functions import quest_function
+from repro.data.generator import (
+    BASE_ATTRIBUTE_NAMES,
+    DatasetSpec,
+    generate_dataset,
+    quest_schema,
+)
+
+
+class TestDatasetSpec:
+    def test_name(self):
+        assert DatasetSpec(2, 32, 250_000).name == "F2-A32-D250K"
+
+    def test_name_non_round(self):
+        assert DatasetSpec(7, 9, 1234).name == "F7-A9-D1234"
+
+    @pytest.mark.parametrize("bad", [0, 11])
+    def test_function_range(self, bad):
+        with pytest.raises(ValueError, match="function"):
+            DatasetSpec(function=bad)
+
+    def test_too_few_attributes(self):
+        with pytest.raises(ValueError, match="n_attributes"):
+            DatasetSpec(n_attributes=5)
+
+    def test_records_positive(self):
+        with pytest.raises(ValueError, match="n_records"):
+            DatasetSpec(n_records=0)
+
+    def test_perturbation_range(self):
+        with pytest.raises(ValueError, match="perturbation"):
+            DatasetSpec(perturbation=1.0)
+
+
+class TestQuestSchema:
+    def test_base_schema(self):
+        schema = quest_schema(9)
+        assert schema.attribute_names == list(BASE_ATTRIBUTE_NAMES)
+
+    def test_padding_alternates_kinds(self):
+        schema = quest_schema(13)
+        pads = schema.attributes[9:]
+        assert [a.is_continuous for a in pads] == [True, False, True, False]
+
+    def test_categorical_cardinalities(self):
+        schema = quest_schema(9)
+        assert schema.attribute("elevel").cardinality == 5
+        assert schema.attribute("car").cardinality == 20
+        assert schema.attribute("zipcode").cardinality == 9
+
+
+class TestGenerate:
+    def test_shape_and_names(self):
+        data = generate_dataset(DatasetSpec(2, 12, 500, seed=1))
+        assert data.n_records == 500
+        assert data.n_attributes == 12
+        assert data.name == "F2-A12-D500"
+
+    def test_deterministic_by_seed(self):
+        a = generate_dataset(DatasetSpec(3, 9, 300, seed=5))
+        b = generate_dataset(DatasetSpec(3, 9, 300, seed=5))
+        for name in a.columns:
+            np.testing.assert_array_equal(a.columns[name], b.columns[name])
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(DatasetSpec(3, 9, 300, seed=5))
+        b = generate_dataset(DatasetSpec(3, 9, 300, seed=6))
+        assert not np.array_equal(a.columns["salary"], b.columns["salary"])
+
+    def test_labels_match_function(self):
+        data = generate_dataset(DatasetSpec(7, 9, 400, seed=2))
+        expected = np.where(quest_function(7)(data.columns), 0, 1)
+        np.testing.assert_array_equal(data.labels, expected)
+
+    def test_commission_rule(self):
+        data = generate_dataset(DatasetSpec(1, 9, 2000, seed=9))
+        salary = data.columns["salary"]
+        commission = data.columns["commission"]
+        assert np.all(commission[salary >= 75_000] == 0)
+        low = commission[salary < 75_000]
+        assert np.all((low >= 10_000) & (low <= 75_000))
+
+    def test_hvalue_depends_on_zipcode(self):
+        data = generate_dataset(DatasetSpec(1, 9, 5000, seed=9))
+        z = data.columns["zipcode"]
+        hv = data.columns["hvalue"]
+        k = (z + 1).astype(float)
+        assert np.all(hv >= 0.5 * k * 100_000)
+        assert np.all(hv <= 1.5 * k * 100_000)
+
+    def test_perturbation_flips_labels(self):
+        clean = generate_dataset(DatasetSpec(2, 9, 4000, seed=4))
+        noisy = generate_dataset(
+            DatasetSpec(2, 9, 4000, seed=4, perturbation=0.3)
+        )
+        flipped = np.mean(clean.labels != noisy.labels)
+        assert 0.2 < flipped < 0.4
+
+    def test_padding_values_in_range(self):
+        data = generate_dataset(DatasetSpec(2, 12, 300, seed=8))
+        schema = data.schema
+        for attr in schema.attributes[9:]:
+            col = data.columns[attr.name]
+            if attr.is_categorical:
+                assert col.min() >= 0 and col.max() < attr.cardinality
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    function=st.integers(1, 10),
+    n_attributes=st.integers(9, 20),
+    n_records=st.integers(1, 200),
+    seed=st.integers(0, 2**31),
+)
+def test_generator_always_valid(function, n_attributes, n_records, seed):
+    """Any spec yields an internally consistent dataset."""
+    data = generate_dataset(
+        DatasetSpec(function, n_attributes, n_records, seed=seed)
+    )
+    assert data.n_records == n_records
+    assert set(data.columns) == set(data.schema.attribute_names)
+    assert data.labels.min() >= 0 and data.labels.max() <= 1

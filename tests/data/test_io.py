@@ -1,0 +1,71 @@
+"""Unit tests for dataset persistence (NPZ and CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_dataset_csv,
+    load_dataset_npz,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+
+
+class TestNpz:
+    def test_lossless_round_trip(self, small_f2, tmp_path):
+        path = str(tmp_path / "d.npz")
+        save_dataset_npz(small_f2, path)
+        restored = load_dataset_npz(path)
+        assert restored.name == small_f2.name
+        np.testing.assert_array_equal(restored.labels, small_f2.labels)
+        for name in small_f2.columns:
+            np.testing.assert_array_equal(
+                restored.columns[name], small_f2.columns[name]
+            )
+            assert restored.columns[name].dtype == small_f2.columns[name].dtype
+
+    def test_schema_round_trip(self, car_insurance, tmp_path):
+        path = str(tmp_path / "c.npz")
+        save_dataset_npz(car_insurance, path)
+        restored = load_dataset_npz(path)
+        assert restored.schema.class_names == ("high", "low")
+        assert restored.schema.attribute("car_type").cardinality == 3
+
+
+class TestCsv:
+    def test_round_trip_with_sidecar(self, car_insurance, tmp_path):
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(car_insurance, path)
+        restored = load_dataset_csv(path)
+        np.testing.assert_array_equal(restored.labels, car_insurance.labels)
+        np.testing.assert_allclose(
+            restored.columns["age"], car_insurance.columns["age"]
+        )
+        np.testing.assert_array_equal(
+            restored.columns["car_type"], car_insurance.columns["car_type"]
+        )
+
+    def test_explicit_schema(self, car_insurance, tmp_path):
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(car_insurance, path)
+        restored = load_dataset_csv(path, schema=car_insurance.schema)
+        assert restored.n_records == car_insurance.n_records
+
+    def test_missing_sidecar(self, tmp_path):
+        path = str(tmp_path / "orphan.csv")
+        with open(path, "w") as f:
+            f.write("a,class\n1,x\n")
+        with pytest.raises(FileNotFoundError, match="sidecar"):
+            load_dataset_csv(path)
+
+    def test_header_mismatch(self, car_insurance, tiny_schema, tmp_path):
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(car_insurance, path)
+        with pytest.raises(ValueError, match="header"):
+            load_dataset_csv(path, schema=tiny_schema)
+
+    def test_human_readable_labels(self, car_insurance, tmp_path):
+        path = str(tmp_path / "c.csv")
+        save_dataset_csv(car_insurance, path)
+        text = open(path).read()
+        assert "high" in text and "low" in text

@@ -1,0 +1,86 @@
+"""Unit tests for attribute/schema descriptions."""
+
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    Schema,
+    categorical,
+    continuous,
+)
+
+
+class TestAttribute:
+    def test_continuous(self):
+        a = continuous("salary")
+        assert a.is_continuous and not a.is_categorical
+        assert a.cardinality is None
+
+    def test_categorical(self):
+        a = categorical("car", 20)
+        assert a.is_categorical and not a.is_continuous
+        assert a.cardinality == 20
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Attribute("", AttributeKind.CONTINUOUS)
+
+    def test_categorical_needs_cardinality(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            Attribute("c", AttributeKind.CATEGORICAL)
+
+    def test_categorical_cardinality_minimum(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            Attribute("c", AttributeKind.CATEGORICAL, 1)
+
+    def test_continuous_rejects_cardinality(self):
+        with pytest.raises(ValueError, match="must not set cardinality"):
+            Attribute("x", AttributeKind.CONTINUOUS, 5)
+
+    def test_frozen(self):
+        a = continuous("x")
+        with pytest.raises(AttributeError):
+            a.name = "y"
+
+
+class TestSchema:
+    def test_basic(self, tiny_schema):
+        assert tiny_schema.n_attributes == 2
+        assert tiny_schema.n_classes == 2
+        assert tiny_schema.attribute_names == ["age", "car"]
+
+    def test_index_of(self, tiny_schema):
+        assert tiny_schema.index_of("age") == 0
+        assert tiny_schema.index_of("car") == 1
+
+    def test_index_of_missing(self, tiny_schema):
+        with pytest.raises(KeyError):
+            tiny_schema.index_of("nope")
+
+    def test_attribute_lookup(self, tiny_schema):
+        assert tiny_schema.attribute("car").cardinality == 3
+
+    def test_class_index(self, tiny_schema):
+        assert tiny_schema.class_index("yes") == 0
+        assert tiny_schema.class_index("no") == 1
+
+    def test_class_index_missing(self, tiny_schema):
+        with pytest.raises(KeyError):
+            tiny_schema.class_index("maybe")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate attribute"):
+            Schema([continuous("x"), continuous("x")])
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate class"):
+            Schema([continuous("x")], class_names=("a", "a"))
+
+    def test_needs_attributes(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            Schema([])
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError, match="two classes"):
+            Schema([continuous("x")], class_names=("only",))

@@ -1,0 +1,117 @@
+"""Tests for the SLIQ classifier, including the SPRINT cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.metrics import accuracy
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.sliq import build_sliq
+from repro.sliq.classifier import _ClassList
+from repro.core.tree import Node
+
+
+class TestClassList:
+    def test_initial_assignment(self):
+        labels = np.array([0, 1, 0], dtype=np.int32)
+        root = Node(0, 0, np.array([2, 1]))
+        cl = _ClassList(labels, root)
+        np.testing.assert_array_equal(cl.tuples_of(0), [0, 1, 2])
+
+    def test_reassign(self):
+        labels = np.zeros(4, dtype=np.int32)
+        root = Node(0, 0, np.array([4, 0]))
+        cl = _ClassList(labels, root)
+        cl.reassign(np.array([1, 3]), 1)
+        np.testing.assert_array_equal(cl.tuples_of(1), [1, 3])
+        np.testing.assert_array_equal(cl.tuples_of(0), [0, 2])
+
+
+class TestSliqEqualsSprint:
+    """The headline cross-check: two independent classifier
+    implementations must agree on every split."""
+
+    @pytest.mark.parametrize("function", [1, 2, 3, 5, 7, 9])
+    def test_tree_identity(self, function):
+        data = generate_dataset(
+            DatasetSpec(function, 9, 700, seed=11)
+        )
+        sprint = build_classifier(data, algorithm="serial").tree
+        sliq = build_sliq(data)
+        assert sliq.signature() == sprint.signature()
+
+    def test_with_depth_limit(self, small_f7):
+        params = BuildParams(max_depth=4)
+        sprint = build_classifier(
+            small_f7, algorithm="serial", params=params
+        ).tree
+        sliq = build_sliq(small_f7, params)
+        assert sliq.signature() == sprint.signature()
+
+    def test_with_min_records(self, small_f7):
+        params = BuildParams(min_split_records=30)
+        sprint = build_classifier(
+            small_f7, algorithm="serial", params=params
+        ).tree
+        sliq = build_sliq(small_f7, params)
+        assert sliq.signature() == sprint.signature()
+
+    def test_car_insurance(self, car_insurance):
+        sliq = build_sliq(car_insurance)
+        assert sliq.root.split.attribute == "age"
+        assert sliq.root.split.threshold == pytest.approx(27.5)
+
+
+class TestSliqBehaviour:
+    def test_accuracy(self, small_f2):
+        tree = build_sliq(small_f2)
+        assert accuracy(tree, small_f2) > 0.99
+
+    def test_pure_root(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        pure = Dataset(
+            tiny_schema,
+            {"age": np.array([1.0, 2.0]),
+             "car": np.array([0, 1], dtype=np.int64)},
+            np.array([1, 1], dtype=np.int32),
+        )
+        tree = build_sliq(pure)
+        assert tree.root.is_leaf
+
+    def test_empty_rejected(self, tiny_schema):
+        from repro.data.dataset import Dataset
+
+        empty = Dataset(
+            tiny_schema,
+            {"age": np.array([]), "car": np.array([], dtype=np.int64)},
+            np.array([], dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="empty"):
+            build_sliq(empty)
+
+    def test_class_counts_partition(self, small_f2):
+        tree = build_sliq(small_f2)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                np.testing.assert_array_equal(
+                    node.class_counts,
+                    node.left.class_counts + node.right.class_counts,
+                )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    function=st.integers(1, 10),
+    n_records=st.integers(20, 250),
+    seed=st.integers(0, 5000),
+)
+def test_sliq_sprint_identity_property(function, n_records, seed):
+    """Property: SLIQ == SPRINT on arbitrary Quest data."""
+    data = generate_dataset(DatasetSpec(function, 9, n_records, seed=seed))
+    sprint = build_classifier(data, algorithm="serial").tree
+    sliq = build_sliq(data)
+    assert sliq.signature() == sprint.signature()

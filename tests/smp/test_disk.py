@@ -1,0 +1,171 @@
+"""Unit tests for the shared-disk and file-cache model."""
+
+import dataclasses
+
+import pytest
+
+from repro.smp.disk import SharedDisk
+from repro.smp.engine import VirtualTimeEngine
+from repro.smp.machine import machine_a, machine_b
+
+
+def run_one(machine, body):
+    """Run `body(disk)` on a single virtual processor; return makespan."""
+    eng = VirtualTimeEngine(1)
+    disk = SharedDisk(machine, eng)
+    result = {}
+
+    def worker(pid):
+        result["ret"] = body(disk)
+
+    makespan = eng.run(worker)
+    return makespan, disk, result.get("ret")
+
+
+class TestMachineA:
+    def test_read_charges_seek_plus_bandwidth(self):
+        m = machine_a(1)
+        makespan, _, _ = run_one(m, lambda d: d.read("f", 10_000_000))
+        assert makespan == pytest.approx(m.disk_seek + 1.0)
+
+    def test_sequential_read_skips_seek(self):
+        m = machine_a(1)
+        makespan, _, _ = run_one(
+            m, lambda d: d.read("f", 10_000_000, sequential=True)
+        )
+        assert makespan == pytest.approx(1.0)
+
+    def test_write_through_pays_disk(self):
+        m = machine_a(1)
+        makespan, disk, _ = run_one(m, lambda d: d.write("f", 10_000_000))
+        assert makespan == pytest.approx(m.disk_seek + 1.0)
+        assert disk.disk_bytes == 10_000_000
+
+    def test_small_file_cached_after_write(self):
+        m = machine_a(1)
+
+        def body(d):
+            d.write("small", 1_000_000)  # fits in the 8 MB cache
+            return d.read("small", 1_000_000)
+
+        _, disk, read_delay = run_one(m, body)
+        assert disk.is_cached("small")
+        assert read_delay == pytest.approx(m.memory_transfer_time(1_000_000))
+
+    def test_large_file_not_cached(self):
+        m = machine_a(1)
+
+        def body(d):
+            d.write("huge", 50_000_000)  # exceeds the cache entirely
+            return d.read("huge", 50_000_000)
+
+        _, disk, read_delay = run_one(m, body)
+        assert not disk.is_cached("huge")
+        assert read_delay > m.memory_transfer_time(50_000_000)
+
+    def test_lru_eviction(self):
+        m = machine_a(1)
+
+        def body(d):
+            d.write("a", 5_000_000)
+            d.write("b", 5_000_000)  # evicts a (8 MB capacity)
+            return d.is_cached("a"), d.is_cached("b")
+
+        _, _, (a_cached, b_cached) = run_one(m, body)
+        assert not a_cached and b_cached
+
+    def test_drop_reclaims_space(self):
+        m = machine_a(1)
+
+        def body(d):
+            d.write("a", 5_000_000)
+            d.drop("a")
+            d.write("b", 5_000_000)
+            return d.is_cached("b")
+
+        _, disk, b_cached = run_one(m, body)
+        assert b_cached and not disk.is_cached("a")
+
+
+class TestMachineB:
+    def test_everything_cached(self):
+        m = machine_b(1)
+
+        def body(d):
+            d.write("any", 100_000_000)
+            return d.read("any", 100_000_000)
+
+        _, disk, read_delay = run_one(m, body)
+        assert disk.is_cached("any")
+        assert read_delay == pytest.approx(
+            m.memory_transfer_time(100_000_000)
+        )
+        assert disk.disk_bytes == 0  # write-back: nothing hit the platter
+
+    def test_write_back_never_hits_disk(self):
+        m = machine_b(1)
+        _, disk, _ = run_one(m, lambda d: d.write("f", 50_000_000))
+        assert disk.disk_bytes == 0
+
+    def test_first_read_of_unwritten_file_hits_disk(self):
+        m = machine_b(1)
+
+        def body(d):
+            first = d.read("cold", 10_000_000)
+            second = d.read("cold", 10_000_000)
+            return first, second
+
+        _, _, (first, second) = run_one(m, body)
+        assert first > second
+
+
+class TestContention:
+    def test_fcfs_serialization(self):
+        """Concurrent requests from several processors queue on the disk."""
+        m = machine_a(4)
+        eng = VirtualTimeEngine(4)
+        disk = SharedDisk(m, eng)
+
+        def worker(pid):
+            disk.read(f"file-{pid}", 10_000_000)  # ~1s each
+
+        makespan = eng.run(worker)
+        assert makespan == pytest.approx(4 * (m.disk_seek + 1.0), rel=0.01)
+
+    def test_cached_reads_do_not_queue(self):
+        m = machine_b(4)
+        eng = VirtualTimeEngine(4)
+        disk = SharedDisk(m, eng)
+        for pid in range(4):
+            disk._admit(f"file-{pid}", 8_000_000)
+
+        def worker(pid):
+            disk.read(f"file-{pid}", 8_000_000)  # 0.1s each, in parallel
+
+        makespan = eng.run(worker)
+        assert makespan == pytest.approx(0.1)
+
+
+class TestValidation:
+    def test_negative_size_rejected(self):
+        m = machine_a(1)
+        errors = []
+
+        def body(d):
+            try:
+                d.read("f", -1)
+            except ValueError as e:
+                errors.append(e)
+
+        run_one(m, body)
+        assert errors
+
+    def test_zero_size_is_free(self):
+        m = machine_a(1)
+        makespan, _, _ = run_one(m, lambda d: d.read("f", 0))
+        assert makespan == 0.0
+
+    def test_create_file_charges_overhead(self):
+        m = machine_a(1)
+        makespan, _, _ = run_one(m, lambda d: d.create_file("f"))
+        assert makespan == pytest.approx(m.file_create_overhead)

@@ -1,0 +1,197 @@
+"""Unit and property tests for the virtual-time engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smp.engine import DeadlockError, VirtualTimeEngine
+
+
+class TestBasics:
+    def test_single_proc_advance(self):
+        eng = VirtualTimeEngine(1)
+
+        def worker(pid):
+            eng.advance(1.5)
+            eng.advance(0.5)
+
+        assert eng.run(worker) == 2.0
+
+    def test_parallel_makespan_is_max(self):
+        eng = VirtualTimeEngine(4)
+
+        def worker(pid):
+            eng.advance(float(pid + 1))
+
+        assert eng.run(worker) == 4.0
+
+    def test_advance_to(self):
+        eng = VirtualTimeEngine(1)
+
+        def worker(pid):
+            eng.advance_to(3.0)
+            eng.advance_to(1.0)  # never moves backwards
+
+        assert eng.run(worker) == 3.0
+
+    def test_negative_advance_rejected(self):
+        eng = VirtualTimeEngine(1)
+        caught = []
+
+        def worker(pid):
+            try:
+                eng.advance(-1.0)
+            except ValueError as e:
+                caught.append(e)
+
+        eng.run(worker)
+        assert caught
+
+    def test_current_pid(self):
+        eng = VirtualTimeEngine(3)
+        seen = []
+
+        def worker(pid):
+            seen.append((pid, eng.current_pid()))
+
+        eng.run(worker)
+        assert sorted(seen) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_current_pid_outside_engine(self):
+        eng = VirtualTimeEngine(1)
+        with pytest.raises(RuntimeError, match="not running"):
+            eng.current_pid()
+
+    def test_single_use(self):
+        eng = VirtualTimeEngine(1)
+        eng.run(lambda pid: None)
+        with pytest.raises(RuntimeError, match="single-use"):
+            eng.run(lambda pid: None)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualTimeEngine(0)
+
+
+class TestOrdering:
+    def test_execution_follows_virtual_time(self):
+        """Events are globally ordered by virtual clock."""
+        eng = VirtualTimeEngine(3)
+        log = []
+
+        def worker(pid):
+            eng.advance(pid * 1.0)  # pid 0 at t=0, 1 at t=1, 2 at t=2
+            log.append((eng.clock[pid], pid))
+            eng.advance(10.0)
+            log.append((eng.clock[pid], pid))
+
+        eng.run(worker)
+        assert log == sorted(log)
+
+    def test_deterministic_tiebreak(self):
+        """Equal clocks resolve by pid, so runs are reproducible."""
+        results = []
+        for _ in range(3):
+            eng = VirtualTimeEngine(4)
+            order = []
+
+            def worker(pid, order=order, eng=eng):
+                eng.advance(1.0)
+                order.append(pid)
+
+            eng.run(worker)
+            results.append(order)
+        assert results[0] == results[1] == results[2]
+
+
+class TestFailures:
+    def test_worker_exception_propagates(self):
+        eng = VirtualTimeEngine(2)
+
+        def worker(pid):
+            if pid == 1:
+                raise RuntimeError("boom")
+            eng.advance(1.0)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.run(worker)
+
+    def test_deadlock_detected(self):
+        eng = VirtualTimeEngine(2)
+
+        def worker(pid):
+            eng.block_current()  # nobody will ever unblock us
+
+        with pytest.raises(DeadlockError):
+            eng.run(worker)
+
+    def test_partial_deadlock_detected(self):
+        """One blocked processor among finished ones is still a deadlock."""
+        eng = VirtualTimeEngine(3)
+
+        def worker(pid):
+            if pid == 0:
+                eng.block_current()
+            else:
+                eng.advance(1.0)
+
+        with pytest.raises(DeadlockError):
+            eng.run(worker)
+
+
+class TestBlockUnblock:
+    def test_handoff(self):
+        eng = VirtualTimeEngine(2)
+        woken_at = []
+
+        def worker(pid):
+            if pid == 0:
+                eng.block_current()
+                woken_at.append(eng.now())
+            else:
+                eng.advance(5.0)
+                eng.unblock(0, at_time=7.0)
+
+        eng.run(worker)
+        assert woken_at == [7.0]
+
+    def test_unblock_never_moves_clock_back(self):
+        eng = VirtualTimeEngine(2)
+        woken_at = []
+
+        def worker(pid):
+            if pid == 0:
+                eng.advance(10.0)
+                eng.block_current()
+                woken_at.append(eng.now())
+            else:
+                eng.advance(11.0)  # pid 0 blocks first (t=10 < t=11)
+                eng.unblock(0, at_time=3.0)  # in pid 0's past
+
+        eng.run(worker)
+        assert woken_at == [10.0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    work=st.lists(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=5),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_makespan_is_max_of_sums(work):
+    """Property: with no synchronization, makespan == max per-proc total,
+    and per-processor clocks advance monotonically."""
+    eng = VirtualTimeEngine(len(work))
+    observed = [[] for _ in work]
+
+    def worker(pid):
+        for dt in work[pid]:
+            eng.advance(dt)
+            observed[pid].append(eng.now())
+
+    makespan = eng.run(worker)
+    assert makespan == pytest.approx(max(sum(w) for w in work))
+    for clocks in observed:
+        assert clocks == sorted(clocks)

@@ -1,0 +1,119 @@
+"""Randomized stress tests for the virtual-time engine.
+
+Hypothesis generates random-but-well-formed concurrent programs (mixes
+of compute, critical sections, shared I/O and barrier rounds) and checks
+the global invariants: no deadlock, deterministic replay, monotone
+clocks, mutually exclusive critical sections, and makespan bounded by
+[max per-proc work, total work + overheads].
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smp.machine import machine_a
+from repro.smp.runtime import VirtualSMP
+
+# One program step per processor: (kind, size)
+step = st.tuples(
+    st.sampled_from(["compute", "critical", "io"]),
+    st.floats(0.001, 0.5),
+)
+program = st.lists(step, min_size=0, max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    programs=st.lists(program, min_size=1, max_size=5),
+    n_barriers=st.integers(0, 3),
+)
+def test_random_programs_terminate_and_replay(programs, n_barriers):
+    n_procs = len(programs)
+
+    def run_once():
+        rt = VirtualSMP(machine_a(n_procs), n_procs)
+        lock = rt.make_lock()
+        barrier = rt.make_barrier()
+        sections = []
+
+        def worker(pid):
+            for kind, size in programs[pid]:
+                if kind == "compute":
+                    rt.compute(size)
+                elif kind == "critical":
+                    with lock:
+                        start = rt.now()
+                        rt.compute(size)
+                        sections.append((start, rt.now()))
+                else:
+                    rt.read_file(f"file-{pid}", int(size * 1e6))
+            for _ in range(n_barriers):
+                barrier.wait()
+
+        makespan = rt.run(worker)
+        return makespan, sorted(sections)
+
+    makespan1, sections1 = run_once()
+    makespan2, sections2 = run_once()
+
+    # Deterministic replay.
+    assert makespan1 == makespan2
+    assert sections1 == sections2
+
+    # Critical sections never overlap in virtual time.
+    for (s1, e1), (s2, e2) in zip(sections1, sections1[1:]):
+        assert e1 <= s2 + 1e-12
+
+    # Makespan is at least the busiest processor's compute demand.
+    per_proc = [
+        sum(size for kind, size in prog if kind in ("compute", "critical"))
+        for prog in programs
+    ]
+    assert makespan1 >= max(per_proc) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    works=st.lists(st.floats(0.0, 2.0), min_size=2, max_size=6),
+    rounds=st.integers(1, 4),
+)
+def test_barrier_rounds_synchronize(works, rounds):
+    """After every barrier round, all clocks agree; the makespan equals
+    the sum over rounds of the slowest processor's work."""
+    n_procs = len(works)
+    rt = VirtualSMP(machine_a(n_procs), n_procs)
+    barrier = rt.make_barrier()
+    round_times = [[] for _ in range(rounds)]
+
+    def worker(pid):
+        for r in range(rounds):
+            rt.compute(works[pid])
+            barrier.wait()
+            round_times[r].append(rt.now())
+
+    makespan = rt.run(worker)
+    for times in round_times:
+        assert len(set(times)) == 1
+    overhead = rounds * rt.machine.barrier_overhead
+    expected = rounds * max(works) + overhead
+    assert abs(makespan - expected) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_procs=st.integers(2, 6),
+    increments=st.integers(1, 30),
+)
+def test_lock_counter_exact(n_procs, increments):
+    """A lock-protected counter always lands on the exact total."""
+    rt = VirtualSMP(machine_a(n_procs), n_procs)
+    lock = rt.make_lock()
+    box = {"count": 0}
+
+    def worker(pid):
+        for _ in range(increments):
+            with lock:
+                rt.compute(0.001)
+                box["count"] += 1
+
+    rt.run(worker)
+    assert box["count"] == n_procs * increments

@@ -1,0 +1,73 @@
+"""Unit tests for the machine cost models."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.smp.machine import MachineConfig, machine_a, machine_b
+
+
+class TestFactories:
+    def test_machine_a_defaults(self):
+        m = machine_a()
+        assert m.n_processors == 4
+        assert m.write_through
+        assert not m.files_cached
+        assert math.isfinite(m.file_cache_bytes)
+
+    def test_machine_b_defaults(self):
+        m = machine_b()
+        assert m.n_processors == 8
+        assert m.files_cached
+        assert not m.write_through
+
+    def test_custom_processor_counts(self):
+        assert machine_a(2).n_processors == 2
+        assert machine_b(16).n_processors == 16
+
+    def test_with_processors(self):
+        m = machine_a(4).with_processors(2)
+        assert m.n_processors == 2
+        assert m.name == "machine-a"
+
+
+class TestValidation:
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError, match="processor"):
+            MachineConfig(name="x", n_processors=0)
+
+    def test_nonpositive_cpu_cost_rejected(self):
+        with pytest.raises(ValueError, match="cpu_eval_record"):
+            MachineConfig(name="x", n_processors=1, cpu_eval_record=0.0)
+
+    def test_negative_seek_rejected(self):
+        with pytest.raises(ValueError, match="seek"):
+            MachineConfig(name="x", n_processors=1, disk_seek=-1.0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ValueError, match="file_cache_bytes"):
+            MachineConfig(name="x", n_processors=1, file_cache_bytes=-1.0)
+
+
+class TestDerived:
+    def test_disk_transfer_time(self):
+        m = machine_a(1)
+        t = m.disk_transfer_time(int(m.disk_bandwidth))
+        assert t == pytest.approx(m.disk_seek + 1.0)
+
+    def test_memory_transfer_time(self):
+        m = machine_b(1)
+        assert m.memory_transfer_time(int(m.memory_bandwidth)) == pytest.approx(1.0)
+
+    def test_frozen(self):
+        m = machine_a(1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.disk_seek = 0.0
+
+    def test_cpu_cost_ordering(self):
+        """Split work costs more per record than probe building (it adds
+        the hash lookup and the write), as the paper's step breakdown
+        implies."""
+        m = machine_a(1)
+        assert m.cpu_split_record > m.cpu_probe_record

@@ -1,0 +1,83 @@
+"""Unit tests for the VirtualSMP runtime facade."""
+
+import pytest
+
+from repro.smp.machine import machine_a, machine_b
+from repro.smp.runtime import VirtualSMP
+
+
+class TestVirtualSMP:
+    def test_defaults_to_machine_processors(self):
+        rt = VirtualSMP(machine_a(4))
+        assert rt.n_procs == 4
+
+    def test_explicit_processor_count(self):
+        rt = VirtualSMP(machine_a(4), n_procs=2)
+        assert rt.n_procs == 2
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            VirtualSMP(machine_a(4), n_procs=0)
+
+    def test_compute_accounts_busy(self):
+        rt = VirtualSMP(machine_b(2), 2)
+
+        def worker(pid):
+            rt.compute(1.0 + pid)
+
+        elapsed = rt.run(worker)
+        assert elapsed == pytest.approx(2.0)
+        assert rt.stats.busy == [1.0, 2.0]
+
+    def test_io_accounts_time(self):
+        m = machine_a(1)
+        rt = VirtualSMP(m, 1)
+
+        def worker(pid):
+            rt.read_file("f", 10_000_000)
+
+        rt.run(worker)
+        assert rt.stats.io_time[0] == pytest.approx(m.disk_seek + 1.0)
+
+    def test_warm_file_read_is_cheap(self):
+        m = machine_b(1)
+        rt = VirtualSMP(m, 1)
+        rt.disk.warm("hot", 1_000_000)
+
+        def worker(pid):
+            rt.read_file("hot", 1_000_000)
+
+        elapsed = rt.run(worker)
+        assert elapsed == pytest.approx(m.memory_transfer_time(1_000_000))
+
+    def test_drop_file(self):
+        rt = VirtualSMP(machine_b(1), 1)
+        rt.disk.warm("f", 100)
+        rt.drop_file("f")
+        assert not rt.disk.is_cached("f")
+
+    def test_primitives_constructed_before_run(self):
+        rt = VirtualSMP(machine_b(2), 2)
+        lock = rt.make_lock()
+        barrier = rt.make_barrier()
+        cond = rt.make_condition(lock)
+        hits = []
+
+        def worker(pid):
+            with lock:
+                hits.append(pid)
+            barrier.wait()
+
+        rt.run(worker)
+        assert sorted(hits) == [0, 1]
+
+    def test_elapsed_recorded(self):
+        rt = VirtualSMP(machine_b(1), 1)
+        assert rt.elapsed is None
+        rt.run(lambda pid: rt.compute(0.5))
+        assert rt.elapsed == pytest.approx(0.5)
+
+    def test_barrier_default_parties(self):
+        rt = VirtualSMP(machine_b(3), 3)
+        barrier = rt.make_barrier()
+        assert barrier.parties == 3

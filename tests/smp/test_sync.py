@@ -1,0 +1,252 @@
+"""Unit tests for virtual-time locks, barriers and condition variables."""
+
+import pytest
+
+from repro.smp.engine import DeadlockError, VirtualTimeEngine
+from repro.smp.sync import VBarrier, VCondition, VLock, WaitStats
+
+OVERHEAD = 1e-6
+
+
+def make(n):
+    eng = VirtualTimeEngine(n)
+    stats = WaitStats(n)
+    return eng, stats
+
+
+class TestVLock:
+    def test_mutual_exclusion_in_virtual_time(self):
+        """Critical sections never overlap in virtual time."""
+        eng, stats = make(4)
+        lock = VLock(eng, OVERHEAD, stats)
+        intervals = []
+
+        def worker(pid):
+            with lock:
+                start = eng.now()
+                eng.advance(1.0)
+                intervals.append((start, eng.now()))
+
+        eng.run(worker)
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_fifo_by_arrival(self):
+        eng, stats = make(3)
+        lock = VLock(eng, OVERHEAD, stats)
+        order = []
+
+        def worker(pid):
+            eng.advance(pid * 0.1)  # arrival order 0, 1, 2
+            with lock:
+                order.append(pid)
+                eng.advance(1.0)
+
+        eng.run(worker)
+        assert order == [0, 1, 2]
+
+    def test_lock_wait_accounted(self):
+        eng, stats = make(2)
+        lock = VLock(eng, OVERHEAD, stats)
+
+        def worker(pid):
+            with lock:
+                eng.advance(1.0)
+
+        eng.run(worker)
+        assert sum(stats.lock_wait) == pytest.approx(1.0, abs=0.01)
+
+    def test_reentrant_acquire_rejected(self):
+        eng, stats = make(1)
+        lock = VLock(eng, OVERHEAD, stats)
+        errors = []
+
+        def worker(pid):
+            lock.acquire()
+            try:
+                lock.acquire()
+            except RuntimeError as e:
+                errors.append(e)
+            lock.release()
+
+        eng.run(worker)
+        assert errors
+
+    def test_release_by_non_holder_rejected(self):
+        eng, stats = make(1)
+        lock = VLock(eng, OVERHEAD, stats)
+        errors = []
+
+        def worker(pid):
+            try:
+                lock.release()
+            except RuntimeError as e:
+                errors.append(e)
+
+        eng.run(worker)
+        assert errors
+
+
+class TestVBarrier:
+    def test_all_released_at_max_arrival(self):
+        eng, stats = make(4)
+        barrier = VBarrier(eng, 4, OVERHEAD, stats)
+        release_times = {}
+
+        def worker(pid):
+            eng.advance(pid * 1.0)
+            barrier.wait()
+            release_times[pid] = eng.now()
+
+        eng.run(worker)
+        assert len(set(release_times.values())) == 1
+        assert list(release_times.values())[0] >= 3.0
+
+    def test_reusable_across_phases(self):
+        eng, stats = make(3)
+        barrier = VBarrier(eng, 3, OVERHEAD, stats)
+        checkpoints = []
+
+        def worker(pid):
+            for phase in range(3):
+                eng.advance(0.5 * (pid + 1))
+                barrier.wait()
+                checkpoints.append((phase, eng.now()))
+
+        eng.run(worker)
+        by_phase = {}
+        for phase, t in checkpoints:
+            by_phase.setdefault(phase, set()).add(t)
+        for phase, times in by_phase.items():
+            assert len(times) == 1, f"phase {phase} not synchronized"
+
+    def test_wait_time_accounted(self):
+        eng, stats = make(2)
+        barrier = VBarrier(eng, 2, OVERHEAD, stats)
+
+        def worker(pid):
+            eng.advance(pid * 2.0)  # pid 0 waits ~2s for pid 1
+            barrier.wait()
+
+        eng.run(worker)
+        assert stats.barrier_wait[0] == pytest.approx(2.0, abs=0.01)
+        assert stats.barrier_wait[1] == 0.0
+
+    def test_reentry_rejected(self):
+        eng, stats = make(2)
+        barrier = VBarrier(eng, 3, OVERHEAD, stats)  # never fills
+        errors = []
+
+        def worker(pid):
+            if pid == 0:
+                barrier.wait()
+            else:
+                eng.advance(1.0)
+                try:
+                    barrier._arrived.append(pid)  # simulate re-entry state
+                    barrier.wait()
+                except RuntimeError as e:
+                    errors.append(e)
+                    barrier._arrived.remove(pid)
+                    raise
+
+        with pytest.raises(RuntimeError):
+            eng.run(worker)
+        assert errors
+
+    def test_parties_validated(self):
+        eng, stats = make(1)
+        with pytest.raises(ValueError, match="parties"):
+            VBarrier(eng, 0, OVERHEAD, stats)
+
+
+class TestVCondition:
+    def test_wait_signal(self):
+        eng, stats = make(2)
+        lock = VLock(eng, OVERHEAD, stats)
+        cond = VCondition(eng, lock, OVERHEAD, stats)
+        state = {"ready": False}
+        woken = []
+
+        def worker(pid):
+            if pid == 0:
+                with lock:
+                    while not state["ready"]:
+                        cond.wait()
+                woken.append(eng.now())
+            else:
+                eng.advance(3.0)
+                with lock:
+                    state["ready"] = True
+                    cond.signal()
+
+        eng.run(worker)
+        assert woken and woken[0] >= 3.0
+
+    def test_broadcast_wakes_all(self):
+        eng, stats = make(4)
+        lock = VLock(eng, OVERHEAD, stats)
+        cond = VCondition(eng, lock, OVERHEAD, stats)
+        state = {"go": False}
+        woken = []
+
+        def worker(pid):
+            if pid == 0:
+                eng.advance(1.0)
+                with lock:
+                    state["go"] = True
+                    cond.broadcast()
+            else:
+                with lock:
+                    while not state["go"]:
+                        cond.wait()
+                woken.append(pid)
+
+        eng.run(worker)
+        assert sorted(woken) == [1, 2, 3]
+
+    def test_signal_with_no_waiters_is_noop(self):
+        eng, stats = make(1)
+        lock = VLock(eng, OVERHEAD, stats)
+        cond = VCondition(eng, lock, OVERHEAD, stats)
+
+        def worker(pid):
+            with lock:
+                cond.signal()
+                cond.broadcast()
+
+        eng.run(worker)  # must not raise or deadlock
+
+    def test_wait_without_lock_rejected(self):
+        eng, stats = make(1)
+        lock = VLock(eng, OVERHEAD, stats)
+        cond = VCondition(eng, lock, OVERHEAD, stats)
+        errors = []
+
+        def worker(pid):
+            try:
+                cond.wait()
+            except RuntimeError as e:
+                errors.append(e)
+
+        eng.run(worker)
+        assert errors
+
+    def test_lost_wakeup_becomes_deadlock(self):
+        """A waiter that misses every signal deadlocks loudly, not silently."""
+        eng, stats = make(2)
+        lock = VLock(eng, OVERHEAD, stats)
+        cond = VCondition(eng, lock, OVERHEAD, stats)
+
+        def worker(pid):
+            if pid == 0:
+                eng.advance(1.0)
+                with lock:
+                    cond.wait()  # signal already happened
+            else:
+                with lock:
+                    cond.signal()  # nobody waiting yet
+
+        with pytest.raises(DeadlockError):
+            eng.run(worker)

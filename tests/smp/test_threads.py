@@ -1,0 +1,103 @@
+"""Unit tests for the real-thread runtime backend."""
+
+import threading
+
+import pytest
+
+from repro.smp.threads import RealThreadRuntime
+
+
+class TestRealThreadRuntime:
+    def test_runs_all_processors(self):
+        rt = RealThreadRuntime(4)
+        seen = set()
+        guard = threading.Lock()
+
+        def worker(pid):
+            with guard:
+                seen.add((pid, rt.pid()))
+
+        rt.run(worker)
+        assert seen == {(p, p) for p in range(4)}
+
+    def test_exception_propagates(self):
+        rt = RealThreadRuntime(2)
+
+        def worker(pid):
+            if pid == 1:
+                raise ValueError("thread boom")
+
+        with pytest.raises(ValueError, match="thread boom"):
+            rt.run(worker)
+
+    def test_lock_mutual_exclusion(self):
+        rt = RealThreadRuntime(4)
+        lock = rt.make_lock()
+        counter = {"v": 0}
+
+        def worker(pid):
+            for _ in range(1000):
+                with lock:
+                    counter["v"] += 1
+
+        rt.run(worker)
+        assert counter["v"] == 4000
+
+    def test_barrier_rendezvous(self):
+        rt = RealThreadRuntime(3)
+        barrier = rt.make_barrier()
+        before = []
+        after = []
+        guard = threading.Lock()
+
+        def worker(pid):
+            with guard:
+                before.append(pid)
+            barrier.wait()
+            with guard:
+                after.append(len(before))
+
+        rt.run(worker)
+        assert after == [3, 3, 3]
+
+    def test_condition_signal(self):
+        rt = RealThreadRuntime(2)
+        lock = rt.make_lock()
+        cond = rt.make_condition(lock)
+        state = {"ready": False, "woke": False}
+
+        def worker(pid):
+            if pid == 0:
+                with lock:
+                    while not state["ready"]:
+                        cond.wait()
+                    state["woke"] = True
+            else:
+                with lock:
+                    state["ready"] = True
+                    cond.broadcast()
+
+        rt.run(worker)
+        assert state["woke"]
+
+    def test_charging_methods_are_noops(self):
+        rt = RealThreadRuntime(1)
+
+        def worker(pid):
+            rt.compute(1e9)  # must not actually sleep
+            rt.read_file("f", 1)
+            rt.write_file("f", 1)
+            rt.create_file("f")
+            rt.drop_file("f")
+
+        elapsed = rt.run(worker)
+        assert elapsed < 5.0
+
+    def test_pid_outside_worker_rejected(self):
+        rt = RealThreadRuntime(1)
+        with pytest.raises(RuntimeError, match="not running"):
+            rt.pid()
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            RealThreadRuntime(0)

@@ -1,0 +1,115 @@
+"""Unit tests for execution tracing and timeline rendering."""
+
+import pytest
+
+from repro.smp.machine import machine_a, machine_b
+from repro.smp.runtime import VirtualSMP
+from repro.smp.trace import Interval, Tracer, render_timeline, utilization_table
+
+
+class TestTracer:
+    def test_records_intervals(self):
+        t = Tracer()
+        t.record(0, "busy", 0.0, 1.0)
+        t.record(1, "io", 0.5, 2.0)
+        assert len(t.intervals) == 2
+        assert t.makespan == 2.0
+
+    def test_zero_length_dropped(self):
+        t = Tracer()
+        t.record(0, "busy", 1.0, 1.0)
+        assert t.intervals == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Tracer().record(0, "sleep", 0.0, 1.0)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Tracer().record(0, "busy", 2.0, 1.0)
+
+    def test_utilization(self):
+        t = Tracer()
+        t.record(0, "busy", 0.0, 3.0)
+        t.record(0, "io", 3.0, 4.0)
+        t.record(1, "busy", 0.0, 1.0)
+        util = t.utilization()
+        assert util[0]["busy"] == 3.0
+        assert util[0]["io"] == 1.0
+        assert util[0]["idle"] == 0.0
+        assert util[1]["idle"] == pytest.approx(3.0)
+
+
+class TestRuntimeIntegration:
+    def test_compute_and_io_traced(self):
+        tracer = Tracer()
+        rt = VirtualSMP(machine_a(2), 2, tracer=tracer)
+
+        def worker(pid):
+            rt.compute(1.0)
+            rt.read_file(f"f{pid}", 1_000_000)
+
+        rt.run(worker)
+        kinds = {iv.kind for iv in tracer.intervals}
+        assert kinds == {"busy", "io"}
+        busy_total = sum(
+            iv.duration for iv in tracer.intervals if iv.kind == "busy"
+        )
+        assert busy_total == pytest.approx(2.0)
+
+    def test_waits_traced(self):
+        tracer = Tracer()
+        rt = VirtualSMP(machine_b(2), 2, tracer=tracer)
+        lock = rt.make_lock()
+        barrier = rt.make_barrier()
+
+        def worker(pid):
+            with lock:
+                rt.compute(1.0)
+            barrier.wait()
+
+        rt.run(worker)
+        kinds = {iv.kind for iv in tracer.intervals}
+        assert "lock" in kinds and "barrier" in kinds
+
+    def test_trace_totals_match_stats(self, small_f2):
+        from repro.core.builder import build_classifier
+
+        tracer = Tracer()
+        rt = VirtualSMP(machine_b(3), 3, tracer=tracer)
+        build_classifier(small_f2, algorithm="mwk", runtime=rt, n_procs=3)
+        traced_busy = sum(
+            iv.duration for iv in tracer.intervals if iv.kind == "busy"
+        )
+        assert traced_busy == pytest.approx(sum(rt.stats.busy))
+        traced_barrier = sum(
+            iv.duration for iv in tracer.intervals if iv.kind == "barrier"
+        )
+        assert traced_barrier == pytest.approx(
+            sum(rt.stats.barrier_wait), abs=1e-9
+        )
+
+
+class TestRendering:
+    def make_trace(self):
+        t = Tracer()
+        t.record(0, "busy", 0.0, 5.0)
+        t.record(1, "barrier", 0.0, 2.0)
+        t.record(1, "busy", 2.0, 5.0)
+        return t
+
+    def test_timeline_lanes(self):
+        text = render_timeline(self.make_trace(), width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("P0")
+        assert lines[1].startswith("P1")
+        assert "#" in lines[0]
+        assert "B" in lines[1]
+        assert "legend" in text
+
+    def test_empty_trace(self):
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+    def test_utilization_table(self):
+        text = utilization_table(self.make_trace())
+        assert "P0" in text and "P1" in text and "busy" in text

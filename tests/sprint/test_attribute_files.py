@@ -1,0 +1,68 @@
+"""Unit tests for the physical-file layout rules."""
+
+import pytest
+
+from repro.core.tree import Node
+from repro.sprint.attribute_files import FileLayout, relabel_slots
+
+
+class TestFileLayout:
+    def test_basic_has_four_files_per_attribute(self):
+        assert FileLayout(slots=1).files_per_attribute == 4
+
+    def test_windowed_has_4k_files(self):
+        """FWK/MWK need 2K current + 2K alternate files (paper §3.2.2)."""
+        assert FileLayout(slots=4).files_per_attribute == 16
+
+    def test_slots_validated(self):
+        with pytest.raises(ValueError, match="slots"):
+            FileLayout(slots=0)
+
+    def test_physical_name_alternates_generations(self):
+        layout = FileLayout(slots=1)
+        even = layout.physical_name(0, 0, level=2)
+        odd = layout.physical_name(0, 0, level=3)
+        assert even != odd
+        assert layout.physical_name(0, 0, level=4) == even
+
+    def test_left_right_files_distinct(self):
+        layout = FileLayout(slots=1)
+        left = layout.physical_name(0, 0, level=0)  # slot 0 -> left file
+        right = layout.physical_name(0, 1, level=0)  # slot 1 -> right file
+        assert left != right
+        # slot 2 cycles back to the left file.
+        assert layout.physical_name(0, 2, level=0) == left
+
+    def test_window_positions_distinct(self):
+        layout = FileLayout(slots=3)
+        names = {layout.physical_name(0, s, 0) for s in range(3)}
+        assert len(names) == 3
+
+    def test_attributes_never_share_files(self):
+        layout = FileLayout(slots=2)
+        a = {layout.physical_name(0, s, 0) for s in range(8)}
+        b = {layout.physical_name(1, s, 0) for s in range(8)}
+        assert a.isdisjoint(b)
+
+    def test_group_private_files(self):
+        """SUBTREE groups have private file sets (paper §3.3)."""
+        shared = FileLayout(slots=1)
+        grouped = FileLayout(slots=1, group=3)
+        assert shared.physical_name(0, 0, 0) != grouped.physical_name(0, 0, 0)
+
+    def test_segment_key_unique_per_node(self):
+        layout = FileLayout()
+        assert layout.segment_key(0, 1) != layout.segment_key(0, 2)
+        assert layout.segment_key(0, 1) != layout.segment_key(1, 1)
+
+
+class TestRelabel:
+    def test_consecutive_slots(self):
+        import numpy as np
+
+        children = [Node(i, 1, np.array([1, 0])) for i in (5, 9, 12)]
+        mapping = relabel_slots(children)
+        assert mapping == {5: 0, 9: 1, 12: 2}
+
+    def test_empty(self):
+        assert relabel_slots([]) == {}

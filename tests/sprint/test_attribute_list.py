@@ -1,0 +1,91 @@
+"""Unit tests for attribute-list construction (the setup phase)."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Attribute, AttributeKind
+from repro.smp.machine import machine_a
+from repro.sprint.attribute_list import (
+    build_attribute_list,
+    build_attribute_lists,
+    setup_costs,
+)
+from repro.sprint.records import CATEGORICAL_RECORD, CONTINUOUS_RECORD
+
+
+class TestBuildOne:
+    def test_continuous_sorted_by_value(self):
+        attr = Attribute("age", AttributeKind.CONTINUOUS)
+        values = np.array([30.0, 10.0, 20.0])
+        labels = np.array([0, 1, 0], dtype=np.int32)
+        alist = build_attribute_list(attr, values, labels)
+        np.testing.assert_array_equal(alist.records["value"], [10.0, 20.0, 30.0])
+        np.testing.assert_array_equal(alist.records["tid"], [1, 2, 0])
+        np.testing.assert_array_equal(alist.records["cls"], [1, 0, 0])
+        assert alist.is_sorted()
+
+    def test_tid_tiebreak_on_equal_values(self):
+        attr = Attribute("x", AttributeKind.CONTINUOUS)
+        values = np.array([5.0, 5.0, 5.0])
+        labels = np.zeros(3, dtype=np.int32)
+        alist = build_attribute_list(attr, values, labels)
+        np.testing.assert_array_equal(alist.records["tid"], [0, 1, 2])
+
+    def test_categorical_keeps_tuple_order(self):
+        attr = Attribute("car", AttributeKind.CATEGORICAL, 3)
+        values = np.array([2, 0, 1], dtype=np.int64)
+        labels = np.array([0, 1, 0], dtype=np.int32)
+        alist = build_attribute_list(attr, values, labels)
+        np.testing.assert_array_equal(alist.records["value"], [2, 0, 1])
+        np.testing.assert_array_equal(alist.records["tid"], [0, 1, 2])
+
+    def test_dtypes(self):
+        cont = build_attribute_list(
+            Attribute("a", AttributeKind.CONTINUOUS),
+            np.array([1.0]),
+            np.array([0], dtype=np.int32),
+        )
+        cat = build_attribute_list(
+            Attribute("b", AttributeKind.CATEGORICAL, 2),
+            np.array([1], dtype=np.int64),
+            np.array([0], dtype=np.int32),
+        )
+        assert cont.records.dtype == CONTINUOUS_RECORD
+        assert cat.records.dtype == CATEGORICAL_RECORD
+
+
+class TestBuildAll:
+    def test_one_list_per_attribute(self, car_insurance):
+        lists = build_attribute_lists(car_insurance)
+        assert len(lists) == 2
+        assert lists[0].attribute.name == "age"
+        assert lists[0].is_sorted()
+        assert lists[1].attribute.name == "car_type"
+
+    def test_every_list_covers_all_tuples(self, small_f2):
+        lists = build_attribute_lists(small_f2)
+        for alist in lists:
+            assert alist.n_records == small_f2.n_records
+            assert sorted(alist.records["tid"]) == list(
+                range(small_f2.n_records)
+            )
+
+    def test_class_labels_travel_with_records(self, car_insurance):
+        lists = build_attribute_lists(car_insurance)
+        for alist in lists:
+            for rec in alist.records:
+                assert rec["cls"] == car_insurance.labels[rec["tid"]]
+
+
+class TestSetupCosts:
+    def test_breakdown_keys(self, small_f2):
+        costs = setup_costs(small_f2, machine_a(1))
+        assert set(costs) == {"setup", "sort", "write_bytes"}
+        assert costs["setup"] > 0 and costs["sort"] > 0
+
+    def test_sort_charged_only_for_continuous(self, car_insurance):
+        m = machine_a(1)
+        costs = setup_costs(car_insurance, m)
+        n = car_insurance.n_records
+        expected_sort = m.cpu_sort_record * n * np.log2(n)
+        assert costs["sort"] == pytest.approx(expected_sort)

@@ -1,0 +1,108 @@
+"""Tests for the impurity criteria (gini and entropy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.metrics import accuracy
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.sprint.criteria import (
+    entropy_impurity,
+    get_criterion,
+    gini_impurity,
+    weighted_impurity,
+)
+from repro.sprint.gini import best_continuous_split, gini_from_counts
+
+
+class TestImpurityFunctions:
+    def test_gini_matches_scalar(self):
+        counts = np.array([[3, 7], [5, 5], [10, 0]])
+        out = gini_impurity(counts)
+        for row, expected in zip(counts, out):
+            assert gini_from_counts(row) == pytest.approx(expected)
+
+    def test_entropy_known_values(self):
+        counts = np.array([[5, 5], [10, 0], [0, 0]])
+        out = entropy_impurity(counts)
+        assert out[0] == pytest.approx(1.0)  # 50/50 = 1 bit
+        assert out[1] == 0.0  # pure
+        assert out[2] == 0.0  # empty
+
+    def test_entropy_three_class_uniform(self):
+        out = entropy_impurity(np.array([[4, 4, 4]]))
+        assert out[0] == pytest.approx(np.log2(3))
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError, match="criterion"):
+            get_criterion("chi2")
+
+    def test_weighted_impurity_pure_split(self):
+        left = np.array([[5, 0]])
+        right = np.array([[0, 5]])
+        for name in ("gini", "entropy"):
+            out = weighted_impurity(left, right, get_criterion(name))
+            assert out[0] == pytest.approx(0.0)
+
+
+class TestEntropySplits:
+    def test_perfect_split_found(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0, 11.0, 12.0])
+        classes = np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        cand = best_continuous_split(values, classes, 2, criterion="entropy")
+        assert cand.threshold == pytest.approx(6.5)
+        assert cand.weighted_gini == pytest.approx(0.0)
+
+    def test_entropy_tree_builds_and_classifies(self, small_f2):
+        result = build_classifier(
+            small_f2, params=BuildParams(criterion="entropy")
+        )
+        assert accuracy(result.tree, small_f2) > 0.99
+
+    def test_entropy_deterministic_across_schemes(self, small_f7):
+        params = BuildParams(criterion="entropy")
+        reference = build_classifier(
+            small_f7, algorithm="serial", params=params
+        ).tree
+        for algorithm in ("mwk", "subtree"):
+            result = build_classifier(
+                small_f7, algorithm=algorithm, n_procs=3, params=params
+            )
+            assert result.tree.signature() == reference.signature()
+
+    def test_sliq_parity_with_entropy(self, small_f2):
+        from repro.sliq import build_sliq
+
+        params = BuildParams(criterion="entropy")
+        sprint = build_classifier(
+            small_f2, algorithm="serial", params=params
+        ).tree
+        sliq = build_sliq(small_f2, params)
+        assert sliq.signature() == sprint.signature()
+
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(ValueError, match="criterion"):
+            BuildParams(criterion="chi2")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_impurity_bounds(counts):
+    """0 <= gini <= 0.5 and 0 <= entropy <= 1 for binary counts; both
+    are zero exactly on pure (or empty) rows."""
+    matrix = np.array(counts)
+    g = gini_impurity(matrix)
+    h = entropy_impurity(matrix)
+    assert np.all((g >= 0) & (g <= 0.5 + 1e-12))
+    assert np.all((h >= 0) & (h <= 1.0 + 1e-12))
+    pure = (matrix.min(axis=1) == 0)
+    np.testing.assert_array_almost_equal(g[pure], 0.0)
+    np.testing.assert_array_almost_equal(h[pure], 0.0)

@@ -1,0 +1,204 @@
+"""Unit and property tests for gini split evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sprint.gini import (
+    SplitCandidate,
+    best_categorical_split,
+    best_continuous_split,
+    gini,
+    gini_from_counts,
+)
+
+
+class TestGiniIndex:
+    def test_pure_set_is_zero(self):
+        assert gini_from_counts(np.array([10, 0])) == 0.0
+
+    def test_even_binary_split_is_half(self):
+        assert gini_from_counts(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty_set_is_zero(self):
+        assert gini_from_counts(np.array([0, 0])) == 0.0
+
+    def test_three_class_uniform(self):
+        assert gini_from_counts(np.array([4, 4, 4])) == pytest.approx(2 / 3)
+
+    def test_from_labels(self):
+        labels = np.array([0, 0, 1, 1], dtype=np.int32)
+        assert gini(labels, 2) == pytest.approx(0.5)
+
+    def test_paper_definition(self):
+        """gini(S) = 1 - sum p_j^2 (paper §2.2)."""
+        counts = np.array([3, 7])
+        expected = 1 - (0.3**2 + 0.7**2)
+        assert gini_from_counts(counts) == pytest.approx(expected)
+
+
+class TestContinuousSplit:
+    def test_perfect_split(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0, 11.0, 12.0])
+        classes = np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        cand = best_continuous_split(values, classes, 2)
+        assert cand.weighted_gini == pytest.approx(0.0)
+        assert cand.threshold == pytest.approx(6.5)  # midpoint of 3 and 10
+        assert cand.n_left == 3 and cand.n_right == 3
+
+    def test_midpoint_rule(self):
+        values = np.array([1.0, 3.0])
+        classes = np.array([0, 1], dtype=np.int32)
+        cand = best_continuous_split(values, classes, 2)
+        assert cand.threshold == pytest.approx(2.0)
+
+    def test_all_equal_values_no_split(self):
+        values = np.array([5.0, 5.0, 5.0])
+        classes = np.array([0, 1, 0], dtype=np.int32)
+        assert best_continuous_split(values, classes, 2) is None
+
+    def test_single_record_no_split(self):
+        assert best_continuous_split(
+            np.array([1.0]), np.array([0], dtype=np.int32), 2
+        ) is None
+
+    def test_duplicates_never_split_apart(self):
+        """Candidate points exist only between distinct values."""
+        values = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        classes = np.array([0, 0, 1, 0, 1], dtype=np.int32)
+        cand = best_continuous_split(values, classes, 2)
+        assert cand.threshold in (1.5, 2.5)
+
+    def test_earliest_tie_wins(self):
+        """Symmetric data: the first optimal boundary is chosen
+        (determinism across schemes relies on this)."""
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        classes = np.array([0, 1, 0, 1], dtype=np.int32)
+        cand = best_continuous_split(values, classes, 2)
+        repeat = best_continuous_split(values, classes, 2)
+        assert cand.threshold == repeat.threshold
+
+    def test_work_points_is_record_count(self):
+        values = np.arange(50, dtype=np.float64)
+        classes = (np.arange(50) % 2).astype(np.int32)
+        cand = best_continuous_split(values, classes, 2)
+        assert cand.work_points == 50
+
+
+class TestCategoricalSplit:
+    def test_perfect_split(self):
+        values = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        classes = np.array([0, 0, 1, 1, 1, 1], dtype=np.int32)
+        cand = best_categorical_split(values, classes, 3, 2)
+        assert cand.weighted_gini == pytest.approx(0.0)
+        assert cand.subset in (frozenset({0}), frozenset({1, 2}))
+
+    def test_single_value_no_split(self):
+        values = np.zeros(5, dtype=np.int64)
+        classes = np.array([0, 1, 0, 1, 0], dtype=np.int32)
+        assert best_categorical_split(values, classes, 3, 2) is None
+
+    def test_subset_is_proper(self):
+        values = np.array([0, 1, 2, 3] * 5, dtype=np.int64)
+        classes = (np.arange(20) % 2).astype(np.int32)
+        cand = best_categorical_split(values, classes, 4, 2)
+        assert 0 < len(cand.subset) < 4
+
+    def test_greedy_used_above_threshold(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 15, 600)
+        classes = (values % 2).astype(np.int32)
+        cand = best_categorical_split(
+            values, classes, 15, 2, max_exhaustive=10
+        )
+        # Perfect split exists: even vs odd codes; greedy should find it.
+        assert cand.weighted_gini == pytest.approx(0.0, abs=1e-12)
+        assert cand.subset in (
+            frozenset(range(0, 15, 2)),
+            frozenset(range(1, 15, 2)),
+        )
+
+    def test_exhaustive_matches_greedy_on_easy_case(self):
+        values = np.array([0, 0, 1, 1, 2, 2, 3, 3], dtype=np.int64)
+        classes = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int32)
+        ex = best_categorical_split(values, classes, 4, 2, max_exhaustive=10)
+        gr = best_categorical_split(values, classes, 4, 2, max_exhaustive=1)
+        assert ex.weighted_gini == pytest.approx(gr.weighted_gini)
+
+    def test_exhaustive_subset_count(self):
+        """With v present values, 2^(v-1) - 1 subsets are evaluated."""
+        values = np.array([0, 1, 2] * 4, dtype=np.int64)
+        classes = (np.arange(12) % 2).astype(np.int32)
+        cand = best_categorical_split(values, classes, 3, 2)
+        assert cand.work_points == 3  # 2^2 - 1
+
+
+class TestSplitCandidate:
+    def test_requires_exactly_one_test(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SplitCandidate(0.1, threshold=1.0, subset=frozenset({1}),
+                           n_left=1, n_right=1, work_points=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            SplitCandidate(0.1, threshold=None, subset=None,
+                           n_left=1, n_right=1, work_points=1)
+
+    def test_requires_nonempty_sides(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SplitCandidate(0.1, threshold=1.0, subset=None,
+                           n_left=0, n_right=5, work_points=1)
+
+    def test_is_continuous(self):
+        cont = SplitCandidate(0.1, 1.0, None, 1, 1, 1)
+        cat = SplitCandidate(0.1, None, frozenset({0}), 1, 1, 1)
+        assert cont.is_continuous and not cat.is_continuous
+
+
+# -- property-based tests --------------------------------------------------------
+
+labels_strategy = st.lists(st.integers(0, 2), min_size=2, max_size=80)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labels=labels_strategy)
+def test_gini_bounds(labels):
+    """0 <= gini < 1 - 1/k for k classes."""
+    g = gini(np.array(labels, dtype=np.int32), 3)
+    assert 0.0 <= g <= 2 / 3 + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 20), min_size=2, max_size=60),
+    seed=st.integers(0, 1000),
+)
+def test_continuous_split_never_worse_than_parent(values, seed):
+    """A returned split's weighted gini never exceeds the parent's gini."""
+    rng = np.random.default_rng(seed)
+    values = np.sort(np.array(values, dtype=np.float64))
+    classes = rng.integers(0, 2, len(values)).astype(np.int32)
+    cand = best_continuous_split(values, classes, 2)
+    parent = gini(classes, 2)
+    if cand is not None:
+        assert cand.weighted_gini <= parent + 1e-9
+        assert cand.n_left + cand.n_right == len(values)
+        assert values[0] < cand.threshold <= values[-1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 50),
+    cardinality=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_categorical_split_invariants(n, cardinality, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, n)
+    classes = rng.integers(0, 2, n).astype(np.int32)
+    cand = best_categorical_split(values, classes, cardinality, 2)
+    if cand is not None:
+        parent = gini(classes, 2)
+        assert cand.weighted_gini <= parent + 1e-9
+        assert cand.n_left + cand.n_right == n
+        present = set(np.unique(values).tolist())
+        assert set(cand.subset) < present  # proper subset of present values

@@ -1,0 +1,107 @@
+"""Histogram tests, including the scan-vs-vectorized cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sprint.gini import best_continuous_split
+from repro.sprint.histogram import (
+    ClassHistogram,
+    CountMatrix,
+    scan_continuous_split,
+)
+
+
+class TestClassHistogram:
+    def test_initial_state(self):
+        h = ClassHistogram(2, np.array([3, 4]))
+        assert h.n_below == 0 and h.n_above == 7
+
+    def test_advance_moves_one_record(self):
+        h = ClassHistogram(2, np.array([3, 4]))
+        h.advance(1)
+        np.testing.assert_array_equal(h.below, [0, 1])
+        np.testing.assert_array_equal(h.above, [3, 3])
+
+    def test_advance_exhausted_class_rejected(self):
+        h = ClassHistogram(2, np.array([1, 0]))
+        with pytest.raises(ValueError, match="no remaining"):
+            h.advance(1)
+
+    def test_split_gini_balanced(self):
+        h = ClassHistogram(2, np.array([2, 2]))
+        h.advance(0)
+        h.advance(0)
+        # below = [2,0] pure, above = [0,2] pure -> weighted gini 0.
+        assert h.split_gini() == pytest.approx(0.0)
+
+    def test_counts_length_validated(self):
+        with pytest.raises(ValueError, match="length"):
+            ClassHistogram(3, np.array([1, 2]))
+
+
+class TestCountMatrix:
+    def test_from_records(self):
+        values = np.array([0, 1, 1, 2], dtype=np.int64)
+        classes = np.array([0, 0, 1, 1], dtype=np.int32)
+        m = CountMatrix.from_records(values, classes, 3, 2)
+        np.testing.assert_array_equal(
+            m.counts, [[1, 0], [1, 1], [0, 1]]
+        )
+
+    def test_present_values(self):
+        m = CountMatrix(4, 2)
+        m.add(0, 1)
+        m.add(3, 0)
+        np.testing.assert_array_equal(m.present_values(), [0, 3])
+
+    def test_subset_gini_perfect(self):
+        values = np.array([0, 0, 1, 1], dtype=np.int64)
+        classes = np.array([0, 0, 1, 1], dtype=np.int32)
+        m = CountMatrix.from_records(values, classes, 2, 2)
+        assert m.subset_gini(np.array([0])) == pytest.approx(0.0)
+
+    def test_total(self):
+        m = CountMatrix(2, 2)
+        m.add(0, 0)
+        m.add(1, 1)
+        assert m.total == 2
+
+
+class TestScanReference:
+    def test_matches_hand_example(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        classes = np.array([0, 0, 1, 1], dtype=np.int32)
+        cand = scan_continuous_split(values, classes, 2)
+        assert cand.threshold == pytest.approx(2.5)
+        assert cand.weighted_gini == pytest.approx(0.0)
+
+    def test_no_split_on_constant(self):
+        values = np.ones(4)
+        classes = np.array([0, 1, 0, 1], dtype=np.int32)
+        assert scan_continuous_split(values, classes, 2) is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(2, 80),
+    n_distinct=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_scan_equals_vectorized(n, n_distinct, seed):
+    """The O(n) scan reference and the vectorized production path agree
+    on gini, threshold and partition sizes for arbitrary sorted inputs."""
+    rng = np.random.default_rng(seed)
+    values = np.sort(rng.integers(0, n_distinct, n).astype(np.float64))
+    classes = rng.integers(0, 3, n).astype(np.int32)
+    reference = scan_continuous_split(values, classes, 3)
+    vectorized = best_continuous_split(values, classes, 3)
+    if reference is None:
+        assert vectorized is None
+    else:
+        assert vectorized.weighted_gini == pytest.approx(
+            reference.weighted_gini
+        )
+        assert vectorized.threshold == pytest.approx(reference.threshold)
+        assert vectorized.n_left == reference.n_left

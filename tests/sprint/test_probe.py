@@ -1,0 +1,106 @@
+"""Unit tests for the probe structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sprint.probe import BitProbe, HashProbe
+
+
+class TestBitProbe:
+    def test_mark_and_lookup(self):
+        p = BitProbe(10)
+        p.mark_left(np.array([1, 3, 5]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([0, 1, 2, 3])), [False, True, False, True]
+        )
+
+    def test_clear(self):
+        p = BitProbe(10)
+        p.mark_left(np.array([1, 2]))
+        p.clear(np.array([1]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([1, 2])), [False, True]
+        )
+
+    def test_disjoint_leaves_do_not_interfere(self):
+        """The global bit probe serves several leaves at once because
+        their tid sets are disjoint (paper §3.2.1)."""
+        p = BitProbe(20)
+        leaf_a = np.array([0, 1, 2, 3])
+        leaf_b = np.array([10, 11, 12, 13])
+        p.mark_left(leaf_a[:2])
+        p.clear(leaf_a[2:])
+        p.mark_left(leaf_b[1:])
+        p.clear(leaf_b[:1])
+        np.testing.assert_array_equal(
+            p.is_left(leaf_a), [True, True, False, False]
+        )
+        np.testing.assert_array_equal(
+            p.is_left(leaf_b), [False, True, True, True]
+        )
+
+    def test_nbytes(self):
+        assert BitProbe(1000).nbytes == 1000
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitProbe(-1)
+
+
+class TestHashProbe:
+    def test_mark_and_lookup(self):
+        p = HashProbe()
+        p.mark_left(np.array([5, 7]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([5, 6, 7])), [True, False, True]
+        )
+
+    def test_inverted_stores_right_side(self):
+        """The paper keeps "only the smaller child's tids"; the inverted
+        probe stores the right side and negates lookups."""
+        p = HashProbe(invert=True)
+        p.mark_right(np.array([1, 2]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([1, 2, 3])), [False, False, True]
+        )
+
+    def test_wrong_side_rejected(self):
+        with pytest.raises(RuntimeError):
+            HashProbe().mark_right(np.array([1]))
+        with pytest.raises(RuntimeError):
+            HashProbe(invert=True).mark_left(np.array([1]))
+
+    def test_clear(self):
+        p = HashProbe()
+        p.mark_left(np.array([1, 2]))
+        p.clear(np.array([2]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([1, 2])), [True, False]
+        )
+
+    def test_nbytes_grows(self):
+        p = HashProbe()
+        empty = p.nbytes
+        p.mark_left(np.arange(100))
+        assert p.nbytes > empty
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 10_000),
+)
+def test_probes_agree(n, seed):
+    """Bit and hash probes give identical answers for any marking."""
+    rng = np.random.default_rng(seed)
+    left_mask = rng.random(n) < 0.5
+    tids = np.arange(n)
+    bit = BitProbe(n)
+    hashp = HashProbe()
+    bit.mark_left(tids[left_mask])
+    bit.clear(tids[~left_mask])
+    hashp.mark_left(tids[left_mask])
+    np.testing.assert_array_equal(bit.is_left(tids), hashp.is_left(tids))
+    np.testing.assert_array_equal(bit.is_left(tids), left_mask)

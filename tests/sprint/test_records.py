@@ -1,0 +1,62 @@
+"""Unit tests for attribute-list record layouts."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Attribute, AttributeKind
+from repro.sprint.records import (
+    CATEGORICAL_RECORD,
+    CONTINUOUS_RECORD,
+    make_records,
+    record_dtype,
+    record_nbytes,
+)
+
+CONT = Attribute("age", AttributeKind.CONTINUOUS)
+CAT = Attribute("car", AttributeKind.CATEGORICAL, 5)
+
+
+class TestDtypes:
+    def test_fields(self):
+        assert CONTINUOUS_RECORD.names == ("value", "cls", "tid")
+        assert CATEGORICAL_RECORD.names == ("value", "cls", "tid")
+
+    def test_dispatch(self):
+        assert record_dtype(CONT) == CONTINUOUS_RECORD
+        assert record_dtype(CAT) == CATEGORICAL_RECORD
+
+    def test_record_nbytes(self):
+        assert record_nbytes(CONT) == CONTINUOUS_RECORD.itemsize
+        assert record_nbytes(CAT) == CATEGORICAL_RECORD.itemsize
+
+
+class TestMakeRecords:
+    def test_continuous(self):
+        recs = make_records(
+            CONT,
+            np.array([1.5, 2.5]),
+            np.array([0, 1], dtype=np.int32),
+            np.array([7, 8], dtype=np.int64),
+        )
+        assert recs.dtype == CONTINUOUS_RECORD
+        np.testing.assert_array_equal(recs["value"], [1.5, 2.5])
+        np.testing.assert_array_equal(recs["cls"], [0, 1])
+        np.testing.assert_array_equal(recs["tid"], [7, 8])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            make_records(
+                CONT,
+                np.array([1.0]),
+                np.array([0, 1], dtype=np.int32),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_empty(self):
+        recs = make_records(
+            CAT,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int32),
+            np.array([], dtype=np.int64),
+        )
+        assert len(recs) == 0

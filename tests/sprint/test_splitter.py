@@ -1,0 +1,108 @@
+"""Unit and property tests for attribute-list splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sprint.gini import SplitCandidate
+from repro.sprint.probe import BitProbe
+from repro.sprint.records import CATEGORICAL_RECORD, CONTINUOUS_RECORD
+from repro.sprint.splitter import (
+    split_records,
+    split_winner_records,
+    winner_left_mask,
+)
+
+
+def continuous_records(values, classes=None, tids=None):
+    n = len(values)
+    out = np.zeros(n, dtype=CONTINUOUS_RECORD)
+    out["value"] = values
+    out["cls"] = classes if classes is not None else np.zeros(n)
+    out["tid"] = tids if tids is not None else np.arange(n)
+    return out
+
+
+class TestWinnerSplit:
+    def test_continuous_threshold(self):
+        recs = continuous_records([1.0, 2.0, 3.0, 4.0])
+        cand = SplitCandidate(0.0, threshold=2.5, subset=None,
+                              n_left=2, n_right=2, work_points=4)
+        left, right = split_winner_records(recs, cand)
+        np.testing.assert_array_equal(left["value"], [1.0, 2.0])
+        np.testing.assert_array_equal(right["value"], [3.0, 4.0])
+
+    def test_boundary_goes_right(self):
+        """The test is value < threshold: equality routes right."""
+        recs = continuous_records([2.5])
+        cand = SplitCandidate(0.0, threshold=2.5, subset=None,
+                              n_left=1, n_right=1, work_points=1)
+        left, right = split_winner_records(recs, cand)
+        assert len(left) == 0 and len(right) == 1
+
+    def test_categorical_subset(self):
+        recs = np.zeros(4, dtype=CATEGORICAL_RECORD)
+        recs["value"] = [0, 1, 2, 1]
+        recs["tid"] = np.arange(4)
+        cand = SplitCandidate(0.0, threshold=None, subset=frozenset({1}),
+                              n_left=2, n_right=2, work_points=1)
+        left, right = split_winner_records(recs, cand)
+        np.testing.assert_array_equal(left["tid"], [1, 3])
+        np.testing.assert_array_equal(right["tid"], [0, 2])
+
+
+class TestProbeSplit:
+    def test_split_by_probe(self):
+        recs = continuous_records([5.0, 1.0, 3.0], tids=[10, 11, 12])
+        probe = BitProbe(20)
+        probe.mark_left(np.array([11]))
+        left, right = split_records(recs, probe)
+        np.testing.assert_array_equal(left["tid"], [11])
+        np.testing.assert_array_equal(right["tid"], [10, 12])
+
+    def test_order_preserved(self):
+        """Splits keep relative record order, so continuous lists stay
+        sorted without re-sorting (paper §2.1)."""
+        values = np.sort(np.random.default_rng(1).random(100))
+        recs = continuous_records(values)
+        probe = BitProbe(100)
+        probe.mark_left(np.arange(0, 100, 3))
+        left, right = split_records(recs, probe)
+        assert np.all(np.diff(left["value"]) >= 0)
+        assert np.all(np.diff(right["value"]) >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 120), seed=st.integers(0, 10_000))
+def test_split_partition_invariants(n, seed):
+    """Every record lands in exactly one side; order is preserved."""
+    rng = np.random.default_rng(seed)
+    values = np.sort(rng.random(n))
+    recs = continuous_records(values)
+    probe = BitProbe(max(n, 1))
+    left_tids = np.flatnonzero(rng.random(n) < 0.5)
+    probe.mark_left(left_tids)
+    left, right = split_records(recs, probe)
+    assert len(left) + len(right) == n
+    assert set(left["tid"]) | set(right["tid"]) == set(range(n))
+    assert set(left["tid"]) & set(right["tid"]) == set()
+    if len(left) > 1:
+        assert np.all(np.diff(left["value"]) >= 0)
+    if len(right) > 1:
+        assert np.all(np.diff(right["value"]) >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 100),
+    threshold=st.floats(0.0, 1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_winner_mask_matches_direct_test(n, threshold, seed):
+    rng = np.random.default_rng(seed)
+    recs = continuous_records(rng.random(n))
+    cand = SplitCandidate(0.0, threshold=threshold, subset=None,
+                          n_left=1, n_right=1, work_points=1)
+    mask = winner_left_mask(recs, cand)
+    np.testing.assert_array_equal(mask, recs["value"] < threshold)

@@ -1,0 +1,90 @@
+"""Thread-safety tests for the storage backends under real threads."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sprint.records import CONTINUOUS_RECORD
+from repro.storage.backends import DiskBackend, MemoryBackend
+
+
+def recs(n, start=0):
+    out = np.zeros(n, dtype=CONTINUOUS_RECORD)
+    out["tid"] = np.arange(start, start + n)
+    return out
+
+
+@pytest.fixture(params=["memory", "disk"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        b = MemoryBackend()
+    else:
+        b = DiskBackend(str(tmp_path / "c.pg"), buffer_capacity=16)
+    yield b
+    b.close()
+
+
+class TestConcurrentAccess:
+    def test_parallel_writers_distinct_keys(self, backend):
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(20):
+                    backend.write(f"k{tid}.{i}", recs(25, start=tid * 1000))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(backend.keys()) == 120
+        for tid in range(6):
+            out = backend.read(f"k{tid}.0")
+            assert out["tid"][0] == tid * 1000
+
+    def test_parallel_appenders_same_key(self, backend):
+        """Appends from several threads all land (order unspecified)."""
+        def appender(tid):
+            for _ in range(10):
+                backend.append("shared", recs(5, start=tid))
+
+        threads = [
+            threading.Thread(target=appender, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(backend.read("shared")) == 200
+
+    def test_readers_and_writers(self, backend):
+        backend.write("hot", recs(50))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    out = backend.read("hot")
+                    assert len(out) == 50
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        def writer():
+            for i in range(50):
+                backend.write(f"cold{i}", recs(25))
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -1,0 +1,128 @@
+"""Unit tests for the record-array storage backends."""
+
+import numpy as np
+import pytest
+
+from repro.sprint.records import CATEGORICAL_RECORD, CONTINUOUS_RECORD
+from repro.storage.backends import DiskBackend, MemoryBackend
+
+
+def recs(n, dtype=CONTINUOUS_RECORD, start=0):
+    out = np.zeros(n, dtype=dtype)
+    out["value"] = np.arange(start, start + n)
+    out["cls"] = np.arange(n) % 2
+    out["tid"] = np.arange(start, start + n)
+    return out
+
+
+@pytest.fixture(params=["memory", "disk"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        b = MemoryBackend()
+    else:
+        b = DiskBackend(str(tmp_path / "store.pg"), buffer_capacity=8)
+    yield b
+    b.close()
+
+
+class TestRoundTrip:
+    def test_write_read(self, backend):
+        data = recs(100)
+        backend.write("k", data)
+        np.testing.assert_array_equal(backend.read("k"), data)
+
+    def test_overwrite(self, backend):
+        backend.write("k", recs(10))
+        backend.write("k", recs(5, start=100))
+        out = backend.read("k")
+        assert len(out) == 5
+        assert out["tid"][0] == 100
+
+    def test_append_concatenates(self, backend):
+        backend.append("k", recs(3))
+        backend.append("k", recs(2, start=10))
+        out = backend.read("k")
+        assert len(out) == 5
+        np.testing.assert_array_equal(out["tid"], [0, 1, 2, 10, 11])
+
+    def test_empty_records(self, backend):
+        backend.write("k", recs(0))
+        assert len(backend.read("k")) == 0
+
+    def test_categorical_dtype(self, backend):
+        data = recs(20, dtype=CATEGORICAL_RECORD)
+        backend.write("k", data)
+        out = backend.read("k")
+        assert out.dtype == CATEGORICAL_RECORD
+        np.testing.assert_array_equal(out, data)
+
+    def test_large_multi_page_array(self, backend):
+        data = recs(5000)  # ~100 KB: spans many pages on disk
+        backend.write("big", data)
+        np.testing.assert_array_equal(backend.read("big"), data)
+
+
+class TestKeys:
+    def test_missing_key(self, backend):
+        with pytest.raises(KeyError):
+            backend.read("missing")
+
+    def test_exists(self, backend):
+        assert not backend.exists("k")
+        backend.write("k", recs(1))
+        assert backend.exists("k")
+
+    def test_delete(self, backend):
+        backend.write("k", recs(1))
+        backend.delete("k")
+        assert not backend.exists("k")
+        with pytest.raises(KeyError):
+            backend.read("k")
+
+    def test_delete_missing_is_noop(self, backend):
+        backend.delete("never-existed")
+
+    def test_keys_listing(self, backend):
+        backend.write("a", recs(1))
+        backend.write("b", recs(1))
+        assert sorted(backend.keys()) == ["a", "b"]
+
+    def test_nbytes(self, backend):
+        data = recs(10)
+        backend.write("k", data)
+        assert backend.nbytes("k") == data.nbytes
+        assert backend.nbytes("other") == 0
+
+    def test_independent_keys(self, backend):
+        backend.write("a", recs(3))
+        backend.write("b", recs(7, start=50))
+        assert len(backend.read("a")) == 3
+        assert len(backend.read("b")) == 7
+
+
+class TestDiskSpecifics:
+    def test_stats_track_bytes(self, tmp_path):
+        b = DiskBackend(str(tmp_path / "s.pg"))
+        data = recs(100)
+        b.write("k", data)
+        b.read("k")
+        assert b.stats.bytes_written == data.nbytes
+        assert b.stats.bytes_read == data.nbytes
+        b.close()
+
+    def test_pages_reused_after_delete(self, tmp_path):
+        b = DiskBackend(str(tmp_path / "r.pg"))
+        b.write("k", recs(1000))
+        pages_before = b._pagefile.n_pages
+        b.delete("k")
+        b.write("k2", recs(1000))
+        assert b._pagefile.n_pages == pages_before  # free list reused
+        b.close()
+
+    def test_append_dtype_mismatch_rejected(self, tmp_path):
+        b = DiskBackend(str(tmp_path / "d.pg"))
+        b.append("k", recs(5, dtype=CONTINUOUS_RECORD))
+        other = np.zeros(5, dtype=np.dtype([("value", np.int16)]))
+        with pytest.raises(ValueError, match="dtype"):
+            b.append("k", other)
+        b.close()

@@ -1,0 +1,156 @@
+"""Unit and property tests for the LRU buffer manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferManager
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def setup(tmp_path):
+    pf = PageFile(str(tmp_path / "b.pg"))
+    bm = BufferManager(pf, capacity=3)
+    yield pf, bm
+    pf.close()
+
+
+def fill(pf, n):
+    ids = []
+    for i in range(n):
+        pid = pf.allocate()
+        pf.write_page(pid, f"v{i}".encode())
+        ids.append(pid)
+    return ids
+
+
+class TestBasics:
+    def test_get_faults_in(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        assert bm.get(pid) == b"v0"
+        assert bm.stats.misses == 1
+
+    def test_second_get_hits(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        bm.get(pid)
+        bm.get(pid)
+        assert bm.stats.hits == 1
+        assert bm.stats.hit_rate == 0.5
+
+    def test_put_then_get_without_disk(self, setup):
+        pf, bm = setup
+        pid = pf.allocate()
+        bm.put(pid, b"fresh")
+        assert bm.get(pid) == b"fresh"
+        assert bm.stats.misses == 0
+
+    def test_capacity_validated(self, setup):
+        pf, _ = setup
+        with pytest.raises(ValueError, match="capacity"):
+            BufferManager(pf, capacity=0)
+
+
+class TestEviction:
+    def test_lru_victim(self, setup):
+        pf, bm = setup
+        ids = fill(pf, 4)
+        for pid in ids[:3]:
+            bm.get(pid)
+        bm.get(ids[0])  # refresh 0 -> LRU order is 1, 2, 0
+        bm.get(ids[3])  # evicts ids[1]
+        assert bm.n_resident == 3
+        misses_before = bm.stats.misses
+        bm.get(ids[1])  # must re-fault
+        assert bm.stats.misses == misses_before + 1
+
+    def test_dirty_eviction_writes_back(self, setup):
+        pf, bm = setup
+        ids = fill(pf, 4)
+        bm.put(ids[0], b"dirty0")
+        for pid in ids[1:]:
+            bm.get(pid)  # pushes ids[0] out
+        bm.clear()
+        assert pf.read_page(ids[0]) == b"dirty0"
+
+    def test_pinned_pages_survive(self, setup):
+        pf, bm = setup
+        ids = fill(pf, 4)
+        bm.get(ids[0], pin=True)
+        for pid in ids[1:]:
+            bm.get(pid)
+        # ids[0] pinned: still resident without a disk read.
+        misses_before = bm.stats.misses
+        bm.get(ids[0])
+        assert bm.stats.misses == misses_before
+        bm.unpin(ids[0])
+
+    def test_all_pinned_exhausts_pool(self, setup):
+        pf, bm = setup
+        ids = fill(pf, 4)
+        for pid in ids[:3]:
+            bm.get(pid, pin=True)
+        with pytest.raises(RuntimeError, match="pinned"):
+            bm.get(ids[3])
+
+    def test_unpin_unpinned_rejected(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        bm.get(pid)
+        with pytest.raises(ValueError, match="not pinned"):
+            bm.unpin(pid)
+
+
+class TestFlushInvalidate:
+    def test_flush_single(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        bm.put(pid, b"changed")
+        bm.flush(pid)
+        assert pf.read_page(pid) == b"changed"
+
+    def test_invalidate_drops_without_writeback(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        bm.put(pid, b"doomed")
+        bm.invalidate(pid)
+        assert pf.read_page(pid) == b"v0"
+
+    def test_invalidate_pinned_rejected(self, setup):
+        pf, bm = setup
+        (pid,) = fill(pf, 1)
+        bm.get(pid, pin=True)
+        with pytest.raises(ValueError, match="pinned"):
+            bm.invalidate(pid)
+        bm.unpin(pid)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["get", "put"]), st.integers(0, 7)),
+        min_size=1,
+        max_size=60,
+    ),
+    capacity=st.integers(1, 5),
+)
+def test_read_your_writes(tmp_path_factory, ops, capacity):
+    """Property: the buffer always returns the latest value written,
+    regardless of access pattern, capacity or eviction order."""
+    tmp = tmp_path_factory.mktemp("prop")
+    with PageFile(str(tmp / "p.pg")) as pf:
+        bm = BufferManager(pf, capacity=capacity)
+        ids = fill(pf, 8)
+        expected = {pid: f"v{i}".encode() for i, pid in enumerate(ids)}
+        for i, (op, slot) in enumerate(ops):
+            pid = ids[slot]
+            if op == "put":
+                value = f"w{i}".encode()
+                bm.put(pid, value)
+                expected[pid] = value
+            else:
+                assert bm.get(pid) == expected[pid]
+        for pid in ids:
+            assert bm.get(pid) == expected[pid]

@@ -1,0 +1,133 @@
+"""Tests for the external merge sort and ranged backend reads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sprint.records import CONTINUOUS_RECORD
+from repro.storage.backends import DiskBackend, MemoryBackend
+from repro.storage.external_sort import external_sort
+
+
+def random_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = np.zeros(n, dtype=CONTINUOUS_RECORD)
+    out["value"] = rng.integers(0, max(n // 3, 2), n).astype(np.float64)
+    out["cls"] = rng.integers(0, 2, n)
+    out["tid"] = rng.permutation(n)
+    return out
+
+
+def reference_sort(records):
+    return records[np.lexsort((records["tid"], records["value"]))]
+
+
+@pytest.fixture(params=["memory", "disk"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        b = MemoryBackend()
+    else:
+        b = DiskBackend(str(tmp_path / "es.pg"), buffer_capacity=8)
+    yield b
+    b.close()
+
+
+class TestReadRange:
+    def test_slice_semantics(self, backend):
+        data = random_records(100)
+        backend.write("k", data)
+        np.testing.assert_array_equal(
+            backend.read_range("k", 10, 25), data[10:25]
+        )
+
+    def test_clamped_bounds(self, backend):
+        data = random_records(10)
+        backend.write("k", data)
+        assert len(backend.read_range("k", 5, 500)) == 5
+        assert len(backend.read_range("k", 500, 600)) == 0
+
+    def test_across_page_boundaries(self, tmp_path):
+        b = DiskBackend(str(tmp_path / "pages.pg"))
+        data = random_records(3000)  # spans many 8 KB pages
+        b.write("k", data)
+        np.testing.assert_array_equal(
+            b.read_range("k", 1500, 1700), data[1500:1700]
+        )
+        b.close()
+
+    def test_n_records(self, backend):
+        backend.write("k", random_records(42))
+        assert backend.n_records("k") == 42
+        assert backend.n_records("absent") == 0
+
+
+class TestExternalSort:
+    def test_matches_in_memory_sort(self, backend):
+        data = random_records(500, seed=1)
+        backend.write("in", data)
+        stats = external_sort(backend, "in", "out", memory_records=64)
+        np.testing.assert_array_equal(
+            backend.read("out"), reference_sort(data)
+        )
+        assert stats.n_runs == -(-500 // 64)
+
+    def test_single_run_shortcut(self, backend):
+        data = random_records(50, seed=2)
+        backend.write("in", data)
+        stats = external_sort(backend, "in", "out", memory_records=100)
+        assert stats.n_runs == 1
+        np.testing.assert_array_equal(
+            backend.read("out"), reference_sort(data)
+        )
+
+    def test_runs_cleaned_up(self, backend):
+        backend.write("in", random_records(300, seed=3))
+        external_sort(backend, "in", "out", memory_records=50)
+        assert not any(".run" in k for k in backend.keys())
+
+    def test_input_untouched(self, backend):
+        data = random_records(200, seed=4)
+        backend.write("in", data)
+        external_sort(backend, "in", "out", memory_records=32)
+        np.testing.assert_array_equal(backend.read("in"), data)
+
+    def test_empty_input(self, backend):
+        backend.write("in", random_records(0))
+        stats = external_sort(backend, "in", "out", memory_records=10)
+        assert stats.n_records == 0
+        assert len(backend.read("out")) == 0
+
+    def test_missing_input(self, backend):
+        with pytest.raises(KeyError):
+            external_sort(backend, "ghost", "out", memory_records=10)
+
+    def test_memory_budget_validated(self, backend):
+        backend.write("in", random_records(5))
+        with pytest.raises(ValueError, match="memory_records"):
+            external_sort(backend, "in", "out", memory_records=1)
+
+    def test_stable_on_duplicate_values(self, backend):
+        """Equal values order by tid — the determinism SPRINT relies on."""
+        data = np.zeros(100, dtype=CONTINUOUS_RECORD)
+        data["value"] = 7.0
+        data["tid"] = np.random.default_rng(5).permutation(100)
+        backend.write("in", data)
+        external_sort(backend, "in", "out", memory_records=16)
+        out = backend.read("out")
+        np.testing.assert_array_equal(out["tid"], np.arange(100))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(0, 400),
+    memory=st.integers(2, 64),
+    seed=st.integers(0, 10_000),
+)
+def test_external_sort_property(n, memory, seed):
+    """Property: output == in-memory lexsort for any size/budget."""
+    backend = MemoryBackend()
+    data = random_records(n, seed=seed)
+    backend.write("in", data)
+    external_sort(backend, "in", "out", memory_records=memory)
+    np.testing.assert_array_equal(backend.read("out"), reference_sort(data))

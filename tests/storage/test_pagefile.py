@@ -1,0 +1,127 @@
+"""Unit tests for the checksummed page file."""
+
+import os
+
+import pytest
+
+from repro.storage.pagefile import (
+    PAGE_PAYLOAD,
+    PAGE_SIZE,
+    PageCorruptionError,
+    PageFile,
+)
+
+
+@pytest.fixture
+def pf(tmp_path):
+    with PageFile(str(tmp_path / "data.pg")) as f:
+        yield f
+
+
+class TestAllocation:
+    def test_allocate_sequential(self, pf):
+        assert [pf.allocate() for _ in range(3)] == [0, 1, 2]
+        assert pf.n_pages == 3
+
+    def test_free_reuse(self, pf):
+        a = pf.allocate()
+        pf.allocate()
+        pf.free(a)
+        assert pf.allocate() == a
+
+    def test_double_free_rejected(self, pf):
+        a = pf.allocate()
+        pf.free(a)
+        with pytest.raises(ValueError, match="already freed"):
+            pf.free(a)
+
+    def test_free_out_of_range(self, pf):
+        with pytest.raises(ValueError, match="out of range"):
+            pf.free(0)
+
+    def test_truncate(self, pf):
+        pf.allocate()
+        pf.truncate()
+        assert pf.n_pages == 0
+
+
+class TestReadWrite:
+    def test_round_trip(self, pf):
+        pid = pf.allocate()
+        pf.write_page(pid, b"hello sprint")
+        assert pf.read_page(pid) == b"hello sprint"
+
+    def test_empty_payload(self, pf):
+        pid = pf.allocate()
+        pf.write_page(pid, b"")
+        assert pf.read_page(pid) == b""
+
+    def test_full_payload(self, pf):
+        pid = pf.allocate()
+        payload = bytes(range(256)) * (PAGE_PAYLOAD // 256 + 1)
+        payload = payload[:PAGE_PAYLOAD]
+        pf.write_page(pid, payload)
+        assert pf.read_page(pid) == payload
+
+    def test_oversized_payload_rejected(self, pf):
+        pid = pf.allocate()
+        with pytest.raises(ValueError, match="exceeds page capacity"):
+            pf.write_page(pid, b"x" * (PAGE_PAYLOAD + 1))
+
+    def test_overwrite(self, pf):
+        pid = pf.allocate()
+        pf.write_page(pid, b"first")
+        pf.write_page(pid, b"second")
+        assert pf.read_page(pid) == b"second"
+
+    def test_many_pages_independent(self, pf):
+        pids = [pf.allocate() for _ in range(10)]
+        for i, pid in enumerate(pids):
+            pf.write_page(pid, f"page-{i}".encode())
+        for i, pid in enumerate(pids):
+            assert pf.read_page(pid) == f"page-{i}".encode()
+
+
+class TestCorruption:
+    def test_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "c.pg")
+        with PageFile(path) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"precious data")
+        # Flip a payload byte on disk.
+        with open(path, "r+b") as f:
+            f.seek(20)
+            byte = f.read(1)
+            f.seek(20)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        with PageFile(path, create=False) as pf:
+            pf._n_pages = 1
+            with pytest.raises(PageCorruptionError, match="checksum"):
+                pf.read_page(0)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = str(tmp_path / "m.pg")
+        with open(path, "wb") as f:
+            f.write(b"\x00" * PAGE_SIZE)
+        with PageFile(path, create=False) as pf:
+            with pytest.raises(PageCorruptionError, match="magic"):
+                pf.read_page(0)
+
+
+class TestLifecycle:
+    def test_closed_file_rejects_io(self, tmp_path):
+        pf = PageFile(str(tmp_path / "x.pg"))
+        pid = pf.allocate()
+        pf.write_page(pid, b"data")
+        pf.close()
+        with pytest.raises(ValueError, match="closed"):
+            pf.read_page(pid)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "p.pg")
+        with PageFile(path) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"durable")
+        with PageFile(path, create=False) as pf:
+            assert pf.n_pages == 1
+            assert pf.read_page(pid) == b"durable"

@@ -1,0 +1,126 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = str(tmp_path / "d.npz")
+    code = main(
+        [
+            "generate", "--function", "2", "--records", "800",
+            "--seed", "3", "-o", path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_npz(self, dataset_file):
+        assert os.path.exists(dataset_file)
+
+    def test_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "d.csv")
+        assert main(["generate", "--records", "50", "-o", path]) == 0
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".schema.json")
+        assert "F2-A9-D50" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_and_save(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        code = main(
+            [
+                "build", "-i", dataset_file, "--algorithm", "mwk",
+                "--procs", "2", "-o", tree_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mwk on 2 processor(s)" in out
+        assert "training accuracy" in out
+        data = json.load(open(tree_path))
+        assert data["format"] == "repro-decision-tree"
+
+    def test_prune_flag(self, dataset_file, capsys):
+        assert main(["build", "-i", dataset_file, "--prune"]) == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_render_flag(self, dataset_file, capsys):
+        assert main(["build", "-i", dataset_file, "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "<" in out  # a split test was rendered
+
+    def test_every_algorithm_runs(self, dataset_file):
+        for algorithm in ("serial", "basic", "fwk", "mwk", "subtree",
+                          "recordpar"):
+            assert main(
+                ["build", "-i", dataset_file, "--algorithm", algorithm,
+                 "--procs", "2"]
+            ) == 0
+
+
+class TestClassify:
+    def test_round_trip(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main(["build", "-i", dataset_file, "-o", tree_path])
+        capsys.readouterr()
+        code = main(["classify", "-i", dataset_file, "--tree", tree_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "actual" in out
+
+
+class TestCrossValidate:
+    def test_runs(self, dataset_file, capsys):
+        code = main(
+            ["cross-validate", "-i", dataset_file, "--folds", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-fold CV" in out
+        assert "accuracy" in out
+
+    def test_no_prune(self, dataset_file, capsys):
+        assert main(
+            ["cross-validate", "-i", dataset_file, "--folds", "2",
+             "--no-prune"]
+        ) == 0
+
+
+class TestTimeline:
+    def test_renders(self, dataset_file, capsys):
+        code = main(
+            ["timeline", "-i", dataset_file, "--procs", "2",
+             "--width", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "P0" in out and "P1" in out
+        assert "busy" in out
+
+
+class TestBenchmarkAndInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mwk" in out and "machine-b" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["benchmark", "--experiment", "fig99"]) == 2
+
+    def test_table1_small(self, capsys, monkeypatch):
+        assert main(
+            ["benchmark", "--experiment", "table1", "--records", "400"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "F2-A32" in out and "F7-A64" in out

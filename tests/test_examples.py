@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs and prints what it promises.
+
+The examples double as documentation; a broken example is a broken
+README.  Each runs in-process with a trimmed workload via environment
+patching where the example allows, otherwise as-is (they are all sized
+to finish in seconds).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = {
+    "quickstart.py": ["training accuracy", "tree:"],
+    "car_insurance.py": ["age < 27.5", "SELECT *", "high risk"],
+    "out_of_core.py": ["identical to in-memory tree: True", "buffer pool"],
+    "fraud_detection.py": ["MDL pruning removed", "confusion matrix"],
+    "scheduler_timeline.py": ["BASIC", "MWK", "SUBTREE", "legend"],
+    "smp_speedup_study.py": ["machine-a", "machine-b", "speedup"],
+}
+
+SLOW = {"fraud_detection.py", "smp_speedup_study.py", "scheduler_timeline.py"}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    if script in SLOW and os.environ.get("REPRO_SKIP_SLOW_EXAMPLES"):
+        pytest.skip("slow example skipped by env")
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in CASES[script]:
+        assert needle in proc.stdout, (
+            f"{script}: expected {needle!r} in output"
+        )

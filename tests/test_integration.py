@@ -1,0 +1,136 @@
+"""End-to-end integration tests across subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BuildParams,
+    DatasetSpec,
+    accuracy,
+    build_classifier,
+    generate_dataset,
+    machine_a,
+    machine_b,
+    mdl_prune,
+    predict,
+)
+from repro.classify.sql import tree_to_sql_case
+from repro.core.serialize import load_tree, save_tree
+from repro.storage.backends import DiskBackend
+
+
+class TestLearnability:
+    """Every Quest function is learnable to high accuracy from clean data."""
+
+    @pytest.mark.parametrize("function", range(1, 11))
+    def test_every_quest_function(self, function):
+        data = generate_dataset(
+            DatasetSpec(function, 9, 3000, seed=function)
+        )
+        train, test = data.split(0.7, seed=0)
+        tree = build_classifier(train, algorithm="mwk", n_procs=2).tree
+        assert accuracy(tree, test) > 0.85, f"function {function}"
+
+    def test_simple_function_learns_better_than_complex(self):
+        """F2's axis-parallel boundary is easier than F7's oblique one."""
+        scores = {}
+        for fn in (2, 7):
+            data = generate_dataset(DatasetSpec(fn, 9, 4000, seed=1))
+            train, test = data.split(0.7, seed=0)
+            tree = build_classifier(train).tree
+            scores[fn] = accuracy(tree, test)
+        assert scores[2] > scores[7]
+
+
+class TestFullPipeline:
+    def test_disk_machine_a_subtree_pipeline(self, tmp_path):
+        """The most adversarial combination: disk-resident lists, the
+        out-of-core machine model, task parallelism, pruning, SQL export
+        and persistence — all in one pass."""
+        data = generate_dataset(DatasetSpec(7, 12, 1500, seed=9,
+                                            perturbation=0.05))
+        train, test = data.split(0.8, seed=1)
+
+        backend = DiskBackend(str(tmp_path / "lists.pg"), buffer_capacity=48)
+        result = build_classifier(
+            train,
+            algorithm="subtree",
+            machine=machine_a(4),
+            n_procs=4,
+            backend=backend,
+        )
+        backend.close()
+
+        pruned, report = mdl_prune(result.tree)
+        assert report.nodes_after <= report.nodes_before
+        assert accuracy(pruned, test) > 0.75
+
+        sql = tree_to_sql_case(pruned)
+        assert "CASE WHEN" in sql or "SELECT" in sql
+
+        path = str(tmp_path / "model.json")
+        save_tree(pruned, path)
+        restored = load_tree(path)
+        np.testing.assert_array_equal(
+            predict(restored, test), predict(pruned, test)
+        )
+
+    def test_serial_total_time_decomposition(self):
+        data = generate_dataset(DatasetSpec(2, 9, 2000, seed=4))
+        result = build_classifier(data, algorithm="serial",
+                                  machine=machine_a(1))
+        t = result.timings
+        assert t["total"] == pytest.approx(
+            t["setup"] + t["sort"] + t["build"]
+        )
+        assert all(v > 0 for v in t.values())
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    function=st.sampled_from([1, 2, 3, 7]),
+    n_records=st.integers(30, 300),
+    seed=st.integers(0, 1000),
+    algorithm=st.sampled_from(["basic", "fwk", "mwk", "subtree", "recordpar"]),
+    n_procs=st.integers(1, 5),
+)
+def test_any_scheme_equals_serial_property(
+    function, n_records, seed, algorithm, n_procs
+):
+    """Property: arbitrary (dataset, scheme, P) matches serial SPRINT."""
+    data = generate_dataset(DatasetSpec(function, 9, n_records, seed=seed))
+    reference = build_classifier(data, algorithm="serial").tree
+    result = build_classifier(
+        data, algorithm=algorithm, machine=machine_b(n_procs), n_procs=n_procs
+    )
+    assert result.tree.signature() == reference.signature()
+
+
+class TestScaleInvariance:
+    def test_build_time_roughly_linear_in_records(self):
+        """The cost model scales linearly with record count, which is
+        what justifies running benchmarks at laptop scale."""
+        times = {}
+        for n in (1000, 4000):
+            data = generate_dataset(DatasetSpec(7, 9, n, seed=2))
+            times[n] = build_classifier(
+                data, algorithm="mwk", machine=machine_b(4), n_procs=4
+            ).build_time
+        ratio = times[4000] / times[1000]
+        assert 2.5 < ratio < 7.0  # superlinear only through extra levels
+
+    def test_speedup_shape_stable_across_scale(self):
+        """Speedups at 1K and 4K records agree within a loose band."""
+        speedups = {}
+        for n in (1000, 4000):
+            data = generate_dataset(DatasetSpec(7, 9, n, seed=2))
+            t1 = build_classifier(
+                data, algorithm="mwk", machine=machine_b(1), n_procs=1
+            ).build_time
+            t4 = build_classifier(
+                data, algorithm="mwk", machine=machine_b(4), n_procs=4
+            ).build_time
+            speedups[n] = t1 / t4
+        assert abs(speedups[1000] - speedups[4000]) < 1.2
