@@ -1,13 +1,14 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples trace-demo clean
 
 install:
 	pip install -e .
 
+# Tier-1 suite, same spelling as CI (works without `pip install -e .`).
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -21,6 +22,17 @@ examples:
 		echo "=== $$ex ==="; \
 		python $$ex || exit 1; \
 	done
+
+# Build a small tree with the observability layer on and dump a
+# Perfetto-loadable Chrome trace plus Prometheus-format metrics.
+trace-demo:
+	PYTHONPATH=src python -m repro generate --records 4000 \
+		-o /tmp/repro-trace-demo.npz
+	PYTHONPATH=src python -m repro build -i /tmp/repro-trace-demo.npz \
+		--algorithm basic --procs 4 \
+		--trace-out /tmp/repro-trace-demo.json \
+		--metrics-out /tmp/repro-trace-demo.prom
+	@echo "open https://ui.perfetto.dev and load /tmp/repro-trace-demo.json"
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks

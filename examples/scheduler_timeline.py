@@ -11,13 +11,22 @@ paper's §3 arguments become visible:
 * SUBTREE — lanes diverge into independent groups; early on, lanes
   idle in ``C`` while the tree is too narrow to feed every group.
 
+The same runs also come out as Chrome Trace JSON (one file per scheme,
+written to the system temp directory) — load one in
+https://ui.perfetto.dev to zoom into the per-leaf E/W/S phase spans that
+the text view compresses into ``#`` stripes.
+
 Run:  python examples/scheduler_timeline.py
 """
 
+import os
+import tempfile
+
 from repro import BuildParams, DatasetSpec, build_classifier, generate_dataset
 from repro import machine_b
+from repro.obs import SpanCollector, write_chrome_trace
 from repro.smp.runtime import VirtualSMP
-from repro.smp.trace import Tracer, render_timeline, utilization_table
+from repro.smp.trace import render_timeline, utilization_table
 
 
 def main() -> None:
@@ -25,7 +34,9 @@ def main() -> None:
         DatasetSpec(function=7, n_attributes=12, n_records=4000, seed=2)
     )
     for algorithm in ("basic", "mwk", "subtree"):
-        tracer = Tracer()
+        # A SpanCollector is a Tracer that additionally records the
+        # per-leaf E/W/S phase spans the schemes emit.
+        tracer = SpanCollector()
         runtime = VirtualSMP(machine_b(4), 4, tracer=tracer)
         result = build_classifier(
             dataset,
@@ -38,6 +49,11 @@ def main() -> None:
               f"(build {result.build_time:.2f} virtual seconds) ===")
         print(render_timeline(tracer, width=96))
         print(utilization_table(tracer))
+        trace_path = os.path.join(
+            tempfile.gettempdir(), f"repro-timeline-{algorithm}.json"
+        )
+        write_chrome_trace(trace_path, tracer, algorithm=algorithm, procs=4)
+        print(f"Chrome trace -> {trace_path}")
 
 
 if __name__ == "__main__":

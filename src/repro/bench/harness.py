@@ -14,11 +14,12 @@ breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.builder import build_classifier
 from repro.core.params import BuildParams
 from repro.data.dataset import Dataset
+from repro.obs.metrics import wait_attribution
 from repro.smp.machine import MachineConfig
 from repro.sprint.records import record_nbytes
 
@@ -35,6 +36,9 @@ class SpeedupPoint:
     total_speedup: float = 1.0
     tree_levels: int = 0
     tree_leaves: int = 0
+    #: Where the processor-seconds went: busy / io / lock_wait /
+    #: barrier_wait / condvar_wait totals (virtual runtime only).
+    metrics: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -84,6 +88,11 @@ def run_speedup(
                 total_time=result.total_time,
                 tree_levels=result.tree.n_levels,
                 tree_leaves=result.tree.n_leaves,
+                metrics=(
+                    wait_attribution(result.stats)
+                    if result.stats is not None
+                    else None
+                ),
             )
             if baseline is None:
                 baseline = point

@@ -71,12 +71,18 @@ def cmd_build(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.input)
     machine = _MACHINES[args.machine](args.procs)
     params = BuildParams(window=args.window, max_depth=args.max_depth)
+    collector = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import SpanCollector
+
+        collector = SpanCollector()
     result = build_classifier(
         dataset,
         algorithm=args.algorithm,
         machine=machine,
         n_procs=args.procs,
         params=params,
+        collector=collector,
     )
     tree = result.tree
     if args.prune:
@@ -102,6 +108,16 @@ def cmd_build(args: argparse.Namespace) -> int:
         print(f"tree saved to {args.output}")
     if args.render:
         print(tree.render(max_depth=args.render_depth))
+    if result.observation is not None:
+        if args.trace_out:
+            result.observation.write_chrome_trace(args.trace_out)
+            print(
+                f"Chrome trace -> {args.trace_out} "
+                f"(open in Perfetto / chrome://tracing)"
+            )
+        if args.metrics_out:
+            result.observation.write_prometheus(args.metrics_out)
+            print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -180,12 +196,15 @@ def cmd_cross_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import SpanCollector, write_chrome_trace, write_jsonl
     from repro.smp.runtime import VirtualSMP
     from repro.smp.trace import Tracer, render_timeline, utilization_table
 
     dataset = _load_dataset(args.input)
     machine = _MACHINES[args.machine](args.procs)
-    tracer = Tracer()
+    # A SpanCollector is a Tracer, so the text renderers keep working
+    # and the chrome/jsonl formats additionally get the E/W/S spans.
+    tracer = SpanCollector() if args.format != "text" else Tracer()
     runtime = VirtualSMP(machine, args.procs, tracer=tracer)
     result = build_classifier(
         dataset, algorithm=args.algorithm, runtime=runtime, n_procs=args.procs
@@ -194,8 +213,21 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         f"{args.algorithm} on {args.procs} processor(s): build "
         f"{result.build_time:.2f}s (virtual)"
     )
-    print(render_timeline(tracer, width=args.width))
-    print(utilization_table(tracer))
+    if args.format == "text":
+        print(render_timeline(tracer, width=args.width))
+        print(utilization_table(tracer))
+        return 0
+    out = args.out or (
+        "timeline.json" if args.format == "chrome" else "timeline.jsonl"
+    )
+    if args.format == "chrome":
+        write_chrome_trace(
+            out, tracer, algorithm=args.algorithm, procs=args.procs
+        )
+        print(f"Chrome trace -> {out} (open in Perfetto / chrome://tracing)")
+    else:
+        n_lines = write_jsonl(out, tracer)
+        print(f"{n_lines} JSONL events -> {out}")
     return 0
 
 
@@ -244,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", help="save the tree as JSON")
     b.add_argument("--render", action="store_true", help="print the tree")
     b.add_argument("--render-depth", type=int, default=3)
+    b.add_argument(
+        "--trace-out", metavar="FILE",
+        help="record E/W/S phase spans and write a Chrome trace JSON",
+    )
+    b.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write wait/disk/buffer/scheme metrics in Prometheus text format",
+    )
     b.set_defaults(func=cmd_build)
 
     c = sub.add_parser("classify", help="evaluate a saved tree on a dataset")
@@ -278,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--procs", type=int, default=4)
     t.add_argument("--machine", default="b", choices=sorted(_MACHINES))
     t.add_argument("--width", type=int, default=100)
+    t.add_argument(
+        "--format", default="text", choices=("text", "chrome", "jsonl"),
+        help="text timeline (default), Chrome trace JSON, or JSONL events",
+    )
+    t.add_argument(
+        "-o", "--out",
+        help="output file for chrome/jsonl (default timeline.json[l])",
+    )
     t.set_defaults(func=cmd_timeline)
 
     i = sub.add_parser("info", help="list algorithms and machine models")

@@ -33,6 +33,16 @@ def basic_level(
     ``static_pid`` — ``(pid, n_procs)`` — switches to static attribute
     partitioning; used only by the scheduling ablation benchmark.
     """
+    obs = ctx.obs
+    if obs is not None and is_master:
+        obs.instant(
+            ctx.runtime.pid(), "level.start", ctx.runtime.now(),
+            level=state.tasks[0].level, leaves=len(state.tasks),
+        )
+        obs.metrics.counter(
+            "scheme_levels_total",
+            help="BASIC-style level iterations executed",
+        ).inc()
     if static_pid is None:
         eval_attrs = state.eval_counter.drain()
     else:
@@ -68,7 +78,7 @@ class BasicScheme:
         self.barrier = ctx.runtime.make_barrier()
         root = ctx.make_root_task()
         self.state: Optional[LevelState] = (
-            LevelState(ctx.runtime, [root], ctx.n_attrs)
+            LevelState(ctx.runtime, [root], ctx.n_attrs, obs=ctx.obs)
             if root is not None
             else None
         )
@@ -94,6 +104,8 @@ class BasicScheme:
             if pid == 0:
                 tasks = ctx.next_frontier(state.tasks)
                 self.state = (
-                    LevelState(ctx.runtime, tasks, ctx.n_attrs) if tasks else None
+                    LevelState(ctx.runtime, tasks, ctx.n_attrs, obs=ctx.obs)
+                    if tasks
+                    else None
                 )
             self.barrier.wait()

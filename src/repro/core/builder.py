@@ -22,6 +22,8 @@ from repro.core.setup_parallel import parallel_setup as run_parallel_setup
 from repro.core.subtree import SubtreeScheme
 from repro.core.tree import DecisionTree
 from repro.data.dataset import Dataset
+from repro.obs.report import ObservationReport, observe_build
+from repro.obs.spans import SpanCollector
 from repro.smp.machine import MachineConfig, machine_b
 from repro.smp.runtime import SMPRuntime, VirtualSMP
 from repro.smp.sync import WaitStats
@@ -57,6 +59,8 @@ class BuildResult:
     #: Per-processor wait/busy breakdown (virtual runtime only).
     stats: Optional[WaitStats] = None
     dataset_name: str = ""
+    #: Spans/metrics report; present only when a collector was attached.
+    observation: Optional[ObservationReport] = None
 
     @property
     def build_time(self) -> float:
@@ -99,6 +103,7 @@ def build_classifier(
     backend: Optional[StorageBackend] = None,
     runtime: Union[str, SMPRuntime, None] = "virtual",
     parallel_setup: bool = False,
+    collector: Optional[SpanCollector] = None,
 ) -> BuildResult:
     """Build a decision tree from ``dataset``.
 
@@ -127,6 +132,12 @@ def build_classifier(
         Parallelize the setup/sort phases over the processors — the
         improvement the paper names as future work (§4.2).  Default off,
         matching the paper's measured configuration.
+    collector:
+        Optional :class:`~repro.obs.spans.SpanCollector`.  When given,
+        the build records per-leaf E/W/S phase spans, runtime intervals
+        and scheme metrics into it, and the result carries an
+        ``observation`` report (trace/metrics exporters).  When None,
+        no collector is allocated and nothing is recorded.
 
     Returns
     -------
@@ -147,8 +158,13 @@ def build_classifier(
 
     if isinstance(runtime, SMPRuntime):
         rt: SMPRuntime = runtime
+        if collector is None:
+            # A SpanCollector attached as the runtime's tracer opts in.
+            tracer = getattr(rt, "tracer", None)
+            if isinstance(tracer, SpanCollector):
+                collector = tracer
     elif runtime == "virtual":
-        rt = VirtualSMP(machine, n_procs)
+        rt = VirtualSMP(machine, n_procs, tracer=collector)
     elif runtime == "threads":
         rt = RealThreadRuntime(n_procs, machine)
     else:
@@ -158,7 +174,12 @@ def build_classifier(
         )
 
     ctx = BuildContext(
-        dataset, rt, backend, params, layout=_layout_for(algorithm, params)
+        dataset,
+        rt,
+        backend,
+        params,
+        layout=_layout_for(algorithm, params),
+        observer=collector,
     )
     if parallel_setup and isinstance(rt, VirtualSMP):
         setup_timings = run_parallel_setup(
@@ -188,6 +209,11 @@ def build_classifier(
         "total": setup_timings["setup"] + setup_timings["sort"] + build_time,
     }
     stats = rt.stats if isinstance(rt, VirtualSMP) else None
+    observation = (
+        observe_build(rt, backend, collector, algorithm=algorithm)
+        if collector is not None
+        else None
+    )
     return BuildResult(
         tree=tree,
         algorithm=algorithm,
@@ -196,4 +222,5 @@ def build_classifier(
         timings=timings,
         stats=stats,
         dataset_name=dataset.name,
+        observation=observation,
     )

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.params import BuildParams
 from repro.core.tree import DecisionTree, Node, Split
 from repro.data.dataset import Dataset
+from repro.obs.spans import SpanCollector
 from repro.smp.runtime import SMPRuntime
 from repro.sprint.attribute_files import FileLayout
 from repro.sprint.attribute_list import build_attribute_list
@@ -103,6 +104,7 @@ class BuildContext:
         backend: StorageBackend,
         params: BuildParams,
         layout: Optional[FileLayout] = None,
+        observer: Optional[SpanCollector] = None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
@@ -122,6 +124,15 @@ class BuildContext:
         #: Guards _created and the locality maps under the real-thread
         #: backend; uncontended no-op ordering under the virtual engine.
         self._meta_lock = threading.Lock()
+        #: Span/event collector; a SpanCollector attached to the runtime
+        #: as its tracer is picked up automatically, preserving the
+        #: existing opt-in pattern.  None means every instrumentation
+        #: site below reduces to one ``is not None`` check.
+        if observer is None:
+            tracer = getattr(runtime, "tracer", None)
+            if isinstance(tracer, SpanCollector):
+                observer = tracer
+        self.obs = observer
         self.root = Node(0, 0, dataset.class_histogram())
 
     # -- storage + I/O charging --------------------------------------------------
@@ -200,6 +211,8 @@ class BuildContext:
 
     def evaluate_attribute(self, task: LeafTask, attr_index: int) -> None:
         """Find the best split of ``attr_index`` at this leaf (step E)."""
+        obs = self.obs
+        start = self.runtime.now() if obs is not None else 0.0
         attr = self.schema.attributes[attr_index]
         records = self.read_segment(attr_index, task)
         n = len(records)
@@ -226,6 +239,11 @@ class BuildContext:
                 machine.cpu_count_record * n + machine.cpu_subset_eval * subsets
             )
         task.candidates[attr_index] = candidate
+        if obs is not None:
+            obs.phase(
+                self.runtime.pid(), "E", start, self.runtime.now(),
+                leaf=task.node.node_id, attribute=attr_index, level=task.level,
+            )
 
     # -- step W: winner + probe + children ---------------------------------------
 
@@ -260,6 +278,17 @@ class BuildContext:
 
     def winner_phase(self, task: LeafTask) -> None:
         """Step W: pick winner, scan its list, build probe, make children."""
+        obs = self.obs
+        if obs is None:
+            return self._winner_phase_impl(task)
+        start = self.runtime.now()
+        self._winner_phase_impl(task)
+        obs.phase(
+            self.runtime.pid(), "W", start, self.runtime.now(),
+            leaf=task.node.node_id, level=task.level,
+        )
+
+    def _winner_phase_impl(self, task: LeafTask) -> None:
         node = task.node
         choice = self.choose_winner(task)
         if choice is None:
@@ -352,6 +381,17 @@ class BuildContext:
         portion of the tids each time (paper §2.3); the output is the
         same, the cost is multiplied.
         """
+        obs = self.obs
+        if obs is None:
+            return self._split_attribute_impl(task, attr_index)
+        start = self.runtime.now()
+        self._split_attribute_impl(task, attr_index)
+        obs.phase(
+            self.runtime.pid(), "S", start, self.runtime.now(),
+            leaf=task.node.node_id, attribute=attr_index, level=task.level,
+        )
+
+    def _split_attribute_impl(self, task: LeafTask, attr_index: int) -> None:
         node = task.node
         if node.is_leaf:
             # The leaf was finalized at W; its lists are simply dropped.

@@ -59,9 +59,17 @@ class FwkScheme:
         self.ctx = ctx
         self.window = ctx.params.window
         self.barrier = ctx.runtime.make_barrier()
+        self._block_counter = (
+            ctx.obs.metrics.counter(
+                "fwk_block_barriers_total",
+                help="per-processor crossings of FWK's per-block barrier",
+            )
+            if ctx.obs is not None
+            else None
+        )
         root = ctx.make_root_task()
         self.state: Optional[WindowLevelState] = (
-            WindowLevelState(ctx.runtime, [root], ctx.n_attrs)
+            WindowLevelState(ctx.runtime, [root], ctx.n_attrs, obs=ctx.obs)
             if root is not None
             else None
         )
@@ -84,7 +92,7 @@ class FwkScheme:
             if pid == 0:
                 tasks = ctx.next_frontier(state.tasks)
                 self.state = (
-                    WindowLevelState(ctx.runtime, tasks, ctx.n_attrs)
+                    WindowLevelState(ctx.runtime, tasks, ctx.n_attrs, obs=ctx.obs)
                     if tasks
                     else None
                 )
@@ -106,4 +114,6 @@ class FwkScheme:
                         # overlapped with other processors' E of later
                         # leaves in the block.
                         ctx.winner_phase(task)
+            if self._block_counter is not None:
+                self._block_counter.inc()
             self.barrier.wait()  # fixed window: synchronize per block

@@ -40,8 +40,25 @@ class MwkLevelState(WindowLevelState):
     """
 
     def __init__(self, ctx: BuildContext, tasks: List[LeafTask], window: int):
-        super().__init__(ctx.runtime, tasks, ctx.n_attrs)
+        super().__init__(ctx.runtime, tasks, ctx.n_attrs, obs=ctx.obs)
         self.window = window
+        obs = ctx.obs
+        #: Counters for gate slow paths — how often the moving window
+        #: actually stalled (the waits the paper's §3.2.3 trades against
+        #: FWK's barriers).  None when no collector is attached.
+        self._pred_wait_counter = (
+            obs.metrics.counter(
+                "mwk_gate_waits_total", {"gate": "predecessor"},
+                help="MWK condition-gate slow paths by gate kind",
+            )
+            if obs is not None
+            else None
+        )
+        self._own_wait_counter = (
+            obs.metrics.counter("mwk_gate_waits_total", {"gate": "split"})
+            if obs is not None
+            else None
+        )
         runtime = ctx.runtime
         #: Highest slot whose leaf completed W, per window position.
         self.slot_done = [-1] * window
@@ -66,6 +83,8 @@ class MwkLevelState(WindowLevelState):
         position = self.tasks[leaf_index].slot % self.window
         if self.slot_done[position] >= needed:
             return  # fast path, racy-but-safe: values only grow
+        if self._pred_wait_counter is not None:
+            self._pred_wait_counter.inc()
         with self.slot_locks[position]:
             while self.slot_done[position] < needed:
                 self.slot_conds[position].wait()
@@ -76,6 +95,8 @@ class MwkLevelState(WindowLevelState):
         position = task.slot % self.window
         if self.slot_done[position] >= task.slot:
             return
+        if self._own_wait_counter is not None:
+            self._own_wait_counter.inc()
         with self.slot_locks[position]:
             while self.slot_done[position] < task.slot:
                 self.slot_conds[position].wait()

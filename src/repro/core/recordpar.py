@@ -89,6 +89,14 @@ class RecordParScheme:
         self.barrier = runtime.make_barrier()
         self.append_lock = runtime.make_lock()
         self.append_cond = runtime.make_condition(self.append_lock)
+        self._append_wait_counter = (
+            ctx.obs.metrics.counter(
+                "recordpar_append_waits_total",
+                help="ordered-append chain stalls (arrived out of order)",
+            )
+            if ctx.obs is not None
+            else None
+        )
         root = ctx.make_root_task()
         self.tasks: Optional[List[LeafTask]] = (
             [root] if root is not None else None
@@ -132,26 +140,50 @@ class RecordParScheme:
 
     # -- per-leaf phases ---------------------------------------------------------
 
+    def _spanned(self, phase: str, pid: int, task: LeafTask, fn, *args):
+        """Run one chunked phase, wrapped in an E/W/S span when observing.
+
+        Record parallelism bypasses the shared kernels in
+        :class:`~repro.core.context.BuildContext`, so it emits its own
+        per-leaf spans (attribute None: every phase touches all
+        attributes of this processor's chunk).
+        """
+        obs = self.ctx.obs
+        if obs is None:
+            return fn(*args)
+        runtime = self.ctx.runtime
+        start = runtime.now()
+        out = fn(*args)
+        obs.phase(
+            pid, phase, start, runtime.now(),
+            leaf=task.node.node_id, level=task.level,
+        )
+        return out
+
     def _leaf_ews(self, pid: int, task: LeafTask) -> None:
         ctx = self.ctx
         shared = self.shared[task.node.node_id]
 
-        self._phase_scan(pid, task, shared)
+        self._spanned("E", pid, task, self._phase_scan, pid, task, shared)
         self.barrier.wait()
-        self._phase_evaluate(pid, task, shared)
+        self._spanned("E", pid, task, self._phase_evaluate, pid, task, shared)
         self.barrier.wait()
         if pid == 0:
-            self._phase_reduce(task, shared)
+            self._spanned("W", pid, task, self._phase_reduce, task, shared)
         self.barrier.wait()
         if shared.winner is not None:
-            self._phase_probe(pid, task, shared)
+            self._spanned("W", pid, task, self._phase_probe, pid, task, shared)
             self.barrier.wait()
             if pid == 0:
-                left_counts = np.sum(shared.left_partials, axis=0)
-                attr_index, cand = shared.winner
-                ctx.finalize_winner(task, attr_index, cand, left_counts)
+
+                def finalize() -> None:
+                    left_counts = np.sum(shared.left_partials, axis=0)
+                    attr_index, cand = shared.winner
+                    ctx.finalize_winner(task, attr_index, cand, left_counts)
+
+                self._spanned("W", pid, task, finalize)
             self.barrier.wait()
-        self._phase_split(pid, task, shared)
+        self._spanned("S", pid, task, self._phase_split, pid, task, shared)
         self.barrier.wait()
 
     def _read_chunk(
@@ -304,6 +336,11 @@ class RecordParScheme:
             # Ordered append: processor p writes after p-1 so the child
             # lists keep global record order (sorted lists stay sorted).
             with self.append_lock:
+                if (
+                    shared.append_next[attr_index] != pid
+                    and self._append_wait_counter is not None
+                ):
+                    self._append_wait_counter.inc()
                 while shared.append_next[attr_index] != pid:
                     self.append_cond.wait()
             if parts is not None:

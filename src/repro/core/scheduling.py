@@ -5,6 +5,11 @@ The paper's data-parallel schemes all use *dynamic attribute scheduling*:
 counter, and releases the lock" (§3.2.1).  Static partitioning is also
 implemented (for the ablation benchmark) — the paper explains why it
 loses: attribute costs differ by kind and value distribution.
+
+When an observation collector is attached (``obs``), every successful
+grab increments a ``sched_attr_grabs_total`` counter labeled by
+scheduling step, so traces can be cross-checked against how work was
+actually handed out.
 """
 
 from __future__ import annotations
@@ -12,23 +17,34 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from repro.core.context import LeafTask
+from repro.obs.spans import SpanCollector
 from repro.smp.runtime import SMPRuntime
 
 
 class AttributeCounter:
     """Lock-protected shared counter handing out attribute indices."""
 
-    def __init__(self, runtime: SMPRuntime, n_attrs: int) -> None:
+    def __init__(
+        self,
+        runtime: SMPRuntime,
+        n_attrs: int,
+        grab_counter=None,
+    ) -> None:
         self._lock = runtime.make_lock()
         self._next = 0
         self._n_attrs = n_attrs
+        self._grab_counter = grab_counter
 
     def grab(self) -> Optional[int]:
         """Take the next attribute index, or None when exhausted."""
         with self._lock:
             i = self._next
             self._next += 1
-        return i if i < self._n_attrs else None
+        if i >= self._n_attrs:
+            return None
+        if self._grab_counter is not None:
+            self._grab_counter.inc()
+        return i
 
     def drain(self) -> Iterator[int]:
         """Iterate attribute indices until the counter runs out."""
@@ -48,10 +64,25 @@ def static_partition(n_attrs: int, pid: int, n_procs: int) -> List[int]:
 class LevelState:
     """Shared state for one level of BASIC-style execution."""
 
-    def __init__(self, runtime: SMPRuntime, tasks: List[LeafTask], n_attrs: int):
+    def __init__(
+        self,
+        runtime: SMPRuntime,
+        tasks: List[LeafTask],
+        n_attrs: int,
+        obs: Optional[SpanCollector] = None,
+    ):
         self.tasks = tasks
-        self.eval_counter = AttributeCounter(runtime, n_attrs)
-        self.split_counter = AttributeCounter(runtime, n_attrs)
+        eval_counter = split_counter = None
+        if obs is not None:
+            eval_counter = obs.metrics.counter(
+                "sched_attr_grabs_total", {"step": "eval"},
+                help="dynamic-scheduler attribute grabs by step",
+            )
+            split_counter = obs.metrics.counter(
+                "sched_attr_grabs_total", {"step": "split"}
+            )
+        self.eval_counter = AttributeCounter(runtime, n_attrs, eval_counter)
+        self.split_counter = AttributeCounter(runtime, n_attrs, split_counter)
 
 
 class WindowLevelState(LevelState):
@@ -63,10 +94,21 @@ class WindowLevelState(LevelState):
     credits for MWK's load balance (§3.4).
     """
 
-    def __init__(self, runtime: SMPRuntime, tasks: List[LeafTask], n_attrs: int):
-        super().__init__(runtime, tasks, n_attrs)
+    def __init__(
+        self,
+        runtime: SMPRuntime,
+        tasks: List[LeafTask],
+        n_attrs: int,
+        obs: Optional[SpanCollector] = None,
+    ):
+        super().__init__(runtime, tasks, n_attrs, obs=obs)
         self.n_attrs = n_attrs
         self.leaf_locks = [runtime.make_lock() for _ in tasks]
+        self._leaf_grab_counter = (
+            obs.metrics.counter("sched_attr_grabs_total", {"step": "leaf"})
+            if obs is not None
+            else None
+        )
 
     def grab_leaf_attr(self, leaf_index: int) -> Optional[int]:
         """Take the next attribute of leaf ``leaf_index`` (or None)."""
@@ -74,7 +116,11 @@ class WindowLevelState(LevelState):
         with self.leaf_locks[leaf_index]:
             i = task.next_attr
             task.next_attr += 1
-        return i if i < self.n_attrs else None
+        if i >= self.n_attrs:
+            return None
+        if self._leaf_grab_counter is not None:
+            self._leaf_grab_counter.inc()
+        return i
 
     def finish_leaf_attr(self, leaf_index: int) -> bool:
         """Record one completed evaluation; True if it was the last.

@@ -18,9 +18,16 @@ def build_serial(ctx: BuildContext) -> DecisionTree:
         raise ValueError("serial builder requires a 1-processor runtime")
 
     def worker(pid: int) -> None:
+        obs = ctx.obs
         root_task = ctx.make_root_task()
         tasks = [root_task] if root_task is not None else []
         while tasks:
+            if obs is not None:
+                obs.instant(
+                    pid, "level.start", ctx.runtime.now(),
+                    level=tasks[0].level, leaves=len(tasks),
+                )
+                obs.metrics.counter("scheme_levels_total").inc()
             for attr_index in range(ctx.n_attrs):  # step E, attribute-major
                 for task in tasks:
                     ctx.evaluate_attribute(task, attr_index)

@@ -52,7 +52,7 @@ class _Group:
             task.layout = self.layout
         runtime = ctx.runtime
         self.barrier = runtime.make_barrier(len(self.members))
-        self.state = LevelState(runtime, tasks, ctx.n_attrs)
+        self.state = LevelState(runtime, tasks, ctx.n_attrs, obs=ctx.obs)
         self.end_lock = runtime.make_lock()
         self.end_cond = runtime.make_condition(self.end_lock)
         #: pid -> next _Group, or _FREE; published by the master.
@@ -70,6 +70,25 @@ class SubtreeScheme:
 
     def __init__(self, ctx: BuildContext):
         self.ctx = ctx
+        self._obs = ctx.obs
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._groups_counter = metrics.counter(
+                "subtree_groups_formed_total",
+                help="processor groups created over the whole build",
+            )
+            self._splits_counter = metrics.counter(
+                "subtree_group_splits_total",
+                help="regroupings that split into two subgroups",
+            )
+            self._dissolve_counter = metrics.counter(
+                "subtree_group_dissolves_total",
+                help="groups whose frontier emptied",
+            )
+            self._free_depth_gauge = metrics.gauge(
+                "subtree_free_queue_peak",
+                help="high-water mark of processors idle in the FREE queue",
+            )
         runtime = ctx.runtime
         self.free_lock = runtime.make_lock()
         self.free_cond = runtime.make_condition(self.free_lock)
@@ -129,8 +148,16 @@ class SubtreeScheme:
 
     def _master_regroup(self, group: _Group) -> None:
         """Form the next groups (or dissolve) and wake everyone involved."""
+        obs = self._obs
         children = self.ctx.next_frontier(group.tasks)
         if not children:
+            if obs is not None:
+                self._dissolve_counter.inc()
+                obs.instant(
+                    self.ctx.runtime.pid(), "group.dissolve",
+                    self.ctx.runtime.now(), group=group.group_id,
+                    members=len(group.members),
+                )
             with self.free_lock:
                 self.live_groups -= 1
                 if self.live_groups == 0:
@@ -146,6 +173,13 @@ class SubtreeScheme:
             members = group.members + grabbed
             subgroups = self._partition(members, children)
             if len(subgroups) > 1:
+                if obs is not None:
+                    self._splits_counter.inc()
+                    obs.instant(
+                        self.ctx.runtime.pid(), "group.split",
+                        self.ctx.runtime.now(), group=group.group_id,
+                        members=len(members), leaves=len(children),
+                    )
                 with self.free_lock:
                     self.live_groups += len(subgroups) - 1
             assignment = {}
@@ -199,6 +233,8 @@ class SubtreeScheme:
     def _new_group(self, members: List[int], tasks: List[LeafTask]) -> _Group:
         group_id = self._next_group_id
         self._next_group_id += 1
+        if self._obs is not None:
+            self._groups_counter.inc()
         return _Group(self.ctx, group_id, members, tasks)
 
     # -- FREE queue ---------------------------------------------------------------
@@ -207,6 +243,8 @@ class SubtreeScheme:
         """Insert self in the FREE queue; sleep until reassigned or done."""
         with self.free_lock:
             self.free_procs.append(pid)
+            if self._obs is not None:
+                self._free_depth_gauge.set_max(len(self.free_procs))
             while pid not in self.free_assignment:
                 if self.done:
                     # Never reassigned; drop out (remove stale entry).

@@ -1,0 +1,61 @@
+"""Unified observability layer: spans, metrics, exporters.
+
+The paper's argument is entirely about *where time goes* — BASIC's
+serialized W phase, MWK's condition waits, SUBTREE's load imbalance
+(§3–§4).  This package makes those visible as first-class data:
+
+* :mod:`repro.obs.spans` — structured per-leaf, per-attribute E/W/S
+  phase spans plus instant events, collected in virtual time;
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry that
+  unifies the runtime's wait stats, the shared-disk model, the storage
+  backends and the schemes' scheduler counters;
+* :mod:`repro.obs.export` — Chrome Trace Event JSON (Perfetto /
+  ``chrome://tracing``), JSON-lines, and Prometheus text;
+* :mod:`repro.obs.report` — the per-build ``ObservationReport`` hung
+  off :class:`~repro.core.builder.BuildResult`.
+
+Opt-in and zero-cost when off: pass ``collector=SpanCollector()`` to
+:func:`~repro.core.builder.build_classifier` (or ``--trace-out`` /
+``--metrics-out`` on the CLI); without it no collector is allocated and
+the instrumented code paths reduce to a ``None`` check.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    wait_attribution,
+)
+from repro.obs.report import ObservationReport, observe_build
+from repro.obs.spans import PHASES, InstantEvent, PhaseSpan, SpanCollector
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "ObservationReport",
+    "PHASES",
+    "PhaseSpan",
+    "SpanCollector",
+    "chrome_trace",
+    "chrome_trace_events",
+    "jsonl_lines",
+    "observe_build",
+    "prometheus_text",
+    "wait_attribution",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,269 @@
+"""Exporters: Chrome Trace Event JSON, JSON-lines, Prometheus text.
+
+Three serializations of one collector:
+
+* :func:`chrome_trace` — the Trace Event Format understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  One process,
+  one thread track per simulated processor; E/W/S phase spans and the
+  runtime's busy/io/wait intervals are complete (``ph: "X"``) events
+  that nest by time containment, instants are ``ph: "i"``.  Virtual
+  seconds map to trace microseconds.
+* :func:`jsonl_lines` — one self-describing JSON object per event, for
+  ad-hoc analysis (``jq``, pandas).
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+Every Chrome event carries ``ts/dur/ph/pid/tid/name`` (instant and
+metadata events get ``dur: 0``) so downstream validators can treat the
+stream uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import SpanCollector
+
+#: Virtual seconds -> Chrome trace microseconds.
+TIME_SCALE = 1e6
+
+_PHASE_NAMES = {"E": "evaluate", "W": "winner", "S": "split"}
+
+
+def chrome_trace_events(collector: SpanCollector) -> List[dict]:
+    """The ``traceEvents`` list for one collector."""
+    pids = sorted(
+        {iv.pid for iv in collector.intervals}
+        | {s.pid for s in collector.spans}
+        | {e.pid for e in collector.instants}
+    )
+    events: List[dict] = []
+    events.append(
+        {
+            "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
+            "pid": 0, "tid": 0, "args": {"name": "repro virtual SMP"},
+        }
+    )
+    for pid in pids:
+        events.append(
+            {
+                "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
+                "pid": 0, "tid": pid, "args": {"name": f"P{pid}"},
+            }
+        )
+    body: List[dict] = []
+    for span in collector.spans:
+        args = {"step": _PHASE_NAMES.get(span.phase, span.phase)}
+        if span.leaf is not None:
+            args["leaf"] = span.leaf
+        if span.attribute is not None:
+            args["attribute"] = span.attribute
+        if span.level is not None:
+            args["level"] = span.level
+        body.append(
+            {
+                "name": span.phase,
+                "cat": "phase",
+                "ph": "X",
+                "ts": span.start * TIME_SCALE,
+                "dur": span.duration * TIME_SCALE,
+                "pid": 0,
+                "tid": span.pid,
+                "args": args,
+            }
+        )
+    for iv in collector.intervals:
+        body.append(
+            {
+                "name": iv.kind,
+                "cat": "runtime",
+                "ph": "X",
+                "ts": iv.start * TIME_SCALE,
+                "dur": iv.duration * TIME_SCALE,
+                "pid": 0,
+                "tid": iv.pid,
+                "args": {},
+            }
+        )
+    for ev in collector.instants:
+        body.append(
+            {
+                "name": ev.name,
+                "cat": "scheme",
+                "ph": "i",
+                "s": "t",
+                "ts": ev.ts * TIME_SCALE,
+                "dur": 0,
+                "pid": 0,
+                "tid": ev.pid,
+                "args": dict(ev.args),
+            }
+        )
+    # Stable viewer-friendly order: per track by start, wider spans first
+    # so equal-start events nest correctly.
+    body.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    return events + body
+
+
+def chrome_trace(collector: SpanCollector, **metadata) -> dict:
+    """The complete Chrome trace document (JSON-serializable)."""
+    return {
+        "traceEvents": chrome_trace_events(collector),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", **metadata},
+    }
+
+
+def write_chrome_trace(
+    dest: Union[str, IO[str]], collector: SpanCollector, **metadata
+) -> dict:
+    """Write the Chrome trace to a path or file object; returns the doc."""
+    doc = chrome_trace(collector, **metadata)
+    if hasattr(dest, "write"):
+        json.dump(doc, dest)
+    else:
+        with open(dest, "w") as fh:
+            json.dump(doc, fh)
+    return doc
+
+
+def jsonl_lines(collector: SpanCollector) -> Iterator[str]:
+    """One JSON object per event, ordered by start time."""
+    records: List[tuple] = []
+    for span in collector.spans:
+        records.append(
+            (
+                span.start,
+                {
+                    "type": "span",
+                    "pid": span.pid,
+                    "phase": span.phase,
+                    "start": span.start,
+                    "end": span.end,
+                    "leaf": span.leaf,
+                    "attribute": span.attribute,
+                    "level": span.level,
+                },
+            )
+        )
+    for iv in collector.intervals:
+        records.append(
+            (
+                iv.start,
+                {
+                    "type": "interval",
+                    "pid": iv.pid,
+                    "kind": iv.kind,
+                    "start": iv.start,
+                    "end": iv.end,
+                },
+            )
+        )
+    for ev in collector.instants:
+        records.append(
+            (
+                ev.ts,
+                {
+                    "type": "instant",
+                    "pid": ev.pid,
+                    "name": ev.name,
+                    "ts": ev.ts,
+                    "args": dict(ev.args),
+                },
+            )
+        )
+    records.sort(key=lambda r: r[0])
+    for _ts, record in records:
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_jsonl(dest: Union[str, IO[str]], collector: SpanCollector) -> int:
+    """Write the JSONL dump; returns the number of lines written."""
+    n = 0
+    if hasattr(dest, "write"):
+        for line in jsonl_lines(collector):
+            dest.write(line + "\n")
+            n += 1
+        return n
+    with open(dest, "w") as fh:
+        for line in jsonl_lines(collector):
+            fh.write(line + "\n")
+            n += 1
+    return n
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels, extra: Optional[tuple] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15 and not math.isinf(value):
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every metric in the registry."""
+    lines: List[str] = []
+    typed = set()
+    for metric in registry:
+        if metric.name not in typed:
+            typed.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for le, count in metric.cumulative():
+                le_str = "+Inf" if math.isinf(le) else _fmt(le)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_str(metric.labels, ('le', le_str))} {count}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_str(metric.labels)} "
+                f"{_fmt(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(metric.labels)} "
+                f"{metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_label_str(metric.labels)} "
+                f"{_fmt(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    dest: Union[str, IO[str]], registry: MetricsRegistry
+) -> str:
+    """Write the Prometheus text dump; returns the text."""
+    text = prometheus_text(registry)
+    if hasattr(dest, "write"):
+        dest.write(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text)
+    return text

@@ -1,0 +1,287 @@
+"""Metrics registry: counters, gauges and histograms behind one snapshot.
+
+The repo previously had three disconnected counter bags — per-processor
+:class:`~repro.smp.sync.WaitStats`, the storage layer's
+:class:`~repro.storage.buffer.BufferStats` /
+:class:`~repro.storage.backends.StorageStats`, and the shared-disk
+counters on :class:`~repro.smp.disk.SharedDisk`.  The
+:class:`MetricsRegistry` unifies them: schemes increment live counters
+during a build, and the ``fold_*`` adapters pour the existing counter
+bags into the same registry at snapshot time, so one Prometheus dump
+answers "where did the time and the bytes go".
+
+Metrics are identified by ``(name, labels)``; :meth:`MetricsRegistry.counter`
+and friends are get-or-create, so call sites can be sprinkled freely
+without central declaration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+LabelMap = Mapping[str, str]
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (virtual seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0
+)
+
+
+def _label_key(labels: Optional[LabelMap]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, seconds, bytes)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: _LabelKey, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, residency)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: _LabelKey, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: Union[int, float]) -> None:
+        """High-water tracking: keep the largest value ever seen."""
+        if value > self.value:
+            self.value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = tuple(bounds)
+        self.counts = [0] * len(bounds)  # per-bound, not cumulative
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, snapshot-able as plain data."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, _LabelKey], Metric] = {}
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, cls, name, labels, help, **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], help=help, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, labels: Optional[LabelMap] = None, help: str = ""
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, labels: Optional[LabelMap] = None, help: str = ""
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[LabelMap] = None,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help, buckets=buckets
+        )
+
+    def snapshot(self) -> List[dict]:
+        """Every metric as a JSON-serializable dict (stable order)."""
+        out: List[dict] = []
+        for metric in self._metrics.values():
+            entry = {
+                "name": metric.name,
+                "type": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                entry["buckets"] = [
+                    ["+Inf" if math.isinf(le) else le, n]
+                    for le, n in metric.cumulative()
+                ]
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return out
+
+    def values(self) -> Dict[str, float]:
+        """Flat ``name{k="v"}`` -> value map (counters and gauges only)."""
+        out: Dict[str, float] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                continue
+            if metric.labels:
+                label_str = ",".join(f'{k}="{v}"' for k, v in metric.labels)
+                out[f"{metric.name}{{{label_str}}}"] = metric.value
+            else:
+                out[metric.name] = metric.value
+        return out
+
+
+# -- adapters: fold the existing counter bags into a registry -----------------
+
+
+def fold_wait_stats(registry: MetricsRegistry, stats) -> None:
+    """Per-processor busy/io/wait seconds from a WaitStats."""
+    fields = (
+        ("busy", stats.busy),
+        ("io", stats.io_time),
+        ("lock", stats.lock_wait),
+        ("barrier", stats.barrier_wait),
+        ("cond", stats.condvar_wait),
+    )
+    for kind, per_pid in fields:
+        for pid, seconds in enumerate(per_pid):
+            registry.counter(
+                "smp_seconds_total",
+                {"kind": kind, "pid": str(pid)},
+                help="virtual seconds per processor by activity kind",
+            ).inc(seconds)
+
+
+def fold_disk(registry: MetricsRegistry, disk) -> None:
+    """Shared-disk model counters (platter traffic, cache behaviour)."""
+    registry.counter(
+        "disk_busy_seconds_total", help="virtual seconds the platter served"
+    ).inc(disk.busy_time)
+    registry.counter(
+        "disk_bytes_total", {"path": "platter"}, help="bytes moved by path"
+    ).inc(disk.disk_bytes)
+    registry.counter("disk_bytes_total", {"path": "cache"}).inc(
+        disk.cached_bytes
+    )
+    registry.counter(
+        "disk_cache_hits_total", help="file-cache read hits"
+    ).inc(disk.cache_hits)
+    registry.counter(
+        "disk_cache_misses_total", help="file-cache read misses"
+    ).inc(disk.cache_misses)
+    registry.counter("disk_seeks_total", help="non-sequential requests").inc(
+        disk.seeks
+    )
+    registry.gauge(
+        "disk_cache_used_bytes", help="bytes resident in the file cache"
+    ).set(disk.cache_used_bytes)
+
+
+def fold_storage_stats(registry: MetricsRegistry, stats) -> None:
+    """Backend StorageStats (physical record-array traffic)."""
+    registry.counter("storage_reads_total").inc(stats.reads)
+    registry.counter("storage_writes_total").inc(stats.writes)
+    registry.counter("storage_bytes_read_total").inc(stats.bytes_read)
+    registry.counter("storage_bytes_written_total").inc(stats.bytes_written)
+
+
+def fold_buffer_stats(registry: MetricsRegistry, stats) -> None:
+    """Buffer-manager BufferStats (page cache of the disk backend)."""
+    registry.counter("buffer_hits_total").inc(stats.hits)
+    registry.counter("buffer_misses_total").inc(stats.misses)
+    registry.counter("buffer_evictions_total").inc(stats.evictions)
+    registry.counter("buffer_bytes_read_total").inc(stats.bytes_read)
+    registry.counter("buffer_bytes_written_total").inc(stats.bytes_written)
+    registry.gauge("buffer_hit_rate").set(stats.hit_rate)
+
+
+def wait_attribution(stats) -> Dict[str, float]:
+    """Totals of where processor time went, from a WaitStats.
+
+    The per-run snapshot the bench harness attaches to every
+    :class:`~repro.bench.harness.SpeedupPoint`, so figure reproductions
+    report *why* a scheme lost time (barrier stalls vs condition waits
+    vs I/O), not only how fast it was.
+    """
+    return {
+        "busy": stats.total("busy"),
+        "io": stats.total("io_time"),
+        "lock_wait": stats.total("lock_wait"),
+        "barrier_wait": stats.total("barrier_wait"),
+        "condvar_wait": stats.total("condvar_wait"),
+    }

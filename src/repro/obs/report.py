@@ -1,0 +1,107 @@
+"""The per-build observation report attached to a BuildResult.
+
+:func:`observe_build` is called by the builder once a collector-carrying
+build finishes: it folds every counter bag the run produced — the
+runtime's :class:`~repro.smp.sync.WaitStats`, the shared-disk model, the
+storage backend's I/O stats and (for the disk backend) its buffer
+manager — into the collector's metrics registry, adds per-phase span
+duration histograms, and wraps the lot in an :class:`ObservationReport`
+with one method per export format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Dict, Iterator, List, Union
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    fold_buffer_stats,
+    fold_disk,
+    fold_storage_stats,
+    fold_wait_stats,
+)
+from repro.obs.spans import SpanCollector
+
+
+@dataclass
+class ObservationReport:
+    """Everything observed during one build, ready to export."""
+
+    collector: SpanCollector
+    metrics: MetricsRegistry
+    algorithm: str = ""
+    n_procs: int = 0
+
+    def chrome_trace(self) -> dict:
+        return chrome_trace(
+            self.collector, algorithm=self.algorithm, n_procs=self.n_procs
+        )
+
+    def write_chrome_trace(self, dest: Union[str, IO[str]]) -> dict:
+        return write_chrome_trace(
+            dest, self.collector, algorithm=self.algorithm, n_procs=self.n_procs
+        )
+
+    def jsonl_lines(self) -> Iterator[str]:
+        return jsonl_lines(self.collector)
+
+    def write_jsonl(self, dest: Union[str, IO[str]]) -> int:
+        return write_jsonl(dest, self.collector)
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.metrics)
+
+    def write_prometheus(self, dest: Union[str, IO[str]]) -> str:
+        return write_prometheus(dest, self.metrics)
+
+    def snapshot(self) -> List[dict]:
+        return self.metrics.snapshot()
+
+    def phase_totals(self) -> Dict[str, float]:
+        return self.collector.phase_totals()
+
+
+def observe_build(
+    runtime, backend, collector: SpanCollector, algorithm: str = ""
+) -> ObservationReport:
+    """Fold a finished run's counters into the collector and wrap it.
+
+    Duck-typed on purpose: any runtime exposing ``stats``/``disk`` and
+    any backend exposing ``stats``/``buffer`` contributes; the
+    real-thread runtime (no timing model) contributes only what it has.
+    Call once per build — folding is additive.
+    """
+    registry = collector.metrics
+    stats = getattr(runtime, "stats", None)
+    if stats is not None:
+        fold_wait_stats(registry, stats)
+    disk = getattr(runtime, "disk", None)
+    if disk is not None:
+        fold_disk(registry, disk)
+    storage_stats = getattr(backend, "stats", None)
+    if storage_stats is not None:
+        fold_storage_stats(registry, storage_stats)
+    buffer = getattr(backend, "buffer", None)
+    if buffer is not None:
+        fold_buffer_stats(registry, buffer.stats)
+    for span in collector.spans:
+        registry.histogram(
+            "phase_seconds",
+            {"phase": span.phase},
+            help="E/W/S kernel durations in virtual seconds",
+        ).observe(span.duration)
+    return ObservationReport(
+        collector=collector,
+        metrics=registry,
+        algorithm=algorithm,
+        n_procs=getattr(runtime, "n_procs", 0),
+    )

@@ -1,0 +1,126 @@
+"""Structured span/event collection — the instrumentation API.
+
+A :class:`SpanCollector` extends the low-level
+:class:`~repro.smp.trace.Tracer` (per-processor busy/io/wait intervals)
+with the *semantic* layer the paper's analysis needs: per-leaf,
+per-attribute **phase spans** for the E/W/S steps of §3.1, carrying
+``{pid, phase, leaf, attribute, level}``, plus instant events for
+scheme milestones (level starts, SUBTREE group splits) and a live
+:class:`~repro.obs.metrics.MetricsRegistry` for scheme counters.
+
+Because it *is* a ``Tracer``, a collector plugs into the existing
+opt-in slot — ``VirtualSMP(..., tracer=SpanCollector())`` — and keeps
+working with :func:`~repro.smp.trace.render_timeline`.  Instrumented
+code guards every emission with ``if obs is not None``, so a build with
+no collector attached allocates nothing and records nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.smp.trace import Tracer
+
+#: The paper's per-level steps (§3.1): evaluate, winner, split.
+PHASES = ("E", "W", "S")
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One E/W/S kernel execution on one processor, in virtual time."""
+
+    pid: int
+    phase: str
+    start: float
+    end: float
+    #: Node id of the leaf the kernel worked on.
+    leaf: Optional[int] = None
+    #: Attribute index (None for W, which spans all attributes).
+    attribute: Optional[int] = None
+    #: Tree level of the leaf.
+    level: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point-in-time scheme milestone (level start, group split, ...)."""
+
+    pid: int
+    name: str
+    ts: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class SpanCollector(Tracer):
+    """Tracer plus phase spans, instant events and live metrics.
+
+    Single-use, like the runtimes it observes: attach one collector per
+    build.  All three event streams share the same virtual clock, so
+    exporters can interleave them on one timeline.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.spans: List[PhaseSpan] = []
+        self.instants: List[InstantEvent] = []
+        self.metrics = MetricsRegistry()
+
+    # -- emission ------------------------------------------------------------
+
+    def phase(
+        self,
+        pid: int,
+        phase: str,
+        start: float,
+        end: float,
+        leaf: Optional[int] = None,
+        attribute: Optional[int] = None,
+        level: Optional[int] = None,
+    ) -> None:
+        """Record one phase span (zero-duration spans are kept: a W that
+        finalizes a leaf does no charged work but is still a decision)."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start}..{end}")
+        self.spans.append(PhaseSpan(pid, phase, start, end, leaf, attribute, level))
+
+    def instant(self, pid: int, name: str, ts: float, **args: Any) -> None:
+        self.instants.append(InstantEvent(pid, name, ts, args))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        ends = [iv.end for iv in self.intervals]
+        ends.extend(s.end for s in self.spans)
+        ends.extend(e.ts for e in self.instants)
+        return max(ends, default=0.0)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Summed span seconds by phase — the E/W/S time attribution."""
+        out = {phase: 0.0 for phase in PHASES}
+        for span in self.spans:
+            out[span.phase] += span.duration
+        return out
+
+    def spans_for(
+        self,
+        phase: Optional[str] = None,
+        leaf: Optional[int] = None,
+        level: Optional[int] = None,
+    ) -> List[PhaseSpan]:
+        """Filter spans by phase / leaf / level (None matches anything)."""
+        return [
+            s
+            for s in self.spans
+            if (phase is None or s.phase == phase)
+            and (leaf is None or s.leaf == leaf)
+            and (level is None or s.level == level)
+        ]

@@ -44,6 +44,10 @@ class SharedDisk:
         #: Bytes moved from/to the platter vs. served from cache.
         self.disk_bytes = 0
         self.cached_bytes = 0
+        #: Read request counts by cache outcome, and positioning ops.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.seeks = 0
 
     # -- public API ------------------------------------------------------------
 
@@ -58,8 +62,10 @@ class SharedDisk:
         if nbytes == 0:
             return 0.0
         if key in self._cache:
+            self.cache_hits += 1
             self._cache.move_to_end(key)
             return self._memory_hit(nbytes)
+        self.cache_misses += 1
         delay = self._disk_transfer(nbytes, sequential)
         self._admit(key, nbytes)
         return delay
@@ -91,6 +97,10 @@ class SharedDisk:
     def is_cached(self, key: str) -> bool:
         return key in self._cache
 
+    @property
+    def cache_used_bytes(self) -> int:
+        return self._cache_used
+
     def warm(self, key: str, nbytes: int) -> None:
         """Pre-populate the cache (e.g. files written during setup)."""
         self._admit(key, nbytes)
@@ -109,6 +119,7 @@ class SharedDisk:
         service = nbytes / self._machine.disk_bandwidth
         if not sequential:
             service += self._machine.disk_seek
+            self.seeks += 1
         start = max(now, self._free_at)
         end = start + service
         self._free_at = end

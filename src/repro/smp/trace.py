@@ -104,7 +104,10 @@ def render_timeline(tracer: Tracer, width: int = 100) -> str:
                 chars.append(_GLYPH[kind])
         lanes.append(f"P{pid:<2d} |" + "".join(chars) + "|")
     legend = "legend: # busy  ~ io  L lock  B barrier  C cond  . idle"
-    scale = f"0 {'-' * (width - len(f'{span:.2f}s') - 4)} {span:.2f}s"
+    label = f"{span:.2f}s"
+    # Narrow charts get a short (possibly empty) rule, never a negative
+    # repeat count, and always keep the end label.
+    scale = f"0 {'-' * max(0, width - len(label) - 4)} {label}"
     return "\n".join(lanes + [scale, legend])
 
 

@@ -49,6 +49,17 @@ class TestRunSpeedup:
     def test_tree_shape_recorded(self, curve):
         assert curve.of("mwk", 1).tree_levels > 1
 
+    def test_metrics_snapshot_attached(self, curve):
+        for point in curve.points:
+            assert point.metrics is not None
+            assert set(point.metrics) == {
+                "busy", "io", "lock_wait", "barrier_wait", "condvar_wait"
+            }
+            assert point.metrics["busy"] > 0
+        # More processors, more synchronization loss.
+        p1, p2 = curve.of("mwk", 1), curve.of("mwk", 2)
+        assert p2.metrics["barrier_wait"] >= p1.metrics["barrier_wait"]
+
 
 class TestTable1Row:
     def test_row_fields(self, small_f2):

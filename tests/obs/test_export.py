@@ -1,0 +1,164 @@
+"""Round-trip tests for the Chrome-trace, JSONL and Prometheus exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TIME_SCALE,
+    chrome_trace,
+    chrome_trace_events,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanCollector
+
+
+def make_collector():
+    c = SpanCollector()
+    c.record(0, "busy", 0.0, 2.0)
+    c.record(1, "barrier", 0.5, 1.0)
+    c.phase(0, "E", 0.0, 1.0, leaf=3, attribute=1, level=0)
+    c.phase(0, "W", 1.0, 1.5, leaf=3, level=0)
+    c.phase(1, "S", 1.5, 2.0, leaf=3, attribute=0, level=0)
+    c.instant(0, "level.start", 0.0, level=0, leaves=1)
+    return c
+
+
+class TestChromeTrace:
+    def test_every_event_has_required_keys(self):
+        for event in chrome_trace_events(make_collector()):
+            for key in ("ts", "dur", "ph", "pid", "tid", "name"):
+                assert key in event, f"{event} missing {key}"
+
+    def test_round_trips_through_json(self):
+        doc = chrome_trace(make_collector(), algorithm="basic")
+        reparsed = json.loads(json.dumps(doc))
+        assert reparsed == doc
+        assert reparsed["otherData"]["algorithm"] == "basic"
+        assert reparsed["otherData"]["source"] == "repro.obs"
+
+    def test_thread_metadata_per_processor(self):
+        events = chrome_trace_events(make_collector())
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert thread_names == {0: "P0", 1: "P1"}
+        assert any(e["name"] == "process_name" for e in events)
+
+    def test_phase_spans_scaled_to_microseconds(self):
+        events = chrome_trace_events(make_collector())
+        w = next(e for e in events if e["name"] == "W")
+        assert w["ph"] == "X"
+        assert w["ts"] == pytest.approx(1.0 * TIME_SCALE)
+        assert w["dur"] == pytest.approx(0.5 * TIME_SCALE)
+        assert w["tid"] == 0
+        assert w["args"]["leaf"] == 3 and w["args"]["level"] == 0
+
+    def test_runtime_intervals_and_instants_included(self):
+        events = chrome_trace_events(make_collector())
+        cats = {e.get("cat") for e in events}
+        assert {"phase", "runtime", "scheme"} <= cats
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["dur"] == 0 and instant["s"] == "t"
+
+    def test_tids_match_span_processors(self):
+        c = make_collector()
+        events = chrome_trace_events(c)
+        body_tids = {e["tid"] for e in events if e.get("cat")}
+        assert body_tids == {s.pid for s in c.spans} | {
+            iv.pid for iv in c.intervals
+        }
+
+    def test_write_to_path_and_fileobj(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        doc = write_chrome_trace(path, make_collector(), procs=2)
+        assert json.load(open(path)) == json.loads(json.dumps(doc))
+        buf = io.StringIO()
+        write_chrome_trace(buf, make_collector())
+        assert json.loads(buf.getvalue())["traceEvents"]
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        lines = list(jsonl_lines(make_collector()))
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 6  # 3 spans + 2 intervals + 1 instant
+        assert {r["type"] for r in records} == {"span", "interval", "instant"}
+
+    def test_ordered_by_start(self):
+        records = [json.loads(l) for l in jsonl_lines(make_collector())]
+        starts = [r.get("start", r.get("ts")) for r in records]
+        assert starts == sorted(starts)
+
+    def test_span_record_fields(self):
+        records = [json.loads(l) for l in jsonl_lines(make_collector())]
+        span = next(r for r in records if r["type"] == "span" and r["phase"] == "E")
+        assert span == {
+            "type": "span", "pid": 0, "phase": "E", "start": 0.0,
+            "end": 1.0, "leaf": 3, "attribute": 1, "level": 0,
+        }
+
+    def test_write_returns_line_count(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        n = write_jsonl(path, make_collector())
+        assert n == 6
+        assert len(open(path).read().splitlines()) == 6
+
+
+class TestPrometheus:
+    def test_counters_and_gauges(self):
+        r = MetricsRegistry()
+        r.counter("x_total", help="an x").inc(3)
+        r.counter("y_total", {"pid": "0"}).inc(1.5)
+        r.gauge("depth").set(2)
+        text = prometheus_text(r)
+        assert "# HELP x_total an x\n" in text
+        assert "# TYPE x_total counter\n" in text
+        assert "\nx_total 3\n" in text or text.startswith("x_total 3")
+        assert 'y_total{pid="0"} 1.5' in text
+        assert "# TYPE depth gauge" in text
+
+    def test_type_line_once_per_family(self):
+        r = MetricsRegistry()
+        r.counter("f_total", {"k": "a"}).inc()
+        r.counter("f_total", {"k": "b"}).inc()
+        text = prometheus_text(r)
+        assert text.count("# TYPE f_total counter") == 1
+
+    def test_histogram_exposition(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        text = prometheus_text(r)
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 105.5" in text
+        assert "lat_count 3" in text
+
+    def test_label_escaping(self):
+        r = MetricsRegistry()
+        r.counter("c", {"path": 'a"b\\c'}).inc()
+        text = prometheus_text(r)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        path = str(tmp_path / "m.prom")
+        text = write_prometheus(path, r)
+        assert open(path).read() == text
+        assert text.endswith("\n")

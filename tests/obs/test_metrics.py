@@ -1,0 +1,177 @@
+"""Unit tests for the metrics registry and its fold adapters."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fold_buffer_stats,
+    fold_disk,
+    fold_storage_stats,
+    fold_wait_stats,
+    wait_attribution,
+)
+from repro.smp.sync import WaitStats
+
+
+class TestCounter:
+    def test_inc(self):
+        r = MetricsRegistry()
+        c = r.counter("x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="decrease"):
+            MetricsRegistry().counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+    def test_set_max_is_high_water(self):
+        g = MetricsRegistry().gauge("peak")
+        g.set_max(3)
+        g.set_max(1)
+        g.set_max(7)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 2), (10.0, 3), (math.inf, 4)]
+        assert h.sum == pytest.approx(106.2)
+        assert h.count == 4
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="bucket"):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        # Label order does not matter for identity.
+        c1 = r.counter("b", {"x": "1", "y": "2"})
+        c2 = r.counter("b", {"y": "2", "x": "1"})
+        assert c1 is c2
+        assert r.counter("b", {"x": "1", "y": "3"}) is not c1
+        assert len(r) == 3
+
+    def test_kind_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("m")
+        with pytest.raises(TypeError, match="already registered"):
+            r.histogram("m")
+
+    def test_snapshot(self):
+        r = MetricsRegistry()
+        r.counter("c", {"k": "v"}).inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = {entry["name"]: entry for entry in r.snapshot()}
+        assert snap["c"] == {
+            "name": "c", "type": "counter", "labels": {"k": "v"}, "value": 2.0,
+        }
+        assert snap["g"]["value"] == 1.5
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        import json
+
+        json.dumps(r.snapshot())  # must be JSON-serializable
+
+    def test_values_flat_map(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.counter("d", {"pid": "0"}).inc()
+        r.histogram("h").observe(1)  # histograms are excluded
+        assert r.values() == {"c": 3.0, 'd{pid="0"}': 1.0}
+
+
+class TestFolds:
+    def test_fold_wait_stats(self):
+        stats = WaitStats(2)
+        stats.busy[0] = 1.0
+        stats.busy[1] = 2.0
+        stats.barrier_wait[1] = 0.5
+        r = MetricsRegistry()
+        fold_wait_stats(r, stats)
+        values = r.values()
+        assert values['smp_seconds_total{kind="busy",pid="0"}'] == 1.0
+        assert values['smp_seconds_total{kind="busy",pid="1"}'] == 2.0
+        assert values['smp_seconds_total{kind="barrier",pid="1"}'] == 0.5
+
+    def test_fold_disk(self):
+        from repro.smp.disk import SharedDisk
+        from repro.smp.engine import VirtualTimeEngine
+        from repro.smp.machine import machine_a
+
+        eng = VirtualTimeEngine(1)
+        disk = SharedDisk(machine_a(1), eng)
+
+        def worker(pid):
+            disk.write("f", 100_000)  # small: cached on machine A
+            disk.read("f", 100_000)  # hit
+            disk.read("g", 100_000)  # miss
+
+        eng.run(worker)
+        r = MetricsRegistry()
+        fold_disk(r, disk)
+        values = r.values()
+        assert values["disk_cache_hits_total"] == 1
+        assert values["disk_cache_misses_total"] == 1
+        assert values["disk_busy_seconds_total"] > 0
+        assert values['disk_bytes_total{path="platter"}'] > 0
+        assert values["disk_cache_used_bytes"] == disk.cache_used_bytes
+
+    def test_fold_storage_and_buffer(self, tmp_path):
+        import numpy as np
+
+        from repro.storage.backends import DiskBackend
+
+        backend = DiskBackend(str(tmp_path / "store"))
+        try:
+            records = np.arange(16, dtype=np.int64)
+            backend.write("seg", records)
+            backend.read("seg")
+            r = MetricsRegistry()
+            fold_storage_stats(r, backend.stats)
+            fold_buffer_stats(r, backend.buffer.stats)
+            values = r.values()
+            assert values["storage_writes_total"] == 1
+            assert values["storage_reads_total"] == 1
+            assert values["storage_bytes_written_total"] == records.nbytes
+            assert "buffer_hits_total" in values
+            assert "buffer_hit_rate" in values
+        finally:
+            backend.close()
+
+    def test_wait_attribution(self):
+        stats = WaitStats(2)
+        stats.busy[0] = 1.0
+        stats.busy[1] = 3.0
+        stats.io_time[0] = 0.25
+        stats.lock_wait[1] = 0.5
+        assert wait_attribution(stats) == {
+            "busy": 4.0,
+            "io": 0.25,
+            "lock_wait": 0.5,
+            "barrier_wait": 0.0,
+            "condvar_wait": 0.0,
+        }

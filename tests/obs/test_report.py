@@ -1,0 +1,109 @@
+"""Tests for the per-build ObservationReport and observe_build."""
+
+import json
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.obs.report import observe_build
+from repro.obs.spans import SpanCollector
+
+
+@pytest.fixture(scope="module")
+def observed():
+    from repro.data.generator import DatasetSpec, generate_dataset
+
+    dataset = generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=600, seed=3)
+    )
+    return build_classifier(
+        dataset, algorithm="basic", n_procs=3, collector=SpanCollector()
+    )
+
+
+class TestObservationReport:
+    def test_attached_to_result(self, observed):
+        obs = observed.observation
+        assert obs is not None
+        assert obs.algorithm == "basic"
+        assert obs.n_procs == 3
+        assert obs.collector.spans
+
+    def test_unifies_all_counter_bags(self, observed):
+        values = observed.observation.metrics.values()
+        # WaitStats: per-processor seconds by kind.
+        for pid in range(3):
+            assert f'smp_seconds_total{{kind="busy",pid="{pid}"}}' in values
+        # Shared disk.
+        assert "disk_busy_seconds_total" in values
+        assert "disk_cache_hits_total" in values
+        assert 'disk_bytes_total{path="platter"}' in values
+        # Storage backend.
+        assert values["storage_reads_total"] > 0
+        assert values["storage_bytes_written_total"] > 0
+        # Scheme counters from the live build.
+        assert values["scheme_levels_total"] >= 1
+        assert any(k.startswith("sched_attr_grabs_total") for k in values)
+
+    def test_phase_histograms_folded(self, observed):
+        snap = {
+            (e["name"], tuple(sorted(e["labels"].items()))): e
+            for e in observed.observation.snapshot()
+        }
+        for phase in ("E", "W", "S"):
+            entry = snap[("phase_seconds", (("phase", phase),))]
+            assert entry["type"] == "histogram"
+            assert entry["count"] == len(
+                observed.observation.collector.spans_for(phase=phase)
+            )
+
+    def test_phase_totals_match_collector(self, observed):
+        assert (
+            observed.observation.phase_totals()
+            == observed.observation.collector.phase_totals()
+        )
+
+    def test_exports_work(self, observed, tmp_path):
+        obs = observed.observation
+        doc = obs.write_chrome_trace(str(tmp_path / "t.json"))
+        assert json.load(open(tmp_path / "t.json")) == json.loads(
+            json.dumps(doc)
+        )
+        n = obs.write_jsonl(str(tmp_path / "e.jsonl"))
+        assert n == len(open(tmp_path / "e.jsonl").read().splitlines())
+        text = obs.write_prometheus(str(tmp_path / "m.prom"))
+        assert "smp_seconds_total" in text
+
+    def test_wait_seconds_match_stats(self, observed):
+        values = observed.observation.metrics.values()
+        for pid in range(3):
+            assert values[
+                f'smp_seconds_total{{kind="busy",pid="{pid}"}}'
+            ] == pytest.approx(observed.stats.busy[pid])
+
+
+class TestObserveBuildDuckTyping:
+    def test_runtime_without_stats_contributes_nothing(self):
+        class Bare:
+            n_procs = 2
+
+        collector = SpanCollector()
+        report = observe_build(Bare(), object(), collector, algorithm="x")
+        assert report.n_procs == 2
+        assert len(collector.metrics) == 0
+
+    def test_real_thread_runtime_observable(self, small_f2):
+        result = build_classifier(
+            small_f2,
+            algorithm="basic",
+            n_procs=2,
+            runtime="threads",
+            collector=SpanCollector(),
+        )
+        obs = result.observation
+        assert obs is not None
+        # No timing model: no wait stats, but storage counters exist
+        # and the schemes still emitted spans (in wall-clock time).
+        values = obs.metrics.values()
+        assert "storage_reads_total" in values
+        assert {s.phase for s in obs.collector.spans} == {"E", "W", "S"}

@@ -1,0 +1,157 @@
+"""Unit tests for the span/event collection layer."""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.obs.spans import PHASES, InstantEvent, PhaseSpan, SpanCollector
+from repro.smp.trace import Tracer, render_timeline, utilization_table
+
+
+class TestSpanCollector:
+    def test_is_a_tracer(self):
+        c = SpanCollector()
+        assert isinstance(c, Tracer)
+        c.record(0, "busy", 0.0, 1.0)  # the inherited interval API works
+        assert len(c.intervals) == 1
+
+    def test_records_phase_spans(self):
+        c = SpanCollector()
+        c.phase(0, "E", 0.0, 1.0, leaf=3, attribute=2, level=1)
+        c.phase(1, "W", 1.0, 1.5, leaf=3, level=1)
+        assert c.spans == [
+            PhaseSpan(0, "E", 0.0, 1.0, 3, 2, 1),
+            PhaseSpan(1, "W", 1.0, 1.5, 3, None, 1),
+        ]
+
+    def test_zero_duration_spans_kept(self):
+        c = SpanCollector()
+        c.phase(0, "W", 2.0, 2.0, leaf=1)
+        assert len(c.spans) == 1 and c.spans[0].duration == 0.0
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            SpanCollector().phase(0, "X", 0.0, 1.0)
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            SpanCollector().phase(0, "E", 2.0, 1.0)
+
+    def test_instants(self):
+        c = SpanCollector()
+        c.instant(2, "level.start", 0.5, level=0, leaves=1)
+        assert c.instants == [
+            InstantEvent(2, "level.start", 0.5, {"level": 0, "leaves": 1})
+        ]
+
+    def test_makespan_covers_all_streams(self):
+        c = SpanCollector()
+        c.record(0, "busy", 0.0, 1.0)
+        c.phase(0, "S", 1.0, 3.0)
+        c.instant(0, "end", 5.0)
+        assert c.makespan == 5.0
+        assert SpanCollector().makespan == 0.0
+
+    def test_phase_totals(self):
+        c = SpanCollector()
+        c.phase(0, "E", 0.0, 2.0)
+        c.phase(1, "E", 0.0, 1.0)
+        c.phase(0, "W", 2.0, 2.5)
+        totals = c.phase_totals()
+        assert totals == {"E": 3.0, "W": 0.5, "S": 0.0}
+        assert set(totals) == set(PHASES)
+
+    def test_spans_for_filters(self):
+        c = SpanCollector()
+        c.phase(0, "E", 0.0, 1.0, leaf=1, level=0)
+        c.phase(0, "E", 1.0, 2.0, leaf=2, level=1)
+        c.phase(0, "S", 2.0, 3.0, leaf=1, level=0)
+        assert len(c.spans_for(phase="E")) == 2
+        assert len(c.spans_for(leaf=1)) == 2
+        assert len(c.spans_for(phase="E", level=1)) == 1
+
+
+class TestBuildInstrumentation:
+    def test_off_path_records_nothing(self, small_f2):
+        """Without a collector: no tracer, no observation, no spans."""
+        result = build_classifier(small_f2, algorithm="basic", n_procs=2)
+        assert result.observation is None
+        assert result.stats.tracer is None
+
+    def test_basic_emits_per_leaf_per_attribute_spans(self, small_f2):
+        collector = SpanCollector()
+        result = build_classifier(
+            small_f2, algorithm="basic", n_procs=2, collector=collector
+        )
+        assert result.observation is not None
+        n_attrs = small_f2.n_attributes
+        root_id = result.tree.root.node_id
+        # Root level: one E and one S span per attribute, exactly one W.
+        root_e = collector.spans_for(phase="E", leaf=root_id)
+        root_w = collector.spans_for(phase="W", leaf=root_id)
+        root_s = collector.spans_for(phase="S", leaf=root_id)
+        assert len(root_e) == n_attrs
+        assert sorted(s.attribute for s in root_e) == list(range(n_attrs))
+        assert len(root_w) == 1 and root_w[0].attribute is None
+        assert len(root_s) == n_attrs
+        assert all(s.level == 0 for s in root_e + root_w + root_s)
+
+    def test_spans_ordered_within_a_leaf(self, small_f2):
+        collector = SpanCollector()
+        result = build_classifier(
+            small_f2, algorithm="mwk", n_procs=3, collector=collector
+        )
+        root_id = result.tree.root.node_id
+        w = collector.spans_for(phase="W", leaf=root_id)[0]
+        # Every E on the leaf completes before its W starts; every S after.
+        assert all(
+            s.end <= w.start + 1e-12
+            for s in collector.spans_for(phase="E", leaf=root_id)
+        )
+        assert all(
+            s.start >= w.start - 1e-12
+            for s in collector.spans_for(phase="S", leaf=root_id)
+        )
+
+    def test_every_scheme_emits_all_phases(self, small_f2):
+        for algorithm in ("serial", "basic", "fwk", "mwk", "subtree",
+                          "recordpar"):
+            collector = SpanCollector()
+            build_classifier(
+                small_f2,
+                algorithm=algorithm,
+                n_procs=1 if algorithm == "serial" else 3,
+                collector=collector,
+            )
+            assert {s.phase for s in collector.spans} == set(PHASES), algorithm
+            assert any(e.name == "level.start" for e in collector.instants) or \
+                algorithm in ("fwk", "mwk", "recordpar")
+
+    def test_collector_keeps_text_timeline_working(self, small_f2):
+        collector = SpanCollector()
+        build_classifier(
+            small_f2, algorithm="basic", n_procs=2, collector=collector
+        )
+        text = render_timeline(collector, width=40)
+        assert "P0" in text and "legend" in text
+        assert "busy" in utilization_table(collector)
+
+    def test_prebuilt_runtime_autodetects_collector(self, small_f2):
+        from repro.smp.machine import machine_b
+        from repro.smp.runtime import VirtualSMP
+
+        collector = SpanCollector()
+        rt = VirtualSMP(machine_b(2), 2, tracer=collector)
+        result = build_classifier(
+            small_f2, algorithm="basic", runtime=rt, n_procs=2
+        )
+        assert result.observation is not None
+        assert result.observation.collector is collector
+        assert collector.spans
+
+    def test_observation_does_not_change_the_tree(self, small_f2):
+        plain = build_classifier(small_f2, algorithm="mwk", n_procs=3)
+        observed = build_classifier(
+            small_f2, algorithm="mwk", n_procs=3, collector=SpanCollector()
+        )
+        assert plain.tree.signature() == observed.tree.signature()
+        assert plain.timings == observed.timings

@@ -250,3 +250,44 @@ class TestVCondition:
 
         with pytest.raises(DeadlockError):
             eng.run(worker)
+
+
+class TestWaitStatsTracerMirroring:
+    def test_add_wait_mirrors_to_tracer(self):
+        from repro.smp.trace import Interval, Tracer
+
+        stats = WaitStats(2)
+        stats.tracer = Tracer()
+        stats.add_wait("lock", 0, 1.0, 2.0)
+        stats.add_wait("barrier", 1, 2.0, 3.5)
+        stats.add_wait("cond", 0, 4.0, 4.5)
+        assert stats.lock_wait[0] == 1.0
+        assert stats.barrier_wait[1] == 1.5
+        assert stats.tracer.intervals == [
+            Interval(0, "lock", 1.0, 2.0),
+            Interval(1, "barrier", 2.0, 3.5),
+            Interval(0, "cond", 4.0, 4.5),
+        ]
+
+    def test_no_tracer_still_accounts(self):
+        stats = WaitStats(1)
+        stats.add_wait("lock", 0, 0.0, 1.0)
+        assert stats.tracer is None
+        assert stats.lock_wait[0] == 1.0
+
+    def test_primitive_waits_flow_through_to_tracer(self):
+        """End to end: a contended VLock produces a traced lock interval."""
+        from repro.smp.trace import Tracer
+
+        eng, stats = make(2)
+        stats.tracer = Tracer()
+        lock = VLock(eng, OVERHEAD, stats)
+
+        def worker(pid):
+            with lock:
+                eng.advance(1.0)
+
+        eng.run(worker)
+        traced = [iv for iv in stats.tracer.intervals if iv.kind == "lock"]
+        assert len(traced) == 1
+        assert traced[0].duration == pytest.approx(stats.total("lock_wait"))

@@ -110,6 +110,31 @@ class TestRendering:
     def test_empty_trace(self):
         assert render_timeline(Tracer()) == "(empty trace)"
 
+    def test_scale_line_keeps_end_label_at_tiny_width(self):
+        # The dash count underflowed for widths smaller than the label;
+        # it must clamp to zero and still print the makespan.
+        for width in (1, 2, 5, 8):
+            text = render_timeline(self.make_trace(), width=width)
+            scale = text.splitlines()[2]
+            assert scale.startswith("0 ")
+            assert scale.rstrip().endswith("5.00s")
+
+    def test_scale_line_dashes_at_normal_width(self):
+        scale = render_timeline(self.make_trace(), width=40).splitlines()[2]
+        assert "-" in scale and scale.rstrip().endswith("5.00s")
+
     def test_utilization_table(self):
         text = utilization_table(self.make_trace())
         assert "P0" in text and "P1" in text and "busy" in text
+
+    def test_utilization_table_values_and_idle(self):
+        lines = utilization_table(self.make_trace()).splitlines()
+        assert len(lines) == 2
+        p1 = lines[1]
+        assert p1.startswith("P1")
+        assert "barrier   2.00s" in p1
+        assert "busy     3.00s" in p1
+        assert "idle   0.00s" in p1
+
+    def test_utilization_table_empty(self):
+        assert utilization_table(Tracer()) == ""

@@ -66,6 +66,37 @@ class TestBuild:
                  "--procs", "2"]
             ) == 0
 
+    def test_trace_out_writes_valid_chrome_trace(self, dataset_file,
+                                                 tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        code = main(
+            ["build", "-i", dataset_file, "--algorithm", "basic",
+             "--procs", "4", "--trace-out", trace_path]
+        )
+        assert code == 0
+        assert "Chrome trace" in capsys.readouterr().out
+        doc = json.load(open(trace_path))
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("ts", "dur", "ph", "pid", "tid", "name"):
+                assert key in event
+        assert {"E", "W", "S"} <= {e["name"] for e in events}
+
+    def test_metrics_out_unifies_counters(self, dataset_file, tmp_path):
+        metrics_path = str(tmp_path / "metrics.prom")
+        code = main(
+            ["build", "-i", dataset_file, "--algorithm", "mwk",
+             "--procs", "2", "--metrics-out", metrics_path]
+        )
+        assert code == 0
+        text = open(metrics_path).read()
+        assert "smp_seconds_total" in text
+        assert "disk_busy_seconds_total" in text
+        assert "storage_reads_total" in text
+        assert "mwk_gate_waits_total" in text
+        assert "phase_seconds_bucket" in text
+
 
 class TestClassify:
     def test_round_trip(self, dataset_file, tmp_path, capsys):
@@ -107,6 +138,31 @@ class TestTimeline:
         assert "legend" in out
         assert "P0" in out and "P1" in out
         assert "busy" in out
+
+    def test_chrome_format(self, dataset_file, tmp_path, capsys):
+        out_path = str(tmp_path / "tl.json")
+        code = main(
+            ["timeline", "-i", dataset_file, "--procs", "2",
+             "--format", "chrome", "-o", out_path]
+        )
+        assert code == 0
+        assert "Chrome trace" in capsys.readouterr().out
+        doc = json.load(open(out_path))
+        assert doc["otherData"]["algorithm"] == "mwk"
+        assert any(e["name"] == "E" for e in doc["traceEvents"])
+
+    def test_jsonl_format(self, dataset_file, tmp_path, capsys):
+        out_path = str(tmp_path / "tl.jsonl")
+        code = main(
+            ["timeline", "-i", dataset_file, "--procs", "2",
+             "--format", "jsonl", "-o", out_path]
+        )
+        assert code == 0
+        lines = open(out_path).read().splitlines()
+        assert "JSONL events" in capsys.readouterr().out
+        assert lines
+        types = {json.loads(line)["type"] for line in lines}
+        assert {"span", "interval"} <= types
 
 
 class TestBenchmarkAndInfo:
