@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full examples trace-demo clean
+.PHONY: install test bench bench-full bench-kernels examples trace-demo clean
 
 install:
 	pip install -e .
@@ -16,6 +16,11 @@ bench:
 # The paper's exact dataset sizes (slow: hours, not minutes).
 bench-full:
 	REPRO_BENCH_RECORDS=250000 pytest benchmarks/ --benchmark-only
+
+# Wall-clock before/after comparison of the level-batched E/W/S kernels;
+# writes BENCH_kernels.json (schema bench_kernels/1).
+bench-kernels:
+	PYTHONPATH=src python benchmarks/bench_kernels.py --out BENCH_kernels.json
 
 examples:
 	@for ex in examples/*.py; do \

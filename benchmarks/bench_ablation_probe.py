@@ -43,6 +43,20 @@ def run_ablation():
         ("bit (whole training set)", bit.nbytes),
         ("hash (smaller child only)", hashp.nbytes),
     ]
+
+    # The array-backed probe reports its exact footprint: 8 bytes per
+    # stored tid versus one numpy bool per training tuple for the bit
+    # probe.
+    assert bit.nbytes == n
+    assert hashp.nbytes == 8 * (n // 2)
+
+    # The paper's argument for hash tables is that they scale with the
+    # *smaller child*, not the training set: at a sufficiently skewed
+    # split the per-leaf table undercuts even the bit probe.
+    skewed = HashProbe()
+    skewed.mark_left(np.arange(n // 256))
+    assert skewed.nbytes == 8 * (n // 256)
+    assert skewed.nbytes < bit.nbytes
     return rows, footprint, trees
 
 

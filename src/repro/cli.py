@@ -195,16 +195,39 @@ def cmd_cross_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_batch_summary(metrics) -> str:
+    """One-line digest of the level-batched kernel counters."""
+    values = metrics.values()
+    lines = []
+    for kernel in ("E", "S"):
+        calls = values.get(f'kernel_level_calls_total{{kernel="{kernel}"}}', 0)
+        leaves = values.get(f'kernel_level_leaves_total{{kernel="{kernel}"}}', 0)
+        if calls:
+            lines.append(
+                f"  {kernel}: {int(calls)} batched calls covering "
+                f"{int(leaves)} leaves ({leaves / calls:.1f} leaves/call)"
+            )
+    saved = values.get("kernel_saved_alloc_bytes_total", 0)
+    if saved:
+        lines.append(
+            f"  partition arenas saved {saved / 1e6:.2f} MB of allocations"
+        )
+    if not lines:
+        return ""
+    return "kernel batching:\n" + "\n".join(lines)
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     from repro.obs import SpanCollector, write_chrome_trace, write_jsonl
     from repro.smp.runtime import VirtualSMP
-    from repro.smp.trace import Tracer, render_timeline, utilization_table
+    from repro.smp.trace import render_timeline, utilization_table
 
     dataset = _load_dataset(args.input)
     machine = _MACHINES[args.machine](args.procs)
-    # A SpanCollector is a Tracer, so the text renderers keep working
-    # and the chrome/jsonl formats additionally get the E/W/S spans.
-    tracer = SpanCollector() if args.format != "text" else Tracer()
+    # A SpanCollector is a Tracer, so the text renderers keep working;
+    # every format additionally gets the E/W/S spans and live metrics
+    # (the text table reports the batched-kernel counters from them).
+    tracer = SpanCollector()
     runtime = VirtualSMP(machine, args.procs, tracer=tracer)
     result = build_classifier(
         dataset, algorithm=args.algorithm, runtime=runtime, n_procs=args.procs
@@ -216,6 +239,9 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     if args.format == "text":
         print(render_timeline(tracer, width=args.width))
         print(utilization_table(tracer))
+        summary = _kernel_batch_summary(tracer.metrics)
+        if summary:
+            print(summary)
         return 0
     out = args.out or (
         "timeline.json" if args.format == "chrome" else "timeline.jsonl"

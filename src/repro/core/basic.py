@@ -47,9 +47,8 @@ def basic_level(
         eval_attrs = state.eval_counter.drain()
     else:
         eval_attrs = iter(static_partition(ctx.n_attrs, *static_pid))
-    for attr_index in eval_attrs:  # step E
-        for task in state.tasks:
-            ctx.evaluate_attribute(task, attr_index)
+    for attr_index in eval_attrs:  # step E, level-batched per attribute
+        ctx.evaluate_attribute_level(state.tasks, attr_index)
     barrier.wait()
 
     if is_master:  # step W, serialized at the master
@@ -61,9 +60,8 @@ def basic_level(
         split_attrs = state.split_counter.drain()
     else:
         split_attrs = iter(static_partition(ctx.n_attrs, *static_pid))
-    for attr_index in split_attrs:  # step S
-        for task in state.tasks:
-            ctx.split_attribute(task, attr_index)
+    for attr_index in split_attrs:  # step S, level-batched per attribute
+        ctx.split_attribute_level(state.tasks, attr_index)
     barrier.wait()
 
 

@@ -13,6 +13,18 @@ segments through the storage backend (real data movement) and charges
 virtual CPU/IO time through the SMP runtime (timing model).  Running the
 same kernels under different schemes therefore yields bit-identical
 trees with scheme-specific timings.
+
+The E and S kernels come in two granularities: per-leaf
+(:meth:`BuildContext.evaluate_attribute` / ``split_attribute``, used by
+the windowed schemes whose pipelining is inherently per-leaf) and
+level-batched (:meth:`BuildContext.evaluate_attribute_level` /
+``split_attribute_level``, used wherever a scheme sweeps a whole level
+per attribute).  Both run the same fused kernels from
+:mod:`repro.sprint.kernels`; the batched form does the numeric work for
+every leaf in one array pass and *then* charges each leaf in the
+original order — backend fetches advance no virtual time, so the
+shared-disk queue, file cache and every span see the identical charge
+sequence and the trees and timings stay bit-identical.
 """
 
 from __future__ import annotations
@@ -30,11 +42,14 @@ from repro.smp.runtime import SMPRuntime
 from repro.sprint.attribute_files import FileLayout
 from repro.sprint.attribute_list import build_attribute_list
 from repro.sprint.criteria import get_criterion
-from repro.sprint.gini import (
-    SplitCandidate,
-    best_categorical_split,
-    best_continuous_split,
-    gini_from_counts,
+from repro.sprint.gini import SplitCandidate, gini_from_counts
+from repro.sprint.kernels import (
+    ScratchArena,
+    concat_field,
+    partition_stable,
+    segment_offsets,
+    segmented_categorical_splits,
+    segmented_continuous_splits,
 )
 from repro.sprint.probe import BitProbe, HashProbe
 from repro.sprint.records import record_nbytes
@@ -133,6 +148,8 @@ class BuildContext:
             if isinstance(tracer, SpanCollector):
                 observer = tracer
         self.obs = observer
+        #: Per-processor partition scratch arenas (created on first use).
+        self._arenas: Dict[int, ScratchArena] = {}
         self.root = Node(0, 0, dataset.class_histogram())
 
     # -- storage + I/O charging --------------------------------------------------
@@ -151,16 +168,41 @@ class BuildContext:
         locality (paper §3.2.1: "each attribute list is accessed only
         once sequentially during the evaluation for a level").
         """
+        records = self._fetch_segment(attr_index, task)
+        self._charge_read(attr_index, task, records.nbytes)
+        return records
+
+    def _fetch_segment(self, attr_index: int, task: LeafTask) -> np.ndarray:
+        """Backend read only — no virtual time advances.
+
+        The level-batched kernels fetch every leaf's data up front, do
+        the fused numeric work, and charge afterwards through
+        :meth:`_charge_read` in the original per-leaf order, so the
+        timing model sees the identical request sequence either way.
+        """
+        return self.backend.read(self.segment_key(attr_index, task.node.node_id))
+
+    def _charge_read(
+        self, attr_index: int, task: LeafTask, nbytes: int
+    ) -> None:
+        """Charge the I/O time of one segment read (locality-aware)."""
         key = self.segment_key(attr_index, task.node.node_id)
-        records = self.backend.read(key)
         layout = task.layout if task.layout is not None else self.layout
         phys = layout.physical_name(attr_index, task.slot, task.level)
         pid = self.runtime.pid()
         with self._meta_lock:
             sequential = self._last_read.get(pid) == phys
             self._last_read[pid] = phys
-        self.runtime.read_file(key, records.nbytes, sequential=sequential)
-        return records
+        self.runtime.read_file(key, nbytes, sequential=sequential)
+
+    def arena(self) -> ScratchArena:
+        """This processor's partition scratch arena (lazily created)."""
+        pid = self.runtime.pid()
+        with self._meta_lock:
+            arena = self._arenas.get(pid)
+            if arena is None:
+                arena = self._arenas[pid] = ScratchArena()
+        return arena
 
     def write_segment(
         self,
@@ -207,43 +249,65 @@ class BuildContext:
         gen = (parent_task.level + 1) % 2
         return f"{prefix}a{attr_index}.w{window_pos}.{side}.g{gen}"
 
-    # -- step E: evaluate one attribute at one leaf -------------------------------
+    # -- step E: evaluate one attribute across a level of leaves ------------------
 
     def evaluate_attribute(self, task: LeafTask, attr_index: int) -> None:
         """Find the best split of ``attr_index`` at this leaf (step E)."""
+        self.evaluate_attribute_level([task], attr_index)
+
+    def evaluate_attribute_level(
+        self, tasks: List[LeafTask], attr_index: int
+    ) -> None:
+        """Step E for ``attr_index`` at every leaf of a level, batched.
+
+        One fused pass of the segmented kernels finds all leaves'
+        candidates; the per-leaf I/O and CPU charges (and phase spans)
+        are then replayed in the original task order, so virtual time is
+        indistinguishable from the per-leaf loop this replaces.
+        """
+        if not tasks:
+            return
         obs = self.obs
-        start = self.runtime.now() if obs is not None else 0.0
         attr = self.schema.attributes[attr_index]
-        records = self.read_segment(attr_index, task)
-        n = len(records)
         machine = self.machine
+        # Phase A: fetch every leaf's segment; no time is charged yet.
+        payloads = [self._fetch_segment(attr_index, task) for task in tasks]
+        # Phase B: the fused numeric pass over the concatenated level.
+        offsets = segment_offsets(payloads)
+        classes = concat_field(payloads, "cls")
+        values = concat_field(payloads, "value")
         if attr.is_continuous:
-            candidate = best_continuous_split(
-                records["value"],
-                records["cls"],
-                self.n_classes,
+            candidates = segmented_continuous_splits(
+                values, classes, offsets, self.n_classes,
                 criterion=self.params.criterion,
             )
-            self.runtime.compute(machine.cpu_eval_record * n)
         else:
-            candidate = best_categorical_split(
-                records["value"].astype(np.int64, copy=False),
-                records["cls"],
-                attr.cardinality,
-                self.n_classes,
+            candidates = segmented_categorical_splits(
+                values, classes, offsets, attr.cardinality, self.n_classes,
                 max_exhaustive=self.params.max_exhaustive_subset,
                 criterion=self.params.criterion,
             )
-            subsets = candidate.work_points if candidate is not None else 1
-            self.runtime.compute(
-                machine.cpu_count_record * n + machine.cpu_subset_eval * subsets
-            )
-        task.candidates[attr_index] = candidate
-        if obs is not None:
-            obs.phase(
-                self.runtime.pid(), "E", start, self.runtime.now(),
-                leaf=task.node.node_id, attribute=attr_index, level=task.level,
-            )
+        # Phase C: charge each leaf in order; spans bracket its charges.
+        for task, records, candidate in zip(tasks, payloads, candidates):
+            start = self.runtime.now() if obs is not None else 0.0
+            self._charge_read(attr_index, task, records.nbytes)
+            n = len(records)
+            if attr.is_continuous:
+                self.runtime.compute(machine.cpu_eval_record * n)
+            else:
+                subsets = candidate.work_points if candidate is not None else 1
+                self.runtime.compute(
+                    machine.cpu_count_record * n
+                    + machine.cpu_subset_eval * subsets
+                )
+            task.candidates[attr_index] = candidate
+            if obs is not None:
+                obs.phase(
+                    self.runtime.pid(), "E", start, self.runtime.now(),
+                    leaf=task.node.node_id, attribute=attr_index,
+                    level=task.level,
+                )
+        self._record_kernel_batch("E", len(tasks))
 
     # -- step W: winner + probe + children ---------------------------------------
 
@@ -371,7 +435,7 @@ class BuildContext:
             return True
         return False
 
-    # -- step S: split one attribute's list at one leaf -----------------------------
+    # -- step S: split one attribute's lists across a level of leaves --------------
 
     def split_attribute(self, task: LeafTask, attr_index: int) -> None:
         """Step S: route this attribute's records to the children.
@@ -381,34 +445,127 @@ class BuildContext:
         portion of the tids each time (paper §2.3); the output is the
         same, the cost is multiplied.
         """
+        self.split_attribute_level([task], attr_index)
+
+    def split_attribute_level(
+        self, tasks: List[LeafTask], attr_index: int
+    ) -> None:
+        """Step S for ``attr_index`` at every leaf of a level, batched.
+
+        Probing and partitioning run as fused array passes — one probe
+        lookup over the concatenated tids when every leaf shares the
+        global bit probe, and one stable partition per leaf — then the
+        per-leaf charges, writes, deletes and spans replay in the
+        original order.  When both children persist, the partition's
+        backing buffer is handed to the backend directly (as two views);
+        when a child was pruned at W, the partition runs through this
+        processor's scratch arena and only the surviving side is copied
+        out (backends keep references, arenas recycle).
+        """
+        if not tasks:
+            return
         obs = self.obs
-        if obs is None:
-            return self._split_attribute_impl(task, attr_index)
-        start = self.runtime.now()
-        self._split_attribute_impl(task, attr_index)
-        obs.phase(
-            self.runtime.pid(), "S", start, self.runtime.now(),
-            leaf=task.node.node_id, attribute=attr_index, level=task.level,
+        # Phase A: fetch; leaves finalized at W only delete their lists,
+        # and a multi-pass split re-fetches once per extra pass.
+        splitting = [task for task in tasks if not task.node.is_leaf]
+        payloads: Dict[int, np.ndarray] = {}
+        for task in splitting:
+            records = self._fetch_segment(attr_index, task)
+            for _extra_pass in range(task.split_steps - 1):
+                records = self._fetch_segment(attr_index, task)
+            payloads[id(task)] = records
+        # Phase B: probe + stable scatter partition, per leaf, through
+        # the arena; copy out only the children that will be written.
+        masks: Dict[int, np.ndarray] = {}
+        if splitting and self.params.probe == "bit":
+            # Every leaf shares the global bit probe: one fused lookup.
+            recs = [payloads[id(task)] for task in splitting]
+            offsets = segment_offsets(recs)
+            fused = self.bit_probe.is_left(concat_field(recs, "tid"))
+            for i, task in enumerate(splitting):
+                masks[id(task)] = fused[offsets[i]:offsets[i + 1]]
+        else:
+            for task in splitting:
+                masks[id(task)] = task.probe.is_left(
+                    payloads[id(task)]["tid"]
+                )
+        arena = self.arena()
+        saved_before = arena.reused_bytes
+        parts: Dict[int, Dict[str, np.ndarray]] = {}
+        for task in splitting:
+            node = task.node
+            keep_left = node.left in task.valid_children
+            keep_right = node.right in task.valid_children
+            out: Dict[str, np.ndarray] = {}
+            if keep_left and keep_right:
+                # Both children persist: partition into fresh memory and
+                # hand the two views to the backend without re-copying.
+                left, right = partition_stable(
+                    payloads[id(task)], masks[id(task)]
+                )
+                out["l"], out["r"] = left, right
+            else:
+                left, right = partition_stable(
+                    payloads[id(task)], masks[id(task)], arena
+                )
+                if keep_left:
+                    out["l"] = left.copy()
+                if keep_right:
+                    out["r"] = right.copy()
+            parts[id(task)] = out
+        # Phase C: charge, write and delete in the original per-leaf order.
+        for task in tasks:
+            start = self.runtime.now() if obs is not None else 0.0
+            node = task.node
+            if node.is_leaf:
+                self.delete_segment(attr_index, node.node_id)
+            else:
+                records = payloads[id(task)]
+                for _each_pass in range(task.split_steps):
+                    self._charge_read(attr_index, task, records.nbytes)
+                self.runtime.compute(
+                    self.machine.cpu_split_record
+                    * len(records)
+                    * task.split_steps
+                )
+                out = parts[id(task)]
+                for side, child in (("l", node.left), ("r", node.right)):
+                    if side in out:
+                        self.write_segment(
+                            attr_index, child, task, side, out[side]
+                        )
+                self.delete_segment(attr_index, node.node_id)
+            if obs is not None:
+                obs.phase(
+                    self.runtime.pid(), "S", start, self.runtime.now(),
+                    leaf=node.node_id, attribute=attr_index, level=task.level,
+                )
+        self._record_kernel_batch(
+            "S", len(tasks), saved_bytes=arena.reused_bytes - saved_before
         )
 
-    def _split_attribute_impl(self, task: LeafTask, attr_index: int) -> None:
-        node = task.node
-        if node.is_leaf:
-            # The leaf was finalized at W; its lists are simply dropped.
-            self.delete_segment(attr_index, node.node_id)
+    def _record_kernel_batch(
+        self, kernel: str, n_leaves: int, saved_bytes: int = 0
+    ) -> None:
+        """Count one batched-kernel invocation in the obs metrics."""
+        obs = self.obs
+        if obs is None:
             return
-        records = self.read_segment(attr_index, task)
-        for _extra_pass in range(task.split_steps - 1):
-            records = self.read_segment(attr_index, task)
-        mask = task.probe.is_left(records["tid"])
-        self.runtime.compute(
-            self.machine.cpu_split_record * len(records) * task.split_steps
-        )
-        parts = {"l": records[mask], "r": records[~mask]}
-        for side, child in (("l", node.left), ("r", node.right)):
-            if child in task.valid_children:
-                self.write_segment(attr_index, child, task, side, parts[side])
-        self.delete_segment(attr_index, node.node_id)
+        metrics = obs.metrics
+        metrics.counter(
+            "kernel_level_calls_total", {"kernel": kernel},
+            help="level-batched kernel invocations by kernel",
+        ).inc()
+        metrics.counter(
+            "kernel_level_leaves_total", {"kernel": kernel},
+            help="leaves processed by level-batched kernels",
+        ).inc(n_leaves)
+        if saved_bytes:
+            metrics.counter(
+                "kernel_saved_alloc_bytes_total",
+                help="partition scratch bytes served from arenas "
+                     "instead of fresh allocations",
+            ).inc(saved_bytes)
 
     # -- frontier management ------------------------------------------------------
 

@@ -85,9 +85,8 @@ class FwkScheme:
             if state is None:
                 break
             self._ew_blocks(state)
-            for attr_index in state.split_counter.drain():  # step S
-                for task in state.tasks:
-                    ctx.split_attribute(task, attr_index)
+            for attr_index in state.split_counter.drain():  # step S, batched
+                ctx.split_attribute_level(state.tasks, attr_index)
             self.barrier.wait()
             if pid == 0:
                 tasks = ctx.next_frontier(state.tasks)

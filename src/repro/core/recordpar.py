@@ -45,6 +45,7 @@ from repro.sprint.gini import (
     best_categorical_split_from_counts,
     best_continuous_split_chunk,
 )
+from repro.sprint.kernels import partition_stable
 from repro.sprint.splitter import winner_left_mask
 
 
@@ -331,7 +332,20 @@ class RecordParScheme:
                 parts = None
             else:
                 mask = task.probe.is_left(own["tid"])
-                parts = (own[mask], own[~mask])
+                keep_left = node.left in task.valid_children
+                keep_right = node.right in task.valid_children
+                if keep_left and keep_right:
+                    # Both sides persist: fresh memory, no re-copy.
+                    parts = partition_stable(own, mask)
+                else:
+                    # The arena recycles its buffer on the next attribute
+                    # and the backend keeps references, so copy the
+                    # surviving side out of the scratch space.
+                    left, right = partition_stable(own, mask, ctx.arena())
+                    parts = (
+                        left.copy() if keep_left else None,
+                        right.copy() if keep_right else None,
+                    )
                 ctx.runtime.compute(machine.cpu_split_record * len(own))
             # Ordered append: processor p writes after p-1 so the child
             # lists keep global record order (sorted lists stay sorted).
@@ -345,7 +359,7 @@ class RecordParScheme:
                     self.append_cond.wait()
             if parts is not None:
                 for child, part in zip((node.left, node.right), parts):
-                    if child in task.valid_children:
+                    if part is not None:
                         key = ctx.segment_key(attr_index, child.node_id)
                         ctx.backend.append(key, part)
                         ctx.runtime.write_file(key, part.nbytes)

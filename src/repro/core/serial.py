@@ -29,13 +29,11 @@ def build_serial(ctx: BuildContext) -> DecisionTree:
                 )
                 obs.metrics.counter("scheme_levels_total").inc()
             for attr_index in range(ctx.n_attrs):  # step E, attribute-major
-                for task in tasks:
-                    ctx.evaluate_attribute(task, attr_index)
+                ctx.evaluate_attribute_level(tasks, attr_index)
             for task in tasks:  # step W
                 ctx.winner_phase(task)
             for attr_index in range(ctx.n_attrs):  # step S, attribute-major
-                for task in tasks:
-                    ctx.split_attribute(task, attr_index)
+                ctx.split_attribute_level(tasks, attr_index)
             tasks = ctx.next_frontier(tasks)
 
     ctx.runtime.run(worker)

@@ -11,6 +11,9 @@ data structures and per-step kernels:
   categorical count matrices, plus scan-based reference split evaluation,
 * :mod:`repro.sprint.gini` — vectorized gini split evaluation for
   continuous and categorical attributes (with greedy subsetting),
+* :mod:`repro.sprint.kernels` — level-batched segmented kernels: best
+  splits for all leaves of a level in one fused pass, plus the
+  scratch-arena stable partition used by step S,
 * :mod:`repro.sprint.probe` — the probe structures consulted while
   splitting (global bit probe, per-leaf hash probe),
 * :mod:`repro.sprint.splitter` — order-preserving attribute-list splits,
@@ -24,9 +27,16 @@ from repro.sprint.gini import (
     SplitCandidate,
     best_categorical_split,
     best_continuous_split,
+    best_continuous_split_dense,
     gini,
 )
 from repro.sprint.histogram import ClassHistogram, CountMatrix
+from repro.sprint.kernels import (
+    ScratchArena,
+    partition_stable,
+    segmented_categorical_splits,
+    segmented_continuous_splits,
+)
 from repro.sprint.probe import BitProbe, HashProbe
 from repro.sprint.splitter import split_records
 
@@ -36,10 +46,15 @@ __all__ = [
     "ClassHistogram",
     "CountMatrix",
     "HashProbe",
+    "ScratchArena",
     "SplitCandidate",
     "best_categorical_split",
     "best_continuous_split",
+    "best_continuous_split_dense",
     "build_attribute_lists",
     "gini",
+    "partition_stable",
+    "segmented_categorical_splits",
+    "segmented_continuous_splits",
     "split_records",
 ]

@@ -89,6 +89,39 @@ def best_continuous_split(
     Returns ``None`` when no valid split point exists (fewer than two
     records, or all values equal).  ``criterion`` selects the impurity
     measure ("gini" — SPRINT's — or "entropy").
+
+    This is the single-segment entry into the level-batched kernel in
+    :mod:`repro.sprint.kernels`; its run-compressed counting touches
+    only O(boundaries × classes) memory.  Results are bit-identical to
+    :func:`best_continuous_split_dense`, the pre-batching dense-cumsum
+    implementation kept below as cross-check oracle and benchmark
+    baseline.
+    """
+    # Local import: kernels imports SplitCandidate from this module.
+    from repro.sprint.kernels import segmented_continuous_splits
+
+    n = len(values)
+    if n < 2:
+        return None
+    offsets = np.array([0, n], dtype=np.int64)
+    return segmented_continuous_splits(
+        np.asarray(values), np.asarray(classes), offsets, n_classes,
+        criterion=criterion,
+    )[0]
+
+
+def best_continuous_split_dense(
+    values: np.ndarray,
+    classes: np.ndarray,
+    n_classes: int,
+    criterion: str = "gini",
+) -> Optional[SplitCandidate]:
+    """Dense-cumsum reference for :func:`best_continuous_split`.
+
+    Builds the full ``(n, n_classes)`` cumulative count matrix — the
+    original production path before the segmented kernel.  Kept as an
+    independent oracle for the kernel property tests and as the
+    "before" side of ``benchmarks/bench_kernels.py``.
     """
     n = len(values)
     if n < 2:

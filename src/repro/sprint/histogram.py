@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.sprint.criteria import Criterion, get_criterion
 from repro.sprint.gini import SplitCandidate, gini_from_counts
 
 
@@ -54,6 +55,17 @@ class ClassHistogram:
             return 0.0
         return (
             n_b * gini_from_counts(self.below) + n_a * gini_from_counts(self.above)
+        ) / total
+
+    def split_impurity(self, criterion_fn: Criterion) -> float:
+        """Weighted impurity of the current partition under any criterion."""
+        n_b, n_a = self.n_below, self.n_above
+        total = n_b + n_a
+        if total == 0:
+            return 0.0
+        return (
+            n_b * float(criterion_fn(self.below))
+            + n_a * float(criterion_fn(self.above))
         ) / total
 
 
@@ -96,18 +108,23 @@ class CountMatrix:
 
 
 def scan_continuous_split(
-    values: np.ndarray, classes: np.ndarray, n_classes: int
+    values: np.ndarray,
+    classes: np.ndarray,
+    n_classes: int,
+    criterion: str = "gini",
 ) -> Optional[SplitCandidate]:
     """Reference (record-at-a-time) continuous split evaluation.
 
     ``values`` must be sorted ascending.  Returns the best candidate, or
     ``None`` when all values are equal (no valid split point).  Candidate
     split points are the mid-points between consecutive distinct values
-    (paper §2.2).
+    (paper §2.2).  ``criterion`` selects the impurity measure, so this
+    scan also serves as the entropy oracle for the batched kernels.
     """
     n = len(values)
     if n < 2:
         return None
+    criterion_fn = get_criterion(criterion)
     totals = np.bincount(classes, minlength=n_classes)
     hist = ClassHistogram(n_classes, totals)
     best: Optional[Tuple[float, float, int]] = None  # (gini, threshold, n_left)
@@ -115,7 +132,11 @@ def scan_continuous_split(
         hist.advance(int(classes[i]))
         if values[i] == values[i + 1]:
             continue
-        g = hist.split_gini()
+        g = (
+            hist.split_gini()
+            if criterion == "gini"
+            else hist.split_impurity(criterion_fn)
+        )
         if best is None or g < best[0]:
             threshold = (float(values[i]) + float(values[i + 1])) / 2.0
             best = (g, threshold, hist.n_below)

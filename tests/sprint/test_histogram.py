@@ -103,5 +103,11 @@ def test_scan_equals_vectorized(n, n_distinct, seed):
         assert vectorized.weighted_gini == pytest.approx(
             reference.weighted_gini
         )
-        assert vectorized.threshold == pytest.approx(reference.threshold)
-        assert vectorized.n_left == reference.n_left
+        # The two formulas associate floats differently, so exact ties
+        # between split points may break either way; when the chosen
+        # points differ, the approx-equal impurity above already proves
+        # both are optimal.  Everything else must match exactly.
+        if vectorized.threshold == pytest.approx(reference.threshold):
+            assert vectorized.n_left == reference.n_left
+        assert vectorized.n_left + vectorized.n_right == n
+        assert vectorized.work_points == reference.work_points

@@ -86,6 +86,39 @@ class TestHashProbe:
         p.mark_left(np.arange(100))
         assert p.nbytes > empty
 
+    def test_nbytes_is_exact_backing_store(self):
+        """8 bytes per stored tid — the real array footprint, which the
+        probe ablation compares against the bit probe's one bit/tuple."""
+        p = HashProbe()
+        assert p.nbytes == 0
+        p.mark_left(np.array([3, 1, 2, 1]))  # duplicates stored once
+        assert len(p) == 3
+        assert p.nbytes == 3 * 8
+
+    def test_lookup_beyond_largest_stored_tid(self):
+        """Lookups past the end of the sorted store must not report a
+        false positive (the classic off-by-one of sorted membership)."""
+        p = HashProbe()
+        p.mark_left(np.array([2, 5]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([5, 6, 1_000_000])), [True, False, False]
+        )
+
+    def test_empty_probe_matches_nothing(self):
+        p = HashProbe()
+        np.testing.assert_array_equal(
+            p.is_left(np.array([0, 1, 2])), [False, False, False]
+        )
+
+    def test_unsorted_marks_are_probed_correctly(self):
+        p = HashProbe()
+        p.mark_left(np.array([9, 0, 4]))
+        p.mark_left(np.array([7, 4]))
+        np.testing.assert_array_equal(
+            p.is_left(np.array([0, 4, 5, 7, 9])),
+            [True, True, False, True, True],
+        )
+
 
 @settings(max_examples=40, deadline=None)
 @given(
