@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels examples trace-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock examples trace-demo clean
 
 install:
 	pip install -e .
@@ -21,6 +21,12 @@ bench-full:
 # writes BENCH_kernels.json (schema bench_kernels/1).
 bench-kernels:
 	PYTHONPATH=src python benchmarks/bench_kernels.py --out BENCH_kernels.json
+
+# Serial-vs-N-thread wall-clock builds on the real-thread backend, raw
+# and paced modes, with per-config tree checks against the virtual
+# build; writes BENCH_wallclock.json (schema bench_wallclock/1).
+bench-wallclock:
+	PYTHONPATH=src python benchmarks/bench_wallclock.py --out BENCH_wallclock.json
 
 examples:
 	@for ex in examples/*.py; do \

@@ -83,6 +83,8 @@ def cmd_build(args: argparse.Namespace) -> int:
         n_procs=args.procs,
         params=params,
         collector=collector,
+        runtime=args.runtime,
+        pace=args.pace,
     )
     tree = result.tree
     if args.prune:
@@ -92,11 +94,14 @@ def cmd_build(args: argparse.Namespace) -> int:
             f"({report.nodes_before} -> {report.nodes_after})"
         )
     t = result.timings
+    clock = "virtual" if args.runtime == "virtual" else (
+        "wall, paced model replay" if args.pace else "wall"
+    )
     print(
         f"{dataset.name} via {result.algorithm} on {result.n_procs} "
         f"processor(s) [{machine.name}]: setup {t['setup']:.2f}s, "
         f"sort {t['sort']:.2f}s, build {t['build']:.2f}s, "
-        f"total {t['total']:.2f}s (virtual)"
+        f"total {t['total']:.2f}s ({clock})"
     )
     print(
         f"tree: {tree.n_nodes} nodes, {tree.n_leaves} leaves, "
@@ -228,13 +233,30 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     # every format additionally gets the E/W/S spans and live metrics
     # (the text table reports the batched-kernel counters from them).
     tracer = SpanCollector()
-    runtime = VirtualSMP(machine, args.procs, tracer=tracer)
+    if args.runtime == "threads":
+        from repro.smp.threads import RealThreadRuntime
+
+        runtime = RealThreadRuntime(
+            args.procs, machine, tracer=tracer, pace=args.pace
+        )
+    else:
+        runtime = VirtualSMP(machine, args.procs, tracer=tracer)
     result = build_classifier(
         dataset, algorithm=args.algorithm, runtime=runtime, n_procs=args.procs
     )
+    if args.runtime == "threads" and not tracer.intervals:
+        # Raw wall-clock runs charge no busy/io intervals; project the
+        # E/W/S phase spans onto the busy lanes so the timeline renders
+        # where the wall time actually went.
+        for span in tracer.spans:
+            if span.end > span.start:
+                tracer.record(span.pid, "busy", span.start, span.end)
+    clock = "virtual" if args.runtime == "virtual" else (
+        "wall, paced model replay" if args.pace else "wall"
+    )
     print(
         f"{args.algorithm} on {args.procs} processor(s): build "
-        f"{result.build_time:.2f}s (virtual)"
+        f"{result.build_time:.2f}s ({clock})"
     )
     if args.format == "text":
         print(render_timeline(tracer, width=args.width))
@@ -298,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--machine", default="b", choices=sorted(_MACHINES))
     b.add_argument("--window", type=int, default=4)
     b.add_argument("--max-depth", type=int, default=64)
+    b.add_argument(
+        "--runtime", default="virtual", choices=("virtual", "threads"),
+        help="virtual-time model (default) or real OS threads (wall clock)",
+    )
+    b.add_argument(
+        "--pace", type=float, default=0.0, metavar="SCALE",
+        help="with --runtime threads: replay the machine's cost model in "
+             "real time, sleeping SCALE wall seconds per virtual second "
+             "(0 = raw wall clock)",
+    )
     b.add_argument("--prune", action="store_true", help="MDL-prune the tree")
     b.add_argument("-o", "--output", help="save the tree as JSON")
     b.add_argument("--render", action="store_true", help="print the tree")
@@ -343,6 +375,14 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--algorithm", default="mwk", choices=sorted(ALGORITHMS))
     t.add_argument("--procs", type=int, default=4)
     t.add_argument("--machine", default="b", choices=sorted(_MACHINES))
+    t.add_argument(
+        "--runtime", default="virtual", choices=("virtual", "threads"),
+        help="trace the virtual-time model (default) or a real-thread run",
+    )
+    t.add_argument(
+        "--pace", type=float, default=0.0, metavar="SCALE",
+        help="with --runtime threads: paced cost-model replay factor",
+    )
     t.add_argument("--width", type=int, default=100)
     t.add_argument(
         "--format", default="text", choices=("text", "chrome", "jsonl"),

@@ -104,6 +104,7 @@ def build_classifier(
     runtime: Union[str, SMPRuntime, None] = "virtual",
     parallel_setup: bool = False,
     collector: Optional[SpanCollector] = None,
+    pace: float = 0.0,
 ) -> BuildResult:
     """Build a decision tree from ``dataset``.
 
@@ -127,17 +128,24 @@ def build_classifier(
         out-of-core build).
     runtime:
         ``"virtual"`` (timing model, deterministic), ``"threads"`` (real
-        OS threads, no timing), or a pre-built :class:`SMPRuntime`.
+        OS threads, wall-clock timing), or a pre-built
+        :class:`SMPRuntime`.
     parallel_setup:
         Parallelize the setup/sort phases over the processors — the
         improvement the paper names as future work (§4.2).  Default off,
-        matching the paper's measured configuration.
+        matching the paper's measured configuration.  Supported by both
+        the virtual and threads runtimes.
     collector:
         Optional :class:`~repro.obs.spans.SpanCollector`.  When given,
         the build records per-leaf E/W/S phase spans, runtime intervals
         and scheme metrics into it, and the result carries an
         ``observation`` report (trace/metrics exporters).  When None,
         no collector is allocated and nothing is recorded.
+    pace:
+        Only meaningful with ``runtime="threads"``: 0 (default) runs
+        raw wall-clock; a positive value replays the machine's cost
+        model in real time, sleeping ``pace`` wall seconds per charged
+        virtual second (see :mod:`repro.smp.threads`).
 
     Returns
     -------
@@ -166,7 +174,7 @@ def build_classifier(
     elif runtime == "virtual":
         rt = VirtualSMP(machine, n_procs, tracer=collector)
     elif runtime == "threads":
-        rt = RealThreadRuntime(n_procs, machine)
+        rt = RealThreadRuntime(n_procs, machine, tracer=collector, pace=pace)
     else:
         raise ValueError(
             f"runtime must be 'virtual', 'threads' or an SMPRuntime, "
@@ -181,17 +189,26 @@ def build_classifier(
         layout=_layout_for(algorithm, params),
         observer=collector,
     )
-    if parallel_setup and isinstance(rt, VirtualSMP):
+    if parallel_setup and isinstance(rt, RealThreadRuntime):
+        # The threads runtime is reusable, so the setup phase runs on
+        # the same pool the build will use.
+        setup_timings = run_parallel_setup(
+            dataset, backend, machine, n_procs, ctx.segment_key, runtime=rt
+        )
+    elif parallel_setup and isinstance(rt, VirtualSMP):
         setup_timings = run_parallel_setup(
             dataset, backend, machine, n_procs, ctx.segment_key
         )
     else:
         setup_timings = write_root_segments(ctx)
-    if isinstance(rt, VirtualSMP):
+    disk = getattr(rt, "disk", None)
+    if disk is not None:
         # The setup phase leaves the lists it just wrote in the file
         # cache (all of them on Machine B; whatever fits on Machine A).
+        # Applies to the virtual runtime and the paced threads runtime,
+        # which replays the same disk model in wall time.
         for attr_index, attr in enumerate(dataset.schema.attributes):
-            rt.disk.warm(
+            disk.warm(
                 ctx.segment_key(attr_index, ctx.root.node_id),
                 record_nbytes(attr) * dataset.n_records,
             )

@@ -270,6 +270,12 @@ class BuildContext:
         obs = self.obs
         attr = self.schema.attributes[attr_index]
         machine = self.machine
+        # Spans chain from before the fetch: in virtual time the fused
+        # phases charge nothing so this is identical to starting each
+        # span at its own charges, while in wall time (real threads) the
+        # first leaf's span absorbs the batched kernel's real duration —
+        # the timeline then shows where the wall clock actually went.
+        span_start = self.runtime.now() if obs is not None else 0.0
         # Phase A: fetch every leaf's segment; no time is charged yet.
         payloads = [self._fetch_segment(attr_index, task) for task in tasks]
         # Phase B: the fused numeric pass over the concatenated level.
@@ -289,7 +295,6 @@ class BuildContext:
             )
         # Phase C: charge each leaf in order; spans bracket its charges.
         for task, records, candidate in zip(tasks, payloads, candidates):
-            start = self.runtime.now() if obs is not None else 0.0
             self._charge_read(attr_index, task, records.nbytes)
             n = len(records)
             if attr.is_continuous:
@@ -302,11 +307,13 @@ class BuildContext:
                 )
             task.candidates[attr_index] = candidate
             if obs is not None:
+                span_end = self.runtime.now()
                 obs.phase(
-                    self.runtime.pid(), "E", start, self.runtime.now(),
+                    self.runtime.pid(), "E", span_start, span_end,
                     leaf=task.node.node_id, attribute=attr_index,
                     level=task.level,
                 )
+                span_start = span_end
         self._record_kernel_batch("E", len(tasks))
 
     # -- step W: winner + probe + children ---------------------------------------
@@ -465,6 +472,9 @@ class BuildContext:
         if not tasks:
             return
         obs = self.obs
+        # Span chaining as in evaluate_attribute_level: virtual timings
+        # are unchanged, wall-clock spans absorb the fused phases.
+        span_start = self.runtime.now() if obs is not None else 0.0
         # Phase A: fetch; leaves finalized at W only delete their lists,
         # and a multi-pass split re-fetches once per extra pass.
         splitting = [task for task in tasks if not task.node.is_leaf]
@@ -515,7 +525,6 @@ class BuildContext:
             parts[id(task)] = out
         # Phase C: charge, write and delete in the original per-leaf order.
         for task in tasks:
-            start = self.runtime.now() if obs is not None else 0.0
             node = task.node
             if node.is_leaf:
                 self.delete_segment(attr_index, node.node_id)
@@ -536,10 +545,12 @@ class BuildContext:
                         )
                 self.delete_segment(attr_index, node.node_id)
             if obs is not None:
+                span_end = self.runtime.now()
                 obs.phase(
-                    self.runtime.pid(), "S", start, self.runtime.now(),
+                    self.runtime.pid(), "S", span_start, span_end,
                     leaf=node.node_id, attribute=attr_index, level=task.level,
                 )
+                span_start = span_end
         self._record_kernel_batch(
             "S", len(tasks), saved_bytes=arena.reused_bytes - saved_before
         )

@@ -18,7 +18,16 @@ without central declaration.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: One process-wide mutation lock shared by every metric instance.  The
+#: virtual runtime never contends on it (one runnable thread at a time),
+#: but the real-thread backend increments counters from truly concurrent
+#: threads, where the bare ``value += x`` read-modify-write loses
+#: updates.  The critical sections are a few instructions, so a single
+#: uncontended lock costs ~100 ns per update.
+_MUTATE = threading.Lock()
 
 LabelMap = Mapping[str, str]
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -50,7 +59,8 @@ class Counter:
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease by {amount}")
-        self.value += amount
+        with _MUTATE:
+            self.value += amount
 
 
 class Gauge:
@@ -70,14 +80,17 @@ class Gauge:
 
     def set_max(self, value: Union[int, float]) -> None:
         """High-water tracking: keep the largest value ever seen."""
-        if value > self.value:
-            self.value = float(value)
+        with _MUTATE:
+            if value > self.value:
+                self.value = float(value)
 
     def inc(self, amount: Union[int, float] = 1) -> None:
-        self.value += amount
+        with _MUTATE:
+            self.value += amount
 
     def dec(self, amount: Union[int, float] = 1) -> None:
-        self.value -= amount
+        with _MUTATE:
+            self.value -= amount
 
 
 class Histogram:
@@ -105,12 +118,13 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: Union[int, float]) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                break
+        with _MUTATE:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs ending with +Inf."""
@@ -140,11 +154,12 @@ class MetricsRegistry:
 
     def _get_or_create(self, cls, name, labels, help, **kwargs) -> Metric:
         key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, key[1], help=help, **kwargs)
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+        with _MUTATE:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], help=help, **kwargs)
+                self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
@@ -247,6 +262,14 @@ def fold_disk(registry: MetricsRegistry, disk) -> None:
     registry.counter("disk_seeks_total", help="non-sequential requests").inc(
         disk.seeks
     )
+    registry.counter(
+        "disk_writebacks_total",
+        help="deferred dirty-entry disk writes charged at eviction",
+    ).inc(getattr(disk, "writebacks", 0))
+    registry.counter(
+        "disk_dirty_drops_total",
+        help="dirty cache entries deleted before their deferred write",
+    ).inc(getattr(disk, "dirty_drops", 0))
     registry.gauge(
         "disk_cache_used_bytes", help="bytes resident in the file cache"
     ).set(disk.cache_used_bytes)

@@ -61,8 +61,14 @@ class SpanCollector(Tracer):
     """Tracer plus phase spans, instant events and live metrics.
 
     Single-use, like the runtimes it observes: attach one collector per
-    build.  All three event streams share the same virtual clock, so
-    exporters can interleave them on one timeline.
+    build.  All three event streams share the runtime's clock — virtual
+    seconds under :class:`~repro.smp.runtime.VirtualSMP`, wall (or
+    pace-scaled) seconds under
+    :class:`~repro.smp.threads.RealThreadRuntime` — so exporters can
+    interleave them on one timeline.  Emission is safe from truly
+    concurrent threads: each event is built first and published with a
+    single atomic ``list.append``, and the metrics registry locks its
+    mutations.
     """
 
     def __init__(self) -> None:

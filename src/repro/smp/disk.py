@@ -36,8 +36,10 @@ class SharedDisk:
         self._machine = machine
         self._engine = engine
         self._free_at = 0.0
-        #: LRU of cached files: key -> cached byte count.
-        self._cache: "OrderedDict[str, int]" = OrderedDict()
+        #: LRU of cached files: key -> (cached byte count, dirty flag).
+        #: Dirty entries hold write-back data whose disk write is still
+        #: deferred; the transfer is charged when the LRU evicts them.
+        self._cache: "OrderedDict[str, tuple]" = OrderedDict()
         self._cache_used = 0
         #: Cumulative virtual seconds of disk busy time (utilization metric).
         self.busy_time = 0.0
@@ -48,6 +50,11 @@ class SharedDisk:
         self.cache_hits = 0
         self.cache_misses = 0
         self.seeks = 0
+        #: Deferred write-back transfers charged at eviction time, and
+        #: dirty entries whose file was deleted before the flush (their
+        #: deferred write is legitimately never performed).
+        self.writebacks = 0
+        self.dirty_drops = 0
 
     # -- public API ------------------------------------------------------------
 
@@ -67,25 +74,42 @@ class SharedDisk:
             return self._memory_hit(nbytes)
         self.cache_misses += 1
         delay = self._disk_transfer(nbytes, sequential)
-        self._admit(key, nbytes)
-        return delay
+        _cached, evict_delay = self._admit(key, nbytes)
+        return delay + evict_delay
 
     def write(self, key: str, nbytes: int, sequential: bool = False) -> float:
-        """Charge a write of ``nbytes`` to file ``key``; returns the delay."""
+        """Charge a write of ``nbytes`` to file ``key``; returns the delay.
+
+        Write-through machines go to disk immediately.  Write-back
+        machines park the data dirty in the cache — unless it does not
+        fit, in which case there is nowhere to defer to and the write
+        goes to disk now.  Either way the caller also pays for any
+        deferred write-backs its admission evicted.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         if nbytes == 0:
             return 0.0
-        self._admit(key, nbytes)
+        dirty = not self._machine.write_through
+        cached, evict_delay = self._admit(key, nbytes, dirty=dirty)
         if self._machine.write_through:
-            return self._disk_transfer(nbytes, sequential)
-        return self._memory_hit(nbytes)
+            return self._disk_transfer(nbytes, sequential) + evict_delay
+        if cached:
+            return self._memory_hit(nbytes) + evict_delay
+        return self._disk_transfer(nbytes, sequential) + evict_delay
 
     def drop(self, key: str) -> None:
-        """Forget a deleted file (its cache space is reclaimed)."""
-        nbytes = self._cache.pop(key, None)
-        if nbytes is not None:
-            self._cache_used -= nbytes
+        """Forget a deleted file (its cache space is reclaimed).
+
+        A dirty entry's deferred write is *discarded*, not charged: the
+        file is gone before the flush, which is exactly how Machine B's
+        temporary files avoid ever touching the platter (§4.3).
+        """
+        entry = self._cache.pop(key, None)
+        if entry is not None:
+            self._cache_used -= entry[0]
+            if entry[1]:
+                self.dirty_drops += 1
 
     def create_file(self, key: str) -> float:
         """Charge the creation/truncation of one physical file."""
@@ -128,17 +152,35 @@ class SharedDisk:
         engine.advance_to(end)
         return end - now
 
-    def _admit(self, key: str, nbytes: int) -> None:
+    def _writeback(self, nbytes: int) -> float:
+        """Charge the deferred disk write of an evicted dirty entry."""
+        self.writebacks += 1
+        return self._disk_transfer(nbytes, sequential=False)
+
+    def _admit(self, key: str, nbytes: int, dirty: bool = False):
+        """Insert/refresh a cache entry; evict LRU entries as needed.
+
+        Returns ``(cached, evict_delay)``: whether the entry is now
+        resident, and the virtual seconds spent writing back any dirty
+        victims the admission pushed out.
+        """
         capacity = self._machine.file_cache_bytes
         if capacity <= 0:
-            return
+            return False, 0.0
         old = self._cache.pop(key, None)
         if old is not None:
-            self._cache_used -= old
+            self._cache_used -= old[0]
+            dirty = dirty or old[1]
         if not math.isinf(capacity) and nbytes > capacity:
-            return  # larger than the whole cache: never cacheable
-        self._cache[key] = nbytes
+            return False, 0.0  # larger than the whole cache: never cacheable
+        self._cache[key] = (nbytes, dirty)
         self._cache_used += nbytes
+        evict_delay = 0.0
         while self._cache_used > capacity:
-            _victim, victim_bytes = self._cache.popitem(last=False)
+            _victim, (victim_bytes, victim_dirty) = self._cache.popitem(
+                last=False
+            )
             self._cache_used -= victim_bytes
+            if victim_dirty:
+                evict_delay += self._writeback(victim_bytes)
+        return True, evict_delay

@@ -4,10 +4,13 @@ A scheme is written once as ordinary thread code against
 :class:`SMPRuntime` and runs unmodified on either backend:
 
 * :class:`VirtualSMP` — the virtual-time engine (deterministic, models
-  the paper's machines; used for all timing experiments),
+  the paper's machines; authoritative for all modeled-timing
+  experiments),
 * :class:`~repro.smp.threads.RealThreadRuntime` — real
-  :mod:`threading` primitives (validates synchronization correctness
-  under true preemption; no timing model).
+  :mod:`threading` primitives on a reusable worker pool (validates
+  synchronization correctness under true preemption and measures
+  wall-clock build time; its paced mode replays the same shared-disk
+  cost model in real time).
 
 Work is charged explicitly: the scheme computes a cost from its
 :class:`~repro.smp.machine.MachineConfig` (e.g. ``machine.cpu_eval_record

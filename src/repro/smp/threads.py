@@ -1,11 +1,33 @@
 """Real-:mod:`threading` backend for the SMP runtime interface.
 
-Runs the identical scheme code under true OS-thread preemption.  Used by
-the test suite to demonstrate that the schemes' synchronization is
-correct with real races (the GIL serializes bytecode, not interleaving),
-not only under the deterministic virtual-time engine.  Time charging is
-a no-op; :meth:`RealThreadRuntime.run` returns wall-clock seconds, which
-carry no speedup information in CPython.
+Runs the identical scheme code under true OS-thread preemption, in two
+modes:
+
+* **raw** (``pace=0``, the default) — wall-clock execution.  Time
+  charging is a no-op: the caller's real work *is* the compute, and
+  level-batched kernels spend it inside GIL-releasing numpy, so on a
+  multi-core host N worker threads give genuine wall-clock speedup.
+  :meth:`RealThreadRuntime.run` returns wall seconds.
+* **paced** (``pace>0``) — hardware-in-the-loop replay of the virtual
+  cost model.  Every charged virtual second is converted into ``pace``
+  real seconds of sleeping, and file traffic runs through the *same*
+  :class:`~repro.smp.disk.SharedDisk` model as the virtual runtime,
+  driven by a wall-clock engine adapter: the FCFS platter reservation
+  (``_free_at``) serializes disk transfers across threads exactly as in
+  virtual time, while cached memory hits overlap freely.  Sleeps
+  release the GIL, so the overlap between processors is real OS-level
+  concurrency — this mode reproduces the *model's* parallel behaviour
+  in wall time even on a single-core host.
+
+Workers run on one process-wide reusable pool of daemon threads
+(checked out per :meth:`run`, returned afterwards), so repeated builds
+and multi-phase runs do not pay thread spawn/teardown per level or per
+run.  A :class:`~repro.smp.trace.Tracer` (or
+:class:`~repro.obs.spans.SpanCollector`) can be attached; the paced
+mode records per-processor ``busy``/``io`` intervals and both modes timestamp
+via :meth:`RealThreadRuntime.now`, which counts seconds from the
+runtime's creation (scaled back to model seconds when paced) so spans
+line up with the virtual timeline tooling.
 """
 
 from __future__ import annotations
@@ -14,8 +36,15 @@ import threading
 import time
 from typing import Callable, List, Optional
 
+from repro.smp.disk import SharedDisk
 from repro.smp.machine import MachineConfig, machine_b
 from repro.smp.runtime import SMPRuntime
+
+#: Accumulated compute debt below this many wall seconds is not slept
+#: yet: ``time.sleep`` has ~0.1 ms granularity, so paying tiny charges
+#: immediately would inflate them.  The debt ledger self-corrects by
+#: subtracting the *measured* sleep, so oversleeps repay later charges.
+_MIN_SLEEP_WALL = 5e-4
 
 
 class _RealCondition:
@@ -53,52 +82,196 @@ class _RealLock:
 
 
 class _RealBarrier:
-    def __init__(self, parties: int) -> None:
+    def __init__(
+        self, parties: int, runtime: Optional["RealThreadRuntime"] = None
+    ) -> None:
         self._barrier = threading.Barrier(parties)
+        self._runtime = runtime
 
     def wait(self) -> None:
+        if self._runtime is not None:
+            # Settle outstanding compute debt before blocking, so paced
+            # processors arrive at the rendezvous at their modeled time.
+            self._runtime._pay_compute_debt(force=True)
         self._barrier.wait()
 
 
+class _PoolWorker:
+    """One daemon thread executing submitted callables forever."""
+
+    def __init__(self, index: int) -> None:
+        self._tasks: "list" = []
+        self._lock = threading.Lock()
+        self._has_task = threading.Condition(self._lock)
+        self.thread = threading.Thread(
+            target=self._loop, name=f"smp-pool-{index}", daemon=True
+        )
+        self.thread.start()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        with self._has_task:
+            self._tasks.append(fn)
+            self._has_task.notify()
+
+    def _loop(self) -> None:
+        while True:
+            with self._has_task:
+                while not self._tasks:
+                    self._has_task.wait()
+                fn = self._tasks.pop(0)
+            fn()
+
+
+class _WorkerPool:
+    """Process-wide reusable pool of daemon worker threads.
+
+    ``checkout(n)`` hands out ``n`` idle workers, growing the pool on
+    demand; ``checkin`` returns them.  ``threads_started`` exists so
+    tests can assert reuse (a second run must not spawn new threads).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: List[_PoolWorker] = []
+        self.threads_started = 0
+
+    def checkout(self, n: int) -> List[_PoolWorker]:
+        with self._lock:
+            workers = [self._idle.pop() for _ in range(min(n, len(self._idle)))]
+            while len(workers) < n:
+                workers.append(_PoolWorker(self.threads_started))
+                self.threads_started += 1
+        return workers
+
+    def checkin(self, workers: List[_PoolWorker]) -> None:
+        with self._lock:
+            self._idle.extend(workers)
+
+
+#: The shared pool every RealThreadRuntime draws from.
+WORKER_POOL = _WorkerPool()
+
+
+class _Latch:
+    """Count-down latch: run() blocks until every worker finished."""
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            self._count -= 1
+            if self._count <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._count > 0:
+                self._cond.wait()
+
+
+class _WallClockEngine:
+    """Engine adapter that lets :class:`SharedDisk` run in wall time.
+
+    The disk model calls ``now``/``advance``/``advance_to`` while the
+    runtime holds its disk lock.  Sleeping there would serialize even
+    cache hits, so instead the target time is parked per-thread and the
+    runtime sleeps *after* releasing the lock: concurrent memory-speed
+    hits overlap, while actual platter transfers still serialize
+    through the model's FCFS ``_free_at`` reservations.
+    """
+
+    def __init__(self, runtime: "RealThreadRuntime") -> None:
+        self._runtime = runtime
+        self._pending = threading.local()
+
+    def now(self) -> float:
+        return self._runtime.now()
+
+    def advance(self, seconds: float) -> None:
+        base = max(getattr(self._pending, "until", 0.0), self.now())
+        self._pending.until = base + seconds
+
+    def advance_to(self, deadline: float) -> None:
+        until = getattr(self._pending, "until", 0.0)
+        if deadline > until:
+            self._pending.until = deadline
+
+    def take_pending(self) -> float:
+        until = getattr(self._pending, "until", 0.0)
+        self._pending.until = 0.0
+        return until
+
+
 class RealThreadRuntime(SMPRuntime):
-    """SMP runtime over real OS threads.  Single-use, like VirtualSMP."""
+    """SMP runtime over real OS threads (see module docstring).
+
+    Unlike :class:`~repro.smp.runtime.VirtualSMP` this runtime is
+    reusable: :meth:`run` may be called repeatedly (the builder runs
+    setup and build phases on one instance) and draws threads from the
+    shared :data:`WORKER_POOL`.
+    """
 
     def __init__(
-        self, n_procs: int, machine: Optional[MachineConfig] = None
+        self,
+        n_procs: int,
+        machine: Optional[MachineConfig] = None,
+        tracer=None,
+        pace: float = 0.0,
     ) -> None:
         if n_procs < 1:
             raise ValueError(f"need >= 1 processor, got {n_procs}")
+        if pace < 0:
+            raise ValueError(f"pace must be >= 0, got {pace}")
         self.n_procs = n_procs
         self.machine = machine if machine is not None else machine_b(n_procs)
+        self.tracer = tracer
+        self.pace = float(pace)
         self._tls = threading.local()
         self._failure: Optional[BaseException] = None
         self._failure_lock = threading.Lock()
         self.elapsed: Optional[float] = None
+        self._t0 = time.perf_counter()
+        if self.pace > 0:
+            self._engine = _WallClockEngine(self)
+            #: The same cost model the virtual runtime uses, replayed in
+            #: wall time (present only when paced).
+            self.disk = SharedDisk(self.machine, self._engine)
+            self._disk_lock = threading.Lock()
+
+    # -- execution -------------------------------------------------------------
 
     def run(self, worker: Callable[[int], None]) -> float:
         start = time.perf_counter()
-        threads: List[threading.Thread] = []
-        for pid in range(self.n_procs):
-            t = threading.Thread(
-                target=self._thread_main, args=(pid, worker), name=f"proc-{pid}"
+        workers = WORKER_POOL.checkout(self.n_procs)
+        latch = _Latch(self.n_procs)
+        for pid, pool_worker in enumerate(workers):
+            pool_worker.submit(
+                lambda pid=pid: self._thread_main(pid, worker, latch)
             )
-            threads.append(t)
-            t.start()
-        for t in threads:
-            t.join()
+        latch.wait()
+        WORKER_POOL.checkin(workers)
         self.elapsed = time.perf_counter() - start
         if self._failure is not None:
-            raise self._failure
+            failure, self._failure = self._failure, None
+            raise failure
         return self.elapsed
 
-    def _thread_main(self, pid: int, worker: Callable[[int], None]) -> None:
+    def _thread_main(
+        self, pid: int, worker: Callable[[int], None], latch: _Latch
+    ) -> None:
         self._tls.pid = pid
+        self._tls.debt = 0.0
         try:
             worker(pid)
         except BaseException as exc:  # noqa: BLE001 - re-raised in run()
             with self._failure_lock:
                 if self._failure is None:
                     self._failure = exc
+        finally:
+            self._tls.pid = None
+            latch.count_down()
 
     def pid(self) -> int:
         pid = getattr(self._tls, "pid", None)
@@ -107,28 +280,83 @@ class RealThreadRuntime(SMPRuntime):
         return pid
 
     def now(self) -> float:
-        return time.perf_counter()
+        """Seconds since the runtime was created.
+
+        Paced runs divide by ``pace``, so timestamps are in *model*
+        seconds and line up with the virtual timeline tooling.
+        """
+        elapsed = time.perf_counter() - self._t0
+        return elapsed / self.pace if self.pace > 0 else elapsed
+
+    # -- time charging ---------------------------------------------------------
+
+    def _pay_compute_debt(self, force: bool = False) -> None:
+        if self.pace <= 0:
+            return
+        debt = getattr(self._tls, "debt", 0.0)
+        wall = debt * self.pace
+        if wall <= 0 or (wall < _MIN_SLEEP_WALL and not force):
+            return
+        start = self.now()
+        slept_from = time.perf_counter()
+        time.sleep(wall)
+        actually_slept = time.perf_counter() - slept_from
+        self._tls.debt = debt - actually_slept / self.pace
+        if self.tracer is not None:
+            # Replayed compute is this processor's modeled busy time;
+            # recording it keeps paced timelines' utilization honest.
+            self.tracer.record(self.pid(), "busy", start, start + debt)
 
     def compute(self, seconds: float) -> None:
-        """No-op: the caller's real work *is* the compute."""
+        """Raw mode: no-op (the caller's real work *is* the compute).
+        Paced mode: sleep ``seconds * pace``, via the debt ledger."""
+        if self.pace <= 0:
+            return
+        self._tls.debt = getattr(self._tls, "debt", 0.0) + seconds
+        self._pay_compute_debt()
+
+    def _disk_call(self, fn, *args) -> None:
+        self._pay_compute_debt(force=True)
+        start = self.now()
+        with self._disk_lock:
+            fn(*args)
+            until = self._engine.take_pending()
+        wall_delay = (until - self.now()) * self.pace
+        if wall_delay > 0:
+            time.sleep(wall_delay)
+        if self.tracer is not None:
+            end = self.now()
+            if end > start:
+                self.tracer.record(self.pid(), "io", start, end)
 
     def read_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
-        """No-op: real I/O happens in the storage backend."""
+        """Raw mode: no-op (real I/O happens in the storage backend).
+        Paced mode: replay the shared-disk model in wall time."""
+        if self.pace > 0:
+            self._disk_call(self.disk.read, key, nbytes, sequential)
 
     def write_file(self, key: str, nbytes: int, sequential: bool = False) -> None:
-        """No-op: real I/O happens in the storage backend."""
+        if self.pace > 0:
+            self._disk_call(self.disk.write, key, nbytes, sequential)
 
     def create_file(self, key: str) -> None:
-        """No-op."""
+        if self.pace > 0:
+            self._disk_call(self.disk.create_file, key)
 
     def drop_file(self, key: str) -> None:
-        """No-op."""
+        if self.pace > 0:
+            with self._disk_lock:
+                self.disk.drop(key)
+
+    # -- synchronization -------------------------------------------------------
 
     def make_lock(self) -> _RealLock:
         return _RealLock()
 
     def make_barrier(self, parties: Optional[int] = None) -> _RealBarrier:
-        return _RealBarrier(parties if parties is not None else self.n_procs)
+        return _RealBarrier(
+            parties if parties is not None else self.n_procs, runtime=self
+        )
 
     def make_condition(self, lock: _RealLock) -> _RealCondition:
         return _RealCondition(lock)

@@ -32,6 +32,7 @@ cross-checks all three.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -308,12 +309,19 @@ class ScratchArena:
     processor keeps a high-water buffer per dtype and hands out views.
     ``reused_bytes`` counts bytes served without allocation — the
     figure the observability layer reports as saved allocations.
+
+    Thread-safe: buffers are keyed by ``(owning thread, dtype)``, so a
+    view handed out is private to the thread that took it even if two
+    threads share one arena (the real-thread runtime preempts at any
+    instruction, unlike the virtual engine's one-runnable-at-a-time
+    schedule), and the byte counters mutate under a lock.
     """
 
-    __slots__ = ("_buffers", "allocated_bytes", "reused_bytes")
+    __slots__ = ("_buffers", "_lock", "allocated_bytes", "reused_bytes")
 
     def __init__(self) -> None:
-        self._buffers: Dict[np.dtype, np.ndarray] = {}
+        self._buffers: Dict[tuple, np.ndarray] = {}
+        self._lock = threading.Lock()
         self.allocated_bytes = 0
         self.reused_bytes = 0
 
@@ -321,17 +329,20 @@ class ScratchArena:
         """A length-``n`` view of the arena's buffer for ``dtype``.
 
         Contents are uninitialized; the view is only valid until the
-        next ``take`` of the same dtype on this arena.
+        next ``take`` of the same dtype on this arena from the calling
+        thread.
         """
         dtype = np.dtype(dtype)
-        buf = self._buffers.get(dtype)
-        if buf is None or len(buf) < n:
-            capacity = n if buf is None else max(n, 2 * len(buf))
-            buf = np.empty(capacity, dtype=dtype)
-            self._buffers[dtype] = buf
-            self.allocated_bytes += buf.nbytes
-        else:
-            self.reused_bytes += n * dtype.itemsize
+        key = (threading.get_ident(), dtype)
+        with self._lock:
+            buf = self._buffers.get(key)
+            if buf is None or len(buf) < n:
+                capacity = n if buf is None else max(n, 2 * len(buf))
+                buf = np.empty(capacity, dtype=dtype)
+                self._buffers[key] = buf
+                self.allocated_bytes += buf.nbytes
+            else:
+                self.reused_bytes += n * dtype.itemsize
         return buf[:n]
 
 

@@ -129,11 +129,15 @@ class BufferManager:
         del self._frames[page_id]
 
     def clear(self) -> None:
-        """Flush everything and empty the cache."""
-        self.flush()
+        """Flush everything and empty the cache.
+
+        Pins are validated before anything is written back, so a failed
+        clear raises without mutating the pool or the page file.
+        """
         for pid, frame in self._frames.items():
             if frame.pins:
                 raise ValueError(f"cannot clear: page {pid} is pinned")
+        self.flush()
         self._frames.clear()
 
     # -- internals -------------------------------------------------------------

@@ -100,6 +100,10 @@ def external_sort(
         # Propagates KeyError for a missing input; copies an empty one.
         backend.write(output_key, backend.read(input_key))
         return SortStats(0, 0, memory_records)
+    # Capture the record dtype now: when sorting in place
+    # (input_key == output_key) the merge phase deletes the output key
+    # before writing, which would destroy the input it needed to read.
+    dtype = backend.read_range(input_key, 0, 1).dtype
 
     # Phase 1: sorted runs.
     run_keys: List[str] = []
@@ -116,34 +120,36 @@ def external_sort(
         backend.delete(run_keys[0])
         return SortStats(total, 1, memory_records)
 
-    # Phase 2: k-way merge through bounded buffers.
+    # Phase 2: k-way merge through bounded buffers.  Heap keys stay
+    # native numpy scalars: casting int64 values through float() would
+    # collapse values beyond 2**53 to equal keys and break the strict
+    # (value, tid) order the rest of the pipeline depends on.
     per_run = max(memory_records // len(run_keys), 1)
     cursors = [_RunCursor(backend, k, per_run) for k in run_keys]
     heap = [
-        (float(c.head()["value"]), int(c.head()["tid"]), i)
+        (c.head()["value"], c.head()["tid"], i)
         for i, c in enumerate(cursors)
         if not c.exhausted
     ]
     heapq.heapify(heap)
 
     backend.delete(output_key)
-    out_batch: List = []
-    dtype = backend.read_range(input_key, 0, 1).dtype
+    out_buffer = np.empty(output_batch, dtype=dtype)
+    out_count = 0
     while heap:
         _value, _tid, index = heapq.heappop(heap)
         cursor = cursors[index]
-        out_batch.append(cursor.head())
+        out_buffer[out_count] = cursor.head()
+        out_count += 1
         cursor.advance()
         if not cursor.exhausted:
             head = cursor.head()
-            heapq.heappush(
-                heap, (float(head["value"]), int(head["tid"]), index)
-            )
-        if len(out_batch) >= output_batch:
-            backend.append(output_key, np.array(out_batch, dtype=dtype))
-            out_batch = []
-    if out_batch:
-        backend.append(output_key, np.array(out_batch, dtype=dtype))
+            heapq.heappush(heap, (head["value"], head["tid"], index))
+        if out_count == output_batch:
+            backend.append(output_key, out_buffer.copy())
+            out_count = 0
+    if out_count:
+        backend.append(output_key, out_buffer[:out_count].copy())
     for key in run_keys:
         backend.delete(key)
     return SortStats(total, len(run_keys), memory_records)

@@ -169,3 +169,93 @@ class TestValidation:
         m = machine_a(1)
         makespan, _, _ = run_one(m, lambda d: d.create_file("f"))
         assert makespan == pytest.approx(m.file_create_overhead)
+
+
+def finite_writeback_machine(cache_bytes=2_000_000.0):
+    """Machine B's write-back policy with a finite LRU cache — the
+    configuration where deferred dirty writes actually come due."""
+    return dataclasses.replace(machine_b(1), file_cache_bytes=cache_bytes)
+
+
+class TestWriteBackAccounting:
+    def test_dirty_eviction_charges_deferred_write(self):
+        """Evicting a dirty entry pays its deferred disk write
+        (regression: finite-cache write-back configs undercounted I/O)."""
+        m = finite_writeback_machine()
+
+        def body(d):
+            d.write("a", 1_500_000)  # parked dirty in the cache
+            d.write("b", 1_500_000)  # evicts "a" -> write-back comes due
+            return None
+
+        makespan, disk, _ = run_one(m, body)
+        assert disk.writebacks == 1
+        assert disk.disk_bytes == 1_500_000
+        memory = 2 * m.memory_transfer_time(1_500_000)
+        writeback = m.disk_seek + 1_500_000 / m.disk_bandwidth
+        assert makespan == pytest.approx(memory + writeback)
+        assert disk.is_cached("b") and not disk.is_cached("a")
+
+    def test_clean_eviction_charges_nothing(self):
+        m = finite_writeback_machine()
+
+        def body(d):
+            d.read("a", 1_500_000)  # cached clean (already paid its read)
+            d.read("b", 1_500_000)  # evicts "a": no deferred write owed
+            return None
+
+        _, disk, _ = run_one(m, body)
+        assert disk.writebacks == 0
+        assert disk.disk_bytes == 3_000_000  # just the two read misses
+
+    def test_dirty_drop_discards_deferred_write(self):
+        """A dirty file deleted before eviction never pays the disk:
+        exactly how Machine B's temporaries avoid the platter (§4.3)."""
+        m = finite_writeback_machine()
+
+        def body(d):
+            d.write("tmp", 1_500_000)
+            d.drop("tmp")
+            d.write("b", 1_500_000)  # plenty of room now: no eviction
+            return None
+
+        _, disk, _ = run_one(m, body)
+        assert disk.disk_bytes == 0
+        assert disk.writebacks == 0
+        assert disk.dirty_drops == 1
+
+    def test_uncacheable_write_back_write_goes_to_disk(self):
+        """A write-back write larger than the whole cache has nowhere to
+        defer to, so it must pay the disk immediately."""
+        m = finite_writeback_machine()
+        makespan, disk, _ = run_one(m, lambda d: d.write("big", 3_000_000))
+        assert disk.disk_bytes == 3_000_000
+        assert makespan == pytest.approx(m.disk_seek + 3_000_000 / m.disk_bandwidth)
+        assert not disk.is_cached("big")
+
+    def test_rewrite_keeps_entry_dirty(self):
+        """Re-admitting a dirty entry keeps the deferred write owed."""
+        m = finite_writeback_machine()
+
+        def body(d):
+            d.write("a", 1_000_000)
+            d.write("a", 1_500_000)  # rewrite, still dirty
+            d.write("b", 1_500_000)  # evicts "a" at its new size
+            return None
+
+        _, disk, _ = run_one(m, body)
+        assert disk.writebacks == 1
+        assert disk.disk_bytes == 1_500_000
+
+    def test_infinite_cache_never_writes_back(self):
+        """Stock Machine B is unchanged: nothing evicts, nothing pays."""
+        m = machine_b(1)
+
+        def body(d):
+            for i in range(10):
+                d.write(f"f{i}", 5_000_000)
+            return None
+
+        _, disk, _ = run_one(m, body)
+        assert disk.writebacks == 0
+        assert disk.disk_bytes == 0

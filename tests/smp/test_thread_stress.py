@@ -1,0 +1,100 @@
+"""Real-thread stress tests for the schemes' synchronization.
+
+The virtual engine runs exactly one thread at a time, so it cannot
+surface races that need true preemption.  These tests hammer the two
+most synchronization-heavy schemes on the real-thread runtime — MWK's
+per-leaf condition-variable gating and SUBTREE's group dissolve/FREE
+queue — across repeated seeds and processor counts, asserting the tree
+is bit-identical to the virtual-time build every time.
+"""
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.core.serialize import _node_to_dict
+from repro.data.generator import DatasetSpec, generate_dataset
+
+PROCS = (2, 4, 8)
+SEEDS = (101, 102, 103, 104, 105)
+
+
+def _make_dataset(seed):
+    # Function 7 grows deep trees with many simultaneous leaves, which
+    # maximizes window-slot contention (MWK) and regrouping (SUBTREE).
+    return generate_dataset(
+        DatasetSpec(function=7, n_attributes=9, n_records=500, seed=seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Per-seed virtual-time reference trees (scheme-independent)."""
+    refs = {}
+    for seed in SEEDS:
+        ds = _make_dataset(seed)
+        result = build_classifier(ds, algorithm="serial", runtime="virtual")
+        refs[seed] = (ds, _node_to_dict(result.tree.root))
+    return refs
+
+
+class TestMwkGatingUnderPreemption:
+    """MWK's W_i-before-S_i-before-W_{i+K} condition chain."""
+
+    @pytest.mark.parametrize("procs", PROCS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tree_matches_virtual(self, references, seed, procs):
+        ds, ref = references[seed]
+        result = build_classifier(
+            ds, algorithm="mwk", n_procs=procs, runtime="threads"
+        )
+        assert _node_to_dict(result.tree.root) == ref
+
+    @pytest.mark.parametrize("procs", (2, 4))
+    def test_small_window_max_pressure(self, references, procs):
+        # window=2 keeps every slot's predecessor gate hot.
+        ds, ref = references[SEEDS[0]]
+        for _ in range(3):
+            result = build_classifier(
+                ds,
+                algorithm="mwk",
+                n_procs=procs,
+                runtime="threads",
+                params=BuildParams(window=2),
+            )
+            assert _node_to_dict(result.tree.root) == ref
+
+
+class TestSubtreeDissolveUnderPreemption:
+    """SUBTREE's group barriers, FREE queue and master regrouping."""
+
+    @pytest.mark.parametrize("procs", PROCS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tree_matches_virtual(self, references, seed, procs):
+        ds, ref = references[seed]
+        result = build_classifier(
+            ds, algorithm="subtree", n_procs=procs, runtime="threads"
+        )
+        assert _node_to_dict(result.tree.root) == ref
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_repeated_runs_stay_deterministic(self, references, seed):
+        ds, ref = references[seed]
+        for _ in range(3):
+            result = build_classifier(
+                ds, algorithm="subtree", n_procs=8, runtime="threads"
+            )
+            assert _node_to_dict(result.tree.root) == ref
+
+
+class TestPacedStress:
+    """The paced replay adds sleeps at every charge point, shifting the
+    interleavings; trees must not care."""
+
+    @pytest.mark.parametrize("algorithm", ("mwk", "subtree"))
+    def test_paced_tree_matches_virtual(self, references, algorithm):
+        ds, ref = references[SEEDS[0]]
+        result = build_classifier(
+            ds, algorithm=algorithm, n_procs=4, runtime="threads", pace=1e-4
+        )
+        assert _node_to_dict(result.tree.root) == ref

@@ -101,3 +101,105 @@ class TestRealThreadRuntime:
     def test_zero_procs_rejected(self):
         with pytest.raises(ValueError):
             RealThreadRuntime(0)
+
+
+class TestWorkerPool:
+    def test_threads_reused_across_runs_and_runtimes(self):
+        from repro.smp.threads import WORKER_POOL
+
+        rt1 = RealThreadRuntime(3)
+        rt1.run(lambda pid: None)
+        started = WORKER_POOL.threads_started
+        rt1.run(lambda pid: None)  # runtime is reusable
+        rt2 = RealThreadRuntime(3)  # pool is shared across runtimes
+        rt2.run(lambda pid: None)
+        assert WORKER_POOL.threads_started == started
+
+    def test_runtime_usable_after_worker_failure(self):
+        rt = RealThreadRuntime(2)
+
+        def bad(pid):
+            raise RuntimeError("first run boom")
+
+        with pytest.raises(RuntimeError, match="first run boom"):
+            rt.run(bad)
+        seen = []
+        rt.run(lambda pid: seen.append(pid))
+        assert sorted(seen) == [0, 1]
+
+
+class TestClock:
+    def test_now_counts_from_creation(self):
+        rt = RealThreadRuntime(1)
+        assert 0.0 <= rt.now() < 60.0  # not an absolute perf_counter value
+
+    def test_tracer_records_nothing_in_raw_mode(self):
+        from repro.smp.trace import Tracer
+
+        tracer = Tracer()
+        rt = RealThreadRuntime(1, tracer=tracer)
+
+        def worker(pid):
+            rt.compute(1.0)
+            rt.read_file("f", 1000)
+
+        rt.run(worker)
+        assert tracer.intervals == []
+
+
+class TestPacedMode:
+    def test_compute_sleeps_scaled(self):
+        rt = RealThreadRuntime(1, pace=0.01)
+
+        def worker(pid):
+            rt.compute(20.0)  # 0.2 wall seconds at pace=0.01
+
+        elapsed = rt.run(worker)
+        assert 0.15 < elapsed < 5.0
+
+    def test_now_reports_model_seconds(self):
+        rt = RealThreadRuntime(1, pace=0.01)
+        times = {}
+
+        def worker(pid):
+            start = rt.now()
+            rt.compute(50.0)  # 0.5 wall seconds
+            times["model"] = rt.now() - start
+
+        rt.run(worker)
+        assert times["model"] == pytest.approx(50.0, rel=0.3)
+
+    def test_disk_model_replayed(self):
+        import dataclasses
+
+        from repro.smp.machine import machine_b
+
+        # 10x the stock bandwidths so the wall sleep stays short.
+        m = dataclasses.replace(
+            machine_b(1), disk_bandwidth=100e6, memory_bandwidth=800e6
+        )
+        rt = RealThreadRuntime(1, machine=m, pace=0.001)
+
+        def worker(pid):
+            rt.write_file("f", 1_000_000)
+            rt.read_file("f", 1_000_000)
+
+        rt.run(worker)
+        assert rt.disk.cache_hits == 1  # write-back cached it; read hits
+        assert rt.disk.disk_bytes == 0
+
+    def test_paced_sleeps_overlap_across_threads(self):
+        """Sleeping releases the GIL, so two processors pacing 0.2 wall
+        seconds each finish in ~0.2, not ~0.4 — the mechanism the
+        wall-clock benchmark's paced mode rests on (even on one core)."""
+        rt = RealThreadRuntime(2, pace=0.01)
+
+        def worker(pid):
+            rt.compute(20.0)
+
+        elapsed = rt.run(worker)
+        assert elapsed < 0.35
+
+    def test_negative_pace_rejected(self):
+        with pytest.raises(ValueError, match="pace"):
+            RealThreadRuntime(1, pace=-1.0)

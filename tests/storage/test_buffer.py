@@ -126,6 +126,24 @@ class TestFlushInvalidate:
             bm.invalidate(pid)
         bm.unpin(pid)
 
+    def test_clear_with_pin_leaves_pool_untouched(self, setup):
+        """clear() must validate pins *before* flushing: a failed clear
+        may not half-mutate the pool or the page file (regression)."""
+        pf, bm = setup
+        ids = fill(pf, 2)
+        bm.put(ids[0], b"dirty0")
+        bm.get(ids[1], pin=True)
+        written_before = bm.stats.bytes_written
+        with pytest.raises(ValueError, match="pinned"):
+            bm.clear()
+        assert bm.stats.bytes_written == written_before  # nothing flushed
+        assert pf.read_page(ids[0]) == b"v0"  # page file untouched
+        assert bm.n_resident == 2  # pool untouched
+        bm.unpin(ids[1])
+        bm.clear()
+        assert pf.read_page(ids[0]) == b"dirty0"
+        assert bm.n_resident == 0
+
 
 @settings(max_examples=30, deadline=None)
 @given(

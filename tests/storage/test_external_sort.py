@@ -107,6 +107,42 @@ class TestExternalSort:
         with pytest.raises(ValueError, match="memory_records"):
             external_sort(backend, "in", "out", memory_records=1)
 
+    def test_in_place_sort_same_key(self, backend):
+        """input_key == output_key: the merge must capture the dtype
+        before it deletes/recreates the output (regression: KeyError)."""
+        data = random_records(300, seed=6)
+        backend.write("k", data)
+        stats = external_sort(backend, "k", "k", memory_records=32)
+        assert stats.n_runs > 1  # exercises the merge path, not the shortcut
+        np.testing.assert_array_equal(backend.read("k"), reference_sort(data))
+        assert not any(".run" in k for k in backend.keys())
+
+    def test_in_place_single_run(self, backend):
+        data = random_records(20, seed=7)
+        backend.write("k", data)
+        external_sort(backend, "k", "k", memory_records=64)
+        np.testing.assert_array_equal(backend.read("k"), reference_sort(data))
+
+    def test_int64_values_beyond_2_53(self, backend):
+        """Merge-heap keys must stay native numpy scalars: casting int64
+        category codes through float() collapses 2**53 and 2**53 + 1 to
+        the same key and breaks the strict (value, tid) order."""
+        from repro.sprint.records import CATEGORICAL_RECORD
+
+        data = np.zeros(4, dtype=CATEGORICAL_RECORD)
+        # Run 1 holds the *larger* values with the *smaller* tids, so a
+        # float-collapsed comparison falls through to the tid tiebreak
+        # and emits them first.
+        data["value"] = [2**53 + 1, 2**53 + 1, 2**53, 2**53]
+        data["tid"] = [0, 1, 2, 3]
+        backend.write("in", data)
+        external_sort(backend, "in", "out", memory_records=2)
+        out = backend.read("out")
+        np.testing.assert_array_equal(
+            out["value"], [2**53, 2**53, 2**53 + 1, 2**53 + 1]
+        )
+        np.testing.assert_array_equal(out["tid"], [2, 3, 0, 1])
+
     def test_stable_on_duplicate_values(self, backend):
         """Equal values order by tid — the determinism SPRINT relies on."""
         data = np.zeros(100, dtype=CONTINUOUS_RECORD)
