@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock examples trace-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict examples trace-demo clean
 
 install:
 	pip install -e .
@@ -27,6 +27,13 @@ bench-kernels:
 # build; writes BENCH_wallclock.json (schema bench_wallclock/1).
 bench-wallclock:
 	PYTHONPATH=src python benchmarks/bench_wallclock.py --out BENCH_wallclock.json
+
+# Batch inference on the compiled flat-tree IR (numpy + native backends
+# and the micro-batching engine) against the recursive oracle, with
+# per-config bit-identity checks; writes BENCH_predict.json (schema
+# bench_predict/1).
+bench-predict:
+	PYTHONPATH=src python benchmarks/bench_predict.py --out BENCH_predict.json
 
 examples:
 	@for ex in examples/*.py; do \

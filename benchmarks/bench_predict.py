@@ -1,0 +1,305 @@
+"""Batch-inference benchmark: compiled flat-tree IR vs the recursive oracle.
+
+Sweeps tree depth x batch size x thread count over synthetic trees
+(:mod:`repro.classify.treegen`) and times three single-thread predictors
+on identical inputs:
+
+* **oracle** — the legacy recursive router
+  (:func:`repro.classify.predict.predict_oracle`), one Python call and
+  a handful of numpy ops per visited node,
+* **numpy** — the compiled IR's iterative level-synchronous vector
+  router,
+* **native** — the compiled IR's C kernel (present when a C compiler
+  was available; rows skipped otherwise),
+
+plus the :class:`~repro.classify.engine.InferenceEngine` at each thread
+count, measuring end-to-end micro-batched throughput on the compiled
+tree.  Every timed prediction is compared against the oracle's output —
+the run aborts on any mismatch, so the numbers always describe
+bit-identical results.
+
+Output is a ``bench_predict/1`` JSON document::
+
+    PYTHONPATH=src python benchmarks/bench_predict.py --out BENCH_predict.json
+
+``--validate FILE`` checks an existing document's schema (used by the
+CI smoke job); ``--quick`` shrinks the matrix for smoke runs.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.classify.compiled import compiled_for
+from repro.classify.engine import InferenceEngine
+from repro.classify.native import native_available
+from repro.classify.predict import predict_oracle
+from repro.classify.treegen import random_columns, random_tree
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+SCHEMA = "bench_predict/1"
+BACKENDS = ("oracle", "numpy", "native")
+
+#: Default matrix.  ``leaf_prob`` controls bushiness: lower -> more
+#: nodes at a given depth.  The mixed tree exercises the categorical
+#: bitmask path; the continuous trees are the common serving shape.
+TREES = (
+    {"name": "cont-d8", "depth": 8, "leaf_prob": 0.1, "categorical": False},
+    {"name": "cont-d12", "depth": 12, "leaf_prob": 0.05, "categorical": False},
+    {"name": "cont-d16", "depth": 16, "leaf_prob": 0.05, "categorical": False},
+    {"name": "cont-d20", "depth": 20, "leaf_prob": 0.03, "categorical": False},
+    {"name": "mixed-d12", "depth": 12, "leaf_prob": 0.05, "categorical": True},
+)
+BATCH_SIZES = (4096, 65536, 262144)
+THREADS = (1, 2, 4)
+
+QUICK_TREES = (
+    {"name": "cont-d8", "depth": 8, "leaf_prob": 0.2, "categorical": False},
+)
+QUICK_BATCH_SIZES = (1024, 8192)
+QUICK_THREADS = (1, 2)
+
+
+def _schema(categorical):
+    attrs = [
+        Attribute(f"c{i}", AttributeKind.CONTINUOUS) for i in range(6)
+    ]
+    if categorical:
+        attrs += [
+            Attribute(f"k{i}", AttributeKind.CATEGORICAL, 16)
+            for i in range(2)
+        ]
+    return Schema(attrs, class_names=("A", "B", "C"))
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run_benchmarks(tree_specs, batch_sizes, threads, repeats, seed):
+    results = []
+    mismatches = []
+    have_native = native_available()
+    for spec in tree_specs:
+        schema = _schema(spec["categorical"])
+        tree = random_tree(
+            schema,
+            max_depth=spec["depth"],
+            seed=seed,
+            leaf_prob=spec["leaf_prob"],
+        )
+        compiled = compiled_for(tree)
+        for batch in batch_sizes:
+            columns = random_columns(schema, batch, seed=seed + batch)
+            oracle_s, want = _best_of(
+                lambda: predict_oracle(tree, columns), repeats
+            )
+            timings = {"oracle": oracle_s}
+            for backend in ("numpy", "native"):
+                if backend == "native" and not have_native:
+                    continue
+                seconds, got = _best_of(
+                    lambda b=backend: compiled.predict(columns, backend=b),
+                    repeats,
+                )
+                timings[backend] = seconds
+                if not np.array_equal(got, want):
+                    mismatches.append((spec["name"], batch, backend))
+            for backend, seconds in timings.items():
+                results.append({
+                    "kind": "predict",
+                    "tree": spec["name"],
+                    "depth": spec["depth"],
+                    "n_nodes": compiled.n_nodes,
+                    "backend": backend,
+                    "batch": batch,
+                    "threads": 1,
+                    "seconds": seconds,
+                    "rows_per_s": batch / seconds,
+                    "speedup_vs_oracle": oracle_s / seconds,
+                })
+            for n_workers in threads:
+                engine_batch = max(batch // max(n_workers, 1), 1)
+                with InferenceEngine(
+                    tree, batch_size=engine_batch, n_workers=n_workers
+                ) as engine:
+                    def through_engine():
+                        pending = [
+                            engine.submit(
+                                {
+                                    k: v[lo:lo + engine_batch]
+                                    for k, v in columns.items()
+                                }
+                            )
+                            for lo in range(0, batch, engine_batch)
+                        ]
+                        return np.concatenate(
+                            [p.result(timeout=300) for p in pending]
+                        )
+
+                    seconds, got = _best_of(through_engine, repeats)
+                if not np.array_equal(got, want):
+                    mismatches.append(
+                        (spec["name"], batch, f"engine-{n_workers}")
+                    )
+                results.append({
+                    "kind": "engine",
+                    "tree": spec["name"],
+                    "depth": spec["depth"],
+                    "n_nodes": compiled.n_nodes,
+                    "backend": "native" if have_native else "numpy",
+                    "batch": batch,
+                    "threads": n_workers,
+                    "seconds": seconds,
+                    "rows_per_s": batch / seconds,
+                    "speedup_vs_oracle": oracle_s / seconds,
+                })
+    eligible = [
+        e
+        for e in results
+        if e["kind"] == "predict"
+        and e["backend"] != "oracle"
+        and e["depth"] >= 12
+        and e["batch"] >= 65536
+    ]
+    best = max(
+        eligible, key=lambda e: e["speedup_vs_oracle"], default=None
+    )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "trees": [dict(s) for s in tree_specs],
+            "batch_sizes": list(batch_sizes),
+            "threads": list(threads),
+            "repeats": repeats,
+            "seed": seed,
+            "native_available": have_native,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "results": results,
+        "summary": {
+            "all_outputs_match_oracle": not mismatches,
+            "best_deep_batch_speedup": (
+                best["speedup_vs_oracle"] if best else None
+            ),
+            "best_deep_batch_config": (
+                {k: best[k] for k in ("tree", "backend", "batch")}
+                if best
+                else None
+            ),
+        },
+    }, mismatches
+
+
+def validate_bench_doc(doc):
+    """Schema check for a ``bench_predict/1`` document; raises ValueError."""
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for section in ("config", "env", "results", "summary"):
+        if section not in doc:
+            raise ValueError(f"missing section {section!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        raise ValueError("results must be a non-empty list")
+    for i, entry in enumerate(doc["results"]):
+        for key in ("kind", "tree", "depth", "n_nodes", "backend", "batch",
+                    "threads", "seconds", "rows_per_s",
+                    "speedup_vs_oracle"):
+            if key not in entry:
+                raise ValueError(f"results[{i}] missing {key!r}")
+        if entry["kind"] not in ("predict", "engine"):
+            raise ValueError(f"results[{i}] unknown kind {entry['kind']!r}")
+        if entry["backend"] not in BACKENDS:
+            raise ValueError(
+                f"results[{i}] unknown backend {entry['backend']!r}"
+            )
+        if not (isinstance(entry["seconds"], (int, float))
+                and entry["seconds"] > 0):
+            raise ValueError(f"results[{i}].seconds must be positive")
+        expected = entry["batch"] / entry["seconds"]
+        if abs(entry["rows_per_s"] - expected) > 1e-6 * max(expected, 1.0):
+            raise ValueError(f"results[{i}].rows_per_s inconsistent")
+    if doc["summary"].get("all_outputs_match_oracle") is not True:
+        raise ValueError("summary.all_outputs_match_oracle must be true")
+
+
+def _print_table(doc):
+    header = (f"{'tree':<10} {'nodes':>6} {'kind':<8} {'backend':<8} "
+              f"{'batch':>7} {'thr':>3} {'time (ms)':>10} "
+              f"{'rows/s':>12} {'vs oracle':>9}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]:
+        print(f"{e['tree']:<10} {e['n_nodes']:>6} {e['kind']:<8} "
+              f"{e['backend']:<8} {e['batch']:>7} {e['threads']:>3} "
+              f"{e['seconds'] * 1e3:>10.2f} {e['rows_per_s']:>12,.0f} "
+              f"{e['speedup_vs_oracle']:>8.2f}x")
+    summary = doc["summary"]
+    if summary["best_deep_batch_config"]:
+        cfg = summary["best_deep_batch_config"]
+        print(f"\nbest deep-tree big-batch speedup vs oracle: "
+              f"{summary['best_deep_batch_speedup']:.2f}x "
+              f"({cfg['tree']} {cfg['backend']} batch={cfg['batch']})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compiled-tree batch inference benchmark "
+                    "(oracle vs numpy vs native vs engine)."
+    )
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix for CI smoke")
+    parser.add_argument("--out", default="BENCH_predict.json",
+                        help="output JSON path")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            validate_bench_doc(json.load(handle))
+        print(f"{args.validate}: valid {SCHEMA} document")
+        return 0
+
+    if args.quick:
+        trees, batches, threads = QUICK_TREES, QUICK_BATCH_SIZES, QUICK_THREADS
+        repeats = 2
+    else:
+        trees, batches, threads = TREES, BATCH_SIZES, THREADS
+        repeats = args.repeats
+    doc, mismatches = run_benchmarks(
+        trees, batches, threads, repeats, args.seed
+    )
+    if mismatches:
+        for name, batch, backend in mismatches:
+            print(f"OUTPUT MISMATCH: {name} batch={batch} {backend}",
+                  file=sys.stderr)
+        return 1
+    validate_bench_doc(doc)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    _print_table(doc)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,32 +4,57 @@ The paper concentrates on the tree *growth* phase (its §3 opening: "We
 will only discuss the tree growth phase due to its compute- and
 data-intensive nature") and defers pruning to SLIQ's MDL scheme, noting
 it costs under 1% of build time.  This subpackage completes the
-classifier so the library is usable end to end:
+classifier so the library is usable end to end — and deployable: every
+consumer runs on the compiled flat-tree IR rather than recursive
+pointer-graph walks.
 
-* :mod:`repro.classify.predict` — vectorized tree application,
-* :mod:`repro.classify.prune` — MDL-based bottom-up pruning (SLIQ §4),
+* :mod:`repro.classify.compiled` — the struct-of-arrays tree IR with
+  packed categorical bitmasks; iterative level-synchronous routing,
+* :mod:`repro.classify.predict` — batch prediction on the IR (the old
+  recursive router survives as the differential-test oracle),
+* :mod:`repro.classify.engine` — micro-batching inference service over
+  the shared daemon worker pool,
+* :mod:`repro.classify.prune` — MDL pruning over compiled leaf stats,
 * :mod:`repro.classify.metrics` — accuracy, confusion matrix, error rate,
-* :mod:`repro.classify.sql` — decision tree to SQL (paper §1: "Trees can
-  also be converted into SQL statements").
+* :mod:`repro.classify.sql` — decision tree to SQL, emitted iteratively
+  from the IR (paper §1: "Trees can also be converted into SQL
+  statements"),
+* :mod:`repro.classify.treegen` — synthetic trees for differential
+  tests and benchmarks.
 """
 
+from repro.classify.compiled import CompiledTree, compile_tree, compiled_for
+from repro.classify.engine import InferenceEngine, PredictionRequest
 from repro.classify.evaluate import CrossValidationReport, cross_validate
 from repro.classify.metrics import accuracy, confusion_matrix, error_rate
-from repro.classify.predict import predict, predict_node_ids, predict_one
+from repro.classify.predict import (
+    predict,
+    predict_node_ids,
+    predict_node_ids_oracle,
+    predict_one,
+    predict_oracle,
+)
 from repro.classify.prune import MDLPruneReport, mdl_prune
 from repro.classify.sql import class_where_clause, tree_to_sql_case
 
 __all__ = [
+    "CompiledTree",
     "CrossValidationReport",
+    "InferenceEngine",
     "MDLPruneReport",
+    "PredictionRequest",
     "accuracy",
     "class_where_clause",
+    "compile_tree",
+    "compiled_for",
     "confusion_matrix",
     "cross_validate",
     "error_rate",
     "mdl_prune",
     "predict",
     "predict_node_ids",
+    "predict_node_ids_oracle",
     "predict_one",
+    "predict_oracle",
     "tree_to_sql_case",
 ]

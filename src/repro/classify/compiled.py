@@ -1,0 +1,469 @@
+"""Compiled flat-tree IR: struct-of-arrays decision trees.
+
+A built :class:`~repro.core.tree.DecisionTree` is a pointer-linked graph
+of Python :class:`~repro.core.tree.Node` objects — ideal for the growth
+phase (mutable, annotated) but wrong for every *consumer*: prediction,
+pruning, SQL export and serialization all end up walking it with Python
+recursion, node by node.  The :class:`CompiledTree` is the deployment
+representation: one row per node across parallel numpy arrays, nodes in
+breadth-first order (the root is row 0, children always after their
+parent), plus one packed ``uint64`` bit table for every categorical
+subset so membership tests are O(1) bit-probes instead of per-call
+``np.fromiter`` + ``np.isin``.
+
+Layout (``n`` nodes, ``k`` classes):
+
+===================  =========================================================
+``feature``          int32[n]; schema attribute index, ``-1`` for leaves
+``threshold``        float64[n]; split point (NaN for leaves/categorical)
+``left``/``right``   int32[n]; child *row* index, ``-1`` for leaves
+``leaf_class``       int32[n]; majority class of every node
+``node_id``          int64[n]; original tree node id
+``depth``            int32[n]
+``class_counts``     int64[n, k]
+``weighted_gini``    float64[n]
+``subset_offset``    int64[n]; first word of the node's bitmask (-1 if none)
+``subset_nwords``    int32[n]; words in the node's bitmask
+``subset_words``     uint64[total]; packed membership bits for all subsets
+===================  =========================================================
+
+``predict``/``predict_node_ids`` route whole batches with an iterative
+level-synchronous loop over these arrays: a per-row "current node"
+cursor advances one level per iteration, rows parked on leaves drop out
+of the active set, and there is no Python recursion anywhere — depth is
+bounded by memory, not by ``sys.getrecursionlimit()``.  When a C
+compiler is available, routing instead runs in a one-time-compiled
+scalar kernel (:mod:`repro.classify.native`) that walks eight rows at a
+time; it is bit-identical to the numpy router and several times faster.
+
+Node ids must fit ``int64``.  Builder trees use binary-heap numbering,
+which overflows past depth ~62; synthetic deep trees (and anything
+loaded from the v2 serial format) use small sequential ids instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.classify import native
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+
+Columns = Mapping[str, np.ndarray]
+
+
+def _columns_of(data: Union[Dataset, Columns]) -> Columns:
+    return data.columns if isinstance(data, Dataset) else data
+
+
+def _n_rows(columns: Columns) -> int:
+    for col in columns.values():
+        return len(col)
+    return 0
+
+
+@dataclass
+class CompiledTree:
+    """Flat struct-of-arrays decision tree (see module docstring)."""
+
+    schema: Schema
+    node_id: np.ndarray
+    depth: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_class: np.ndarray
+    class_counts: np.ndarray
+    weighted_gini: np.ndarray
+    subset_offset: np.ndarray
+    subset_nwords: np.ndarray
+    subset_words: np.ndarray
+    #: Original :class:`Split` per row (``None`` for leaves) — kept so
+    #: reconstruction and SQL emission are exact, not re-derived.
+    splits: List[Optional[Split]]
+
+    @property
+    def children2(self) -> np.ndarray:
+        """Fused child table: ``children2[2*i]`` = right child of node
+        ``i`` (or ``i`` itself for leaves), ``children2[2*i + 1]`` = left
+        child (or self).  Leaves self-looping lets routers step every row
+        unconditionally — ``children2[2*node + go_left]`` replaces the
+        branchy/expensive "pick a side" select — and makes stale rows in
+        a lazily-compacted active set harmless.  Built once, cached.
+        """
+        cached = self.__dict__.get("_children2")
+        if cached is None:
+            idx = np.arange(self.n_nodes, dtype=np.int32)
+            leaf = self.feature < 0
+            cached = np.empty(2 * self.n_nodes, dtype=np.int32)
+            cached[0::2] = np.where(leaf, idx, self.right)
+            cached[1::2] = np.where(leaf, idx, self.left)
+            self.__dict__["_children2"] = cached
+        return cached
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def is_leaf(self) -> np.ndarray:
+        """Boolean mask over rows; True where the node is a leaf."""
+        return self.feature < 0
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.feature < 0))
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.depth.max()) if self.n_nodes else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the array payload (excludes the ``splits`` references)."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.node_id, self.depth, self.feature, self.threshold,
+                self.left, self.right, self.leaf_class, self.class_counts,
+                self.weighted_gini, self.subset_offset, self.subset_nwords,
+                self.subset_words,
+            )
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    @property
+    def used_features(self) -> List[int]:
+        """Attribute indices referenced by at least one split (cached)."""
+        cached = self.__dict__.get("_used_features")
+        if cached is None:
+            cached = sorted(
+                int(f) for f in np.unique(self.feature[self.feature >= 0])
+            )
+            self.__dict__["_used_features"] = cached
+        return cached
+
+    def _check_columns(self, columns: Columns) -> None:
+        names = self.schema.attribute_names
+        for f in self.used_features:
+            if names[f] not in columns:
+                raise ValueError(
+                    f"input is missing attribute {names[f]!r} required by "
+                    f"the model (model attributes: {', '.join(names)})"
+                )
+
+    def route_rows(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Row index (into the flat arrays) of the leaf each tuple lands in.
+
+        Three interchangeable, bit-identical routers sit behind this
+        call; ``backend`` forces one (``"native"`` / ``"numpy"``), and
+        by default the fastest applicable one is picked:
+
+        * **native** — the scalar C walk from
+          :mod:`repro.classify.native`, ~4ns per row-level, used when
+          the kernel compiled on this machine and every column stages
+          exactly to float64.
+        * **numpy** — iterative level-synchronous vector router (one
+          batch of gathers per tree level, active set lazily
+          compacted).  Always available.
+        * the **exact per-attribute** variant of the numpy router, used
+          when a continuous column is float32/float16: numpy's
+          weak-scalar promotion makes the oracle compare those in the
+          column's own dtype, so staging to float64 would flip
+          borderline rows.
+
+        Staging to float64 is value-exact for float64/integer columns
+        (categorical codes stay exact up to 2**53, far beyond any
+        bitmask span).
+        """
+        columns = _columns_of(data)
+        n = _n_rows(columns)
+        self._check_columns(columns)
+        if n == 0 or self.feature[0] < 0:
+            return np.zeros(n, dtype=np.int64)
+        names = self.schema.attribute_names
+        attrs = self.schema.attributes
+        used = self.used_features
+        narrow_float = any(
+            attrs[f].is_continuous
+            and np.issubdtype(columns[names[f]].dtype, np.floating)
+            and columns[names[f]].dtype != np.float64
+            for f in used
+        )
+        if backend == "native":
+            if narrow_float:
+                raise ValueError(
+                    "native backend cannot honor narrow-float columns "
+                    "exactly; use the numpy backend"
+                )
+            kernel = native.native_kernel()
+            if kernel is None:
+                raise RuntimeError(
+                    "native kernel unavailable (no C compiler, build "
+                    f"failure, or {native.ENV_FLAG}=0)"
+                )
+            return kernel.route(self, columns, n)
+        if backend is None and not narrow_float:
+            kernel = native.native_kernel()
+            if kernel is not None:
+                return kernel.route(self, columns, n)
+        elif backend not in (None, "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if narrow_float:
+            return self._route_rows_exact(columns, n)
+        return self._route_rows_numpy(columns, n, used)
+
+    def _route_rows_numpy(
+        self, columns: Columns, n: int, used: List[int]
+    ) -> np.ndarray:
+        """Vectorized level-synchronous router.
+
+        Per level this runs a handful of flat ``take`` gathers and
+        elementwise ops — no 2D fancy indexing, no ``np.where`` child
+        select (the fused :attr:`children2` table handles that), and
+        the active set is compacted *lazily*: boolean compaction costs
+        ~5x a gather, so it only runs once enough rows have parked on
+        (self-looping) leaves to pay for itself.
+        """
+        values = np.empty((self.schema.n_attributes, n), dtype=np.float64)
+        for f in used:
+            values[f] = columns[self.schema.attribute_names[f]]
+        flat_values = values.ravel()
+        # Feature index premultiplied by n: flat_base[node] + row is the
+        # position of the row's split value in the staged matrix.
+        flat_base = np.where(self.feature < 0, 0, self.feature).astype(
+            np.int64
+        ) * n
+        children2 = self.children2.astype(np.int64)
+        is_cat = self.subset_offset >= 0
+        has_cat = bool(is_cat.any())
+        internal = self.feature >= 0
+        threshold = self.threshold
+
+        cur = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n, dtype=np.int64)
+        active: Optional[np.ndarray] = None  # None = every row
+        while True:
+            if active is None:
+                node, idx = cur, rows
+            else:
+                node, idx = cur.take(active), active
+            flat = flat_base.take(node)
+            flat += idx
+            vals = flat_values.take(flat)
+            # NaN thresholds (categorical rows and parked leaves)
+            # compare False; categorical rows are then overwritten by
+            # the bitmask probe, leaves self-loop via children2.
+            go_left = vals < threshold.take(node)
+            if has_cat:
+                cat = np.nonzero(is_cat.take(node))[0]
+                if cat.size:
+                    go_left[cat] = self._subset_member(node[cat], vals[cat])
+            step = node << 1
+            step += go_left
+            nxt = children2.take(step)
+            if active is None:
+                cur = nxt
+            else:
+                cur[active] = nxt
+            live = internal.take(nxt)
+            n_live = int(np.count_nonzero(live))
+            if n_live == 0:
+                return cur
+            # Compact when under half the set is still routing.
+            if n_live * 2 < idx.size:
+                active = idx[live] if active is not None else rows[live]
+
+    def _route_rows_exact(self, columns: Columns, n: int) -> np.ndarray:
+        """Narrow-float router: per-attribute compares in column dtype."""
+        cur = np.zeros(n, dtype=np.int64)
+        active = np.arange(n, dtype=np.int64)
+        while active.size:
+            node = cur[active]
+            go_left = self._go_left_exact(columns, node, active)
+            nxt = np.where(go_left, self.left[node], self.right[node])
+            cur[active] = nxt
+            active = active[self.feature[nxt] >= 0]
+        return cur
+
+    def _go_left_exact(
+        self, columns: Columns, node: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Per-attribute split evaluation in each column's own dtype."""
+        names = self.schema.attribute_names
+        attrs = self.schema.attributes
+        feat = self.feature[node]
+        go_left = np.empty(active.size, dtype=bool)
+        for a in np.unique(feat):
+            sel = np.nonzero(feat == a)[0]
+            vals = columns[names[a]][active[sel]]
+            nd = node[sel]
+            if attrs[a].is_categorical:
+                go_left[sel] = self._subset_member(nd, vals)
+            else:
+                thr = self.threshold[nd]
+                if vals.dtype != np.float64 and np.issubdtype(
+                    vals.dtype, np.floating
+                ):
+                    # Match numpy's weak-scalar promotion in the oracle
+                    # (`float32_col < python_float` compares in float32).
+                    thr = thr.astype(vals.dtype)
+                go_left[sel] = vals < thr
+        return go_left
+
+    def _subset_member(self, nodes: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """O(1)-per-row bit probe of the packed categorical bitmasks."""
+        codes = values.astype(np.int64, copy=False)
+        word_idx = codes >> 6
+        in_range = (codes >= 0) & (word_idx < self.subset_nwords[nodes])
+        member = np.zeros(len(codes), dtype=bool)
+        if in_range.any():
+            words = self.subset_words[
+                self.subset_offset[nodes[in_range]] + word_idx[in_range]
+            ]
+            bits = (words >> (codes[in_range] & 63).astype(np.uint64)) & np.uint64(1)
+            member[in_range] = bits.astype(bool)
+        return member
+
+    def predict(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Class index for every tuple (bit-identical to the oracle)."""
+        return self.leaf_class[self.route_rows(data, backend=backend)]
+
+    def predict_node_ids(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Original node id of the leaf each tuple lands in."""
+        return self.node_id[self.route_rows(data, backend=backend)]
+
+    # -- reconstruction --------------------------------------------------------
+
+    def to_tree(self) -> DecisionTree:
+        """Rebuild the pointer-linked :class:`DecisionTree` (iterative)."""
+        nodes = [
+            Node(
+                int(self.node_id[i]),
+                int(self.depth[i]),
+                self.class_counts[i].copy(),
+            )
+            for i in range(self.n_nodes)
+        ]
+        for i, node in enumerate(nodes):
+            if self.feature[i] < 0:
+                node.make_leaf()
+            else:
+                node.set_split(
+                    self.splits[i],
+                    nodes[int(self.left[i])],
+                    nodes[int(self.right[i])],
+                )
+        return DecisionTree(self.schema, nodes[0])
+
+
+def compile_tree(tree: DecisionTree) -> CompiledTree:
+    """Flatten ``tree`` into a :class:`CompiledTree` (iterative BFS)."""
+    schema = tree.schema
+    order: List[Node] = list(tree.iter_nodes())
+    index = {id(node): i for i, node in enumerate(order)}
+    n = len(order)
+    k = schema.n_classes
+
+    node_id = np.empty(n, dtype=np.int64)
+    depth = np.empty(n, dtype=np.int32)
+    feature = np.full(n, -1, dtype=np.int32)
+    threshold = np.full(n, np.nan, dtype=np.float64)
+    left = np.full(n, -1, dtype=np.int32)
+    right = np.full(n, -1, dtype=np.int32)
+    leaf_class = np.empty(n, dtype=np.int32)
+    class_counts = np.zeros((n, k), dtype=np.int64)
+    weighted_gini = np.zeros(n, dtype=np.float64)
+    subset_offset = np.full(n, -1, dtype=np.int64)
+    subset_nwords = np.zeros(n, dtype=np.int32)
+    words: List[np.ndarray] = []
+    splits: List[Optional[Split]] = [None] * n
+
+    next_word = 0
+    for i, node in enumerate(order):
+        node_id[i] = node.node_id
+        depth[i] = node.depth
+        leaf_class[i] = node.majority_class
+        class_counts[i] = node.class_counts
+        split = node.split
+        if split is None:
+            continue
+        splits[i] = split
+        feature[i] = split.attribute_index
+        weighted_gini[i] = split.weighted_gini
+        left[i] = index[id(node.left)]
+        right[i] = index[id(node.right)]
+        if split.is_continuous:
+            threshold[i] = split.threshold
+        else:
+            members = sorted(split.subset)
+            if members and members[0] < 0:
+                raise ValueError(
+                    f"node {node.node_id}: negative categorical code "
+                    f"{members[0]} cannot be bit-packed"
+                )
+            attr = schema.attributes[split.attribute_index]
+            span = max(attr.cardinality or 0, (members[-1] + 1) if members else 0)
+            nwords = max(1, -(-span // 64))
+            mask = np.zeros(nwords, dtype=np.uint64)
+            for m in members:
+                mask[m >> 6] |= np.uint64(1) << np.uint64(m & 63)
+            subset_offset[i] = next_word
+            subset_nwords[i] = nwords
+            words.append(mask)
+            next_word += nwords
+
+    subset_words = (
+        np.concatenate(words) if words else np.zeros(0, dtype=np.uint64)
+    )
+    return CompiledTree(
+        schema=schema,
+        node_id=node_id,
+        depth=depth,
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        leaf_class=leaf_class,
+        class_counts=class_counts,
+        weighted_gini=weighted_gini,
+        subset_offset=subset_offset,
+        subset_nwords=subset_nwords,
+        subset_words=subset_words,
+        splits=splits,
+    )
+
+
+def compiled_for(tree: DecisionTree) -> CompiledTree:
+    """The compiled form of ``tree``, cached on the tree instance.
+
+    Trees are frozen once built (see :class:`~repro.core.tree.Node`), so
+    the compiled form is compiled at most once per tree object.  Code
+    that *does* mutate a tree after prediction must call
+    :func:`compile_tree` itself.
+    """
+    cached = tree.__dict__.get("_compiled")
+    if cached is None:
+        cached = compile_tree(tree)
+        tree.__dict__["_compiled"] = cached
+    return cached

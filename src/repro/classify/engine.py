@@ -1,0 +1,302 @@
+"""Batch-inference engine: micro-batching request queue over worker threads.
+
+A built tree is a deployable artifact; this module is the serving side.
+An :class:`InferenceEngine` owns a compiled flat tree
+(:mod:`repro.classify.compiled`) and a request queue drained by worker
+threads checked out of the process-wide reusable daemon pool
+(:data:`repro.smp.threads.WORKER_POOL` — the same pool the wall-clock
+build backend uses, so builds and serving share threads instead of
+spawning their own).
+
+Requests are admitted synchronously (schema validation happens in the
+caller, with a rejected-request metric and a :class:`ValueError` naming
+the missing attribute and the model), then grouped into micro-batches:
+a worker takes queued requests until ``batch_size`` rows are gathered,
+runs one vectorized compiled predict over the concatenation, and
+scatters the results back to each request's future.  Oversized requests
+are processed in ``batch_size`` chunks, so one huge submit cannot
+monopolize a worker unboundedly between metric observations.
+
+Observability folds into :mod:`repro.obs`: per-batch latency/row-count
+histograms, request/row/rejection counters and a queue-depth gauge live
+in a :class:`~repro.obs.metrics.MetricsRegistry` (pass the registry of
+an existing :class:`~repro.obs.spans.SpanCollector` to merge streams),
+and an optional collector records per-worker busy intervals so
+``render_timeline`` can draw serving the same way it draws builds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.classify.compiled import CompiledTree, compiled_for
+from repro.core.tree import DecisionTree
+from repro.obs.metrics import MetricsRegistry
+from repro.smp.threads import WORKER_POOL, _Latch
+
+#: Batch latency bucket bounds (wall seconds) — serving latencies are
+#: orders of magnitude below the build-phase defaults.
+LATENCY_BUCKETS = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
+)
+#: Batch size bucket bounds (rows).
+ROWS_BUCKETS = (1, 8, 64, 512, 4096, 32768, 262144)
+
+Columns = Mapping[str, np.ndarray]
+
+
+class PredictionRequest:
+    """Future-style handle for one submitted request."""
+
+    __slots__ = ("columns", "n", "scalar", "_event", "_value", "_error")
+
+    def __init__(self, columns: Dict[str, np.ndarray], n: int, scalar: bool):
+        self.columns = columns
+        self.n = n
+        self.scalar = scalar
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, value: Optional[np.ndarray], error=None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Predicted class indices (an array, or an int for scalar rows)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"prediction not ready within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return int(self._value[0]) if self.scalar else self._value
+
+
+class InferenceEngine:
+    """Micro-batching prediction service over a compiled tree."""
+
+    def __init__(
+        self,
+        model: Union[DecisionTree, CompiledTree],
+        *,
+        batch_size: int = 8192,
+        n_workers: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        collector=None,
+        name: str = "model",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if n_workers < 1:
+            raise ValueError(f"need >= 1 worker, got {n_workers}")
+        self.compiled = (
+            model if isinstance(model, CompiledTree) else compiled_for(model)
+        )
+        self.batch_size = batch_size
+        self.n_workers = n_workers
+        self.name = name
+        self.collector = collector
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._t0 = time.perf_counter()
+
+        m = self.metrics
+        self._requests = m.counter(
+            "engine_requests_total", help="requests admitted to the queue"
+        )
+        self._rejected = {
+            reason: m.counter(
+                "engine_rejected_requests_total",
+                {"reason": reason},
+                help="requests rejected at batch admission",
+            )
+            for reason in ("missing-attribute", "ragged", "closed")
+        }
+        self._rows = m.counter("engine_rows_total", help="rows predicted")
+        self._batches = m.counter(
+            "engine_batches_total", help="vectorized predict calls"
+        )
+        self._batch_rows = m.histogram(
+            "engine_batch_rows", help="rows per batch", buckets=ROWS_BUCKETS
+        )
+        self._latency = m.histogram(
+            "engine_batch_latency_seconds",
+            help="wall seconds per vectorized predict call",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._queue_depth = m.gauge(
+            "engine_queue_depth", help="requests waiting in the queue"
+        )
+
+        self._queue: Deque[PredictionRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._latch = _Latch(n_workers)
+        self._workers = WORKER_POOL.checkout(n_workers)
+        for wid, worker in enumerate(self._workers):
+            worker.submit(lambda wid=wid: self._drain(wid))
+
+    # -- admission -------------------------------------------------------------
+
+    def _reject(self, reason: str, message: str) -> "ValueError":
+        self._rejected[reason].inc()
+        return ValueError(message)
+
+    def submit(self, data) -> PredictionRequest:
+        """Admit one request; returns a future-style handle.
+
+        ``data`` is a mapping of attribute name to a value array (a
+        batch) or to scalars (a single row).  Missing attributes,
+        ragged columns and submissions after :meth:`close` are rejected
+        with a :class:`ValueError` and counted in
+        ``engine_rejected_requests_total``.
+        """
+        mapping = getattr(data, "columns", data)
+        columns: Dict[str, np.ndarray] = {}
+        scalar = False
+        n = -1
+        for attr in self.compiled.schema.attribute_names:
+            if attr not in mapping:
+                raise self._reject(
+                    "missing-attribute",
+                    f"request is missing attribute {attr!r} required by "
+                    f"model {self.name!r} (expects: "
+                    f"{', '.join(self.compiled.schema.attribute_names)})",
+                )
+            col = np.asarray(mapping[attr])
+            if col.ndim == 0:
+                col = col.reshape(1)
+                scalar = True
+            rows = len(col)
+            if n < 0:
+                n = rows
+            elif rows != n:
+                raise self._reject(
+                    "ragged",
+                    f"request columns disagree on length for model "
+                    f"{self.name!r}: {attr!r} has {rows} rows, expected {n}",
+                )
+            columns[attr] = col
+        request = PredictionRequest(columns, n, scalar)
+        with self._cond:
+            if self._closed:
+                raise self._reject(
+                    "closed", f"engine for model {self.name!r} is closed"
+                )
+            self._queue.append(request)
+            self._queue_depth.set(len(self._queue))
+            self._cond.notify()
+        self._requests.inc()
+        return request
+
+    def predict_batch(
+        self, data, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Submit and wait: predicted class indices for a batch."""
+        return self.submit(data).result(timeout)
+
+    # -- worker side -----------------------------------------------------------
+
+    def _drain(self, wid: int) -> None:
+        try:
+            while True:
+                with self._cond:
+                    while not self._queue and not self._closed:
+                        self._cond.wait()
+                    if not self._queue:
+                        return  # closed and drained
+                    group = [self._queue.popleft()]
+                    rows = group[0].n
+                    while self._queue and rows < self.batch_size:
+                        nxt = self._queue[0]
+                        if rows + max(nxt.n, 1) > self.batch_size:
+                            break
+                        group.append(self._queue.popleft())
+                        rows += nxt.n
+                    self._queue_depth.set(len(self._queue))
+                self._process(wid, group)
+        finally:
+            self._latch.count_down()
+
+    def _predict_chunked(self, wid: int, columns: Columns, n: int) -> np.ndarray:
+        """One or more ``batch_size``-bounded vectorized predict calls."""
+        out = np.empty(n, dtype=np.int32)
+        if n == 0:
+            # An empty request is still one (trivial) batch.
+            starts = [0]
+        else:
+            starts = list(range(0, n, self.batch_size))
+        for start in starts:
+            stop = min(start + self.batch_size, n)
+            chunk = {k: v[start:stop] for k, v in columns.items()}
+            t0 = time.perf_counter()
+            out[start:stop] = self.compiled.predict(chunk)
+            t1 = time.perf_counter()
+            self._batches.inc()
+            self._batch_rows.observe(stop - start)
+            self._latency.observe(t1 - t0)
+            self._rows.inc(stop - start)
+            if self.collector is not None:
+                self.collector.record(
+                    wid, "busy", t0 - self._t0, t1 - self._t0
+                )
+        return out
+
+    def _process(self, wid: int, group: List[PredictionRequest]) -> None:
+        try:
+            if len(group) == 1:
+                request = group[0]
+                request._resolve(
+                    self._predict_chunked(wid, request.columns, request.n)
+                )
+                return
+            merged = {
+                attr: np.concatenate([r.columns[attr] for r in group])
+                for attr in self.compiled.schema.attribute_names
+            }
+            total = sum(r.n for r in group)
+            out = self._predict_chunked(wid, merged, total)
+            offset = 0
+            for request in group:
+                request._resolve(out[offset:offset + request.n])
+                offset += request.n
+        except BaseException as exc:  # noqa: BLE001 - delivered to callers
+            for request in group:
+                if not request.done():
+                    request._resolve(None, exc)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the queue, stop the workers, return them to the pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._latch.wait()
+        WORKER_POOL.checkin(self._workers)
+        self._workers = []
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Flat snapshot of the engine's counters and gauges."""
+        return {
+            k: v
+            for k, v in self.metrics.values().items()
+            if k.startswith("engine_")
+        }

@@ -1,17 +1,28 @@
 """Applying a decision tree to tuples.
 
-``predict`` is vectorized: it routes whole column arrays down the tree
-with boolean masks, one pass per node, so classifying a large test set
-costs O(n * depth) numpy work rather than Python-level per-tuple loops.
+``predict``/``predict_node_ids`` route whole batches through the
+compiled flat-tree IR (:mod:`repro.classify.compiled`): an iterative
+level-synchronous pass over struct-of-arrays node data, with categorical
+membership as packed-bitmask probes.  No Python recursion anywhere, so
+depth is not bounded by the interpreter stack.
+
+The original recursive mask router is kept as ``predict_oracle`` /
+``predict_node_ids_oracle`` — the reference implementation the compiled
+path is differentially tested against (see
+``tests/classify/test_compiled.py``).  It is deliberately simple, one
+boolean mask per node, and only its categorical member arrays are
+cached (once per split, not per node per call).
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Mapping, Union
 
 import numpy as np
 
-from repro.core.tree import DecisionTree, Node
+from repro.classify.compiled import compiled_for
+from repro.core.tree import DecisionTree, Node, Split
 from repro.data.dataset import Dataset
 
 Columns = Mapping[str, np.ndarray]
@@ -28,7 +39,41 @@ def _n_rows(columns: Columns) -> int:
 
 
 def predict(tree: DecisionTree, data: Union[Dataset, Columns]) -> np.ndarray:
-    """Class indices for every tuple in ``data``."""
+    """Class indices for every tuple in ``data`` (compiled fast path)."""
+    return compiled_for(tree).predict(_columns_of(data))
+
+
+def predict_node_ids(
+    tree: DecisionTree, data: Union[Dataset, Columns]
+) -> np.ndarray:
+    """The leaf node id each tuple lands in (for pruning/diagnostics)."""
+    return compiled_for(tree).predict_node_ids(_columns_of(data))
+
+
+# -- the recursive oracle ------------------------------------------------------
+
+#: Per-split cache of sorted member arrays, so the oracle does not
+#: re-materialize ``np.fromiter(split.subset)`` per node per call.
+#: Keys are the (weakly referenced) Split instances; splits hash by
+#: value, so equal splits share one entry.
+_SUBSET_MEMBERS: "weakref.WeakKeyDictionary[Split, np.ndarray]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _subset_members(split: Split) -> np.ndarray:
+    members = _SUBSET_MEMBERS.get(split)
+    if members is None:
+        members = np.fromiter(split.subset, dtype=np.int64, count=len(split.subset))
+        members.sort()
+        _SUBSET_MEMBERS[split] = members
+    return members
+
+
+def predict_oracle(
+    tree: DecisionTree, data: Union[Dataset, Columns]
+) -> np.ndarray:
+    """Reference recursive implementation of :func:`predict`."""
     columns = _columns_of(data)
     n = _n_rows(columns)
     out = np.empty(n, dtype=np.int32)
@@ -36,10 +81,10 @@ def predict(tree: DecisionTree, data: Union[Dataset, Columns]) -> np.ndarray:
     return out
 
 
-def predict_node_ids(
+def predict_node_ids_oracle(
     tree: DecisionTree, data: Union[Dataset, Columns]
 ) -> np.ndarray:
-    """The leaf node id each tuple lands in (for pruning/diagnostics)."""
+    """Reference recursive implementation of :func:`predict_node_ids`."""
     columns = _columns_of(data)
     n = _n_rows(columns)
     out = np.empty(n, dtype=np.int64)
@@ -66,8 +111,7 @@ def _route(
     if split.is_continuous:
         left_mask = values < split.threshold
     else:
-        members = np.fromiter(split.subset, dtype=np.int64)
-        left_mask = np.isin(values.astype(np.int64), members)
+        left_mask = np.isin(values.astype(np.int64), _subset_members(split))
     _route(node.left, columns, rows[left_mask], out, leaf_field)
     _route(node.right, columns, rows[~left_mask], out, leaf_field)
 
@@ -76,5 +120,12 @@ def predict_one(tree: DecisionTree, tuple_values: Dict[str, float]) -> int:
     """Class index of one tuple given as an attribute-name -> value dict."""
     node = tree.root
     while not node.is_leaf:
-        node = node.route(tuple_values[node.split.attribute])
+        attribute = node.split.attribute
+        if attribute not in tuple_values:
+            raise ValueError(
+                f"tuple is missing attribute {attribute!r} required by the "
+                f"model (model attributes: "
+                f"{', '.join(tree.schema.attribute_names)})"
+            )
+        node = node.route(tuple_values[attribute])
     return node.majority_class

@@ -12,9 +12,13 @@ bits, than encoding its records' classes directly at a leaf:
   ``L_test = log2(n_attributes)`` bits to name the attribute plus
   ``log2(max(n_records, 2))`` bits to describe the split point/subset.
 
-Pruning is bottom-up and deterministic, never increases the tree's
-description cost, and runs in one pass over the tree — matching the
-paper's observation that pruning is a negligible fraction of build time.
+Pruning consumes the compiled flat-tree IR
+(:mod:`repro.classify.compiled`): leaf and split costs are computed
+vectorized over the per-node ``class_counts`` rows, and the keep/prune
+decision runs bottom-up in one reverse pass over the breadth-first node
+table (children always follow their parent, so reverse order *is*
+bottom-up).  No recursion, so arbitrarily deep chains prune fine; the
+decisions are identical to the original recursive formulation.
 """
 
 from __future__ import annotations
@@ -22,6 +26,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.classify.compiled import CompiledTree, compiled_for
 from repro.core.tree import DecisionTree, Node
 
 
@@ -41,16 +48,36 @@ class MDLPruneReport:
 
 
 def _leaf_cost(node: Node, n_classes: int) -> float:
+    """Scalar leaf cost (kept for direct unit-testing of the formula)."""
     errors = node.n_records - int(node.class_counts.max())
     class_bits = math.log2(n_classes)
     return 1.0 + errors * class_bits + class_bits
 
 
 def _split_cost(node: Node, n_attributes: int) -> float:
+    """Scalar split cost (kept for direct unit-testing of the formula)."""
     return (
         1.0
         + math.log2(max(n_attributes, 2))
         + math.log2(max(node.n_records, 2))
+    )
+
+
+def _leaf_costs(compiled: CompiledTree) -> np.ndarray:
+    """Per-node cost of encoding each node as a leaf (vectorized)."""
+    counts = compiled.class_counts
+    errors = counts.sum(axis=1) - counts.max(axis=1)
+    class_bits = math.log2(compiled.schema.n_classes)
+    return 1.0 + errors * class_bits + class_bits
+
+
+def _split_costs(compiled: CompiledTree) -> np.ndarray:
+    """Per-node cost of encoding each node's split test (vectorized)."""
+    n_records = compiled.class_counts.sum(axis=1)
+    return (
+        1.0
+        + math.log2(max(compiled.schema.n_attributes, 2))
+        + np.log2(np.maximum(n_records, 2))
     )
 
 
@@ -59,46 +86,60 @@ def mdl_prune(tree: DecisionTree) -> "tuple[DecisionTree, MDLPruneReport]":
 
     Returns a *new* tree (the input is not modified) and a report.
     """
-    n_classes = tree.schema.n_classes
-    n_attributes = tree.schema.n_attributes
+    compiled = compiled_for(tree)
+    n = compiled.n_nodes
+    leaf_cost = _leaf_costs(compiled)
+    split_cost = _split_costs(compiled)
+    internal = compiled.feature >= 0
+
+    cost = leaf_cost.copy()
+    keep_split = np.zeros(n, dtype=bool)
     pruned_count = 0
-
-    def prune_node(node: Node) -> "tuple[Node, float]":
-        nonlocal pruned_count
-        copy = Node(node.node_id, node.depth, node.class_counts.copy())
-        as_leaf = _leaf_cost(node, n_classes)
-        if node.is_leaf:
-            copy.make_leaf()
-            return copy, as_leaf
-        left, left_cost = prune_node(node.left)
-        right, right_cost = prune_node(node.right)
-        as_split = _split_cost(node, n_attributes) + left_cost + right_cost
-        if as_leaf <= as_split:
+    for i in range(n - 1, -1, -1):
+        if not internal[i]:
+            continue
+        as_split = (
+            split_cost[i]
+            + cost[compiled.left[i]]
+            + cost[compiled.right[i]]
+        )
+        if leaf_cost[i] <= as_split:
             pruned_count += 1
-            copy.make_leaf()
-            return copy, as_leaf
-        copy.set_split(node.split, left, right)
-        return copy, as_split
+        else:
+            keep_split[i] = True
+            cost[i] = as_split
 
-    cost_before = _tree_cost(tree.root, n_classes, n_attributes)
-    new_root, cost_after = prune_node(tree.root)
-    new_tree = DecisionTree(tree.schema, new_root)
+    cost_before = float(
+        leaf_cost[~internal].sum() + split_cost[internal].sum()
+    )
+
+    # Rebuild the surviving tree top-down, iteratively.
+    new_nodes = {0: Node(
+        int(compiled.node_id[0]), int(compiled.depth[0]),
+        compiled.class_counts[0].copy(),
+    )}
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        node = new_nodes[i]
+        if not keep_split[i]:
+            node.make_leaf()
+            continue
+        li, ri = int(compiled.left[i]), int(compiled.right[i])
+        for ci in (li, ri):
+            new_nodes[ci] = Node(
+                int(compiled.node_id[ci]), int(compiled.depth[ci]),
+                compiled.class_counts[ci].copy(),
+            )
+        node.set_split(compiled.splits[i], new_nodes[li], new_nodes[ri])
+        stack.extend((li, ri))
+
+    new_tree = DecisionTree(tree.schema, new_nodes[0])
     report = MDLPruneReport(
-        nodes_before=tree.n_nodes,
+        nodes_before=n,
         nodes_after=new_tree.n_nodes,
         pruned_subtrees=pruned_count,
         cost_before=cost_before,
-        cost_after=cost_after,
+        cost_after=float(cost[0]),
     )
     return new_tree, report
-
-
-def _tree_cost(node: Node, n_classes: int, n_attributes: int) -> float:
-    """Description cost of the tree as-is (no pruning decisions)."""
-    if node.is_leaf:
-        return _leaf_cost(node, n_classes)
-    return (
-        _split_cost(node, n_attributes)
-        + _tree_cost(node.left, n_classes, n_attributes)
-        + _tree_cost(node.right, n_classes, n_attributes)
-    )

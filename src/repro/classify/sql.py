@@ -9,17 +9,34 @@ classifier).  Two exports are provided:
   labelling every row of a table,
 * :func:`class_where_clause` — the disjunction of root-to-leaf path
   predicates for one class, usable as a ``WHERE`` filter.
+
+Both emitters walk the compiled flat-tree IR
+(:mod:`repro.classify.compiled`) with explicit stacks, so the emitted
+SQL's depth is bounded by memory rather than the interpreter stack, and
+all string literals (class labels) have embedded single quotes doubled —
+a label like ``O'Brien`` cannot break out of its quoted context.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.core.tree import DecisionTree, Node, Split
+from repro.classify.compiled import CompiledTree, compiled_for
+from repro.core.tree import DecisionTree, Split
+
+#: Indentation stops growing past this depth so a 10k-deep chain emits
+#: O(nodes) characters, not O(depth^2); nesting stays unambiguous via
+#: the CASE/END keywords themselves.
+_MAX_INDENT_LEVELS = 40
 
 
 def _quote(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
+
+
+def _literal(label: str) -> str:
+    """A single-quoted SQL string literal with embedded quotes doubled."""
+    return "'" + label.replace("'", "''") + "'"
 
 
 def _predicate(split: Split, branch_left: bool) -> str:
@@ -33,16 +50,41 @@ def _predicate(split: Split, branch_left: bool) -> str:
 
 
 def _paths_to_class(
-    node: Node, class_index: int, conditions: List[str], out: List[List[str]]
-) -> None:
-    if node.is_leaf:
-        if node.majority_class == class_index:
-            out.append(list(conditions))
-        return
-    for child, branch_left in ((node.left, True), (node.right, False)):
-        conditions.append(_predicate(node.split, branch_left))
-        _paths_to_class(child, class_index, conditions, out)
-        conditions.pop()
+    compiled: CompiledTree, class_index: int
+) -> List[List[str]]:
+    """Root-to-leaf predicate paths for every leaf of ``class_index``.
+
+    Iterative DFS over the flat node table with an explicit operation
+    stack; ``conditions`` holds the predicates along the current path.
+    """
+    out: List[List[str]] = []
+    conditions: List[str] = []
+    stack = [("enter", 0)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "cond":
+            conditions.append(payload)
+            continue
+        if op == "pop":
+            conditions.pop()
+            continue
+        i = payload
+        if compiled.feature[i] < 0:
+            if int(compiled.leaf_class[i]) == class_index:
+                out.append(list(conditions))
+            continue
+        split = compiled.splits[i]
+        stack.extend(
+            (
+                ("pop", None),
+                ("enter", int(compiled.right[i])),
+                ("cond", _predicate(split, branch_left=False)),
+                ("pop", None),
+                ("enter", int(compiled.left[i])),
+                ("cond", _predicate(split, branch_left=True)),
+            )
+        )
+    return out
 
 
 def class_where_clause(tree: DecisionTree, class_name: str) -> str:
@@ -54,8 +96,7 @@ def class_where_clause(tree: DecisionTree, class_name: str) -> str:
     ``'FALSE'`` when no leaf carries the class.
     """
     class_index = tree.schema.class_index(class_name)
-    paths: List[List[str]] = []
-    _paths_to_class(tree.root, class_index, [], paths)
+    paths = _paths_to_class(compiled_for(tree), class_index)
     if not paths:
         return "FALSE"
     clauses = []
@@ -71,22 +112,40 @@ def tree_to_sql_case(tree: DecisionTree, table: str = "training_set") -> str:
 
     Produces nested ``CASE WHEN <test> THEN ... ELSE ... END`` mirroring
     the tree structure, so evaluation order matches the tree exactly.
+    Emission is a token stream over the flat IR — each node contributes
+    a constant number of string parts, joined once at the end.
     """
+    compiled = compiled_for(tree)
+    class_names = tree.schema.class_names
 
-    def case_for(node: Node, indent: str) -> str:
-        if node.is_leaf:
-            label = tree.schema.class_names[node.majority_class]
-            return f"'{label}'"
-        inner = indent + "  "
-        test = _predicate(node.split, branch_left=True)
-        return (
-            f"CASE WHEN {test}\n"
-            f"{inner}THEN {case_for(node.left, inner)}\n"
-            f"{inner}ELSE {case_for(node.right, inner)}\n"
-            f"{indent}END"
+    def indent_at(level: int) -> str:
+        return "  " * (min(level, _MAX_INDENT_LEVELS) + 1)
+
+    parts: List[str] = []
+    #: ("node", row index, indent level) or ("text", literal, 0).
+    stack = [("node", 0, 1)]
+    while stack:
+        kind, payload, level = stack.pop()
+        if kind == "text":
+            parts.append(payload)
+            continue
+        i = payload
+        if compiled.feature[i] < 0:
+            parts.append(_literal(class_names[int(compiled.leaf_class[i])]))
+            continue
+        indent, inner = indent_at(level - 1), indent_at(level)
+        test = _predicate(compiled.splits[i], branch_left=True)
+        parts.append(f"CASE WHEN {test}\n{inner}THEN ")
+        stack.extend(
+            (
+                ("text", f"\n{indent}END", 0),
+                ("node", int(compiled.right[i]), level + 1),
+                ("text", f"\n{inner}ELSE ", 0),
+                ("node", int(compiled.left[i]), level + 1),
+            )
         )
-
+    case_expr = "".join(parts)
     return (
-        f"SELECT *,\n  {case_for(tree.root, '  ')} AS predicted_class\n"
+        f"SELECT *,\n  {case_expr} AS predicted_class\n"
         f"FROM {_quote(table)};"
     )

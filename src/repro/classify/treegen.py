@@ -1,0 +1,181 @@
+"""Synthetic decision trees for differential tests and benchmarks.
+
+The build schemes only ever produce trees the training data supports;
+the *consumers* (predict, SQL, serialize, prune) must handle any valid
+tree shape — including degenerate chains far past
+``sys.getrecursionlimit()`` and categorical-only splits.  These
+generators manufacture such trees directly, without a training run.
+
+All generators are iterative and assign small sequential node ids (the
+builder's binary-heap ids overflow ``int64`` past depth ~62, which the
+flat IR — like the recursive oracle's int64 output — cannot represent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tree import DecisionTree, Node, Split
+from repro.data.schema import Attribute, AttributeKind, Schema
+
+
+def random_schema(rng: np.random.Generator) -> Schema:
+    """A random mix of continuous and categorical attributes."""
+    n_attrs = int(rng.integers(1, 6))
+    attrs = []
+    for i in range(n_attrs):
+        if rng.random() < 0.5:
+            attrs.append(Attribute(f"c{i}", AttributeKind.CONTINUOUS))
+        else:
+            attrs.append(
+                Attribute(
+                    f"k{i}",
+                    AttributeKind.CATEGORICAL,
+                    int(rng.integers(2, 12)),
+                )
+            )
+    n_classes = int(rng.integers(2, 5))
+    return Schema(attrs, class_names=tuple(f"cls{j}" for j in range(n_classes)))
+
+
+def _random_split(
+    schema: Schema, rng: np.random.Generator, categorical_only: bool = False
+) -> Split:
+    candidates = [
+        i
+        for i, a in enumerate(schema.attributes)
+        if a.is_categorical or not categorical_only
+    ]
+    idx = int(rng.choice(candidates))
+    attr = schema.attributes[idx]
+    if attr.is_continuous:
+        return Split(
+            attribute=attr.name,
+            attribute_index=idx,
+            threshold=float(rng.normal(scale=10.0)),
+            weighted_gini=float(rng.random()),
+        )
+    size = int(rng.integers(1, attr.cardinality))
+    members = rng.choice(attr.cardinality, size=size, replace=False)
+    return Split(
+        attribute=attr.name,
+        attribute_index=idx,
+        subset=frozenset(int(m) for m in members),
+        weighted_gini=float(rng.random()),
+    )
+
+
+def random_tree(
+    schema: Schema,
+    max_depth: int,
+    seed: int = 0,
+    leaf_prob: float = 0.3,
+    categorical_only: bool = False,
+) -> DecisionTree:
+    """A random binary tree over ``schema``, built iteratively.
+
+    Each frontier node becomes a leaf with probability ``leaf_prob``
+    (always at ``max_depth``); class counts are random, so majority
+    classes vary.
+    """
+    if categorical_only and not any(
+        a.is_categorical for a in schema.attributes
+    ):
+        raise ValueError("schema has no categorical attribute")
+    rng = np.random.default_rng(seed)
+    k = schema.n_classes
+    next_id = 0
+
+    def new_node(depth: int) -> Node:
+        nonlocal next_id
+        counts = rng.integers(0, 100, size=k).astype(np.int64)
+        counts[int(rng.integers(0, k))] += 100  # unambiguous majority
+        node = Node(next_id, depth, counts)
+        next_id += 1
+        return node
+
+    root = new_node(0)
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        if node.depth >= max_depth or rng.random() < leaf_prob:
+            node.make_leaf()
+            continue
+        split = _random_split(schema, rng, categorical_only)
+        left = new_node(node.depth + 1)
+        right = new_node(node.depth + 1)
+        node.set_split(split, left, right)
+        frontier.extend((left, right))
+    return DecisionTree(schema, root)
+
+
+def chain_tree(
+    depth: int, n_classes: int = 2, attribute: str = "x"
+) -> Tuple[DecisionTree, float]:
+    """A maximally skewed tree: one decision spine of ``depth`` nodes.
+
+    Node ``d`` on the spine tests ``x < d + 1``; its left child is a
+    leaf, its right child continues the spine.  Returns the tree plus
+    the value that routes to the deepest leaf (any ``x >= depth``).
+    """
+    if depth < 1:
+        raise ValueError(f"need depth >= 1, got {depth}")
+    schema = Schema(
+        [Attribute(attribute, AttributeKind.CONTINUOUS)],
+        class_names=tuple(chr(ord("A") + j) for j in range(n_classes)),
+    )
+    next_id = 0
+
+    def new_node(d: int, majority: int) -> Node:
+        nonlocal next_id
+        counts = np.zeros(n_classes, dtype=np.int64)
+        counts[majority] = depth - d + 1
+        node = Node(next_id, d, counts)
+        next_id += 1
+        return node
+
+    root = new_node(0, 0)
+    spine = root
+    for d in range(depth):
+        leaf = new_node(d + 1, d % n_classes)
+        leaf.make_leaf()
+        if d == depth - 1:
+            last = new_node(d + 1, (d + 1) % n_classes)
+            last.make_leaf()
+            spine.set_split(_x_split(attribute, float(d + 1)), leaf, last)
+        else:
+            nxt = new_node(d + 1, (d + 1) % n_classes)
+            spine.set_split(_x_split(attribute, float(d + 1)), leaf, nxt)
+            spine = nxt
+    return DecisionTree(schema, root), float(depth)
+
+
+def _x_split(attribute: str, threshold: float) -> Split:
+    return Split(attribute=attribute, attribute_index=0, threshold=threshold)
+
+
+def random_columns(
+    schema: Schema,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    wild: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Random input columns for ``schema``.
+
+    ``wild`` draws far outside any training distribution (huge
+    continuous magnitudes, categorical codes beyond the declared
+    cardinality) to exercise out-of-range handling.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    columns: Dict[str, np.ndarray] = {}
+    for attr in schema.attributes:
+        if attr.is_continuous:
+            scale = 1e9 if wild else 20.0
+            columns[attr.name] = rng.uniform(-scale, scale, n)
+        else:
+            high = attr.cardinality * (4 if wild else 1)
+            columns[attr.name] = rng.integers(0, high, n).astype(np.int64)
+    return columns

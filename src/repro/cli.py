@@ -7,6 +7,9 @@ Everything the library does, driveable from a shell::
     python -m repro build     -i data.npz --algorithm mwk --procs 4 \
                               --machine b -o tree.json --prune
     python -m repro classify  -i data.npz --tree tree.json
+    python -m repro predict   --model tree.json --data data.npz \
+                              --batch-size 8192 --workers 2
+    echo '{"salary": 50e3, ...}' | python -m repro serve --model tree.json
     python -m repro benchmark --experiment fig10
     python -m repro info
 """
@@ -138,6 +141,110 @@ def cmd_classify(args: argparse.Namespace) -> int:
         for i in range(len(classes))
     ]
     print(format_table(("actual \\ predicted", *classes), rows))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.classify.engine import InferenceEngine
+
+    tree = load_tree(args.model)
+    dataset = _load_dataset(args.data)
+    engine = InferenceEngine(
+        tree,
+        batch_size=args.batch_size,
+        n_workers=args.workers,
+        name=args.model,
+    )
+    start = time.perf_counter()
+    with engine:
+        # Submit in batch_size chunks so the queue actually micro-batches.
+        pending = []
+        for lo in range(0, max(dataset.n_records, 1), args.batch_size):
+            hi = min(lo + args.batch_size, dataset.n_records)
+            chunk = {k: v[lo:hi] for k, v in dataset.columns.items()}
+            pending.append(engine.submit(chunk))
+        parts = [p.result() for p in pending]
+    elapsed = time.perf_counter() - start
+    import numpy as np
+
+    predicted = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int32)
+    )
+    stats = engine.stats()
+    rate = dataset.n_records / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{dataset.n_records} rows through {args.model} in {elapsed:.3f}s "
+        f"({rate:,.0f} rows/s; {int(stats.get('engine_batches_total', 0))} "
+        f"batches of <= {args.batch_size}, {args.workers} worker(s))"
+    )
+    if dataset.n_records:
+        agreement = float(np.mean(predicted == dataset.labels))
+        print(f"label agreement: {agreement:.4f}")
+    if args.output:
+        names = tree.schema.class_names
+        with open(args.output, "w") as f:
+            for c in predicted:
+                f.write(names[int(c)] + "\n")
+        print(f"predictions -> {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """JSONL loop: one request object per stdin line, one reply per line.
+
+    A request is ``{"attr": value, ...}`` (single row) or
+    ``{"attr": [values...], ...}`` (batch).  Replies carry class names;
+    malformed or incomplete requests get an ``{"error": ...}`` reply and
+    the loop continues.
+    """
+    import json as _json
+
+    from repro.classify.engine import InferenceEngine
+
+    tree = load_tree(args.model)
+    names = tree.schema.class_names
+    engine = InferenceEngine(
+        tree,
+        batch_size=args.batch_size,
+        n_workers=args.workers,
+        name=args.model,
+    )
+    served = 0
+    with engine:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = _json.loads(line)
+                request = engine.submit(row)
+                result = request.result(timeout=args.timeout)
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                print(_json.dumps({"error": str(exc)}), flush=True)
+                continue
+            if request.scalar:
+                reply = {"class": names[result], "class_index": result}
+            else:
+                reply = {
+                    "classes": [names[int(c)] for c in result],
+                    "class_indices": [int(c) for c in result],
+                }
+            print(_json.dumps(reply), flush=True)
+            served += 1
+    stats = engine.stats()
+    rejected = sum(
+        v
+        for k, v in stats.items()
+        if k.startswith("engine_rejected_requests_total")
+    )
+    print(
+        f"served {served} request(s), "
+        f"{int(stats.get('engine_rows_total', 0))} row(s), "
+        f"{int(rejected)} rejected",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -348,6 +455,29 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("-i", "--input", required=True)
     c.add_argument("--tree", required=True, help="tree JSON from `build -o`")
     c.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser(
+        "predict", help="batch inference: run a saved tree over a dataset"
+    )
+    p.add_argument("--model", required=True, help="tree JSON from `build -o`")
+    p.add_argument("--data", required=True, help=".npz or .csv dataset")
+    p.add_argument("--batch-size", type=int, default=8192,
+                   help="rows per vectorized micro-batch")
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker threads (from the shared pool)")
+    p.add_argument("-o", "--output",
+                   help="write predicted class names, one per line")
+    p.set_defaults(func=cmd_predict)
+
+    s = sub.add_parser(
+        "serve", help="JSONL inference loop: rows on stdin, labels on stdout"
+    )
+    s.add_argument("--model", required=True, help="tree JSON from `build -o`")
+    s.add_argument("--batch-size", type=int, default=1024)
+    s.add_argument("--workers", type=int, default=1)
+    s.add_argument("--timeout", type=float, default=30.0,
+                   help="seconds to wait for one reply")
+    s.set_defaults(func=cmd_serve)
 
     n = sub.add_parser("benchmark", help="rerun one paper experiment")
     n.add_argument(

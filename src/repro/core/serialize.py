@@ -2,14 +2,31 @@
 
 Trees are the *output* of the expensive build phase; a deployment
 pipeline wants to build once and ship the model.  The format is plain
-JSON — schema (attributes + classes) plus a nested node structure — so
-it is diffable, versionable and language-neutral.
+JSON — schema (attributes + classes) plus the node data — so it is
+diffable, versionable and language-neutral.
+
+Two format versions exist:
+
+* **v1** (legacy) — one nested dict per node mirroring the pointer
+  tree.  Still readable; writable via ``tree_to_dict(tree, version=1)``
+  for migration tests.
+* **v2** (current) — a *columnar* node table in breadth-first order,
+  mirroring the compiled flat-tree IR
+  (:mod:`repro.classify.compiled`): parallel lists ``feature`` /
+  ``threshold`` / ``subset`` / ``left`` / ``right`` / ... indexed by
+  node row.  A v2 document round-trips both representations:
+  :func:`tree_from_dict` rebuilds the pointer tree,
+  :func:`compiled_tree_from_dict` materializes a
+  :class:`~repro.classify.compiled.CompiledTree` directly.
+
+Every code path here is iterative — reading or writing a 10k-deep
+chain tree never touches ``sys.getrecursionlimit()``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -18,7 +35,10 @@ from repro.data.schema import Attribute, AttributeKind, Schema
 
 #: Format identifier written into every file.
 FORMAT = "repro-decision-tree"
-FORMAT_VERSION = 1
+#: Version written by default.
+FORMAT_VERSION = 2
+#: Versions :func:`tree_from_dict` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:
@@ -45,14 +65,25 @@ def schema_from_dict(data: Dict[str, Any]) -> Schema:
     return Schema(attributes, class_names=tuple(data["class_names"]))
 
 
+# -- v1: nested node dicts (legacy) --------------------------------------------
+
+
 def _node_to_dict(node: Node) -> Dict[str, Any]:
-    out: Dict[str, Any] = {
-        "id": node.node_id,
-        "depth": node.depth,
-        "class_counts": [int(c) for c in node.class_counts],
-    }
-    if node.split is not None:
-        split = node.split
+    """Nested v1 node dict, built iteratively (deep trees welcome)."""
+    def shell(n: Node) -> Dict[str, Any]:
+        return {
+            "id": n.node_id,
+            "depth": n.depth,
+            "class_counts": [int(c) for c in n.class_counts],
+        }
+
+    root = shell(node)
+    stack = [(node, root)]
+    while stack:
+        n, out = stack.pop()
+        if n.split is None:
+            continue
+        split = n.split
         out["split"] = {
             "attribute": split.attribute,
             "attribute_index": split.attribute_index,
@@ -60,20 +91,15 @@ def _node_to_dict(node: Node) -> Dict[str, Any]:
             "subset": sorted(split.subset) if split.subset else None,
             "weighted_gini": split.weighted_gini,
         }
-        out["left"] = _node_to_dict(node.left)
-        out["right"] = _node_to_dict(node.right)
-    return out
+        out["left"] = shell(n.left)
+        out["right"] = shell(n.right)
+        stack.append((n.left, out["left"]))
+        stack.append((n.right, out["right"]))
+    return root
 
 
-def _node_from_dict(data: Dict[str, Any]) -> Node:
-    node = Node(
-        data["id"], data["depth"], np.array(data["class_counts"], dtype=np.int64)
-    )
-    split_data = data.get("split")
-    if split_data is None:
-        node.make_leaf()
-        return node
-    split = Split(
+def _split_from_dict(split_data: Dict[str, Any]) -> Split:
+    return Split(
         attribute=split_data["attribute"],
         attribute_index=split_data["attribute_index"],
         threshold=split_data["threshold"],
@@ -84,42 +110,176 @@ def _node_from_dict(data: Dict[str, Any]) -> Node:
         ),
         weighted_gini=split_data.get("weighted_gini", 0.0),
     )
-    node.set_split(
-        split, _node_from_dict(data["left"]), _node_from_dict(data["right"])
-    )
-    return node
 
 
-def tree_to_dict(tree: DecisionTree) -> Dict[str, Any]:
-    """A JSON-serializable representation of ``tree``."""
+def _node_from_dict(data: Dict[str, Any]) -> Node:
+    """Rebuild a v1 nested node dict, iteratively."""
+    nodes: Dict[int, Node] = {}
+    order: List[Dict[str, Any]] = []
+    stack = [data]
+    while stack:
+        d = stack.pop()
+        nodes[id(d)] = Node(
+            d["id"], d["depth"], np.array(d["class_counts"], dtype=np.int64)
+        )
+        order.append(d)
+        if d.get("split") is not None:
+            stack.append(d["left"])
+            stack.append(d["right"])
+    for d in order:
+        node = nodes[id(d)]
+        split_data = d.get("split")
+        if split_data is None:
+            node.make_leaf()
+        else:
+            node.set_split(
+                _split_from_dict(split_data),
+                nodes[id(d["left"])],
+                nodes[id(d["right"])],
+            )
+    return nodes[id(data)]
+
+
+# -- v2: columnar node table ---------------------------------------------------
+
+
+def _nodes_to_table(tree: DecisionTree) -> Dict[str, Any]:
+    from repro.classify.compiled import compiled_for
+
+    compiled = compiled_for(tree)
+    n = compiled.n_nodes
+    threshold: List[Optional[float]] = []
+    subset: List[Optional[List[int]]] = []
+    for i in range(n):
+        split = compiled.splits[i]
+        if split is None:
+            threshold.append(None)
+            subset.append(None)
+        else:
+            threshold.append(split.threshold)
+            subset.append(
+                sorted(split.subset) if split.subset is not None else None
+            )
     return {
-        "format": FORMAT,
-        "version": FORMAT_VERSION,
-        "schema": schema_to_dict(tree.schema),
-        "root": _node_to_dict(tree.root),
+        "count": n,
+        "node_id": compiled.node_id.tolist(),
+        "depth": compiled.depth.tolist(),
+        "feature": compiled.feature.tolist(),
+        "threshold": threshold,
+        "subset": subset,
+        "weighted_gini": compiled.weighted_gini.tolist(),
+        "left": compiled.left.tolist(),
+        "right": compiled.right.tolist(),
+        "class_counts": compiled.class_counts.tolist(),
     }
 
 
-def tree_from_dict(data: Dict[str, Any]) -> DecisionTree:
-    """Rebuild a tree from :func:`tree_to_dict` output."""
+def _tree_from_table(schema: Schema, table: Dict[str, Any]) -> DecisionTree:
+    n = table["count"]
+    if n < 1:
+        raise ValueError("node table is empty")
+    nodes = [
+        Node(
+            table["node_id"][i],
+            table["depth"][i],
+            np.array(table["class_counts"][i], dtype=np.int64),
+        )
+        for i in range(n)
+    ]
+    names = schema.attribute_names
+    for i, node in enumerate(nodes):
+        feature = table["feature"][i]
+        if feature < 0:
+            node.make_leaf()
+            continue
+        subset = table["subset"][i]
+        split = Split(
+            attribute=names[feature],
+            attribute_index=feature,
+            threshold=table["threshold"][i],
+            subset=frozenset(subset) if subset is not None else None,
+            weighted_gini=table["weighted_gini"][i],
+        )
+        node.set_split(split, nodes[table["left"][i]], nodes[table["right"][i]])
+    return DecisionTree(schema, nodes[0])
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def tree_to_dict(
+    tree: DecisionTree, version: int = FORMAT_VERSION
+) -> Dict[str, Any]:
+    """A JSON-serializable representation of ``tree``.
+
+    ``version=2`` (default) writes the columnar flat format; ``version=1``
+    writes the legacy nested format (for migration testing).
+    """
+    if version == 1:
+        return {
+            "format": FORMAT,
+            "version": 1,
+            "schema": schema_to_dict(tree.schema),
+            "root": _node_to_dict(tree.root),
+        }
+    if version == 2:
+        return {
+            "format": FORMAT,
+            "version": 2,
+            "schema": schema_to_dict(tree.schema),
+            "nodes": _nodes_to_table(tree),
+        }
+    raise ValueError(
+        f"unsupported format version {version!r} "
+        f"(can write {SUPPORTED_VERSIONS})"
+    )
+
+
+def _check_header(data: Dict[str, Any]) -> int:
     if data.get("format") != FORMAT:
         raise ValueError(
             f"not a {FORMAT} document (format={data.get('format')!r})"
         )
-    if data.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {data.get('version')!r}")
-    return DecisionTree(
-        schema_from_dict(data["schema"]), _node_from_dict(data["root"])
-    )
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
+    return version
 
 
-def save_tree(tree: DecisionTree, path: str) -> None:
+def tree_from_dict(data: Dict[str, Any]) -> DecisionTree:
+    """Rebuild a tree from :func:`tree_to_dict` output (v1 or v2)."""
+    version = _check_header(data)
+    schema = schema_from_dict(data["schema"])
+    if version == 1:
+        return DecisionTree(schema, _node_from_dict(data["root"]))
+    return _tree_from_table(schema, data["nodes"])
+
+
+def compiled_tree_from_dict(data: Dict[str, Any]):
+    """A :class:`~repro.classify.compiled.CompiledTree` from a saved dict.
+
+    Works for both versions; the v2 path round-trips the flat
+    representation directly (rebuild pointer nodes, then compile — the
+    node table *is* BFS order, so the compiled arrays are identical to
+    the ones that produced the document).
+    """
+    from repro.classify.compiled import compiled_for
+
+    return compiled_for(tree_from_dict(data))
+
+
+def save_tree(
+    tree: DecisionTree, path: str, version: int = FORMAT_VERSION
+) -> None:
     """Write ``tree`` as JSON to ``path``."""
     with open(path, "w") as f:
-        json.dump(tree_to_dict(tree), f, indent=1)
+        json.dump(tree_to_dict(tree, version=version), f, indent=1)
 
 
 def load_tree(path: str) -> DecisionTree:
-    """Read a tree saved by :func:`save_tree`."""
+    """Read a tree saved by :func:`save_tree` (any supported version)."""
     with open(path) as f:
         return tree_from_dict(json.load(f))

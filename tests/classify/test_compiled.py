@@ -1,0 +1,289 @@
+"""Differential tests: compiled flat-tree IR vs the recursive oracle.
+
+The compiled representation (and each of its routing backends) must be
+*bit-identical* to the legacy recursive router on every input — random
+schemas, categorical-only trees, wild out-of-distribution values, empty
+and single-row batches, and skewed chains far past the recursion limit.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.classify.compiled import CompiledTree, compile_tree, compiled_for
+from repro.classify.native import native_available
+from repro.classify.predict import (
+    predict,
+    predict_node_ids,
+    predict_node_ids_oracle,
+    predict_oracle,
+)
+from repro.classify.treegen import (
+    chain_tree,
+    random_columns,
+    random_schema,
+    random_tree,
+)
+from repro.core.builder import build_classifier
+from repro.core.serialize import tree_from_dict, tree_to_dict
+
+BACKENDS = ["numpy"] + (["native"] if native_available() else [])
+
+
+def _random_case(rng):
+    schema = random_schema(rng)
+    has_cat = any(a.is_categorical for a in schema.attributes)
+    tree = random_tree(
+        schema,
+        max_depth=int(rng.integers(1, 10)),
+        seed=int(rng.integers(1 << 30)),
+        leaf_prob=0.3,
+        categorical_only=bool(has_cat and rng.integers(2) == 0),
+    )
+    return schema, tree
+
+
+class TestCompileShape:
+    def test_root_is_row_zero_and_parents_precede_children(self):
+        rng = np.random.default_rng(0)
+        _, tree = _random_case(rng)
+        c = compile_tree(tree)
+        assert c.node_id[0] == tree.root.node_id
+        for i in range(c.n_nodes):
+            if c.feature[i] >= 0:
+                assert c.left[i] > i and c.right[i] > i
+
+    def test_counts_and_depth(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        c = compiled_for(tree)
+        nodes = list(tree.iter_nodes())
+        assert c.n_nodes == len(nodes)
+        assert c.n_leaves == sum(1 for n in nodes if n.is_leaf)
+        assert c.max_depth == max(n.depth for n in nodes)
+        assert c.nbytes > 0
+
+    def test_compiled_for_caches_on_instance(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        assert compiled_for(tree) is compiled_for(tree)
+
+    def test_children2_leaves_self_loop(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        c = compiled_for(tree)
+        ch = c.children2
+        for i in range(c.n_nodes):
+            if c.feature[i] < 0:
+                assert ch[2 * i] == i and ch[2 * i + 1] == i
+            else:
+                assert ch[2 * i] == c.right[i]
+                assert ch[2 * i + 1] == c.left[i]
+
+    def test_roundtrip_to_tree(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        rebuilt = compiled_for(tree).to_tree()
+        assert rebuilt.signature() == tree.signature()
+
+
+class TestDifferentialGrid:
+    """Randomized bit-identity sweep over schemas, shapes and backends."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_trees_match_oracle(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        schema, tree = _random_case(rng)
+        c = compile_tree(tree)
+        for wild in (False, True):
+            for n in (0, 1, 257):
+                cols = random_columns(schema, n, rng=rng, wild=wild)
+                want = predict_oracle(tree, cols)
+                want_ids = predict_node_ids_oracle(tree, cols)
+                for backend in BACKENDS:
+                    got = c.predict(cols, backend=backend)
+                    got_ids = c.predict_node_ids(cols, backend=backend)
+                    np.testing.assert_array_equal(got, want)
+                    np.testing.assert_array_equal(got_ids, want_ids)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_built_classifier_matches_oracle(self, seed, small_f2):
+        tree = build_classifier(small_f2).tree
+        rng = np.random.default_rng(seed)
+        cols = {
+            a.name: (
+                rng.uniform(-1e6, 1e6, 500)
+                if a.is_continuous
+                else rng.integers(0, a.cardinality, 500)
+            )
+            for a in small_f2.schema.attributes
+        }
+        np.testing.assert_array_equal(
+            predict(tree, cols), predict_oracle(tree, cols)
+        )
+        np.testing.assert_array_equal(
+            predict_node_ids(tree, cols), predict_node_ids_oracle(tree, cols)
+        )
+
+    def test_narrow_float_columns_match_oracle(self):
+        """float32 columns compare in float32 (numpy weak promotion);
+        the compiled router must reproduce that exactly."""
+        rng = np.random.default_rng(5)
+        schema, tree = _random_case(rng)
+        cols = random_columns(schema, 400, rng=rng)
+        cols = {
+            k: (
+                v.astype(np.float32)
+                if np.issubdtype(v.dtype, np.floating)
+                else v
+            )
+            for k, v in cols.items()
+        }
+        want = predict_oracle(tree, cols)
+        c = compile_tree(tree)
+        np.testing.assert_array_equal(c.predict(cols), want)
+
+    def test_serialized_tree_same_predictions(self):
+        rng = np.random.default_rng(9)
+        schema, tree = _random_case(rng)
+        cols = random_columns(schema, 300, rng=rng)
+        want = predict_oracle(tree, cols)
+        for version in (1, 2):
+            restored = tree_from_dict(tree_to_dict(tree, version=version))
+            np.testing.assert_array_equal(
+                compiled_for(restored).predict(cols), want
+            )
+
+
+class TestDeepChains:
+    """Skewed trees far beyond sys.getrecursionlimit()."""
+
+    DEPTH = 10_000
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        assert self.DEPTH > sys.getrecursionlimit()
+        tree, deep_value = chain_tree(self.DEPTH)
+        return tree, deep_value
+
+    def test_predict_deep_chain(self, chain):
+        tree, deep_value = chain
+        c = compiled_for(tree)
+        x = np.array([0.5, deep_value, 3.2, float(self.DEPTH + 7)])
+        for backend in BACKENDS:
+            out = c.predict({"x": x}, backend=backend)
+            ids = c.predict_node_ids({"x": x}, backend=backend)
+            assert out.shape == (4,)
+            # Rows past the last split land in the deepest leaf.
+            assert ids[1] == ids[3]
+            assert ids[0] != ids[1]
+
+    def test_backends_agree_on_chain(self, chain):
+        tree, _ = chain
+        c = compiled_for(tree)
+        x = np.linspace(-5, self.DEPTH + 5, 4096)
+        results = [
+            c.route_rows({"x": x}, backend=backend) for backend in BACKENDS
+        ]
+        for got in results[1:]:
+            np.testing.assert_array_equal(got, results[0])
+
+    def test_serialize_deep_chain_round_trip(self, chain):
+        tree, _ = chain
+        data = tree_to_dict(tree)  # v2, iterative
+        restored = tree_from_dict(data)
+        c1 = compiled_for(tree)
+        c2 = compiled_for(restored)
+        np.testing.assert_array_equal(c1.feature, c2.feature)
+        np.testing.assert_array_equal(c1.threshold, c2.threshold)
+
+    def test_v1_serialize_deep_chain_is_iterative_too(self, chain):
+        tree, _ = chain
+        restored = tree_from_dict(tree_to_dict(tree, version=1))
+        assert compiled_for(restored).n_nodes == compiled_for(tree).n_nodes
+
+    def test_sql_deep_chain_no_recursion_error(self, chain):
+        from repro.classify.sql import tree_to_sql_case
+
+        tree, _ = chain
+        sql = tree_to_sql_case(tree)
+        assert sql.count("CASE WHEN") == self.DEPTH
+
+
+class TestValidation:
+    def test_missing_attribute_named_in_error(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        cols = dict(small_f2.columns)
+        used = compiled_for(tree).used_features
+        victim = small_f2.schema.attribute_names[used[0]]
+        del cols[victim]
+        with pytest.raises(ValueError, match=victim):
+            predict(tree, cols)
+
+    def test_unknown_backend_rejected(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        with pytest.raises(ValueError, match="backend"):
+            compiled_for(tree).route_rows(small_f2.columns, backend="cuda")
+
+    def test_negative_categorical_code_rejected_at_compile(self):
+        from repro.core.tree import DecisionTree, Node, Split
+        from repro.data.schema import Attribute, AttributeKind, Schema
+
+        schema = Schema(
+            [Attribute("k", AttributeKind.CATEGORICAL, 4)],
+            class_names=("a", "b"),
+        )
+        root = Node(0, 0, np.array([3, 2], dtype=np.int64))
+        left = Node(1, 1, np.array([3, 0], dtype=np.int64))
+        right = Node(2, 1, np.array([0, 2], dtype=np.int64))
+        left.make_leaf()
+        right.make_leaf()
+        root.set_split(
+            Split(
+                attribute="k",
+                attribute_index=0,
+                threshold=None,
+                subset=frozenset({-1, 2}),
+                weighted_gini=0.0,
+            ),
+            left,
+            right,
+        )
+        with pytest.raises(ValueError, match="negative"):
+            compile_tree(DecisionTree(schema, root))
+
+
+@pytest.mark.skipif(not native_available(), reason="no C compiler")
+class TestNativeKernel:
+    def test_native_backend_forced(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        c = compiled_for(tree)
+        np.testing.assert_array_equal(
+            c.predict(small_f2.columns, backend="native"),
+            c.predict(small_f2.columns, backend="numpy"),
+        )
+
+    def test_native_rejects_narrow_float(self):
+        rng = np.random.default_rng(11)
+        while True:
+            schema, tree = _random_case(rng)
+            c = compile_tree(tree)
+            cont_used = [
+                f
+                for f in c.used_features
+                if schema.attributes[f].is_continuous
+            ]
+            if cont_used:
+                break
+        cols = random_columns(schema, 16, rng=rng)
+        name = schema.attribute_names[cont_used[0]]
+        cols[name] = cols[name].astype(np.float32)
+        with pytest.raises(ValueError, match="narrow-float"):
+            c.route_rows(cols, backend="native")
+
+    def test_env_flag_disables(self, monkeypatch):
+        from repro.classify import native
+
+        monkeypatch.setattr(native, "_tried", False)
+        monkeypatch.setattr(native, "_kernel", None)
+        monkeypatch.setenv(native.ENV_FLAG, "0")
+        assert native.native_kernel() is None
+        # restore for other tests
+        monkeypatch.setattr(native, "_tried", False)

@@ -1,0 +1,167 @@
+"""Unit and stress tests for the micro-batching inference engine."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classify.engine import InferenceEngine
+from repro.classify.predict import predict
+from repro.core.builder import build_classifier
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def model(small_f2):
+    return build_classifier(small_f2).tree
+
+
+class TestSubmit:
+    def test_batch_matches_predict(self, model, small_f2):
+        with InferenceEngine(model) as engine:
+            out = engine.predict_batch(small_f2.columns, timeout=30)
+        np.testing.assert_array_equal(out, predict(model, small_f2))
+
+    def test_scalar_row_returns_int(self, model, small_f2):
+        row = small_f2.tuple_at(3)
+        with InferenceEngine(model) as engine:
+            got = engine.submit(row).result(timeout=30)
+        assert isinstance(got, int)
+        assert 0 <= got < small_f2.schema.n_classes
+
+    def test_empty_batch(self, model, small_f2):
+        cols = {k: v[:0] for k, v in small_f2.columns.items()}
+        with InferenceEngine(model) as engine:
+            out = engine.predict_batch(cols, timeout=30)
+        assert out.shape == (0,)
+
+    def test_oversized_request_is_chunked(self, model, small_f2):
+        with InferenceEngine(model, batch_size=64) as engine:
+            out = engine.predict_batch(small_f2.columns, timeout=30)
+            stats = engine.stats()
+        np.testing.assert_array_equal(out, predict(model, small_f2))
+        assert stats["engine_batches_total"] >= small_f2.n_records // 64
+
+    def test_many_small_requests_coalesce(self, model, small_f2):
+        n = small_f2.n_records
+        with InferenceEngine(model, batch_size=4096) as engine:
+            handles = [
+                engine.submit(
+                    {k: v[i : i + 1] for k, v in small_f2.columns.items()}
+                )
+                for i in range(0, n, 7)
+            ]
+            got = np.array([h.result(timeout=30)[0] for h in handles])
+        want = predict(model, small_f2)[np.arange(0, n, 7)]
+        np.testing.assert_array_equal(got, want)
+
+
+class TestRejection:
+    def test_missing_attribute_rejected_with_metric(self, model, small_f2):
+        cols = dict(small_f2.columns)
+        victim = next(iter(cols))
+        del cols[victim]
+        with InferenceEngine(model, name="risk-v1") as engine:
+            with pytest.raises(ValueError, match="risk-v1") as err:
+                engine.submit(cols)
+            stats = engine.stats()
+        assert victim in str(err.value)
+        assert (
+            stats['engine_rejected_requests_total{reason="missing-attribute"}']
+            == 1
+        )
+
+    def test_ragged_columns_rejected(self, model, small_f2):
+        cols = {k: v.copy() for k, v in small_f2.columns.items()}
+        victim = next(iter(cols))
+        cols[victim] = cols[victim][:-3]
+        with InferenceEngine(model) as engine:
+            with pytest.raises(ValueError, match="disagree"):
+                engine.submit(cols)
+            stats = engine.stats()
+        assert stats['engine_rejected_requests_total{reason="ragged"}'] == 1
+
+    def test_submit_after_close_rejected(self, model, small_f2):
+        engine = InferenceEngine(model)
+        engine.close()
+        with pytest.raises(ValueError, match="closed"):
+            engine.submit(small_f2.columns)
+        assert (
+            engine.stats()['engine_rejected_requests_total{reason="closed"}']
+            == 1
+        )
+
+    def test_close_is_idempotent(self, model):
+        engine = InferenceEngine(model)
+        engine.close()
+        engine.close()
+
+
+class TestObservability:
+    def test_metrics_flow_into_shared_registry(self, model, small_f2):
+        registry = MetricsRegistry()
+        with InferenceEngine(model, registry=registry) as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+        values = registry.values()
+        assert values["engine_rows_total"] == small_f2.n_records
+        assert values["engine_requests_total"] == 1
+        assert values["engine_batches_total"] >= 1
+
+    def test_busy_spans_recorded(self, model, small_f2):
+        from repro.obs.spans import SpanCollector
+
+        collector = SpanCollector()
+        with InferenceEngine(model, collector=collector) as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+        assert any(iv.kind == "busy" for iv in collector.intervals)
+
+
+class TestStress:
+    """Concurrent submitters against multiple workers (rides in CI)."""
+
+    def test_concurrent_submitters(self, model, small_f2):
+        want = predict(model, small_f2)
+        n = small_f2.n_records
+        errors = []
+
+        def client(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                with_engine(rng)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def with_engine(rng):
+            for _ in range(20):
+                lo = int(rng.integers(0, n - 1))
+                hi = int(rng.integers(lo + 1, n + 1))
+                cols = {
+                    k: v[lo:hi] for k, v in small_f2.columns.items()
+                }
+                got = engine.predict_batch(cols, timeout=60)
+                np.testing.assert_array_equal(got, want[lo:hi])
+
+        with InferenceEngine(model, batch_size=512, n_workers=3) as engine:
+            threads = [
+                threading.Thread(target=client, args=(seed,))
+                for seed in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = engine.stats()
+        assert not errors
+        assert stats["engine_requests_total"] == 8 * 20
+        assert stats["engine_rows_total"] >= 8 * 20  # every row predicted
+
+    def test_errors_delivered_not_hung(self, model, small_f2):
+        """A failure inside the worker resolves the future with the error."""
+        with InferenceEngine(model) as engine:
+            bad = {
+                k: np.array(["x"] * 4, dtype=object)
+                for k in small_f2.columns
+            }
+            request = engine.submit(bad)
+            with pytest.raises(Exception):
+                request.result(timeout=30)

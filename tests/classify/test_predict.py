@@ -52,6 +52,21 @@ class TestPredict:
         np.testing.assert_array_equal(out, car_insurance.labels)
 
 
+class TestPredictOne:
+    def test_missing_attribute_clear_error(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        row = dict(small_f2.tuple_at(0))
+        victim = tree.root.split.attribute
+        del row[victim]
+        with pytest.raises(ValueError) as err:
+            predict_one(tree, row)
+        # The error names both the missing attribute and the model's
+        # full attribute list.
+        assert victim in str(err.value)
+        for name in small_f2.schema.attribute_names:
+            assert name in str(err.value)
+
+
 class TestPredictNodeIds:
     def test_all_ids_are_leaves(self, small_f2):
         tree = build_classifier(small_f2).tree

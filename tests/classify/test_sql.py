@@ -86,3 +86,55 @@ class TestCaseExport:
         sql = tree_to_sql_case(tree)
         assert "CASE" not in sql
         assert "'yes'" in sql
+
+
+class TestLiteralEscaping:
+    """Class labels are string literals: quotes must not break out."""
+
+    def _tree_with_labels(self, labels):
+        from repro.data.schema import Attribute, AttributeKind, Schema
+
+        schema = Schema(
+            [Attribute("age", AttributeKind.CONTINUOUS)],
+            class_names=labels,
+        )
+        root = Node(0, 0, np.array([5, 3], dtype=np.int64))
+        left = Node(1, 1, np.array([5, 0], dtype=np.int64))
+        right = Node(2, 1, np.array([0, 3], dtype=np.int64))
+        left.make_leaf()
+        right.make_leaf()
+        from repro.core.tree import Split
+
+        root.set_split(
+            Split(
+                attribute="age",
+                attribute_index=0,
+                threshold=40.0,
+                subset=None,
+                weighted_gini=0.1,
+            ),
+            left,
+            right,
+        )
+        return DecisionTree(schema, root)
+
+    def test_single_quote_in_label_is_doubled(self):
+        tree = self._tree_with_labels(("won't buy", "o'brien"))
+        sql = tree_to_sql_case(tree)
+        assert "'won''t buy'" in sql
+        assert "'o''brien'" in sql
+        # The raw (unescaped) literal must not appear.
+        assert "'won't buy'" not in sql
+
+    def test_injection_attempt_stays_inside_literal(self):
+        evil = "x'; DROP TABLE users; --"
+        tree = self._tree_with_labels((evil, "ok"))
+        sql = tree_to_sql_case(tree)
+        assert "'x''; DROP TABLE users; --'" in sql
+        clause = class_where_clause(tree, evil)
+        assert '"age"' in clause
+
+    def test_where_clause_semantics_unchanged(self):
+        tree = self._tree_with_labels(("a", "b"))
+        assert class_where_clause(tree, "a") == '("age" < 40)'
+        assert class_where_clause(tree, "b") == '("age" >= 40)'

@@ -55,7 +55,8 @@ class TestTreeRoundTrip:
         with open(path) as f:
             data = json.load(f)
         assert data["format"] == "repro-decision-tree"
-        assert "schema" in data and "root" in data
+        assert data["version"] == 2
+        assert "schema" in data and "nodes" in data
 
     def test_categorical_subset_survives(self, car_insurance):
         tree = build_classifier(car_insurance).tree
@@ -76,6 +77,59 @@ class TestTreeRoundTrip:
         tree = build_classifier(pure).tree
         restored = tree_from_dict(tree_to_dict(tree))
         assert restored.root.is_leaf
+
+
+class TestFormatMigration:
+    """v1 (nested, legacy) and v2 (columnar) interoperate."""
+
+    def test_v1_write_read_round_trip(self, small_f2):
+        tree = build_classifier(small_f2).tree
+        data = tree_to_dict(tree, version=1)
+        assert data["version"] == 1 and "root" in data
+        restored = tree_from_dict(data)
+        assert restored.signature() == tree.signature()
+
+    def test_v1_to_v2_migration(self, small_f2):
+        """Load a legacy file, rewrite as v2, predictions unchanged."""
+        tree = build_classifier(small_f2).tree
+        legacy = tree_from_dict(tree_to_dict(tree, version=1))
+        migrated = tree_from_dict(tree_to_dict(legacy, version=2))
+        assert migrated.signature() == tree.signature()
+        np.testing.assert_array_equal(
+            predict(migrated, small_f2), predict(tree, small_f2)
+        )
+
+    def test_v1_and_v2_files_both_load(self, car_insurance, tmp_path):
+        tree = build_classifier(car_insurance).tree
+        p1 = str(tmp_path / "v1.json")
+        p2 = str(tmp_path / "v2.json")
+        save_tree(tree, p1, version=1)
+        save_tree(tree, p2, version=2)
+        assert load_tree(p1).signature() == load_tree(p2).signature()
+
+    def test_compiled_tree_from_dict(self, car_insurance):
+        from repro.core.serialize import compiled_tree_from_dict
+
+        tree = build_classifier(car_insurance).tree
+        for version in (1, 2):
+            compiled = compiled_tree_from_dict(
+                tree_to_dict(tree, version=version)
+            )
+            np.testing.assert_array_equal(
+                compiled.predict(car_insurance.columns),
+                predict(tree, car_insurance),
+            )
+
+    def test_unwritable_version_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        with pytest.raises(ValueError, match="version"):
+            tree_to_dict(tree, version=3)
+
+    def test_v2_categorical_subset_survives(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        restored = tree_from_dict(tree_to_dict(tree, version=2))
+        node = restored.root.right
+        assert node.split.subset == frozenset({1})
 
 
 class TestValidation:

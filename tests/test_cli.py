@@ -110,6 +110,75 @@ class TestClassify:
         assert "actual" in out
 
 
+class TestPredictCommand:
+    @pytest.fixture
+    def tree_file(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main(["build", "-i", dataset_file, "-o", tree_path])
+        capsys.readouterr()
+        return tree_path
+
+    def test_predict_reports_throughput(self, dataset_file, tree_file, capsys):
+        code = main(
+            ["predict", "--model", tree_file, "--data", dataset_file,
+             "--batch-size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "800 rows" in out
+        assert "rows/s" in out
+        assert "label agreement" in out
+
+    def test_predict_writes_class_names(
+        self, dataset_file, tree_file, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "labels.txt")
+        code = main(
+            ["predict", "--model", tree_file, "--data", dataset_file,
+             "-o", out_path]
+        )
+        assert code == 0
+        lines = open(out_path).read().splitlines()
+        assert len(lines) == 800
+        assert set(lines) <= {"A", "B"}
+
+    def test_predict_multiworker(self, dataset_file, tree_file, capsys):
+        code = main(
+            ["predict", "--model", tree_file, "--data", dataset_file,
+             "--batch-size", "128", "--workers", "2"]
+        )
+        assert code == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_serve_jsonl_loop(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        import io
+
+        from repro.data.io import load_dataset_npz
+
+        dataset = load_dataset_npz(dataset_file)
+        row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+        batch = {
+            k: [float(v[0]), float(v[1])]
+            for k, v in dataset.columns.items()
+        }
+        incomplete = {"salary": 1.0}
+        requests = "\n".join(
+            json.dumps(r) for r in (row, batch, incomplete)
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n"))
+        code = main(["serve", "--model", tree_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        replies = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(replies) == 3
+        assert replies[0]["class"] in ("A", "B")
+        assert len(replies[1]["classes"]) == 2
+        assert "error" in replies[2]
+        assert "served 2 request(s)" in captured.err
+
+
 class TestCrossValidate:
     def test_runs(self, dataset_file, capsys):
         code = main(
