@@ -117,7 +117,13 @@ class InferenceEngine:
                 {"reason": reason},
                 help="requests rejected at batch admission",
             )
-            for reason in ("missing-attribute", "ragged", "closed")
+            for reason in (
+                "missing-attribute",
+                "ragged",
+                "non-numeric",
+                "bad-shape",
+                "closed",
+            )
         }
         self._rows = m.counter("engine_rows_total", help="rows predicted")
         self._batches = m.counter(
@@ -154,9 +160,12 @@ class InferenceEngine:
 
         ``data`` is a mapping of attribute name to a value array (a
         batch) or to scalars (a single row).  Missing attributes,
-        ragged columns and submissions after :meth:`close` are rejected
-        with a :class:`ValueError` and counted in
-        ``engine_rejected_requests_total``.
+        ragged columns, non-numeric or non-1D columns, and submissions
+        after :meth:`close` are rejected with a :class:`ValueError` and
+        counted in ``engine_rejected_requests_total``.  Rejection
+        happens *here*, before queueing, so one malformed request can
+        never error out unrelated requests merged into the same
+        micro-batch.
         """
         mapping = getattr(data, "columns", data)
         columns: Dict[str, np.ndarray] = {}
@@ -174,6 +183,23 @@ class InferenceEngine:
             if col.ndim == 0:
                 col = col.reshape(1)
                 scalar = True
+            elif col.ndim != 1:
+                raise self._reject(
+                    "bad-shape",
+                    f"request column {attr!r} for model {self.name!r} "
+                    f"must be one-dimensional, got shape {col.shape}",
+                )
+            if not (
+                np.issubdtype(col.dtype, np.floating)
+                or np.issubdtype(col.dtype, np.integer)
+                or col.dtype == np.bool_
+            ):
+                raise self._reject(
+                    "non-numeric",
+                    f"request column {attr!r} for model {self.name!r} "
+                    f"has non-routable dtype {col.dtype!s} (need real "
+                    f"numeric values)",
+                )
             rows = len(col)
             if n < 0:
                 n = rows

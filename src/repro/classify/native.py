@@ -14,16 +14,19 @@ Design notes, mirrored in the C source below:
 
 * Rows walk root-to-leaf independently; eight rows are interleaved so
   their dependent loads overlap (the walk is latency-bound, not
-  compute-bound).
-* The child step is branchless — ``children2[2*node + go_left]`` with
-  leaves self-looping — so the ~50%-taken "which way" branch never
-  exists; only the per-node *kind* test (categorical vs continuous)
-  branches.
+  compute-bound).  Lanes parked on a leaf skip the step entirely (that
+  per-lane branch is all-but-always predicted), so a parked lane never
+  loads a column value — columns unused by every split may legitimately
+  be absent from the input.
+* The child step is branchless — ``children2[2*node + go_left]`` — so
+  the ~50%-taken "which way" branch never exists; only the per-node
+  *kind* test (categorical vs continuous) branches.
 * Categorical membership probes the same packed ``uint64`` bitmask
   table the numpy path uses; float codes are truncated toward zero
-  exactly like ``ndarray.astype(int64)``, with range guards before the
-  cast (casting an out-of-range double is undefined in C *and* in
-  numpy).
+  exactly like ``ndarray.astype(int64)`` — in particular values in
+  ``(-1.0, 0.0)`` truncate to code 0, a potential member — with range
+  guards before the cast (casting an out-of-range double is undefined
+  in C *and* in numpy).
 * A continuous-only specialization drops the categorical test
   entirely; :func:`route` picks it when the tree has no subset splits.
 
@@ -52,11 +55,13 @@ ENV_FLAG = "REPRO_NATIVE"
 C_SOURCE = r"""
 #include <stdint.h>
 
-/* One routing step.  children2[2*node] = right-or-self,
- * children2[2*node+1] = left-or-self; leaves self-loop, so stepping a
- * finished lane is a harmless no-op.  Categorical nodes are probed in
- * the packed bitmask table; the float->int truncation matches numpy's
- * astype(int64) (toward zero), guarded so the cast is always defined. */
+/* One routing step for an internal node (callers guarantee f >= 0, so
+ * cols[f] is a real column — never the placeholder for an absent one).
+ * children2[2*node] = right child, children2[2*node+1] = left child.
+ * Categorical nodes are probed in the packed bitmask table; the
+ * float->int truncation matches numpy's astype(int64) (toward zero, so
+ * (-1.0, 0.0) truncates to code 0), guarded so the cast is always
+ * defined and the resulting code is always >= 0. */
 static inline int32_t step(const double **cols, int64_t i, int32_t node,
                            int32_t f,
                            const double *threshold,
@@ -65,13 +70,12 @@ static inline int32_t step(const double **cols, int64_t i, int32_t node,
                            const int32_t *subset_nwords,
                            const uint64_t *subset_words)
 {
-    int32_t fr = f >= 0 ? f : 0;
-    double v = cols[fr][i];
+    double v = cols[f][i];
     int go_left;
     int64_t off = subset_offset[node];
     if (off >= 0) {
         go_left = 0;
-        if (v >= 0.0 && v < 9.2e18) {
+        if (v > -1.0 && v < 9.2e18) {
             int64_t code = (int64_t)v;
             int64_t w = code >> 6;
             if (w < (int64_t)subset_nwords[node])
@@ -110,10 +114,13 @@ void route_rows(
                 for (l = 0; l < LANES; l++) done &= f[l] < 0;
                 if (done) break;
             }
-            for (l = 0; l < LANES; l++)
+            for (l = 0; l < LANES; l++) {
+                if (f[l] < 0)
+                    continue;  /* parked on a leaf: no column load */
                 node[l] = step(cols, i + l, node[l], f[l], threshold,
                                children2, subset_offset, subset_nwords,
                                subset_words);
+            }
         }
         for (l = 0; l < LANES; l++) out[i + l] = node[l];
     }
@@ -151,8 +158,9 @@ void route_rows_cont(
                 if (done) break;
             }
             for (l = 0; l < LANES; l++) {
-                int32_t fr = f[l] >= 0 ? f[l] : 0;
-                double v = cols[fr][i + l];
+                if (f[l] < 0)
+                    continue;  /* parked on a leaf: no column load */
+                double v = cols[f[l]][i + l];
                 int go_left = v < threshold[node[l]];
                 node[l] = children2[2 * node[l] + go_left];
             }
@@ -197,7 +205,10 @@ class NativeKernel:
         for f in range(n_attrs):
             col = columns.get(names[f])
             if col is None:
-                col = zero  # unused by any split; never dereferenced past 0
+                # Absent => unused by any split (_check_columns enforces
+                # that), and the kernel only loads cols[f] for internal
+                # nodes' features — this placeholder is never read.
+                col = zero
             col = np.ascontiguousarray(col, dtype=np.float64)
             staged.append(col)
             ptrs[f] = col.ctypes.data_as(ctypes.POINTER(ctypes.c_double))

@@ -166,8 +166,10 @@ def random_columns(
     """Random input columns for ``schema``.
 
     ``wild`` draws far outside any training distribution (huge
-    continuous magnitudes, categorical codes beyond the declared
-    cardinality) to exercise out-of-range handling.
+    continuous magnitudes; categorical codes as *floats* beyond the
+    declared cardinality and below zero, including fractional values in
+    ``(-1, 0)`` that truncate to code 0) to exercise out-of-range and
+    truncation handling.
     """
     rng = rng if rng is not None else np.random.default_rng(seed)
     columns: Dict[str, np.ndarray] = {}
@@ -177,5 +179,8 @@ def random_columns(
             columns[attr.name] = rng.uniform(-scale, scale, n)
         else:
             high = attr.cardinality * (4 if wild else 1)
-            columns[attr.name] = rng.integers(0, high, n).astype(np.int64)
+            if wild:
+                columns[attr.name] = rng.uniform(-2.0, float(high), n)
+            else:
+                columns[attr.name] = rng.integers(0, high, n).astype(np.int64)
     return columns

@@ -192,6 +192,17 @@ def _tree_from_table(schema: Schema, table: Dict[str, Any]) -> DecisionTree:
         if feature < 0:
             node.make_leaf()
             continue
+        left = table["left"][i]
+        right = table["right"][i]
+        for label, child in (("left", left), ("right", right)):
+            # Explicit bounds check: Python's negative indexing would
+            # otherwise silently resolve e.g. -1 to the last node and
+            # produce a structurally corrupt tree.
+            if not isinstance(child, int) or not 0 <= child < n or child == i:
+                raise ValueError(
+                    f"node row {i}: invalid {label} child index {child!r} "
+                    f"(must be an integer in [0, {n}) and not {i} itself)"
+                )
         subset = table["subset"][i]
         split = Split(
             attribute=names[feature],
@@ -200,7 +211,7 @@ def _tree_from_table(schema: Schema, table: Dict[str, Any]) -> DecisionTree:
             subset=frozenset(subset) if subset is not None else None,
             weighted_gini=table["weighted_gini"][i],
         )
-        node.set_split(split, nodes[table["left"][i]], nodes[table["right"][i]])
+        node.set_split(split, nodes[left], nodes[right])
     return DecisionTree(schema, nodes[0])
 
 

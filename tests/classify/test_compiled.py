@@ -207,6 +207,133 @@ class TestDeepChains:
         assert sql.count("CASE WHEN") == self.DEPTH
 
 
+class TestCategoricalTruncation:
+    """Float categorical codes truncate toward zero, matching astype(int64).
+
+    In particular values in ``(-1.0, 0.0)`` truncate to code 0 and *are*
+    members whenever category 0 is in the subset — on every backend.
+    """
+
+    @pytest.fixture()
+    def cat_tree(self):
+        from repro.core.tree import DecisionTree, Node, Split
+        from repro.data.schema import Attribute, AttributeKind, Schema
+
+        schema = Schema(
+            [Attribute("k", AttributeKind.CATEGORICAL, 4)],
+            class_names=("a", "b"),
+        )
+        root = Node(0, 0, np.array([3, 2], dtype=np.int64))
+        left = Node(1, 1, np.array([3, 0], dtype=np.int64))
+        right = Node(2, 1, np.array([0, 2], dtype=np.int64))
+        left.make_leaf()
+        right.make_leaf()
+        root.set_split(
+            Split(
+                attribute="k",
+                attribute_index=0,
+                threshold=None,
+                subset=frozenset({0, 2}),
+                weighted_gini=0.0,
+            ),
+            left,
+            right,
+        )
+        return DecisionTree(schema, root)
+
+    def test_fractional_and_negative_codes_match_oracle(self, cat_tree):
+        c = compile_tree(cat_tree)
+        # >= 8 rows so the native kernel's interleaved lanes run too.
+        vals = np.array(
+            [-0.5, -0.999, -1.0, -1.5, -2.0, -0.0, 0.0, 0.5,
+             1.0, 1.5, 2.0, 2.5, 2.999, 3.0, 3.9, 7.5]
+        )
+        cols = {"k": vals}
+        want = predict_oracle(cat_tree, cols)
+        want_ids = predict_node_ids_oracle(cat_tree, cols)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                c.predict(cols, backend=backend), want
+            )
+            np.testing.assert_array_equal(
+                c.predict_node_ids(cols, backend=backend), want_ids
+            )
+
+    def test_neg_fraction_is_member_of_code_zero(self, cat_tree):
+        # Pin the semantics (not just backend agreement): -0.5 -> code 0,
+        # and 0 is in the subset, so the row goes left.
+        c = compile_tree(cat_tree)
+        left_id = cat_tree.root.left.node_id
+        for backend in BACKENDS:
+            ids = c.predict_node_ids(
+                {"k": np.array([-0.5] * 9)}, backend=backend
+            )
+            assert (ids == left_id).all()
+
+
+class TestUnusedColumnAbsent:
+    """Columns no split reads may be omitted — on every backend.
+
+    The tree below is a skewed chain over attribute index 1, so lanes
+    park at wildly different depths while attribute 0 ("pad") has no
+    column at all; routers must never load from the absent column's
+    placeholder (this was an out-of-bounds read in the native kernel).
+    """
+
+    DEPTH = 40
+
+    @pytest.fixture()
+    def pad_chain(self):
+        from repro.core.tree import DecisionTree, Node, Split
+        from repro.data.schema import Attribute, AttributeKind, Schema
+
+        schema = Schema(
+            [
+                Attribute("pad", AttributeKind.CONTINUOUS),
+                Attribute("x", AttributeKind.CONTINUOUS),
+            ],
+            class_names=("a", "b"),
+        )
+        next_id = [0]
+
+        def new_node(d):
+            counts = np.array([2, 1] if d % 2 else [1, 2], dtype=np.int64)
+            node = Node(next_id[0], d, counts)
+            next_id[0] += 1
+            return node
+
+        def x_split(threshold):
+            return Split(attribute="x", attribute_index=1, threshold=threshold)
+
+        root = new_node(0)
+        spine = root
+        for d in range(self.DEPTH):
+            leaf = new_node(d + 1)
+            leaf.make_leaf()
+            if d == self.DEPTH - 1:
+                last = new_node(d + 1)
+                last.make_leaf()
+                spine.set_split(x_split(float(d + 1)), leaf, last)
+            else:
+                nxt = new_node(d + 1)
+                spine.set_split(x_split(float(d + 1)), leaf, nxt)
+                spine = nxt
+        return DecisionTree(schema, root)
+
+    def test_large_batch_without_pad_column(self, pad_chain):
+        c = compiled_for(pad_chain)
+        assert c.used_features == [1]
+        rng = np.random.default_rng(7)
+        # Large enough that an out-of-bounds read past a 1-element
+        # placeholder buffer would stray megabytes off the heap.
+        cols = {"x": rng.uniform(-5.0, self.DEPTH + 5.0, 300_000)}
+        want = predict_oracle(pad_chain, cols)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                c.predict(cols, backend=backend), want
+            )
+
+
 class TestValidation:
     def test_missing_attribute_named_in_error(self, small_f2):
         tree = build_classifier(small_f2).tree

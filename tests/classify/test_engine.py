@@ -81,6 +81,30 @@ class TestRejection:
             stats = engine.stats()
         assert stats['engine_rejected_requests_total{reason="ragged"}'] == 1
 
+    def test_non_numeric_column_rejected_at_submit(self, model, small_f2):
+        """Bad dtypes are rejected before queueing, so they can never
+        poison unrelated requests co-batched with them."""
+        bad = {k: np.array(["x"] * 4) for k in small_f2.columns}
+        with InferenceEngine(model) as engine:
+            with pytest.raises(ValueError, match="dtype"):
+                engine.submit(bad)
+            good = engine.predict_batch(small_f2.columns, timeout=30)
+            stats = engine.stats()
+        np.testing.assert_array_equal(good, predict(model, small_f2))
+        assert (
+            stats['engine_rejected_requests_total{reason="non-numeric"}'] == 1
+        )
+
+    def test_2d_column_rejected_at_submit(self, model, small_f2):
+        cols = {k: np.tile(v, (2, 1)) for k, v in small_f2.columns.items()}
+        with InferenceEngine(model) as engine:
+            with pytest.raises(ValueError, match="one-dimensional"):
+                engine.submit(cols)
+            stats = engine.stats()
+        assert (
+            stats['engine_rejected_requests_total{reason="bad-shape"}'] == 1
+        )
+
     def test_submit_after_close_rejected(self, model, small_f2):
         engine = InferenceEngine(model)
         engine.close()
@@ -158,10 +182,12 @@ class TestStress:
     def test_errors_delivered_not_hung(self, model, small_f2):
         """A failure inside the worker resolves the future with the error."""
         with InferenceEngine(model) as engine:
-            bad = {
-                k: np.array(["x"] * 4, dtype=object)
-                for k in small_f2.columns
-            }
-            request = engine.submit(bad)
-            with pytest.raises(Exception):
+            def boom(chunk):
+                raise RuntimeError("kernel exploded")
+
+            # Shadow the (per-tree, function-scoped) compiled predict so
+            # the failure happens inside the worker, past admission.
+            engine.compiled.predict = boom
+            request = engine.submit(small_f2.columns)
+            with pytest.raises(RuntimeError, match="kernel exploded"):
                 request.result(timeout=30)

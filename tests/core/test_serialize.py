@@ -143,3 +143,26 @@ class TestValidation:
         data["version"] = 99
         with pytest.raises(ValueError, match="version"):
             tree_from_dict(data)
+
+    def test_v2_negative_child_index_rejected(self, car_insurance):
+        """A -1 child must be a parse error, not Python negative indexing
+        silently wiring the last node in as a child."""
+        tree = build_classifier(car_insurance).tree
+        data = tree_to_dict(tree)
+        data["nodes"]["left"][0] = -1
+        with pytest.raises(ValueError, match="left"):
+            tree_from_dict(data)
+
+    def test_v2_out_of_range_child_index_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        data = tree_to_dict(tree)
+        data["nodes"]["right"][0] = data["nodes"]["count"] + 5
+        with pytest.raises(ValueError, match="right"):
+            tree_from_dict(data)
+
+    def test_v2_self_child_index_rejected(self, car_insurance):
+        tree = build_classifier(car_insurance).tree
+        data = tree_to_dict(tree)
+        data["nodes"]["left"][0] = 0
+        with pytest.raises(ValueError, match="left"):
+            tree_from_dict(data)
