@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict examples trace-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native check-schemas examples trace-demo clean
 
 install:
 	pip install -e .
@@ -34,6 +34,17 @@ bench-wallclock:
 # bench_predict/1).
 bench-predict:
 	PYTHONPATH=src python benchmarks/bench_predict.py --out BENCH_predict.json
+
+# Native-vs-numpy training kernels (C split scan, categorical counts,
+# partition, probe membership) plus raw-threads build scaling, with
+# per-config tree checks; writes BENCH_build_native.json (schema
+# bench_build_native/1).
+bench-build-native:
+	PYTHONPATH=src python benchmarks/bench_build_native.py --out BENCH_build_native.json
+
+# Validate every committed BENCH_*.json against its declared schema.
+check-schemas:
+	PYTHONPATH=src python benchmarks/check_schemas.py
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,456 @@
+"""Native-vs-numpy training kernel benchmark (wall clock).
+
+Two layers, matching the two claims the native kernels make:
+
+1. **Kernel microbench** — the segmented continuous split scan, the
+   categorical count tensor, the stable partition and the probe
+   membership test, each timed numpy-vs-C across a ``records x leaves``
+   sweep (both value profiles: ``uniform`` with all-distinct values and
+   ``quantized`` with heavy run compression, where the numpy reduceat
+   spelling is at its best).  The headline number is the scan speedup
+   at >=64 leaves on the uniform profile.
+2. **End-to-end raw-threads builds** — ``runtime="threads"`` with
+   ``pace=0`` (real wall clock, no cost-model replay), numpy vs native
+   at one thread and native across a thread sweep.  Because the C
+   kernels release the GIL, thread counts >=2 can overlap E/S work on
+   multi-core hosts; on a single-core container the sweep still runs
+   but the scaling numbers are *report-only* (the summary records
+   ``multicore_host`` so consumers know which regime produced them).
+   Every build's tree is checked against the numpy serial reference —
+   a benchmark that silently benchmarked a different tree would be
+   worthless.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_build_native.py \
+        --out BENCH_build_native.json
+    PYTHONPATH=src python benchmarks/bench_build_native.py --quick
+    PYTHONPATH=src python benchmarks/bench_build_native.py \
+        --validate BENCH_build_native.json
+
+``--quick`` shrinks the sweep for the CI smoke job; ``--validate``
+checks an existing document against the ``bench_build_native/1``
+schema.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro._native import cc
+from repro.core.builder import build_classifier
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.sprint import kernels as K
+from repro.sprint import native
+from repro.sprint.probe import HashProbe
+from repro.sprint.records import CONTINUOUS_RECORD
+
+SCHEMA = "bench_build_native/1"
+KNOWN_KERNELS = (
+    "E.continuous", "E.categorical", "S.partition", "W.membership"
+)
+PROFILES = ("uniform", "quantized")
+QUANTIZED_CARD = 32
+CATEGORICAL_CARD = 8
+N_CLASSES = 2
+
+MIN_TIMING_SECONDS = 0.02
+MAX_REPEATS = 200
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    total = 0.0
+    runs = 0
+    while runs < repeats or (total < MIN_TIMING_SECONDS and runs < MAX_REPEATS):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+        runs += 1
+    return best
+
+
+# -- kernel microbenchmarks ---------------------------------------------------
+
+
+def _make_level(rng, records, leaves, profile):
+    per_leaf = max(records // leaves, 2)
+    vs, cs, offsets = [], [], [0]
+    for _ in range(leaves):
+        if profile == "uniform":
+            values = np.sort(rng.random(per_leaf))
+        else:
+            values = np.sort(
+                rng.integers(0, QUANTIZED_CARD, per_leaf).astype(np.float64)
+            )
+        vs.append(values)
+        cs.append(rng.integers(0, N_CLASSES, per_leaf).astype(np.int32))
+        offsets.append(offsets[-1] + per_leaf)
+    return (
+        np.concatenate(vs),
+        np.concatenate(cs),
+        np.asarray(offsets, dtype=np.int64),
+    )
+
+
+def _time_both(fn, repeats):
+    """(numpy_s, native_s) of the same callable under both gates."""
+    with cc.native_override("off"):
+        numpy_s = _best_of(fn, repeats)
+    with cc.native_override("on"):
+        native_s = _best_of(fn, repeats)
+    return numpy_s, native_s
+
+
+def bench_kernels(records_list, leaves_list, repeats, seed):
+    rng = np.random.default_rng(seed)
+    entries = []
+
+    def entry(kernel, profile, records, leaves, numpy_s, native_s):
+        entries.append({
+            "kernel": kernel,
+            "profile": profile,
+            "records": records,
+            "leaves": leaves,
+            "numpy_s": numpy_s,
+            "native_s": native_s,
+            "speedup": numpy_s / native_s,
+        })
+
+    for records in records_list:
+        for leaves in leaves_list:
+            for profile in PROFILES:
+                values, classes, offsets = _make_level(
+                    rng, records, leaves, profile
+                )
+                n_s, c_s = _time_both(
+                    lambda: K.segmented_continuous_splits(
+                        values, classes, offsets, N_CLASSES
+                    ),
+                    repeats,
+                )
+                entry("E.continuous", profile, records, leaves, n_s, c_s)
+
+        leaves = leaves_list[len(leaves_list) // 2]
+        _, classes, offsets = _make_level(rng, records, leaves, "uniform")
+        cat_values = rng.integers(
+            0, CATEGORICAL_CARD, len(classes)
+        ).astype(np.int64)
+        n_s, c_s = _time_both(
+            lambda: K.segmented_categorical_counts(
+                cat_values, classes, offsets, CATEGORICAL_CARD, N_CLASSES
+            ),
+            repeats,
+        )
+        entry("E.categorical", "uniform", records, leaves, n_s, c_s)
+
+        recs = np.zeros(records, dtype=CONTINUOUS_RECORD)
+        recs["value"] = rng.random(records)
+        recs["cls"] = rng.integers(0, N_CLASSES, records)
+        recs["tid"] = rng.permutation(records)
+        mask = rng.random(records) < 0.5
+        n_s, c_s = _time_both(
+            lambda: K.partition_stable(recs, mask), repeats
+        )
+        entry("S.partition", "uniform", records, 1, n_s, c_s)
+
+        probe = HashProbe()
+        probe.mark_left(
+            rng.choice(records * 2, records // 2, replace=False).astype(
+                np.int64
+            )
+        )
+        queries = rng.integers(0, records * 2, records).astype(np.int64)
+        n_s, c_s = _time_both(lambda: probe.contains(queries), repeats)
+        entry("W.membership", "uniform", records, 1, n_s, c_s)
+    return entries
+
+
+# -- end-to-end raw-threads builds --------------------------------------------
+
+
+def _time_build(dataset, threads, repeats):
+    best = float("inf")
+    signature = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = build_classifier(
+            dataset, algorithm="mwk", n_procs=threads,
+            runtime="threads", pace=0.0,
+        )
+        best = min(best, time.perf_counter() - start)
+        signature = result.tree.signature()
+    return best, signature
+
+
+def bench_builds(dataset_specs, threads_list, repeats, seed):
+    entries = []
+    all_match = True
+    for spec in dataset_specs:
+        dataset = generate_dataset(
+            DatasetSpec(
+                function=spec["function"],
+                n_attributes=spec["n_attributes"],
+                n_records=spec["n_records"],
+                seed=seed,
+            )
+        )
+        reference = build_classifier(
+            dataset, algorithm="serial", runtime="virtual"
+        ).tree.signature()
+
+        def run(backend, threads):
+            nonlocal all_match
+            mode = "on" if backend == "native" else "off"
+            with cc.native_override(mode):
+                build_s, signature = _time_build(dataset, threads, repeats)
+            matches = signature == reference
+            all_match = all_match and matches
+            entries.append({
+                "dataset": spec["name"],
+                "backend": backend,
+                "threads": threads,
+                "build_s": build_s,
+                "tree_matches": matches,
+            })
+
+        run("numpy", 1)
+        for threads in threads_list:
+            run("native", threads)
+    return entries, all_match
+
+
+# -- document assembly --------------------------------------------------------
+
+
+def summarize(kernel_entries, build_entries, all_match):
+    cont_64plus = [
+        e["speedup"]
+        for e in kernel_entries
+        if e["kernel"] == "E.continuous"
+        and e["profile"] == "uniform"
+        and e["leaves"] >= 64
+    ]
+    native_1t = {}
+    numpy_1t = {}
+    scaling = {}
+    for e in build_entries:
+        if e["backend"] == "native":
+            native_1t.setdefault(e["dataset"], {})[e["threads"]] = e["build_s"]
+        elif e["threads"] == 1:
+            numpy_1t[e["dataset"]] = e["build_s"]
+    single_thread = [
+        numpy_1t[ds] / per_thread[1]
+        for ds, per_thread in native_1t.items()
+        if ds in numpy_1t and 1 in per_thread
+    ]
+    for ds, per_thread in native_1t.items():
+        base = per_thread.get(1)
+        if base is None:
+            continue
+        for threads, build_s in sorted(per_thread.items()):
+            if threads > 1:
+                scaling.setdefault(str(threads), []).append(base / build_s)
+    return {
+        "native_available": native.native_available(),
+        "min_continuous_speedup_64plus": (
+            min(cont_64plus) if cont_64plus else None
+        ),
+        "max_continuous_speedup": max(
+            (e["speedup"] for e in kernel_entries
+             if e["kernel"] == "E.continuous"),
+            default=None,
+        ),
+        "single_thread_build_speedup": (
+            min(single_thread) if single_thread else None
+        ),
+        "threads_build_speedup": {
+            threads: min(values) for threads, values in scaling.items()
+        },
+        "multicore_host": (os.cpu_count() or 1) >= 2,
+        "all_trees_match": all_match,
+    }
+
+
+def run_benchmarks(records_list, leaves_list, dataset_specs, threads_list,
+                   repeats, seed):
+    kernel_entries = bench_kernels(records_list, leaves_list, repeats, seed)
+    build_entries, all_match = bench_builds(
+        dataset_specs, threads_list, repeats, seed
+    )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "records": list(records_list),
+            "leaves": list(leaves_list),
+            "datasets": list(dataset_specs),
+            "threads": list(threads_list),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "compiler": cc.find_compiler(),
+        },
+        "results": {
+            "kernels": kernel_entries,
+            "builds": build_entries,
+        },
+        "summary": summarize(kernel_entries, build_entries, all_match),
+    }
+
+
+def validate_bench_doc(doc):
+    """Schema check for ``bench_build_native/1``; raises ValueError."""
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for section in ("config", "env", "results", "summary"):
+        if section not in doc:
+            raise ValueError(f"missing section {section!r}")
+    results = doc["results"]
+    for part in ("kernels", "builds"):
+        if not isinstance(results.get(part), list) or not results[part]:
+            raise ValueError(f"results.{part} must be a non-empty list")
+    for i, e in enumerate(results["kernels"]):
+        for key in ("kernel", "profile", "records", "leaves",
+                    "numpy_s", "native_s", "speedup"):
+            if key not in e:
+                raise ValueError(f"results.kernels[{i}] missing {key!r}")
+        if e["kernel"] not in KNOWN_KERNELS:
+            raise ValueError(
+                f"results.kernels[{i}] unknown kernel {e['kernel']!r}"
+            )
+        for key in ("numpy_s", "native_s"):
+            if not (isinstance(e[key], (int, float)) and e[key] > 0):
+                raise ValueError(f"results.kernels[{i}].{key} must be > 0")
+        expected = e["numpy_s"] / e["native_s"]
+        if abs(e["speedup"] - expected) > 1e-9 * max(expected, 1.0):
+            raise ValueError(f"results.kernels[{i}].speedup inconsistent")
+    for i, e in enumerate(results["builds"]):
+        for key in ("dataset", "backend", "threads", "build_s",
+                    "tree_matches"):
+            if key not in e:
+                raise ValueError(f"results.builds[{i}] missing {key!r}")
+        if e["backend"] not in ("numpy", "native"):
+            raise ValueError(
+                f"results.builds[{i}] unknown backend {e['backend']!r}"
+            )
+    summary = doc["summary"]
+    if summary.get("all_trees_match") is not True:
+        raise ValueError("summary.all_trees_match must be true")
+    if summary.get("native_available"):
+        floor = summary.get("min_continuous_speedup_64plus")
+        if not (isinstance(floor, (int, float)) and floor >= 2.0):
+            raise ValueError(
+                "summary.min_continuous_speedup_64plus must be >= 2.0 when "
+                f"native kernels are available, got {floor!r}"
+            )
+        # Thread scaling is only an acceptance gate on multi-core hosts;
+        # single-core containers record it report-only.
+        if summary.get("multicore_host"):
+            for threads, speedup in summary["threads_build_speedup"].items():
+                if not speedup > 1.0:
+                    raise ValueError(
+                        f"threads_build_speedup[{threads}] must be > 1.0 on "
+                        f"a multi-core host, got {speedup}"
+                    )
+
+
+def _print_report(doc):
+    header = (f"{'kernel':<14} {'profile':<10} {'records':>8} {'leaves':>7} "
+              f"{'numpy (ms)':>11} {'native (ms)':>12} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]["kernels"]:
+        print(f"{e['kernel']:<14} {e['profile']:<10} {e['records']:>8} "
+              f"{e['leaves']:>7} {e['numpy_s'] * 1e3:>11.3f} "
+              f"{e['native_s'] * 1e3:>12.3f} {e['speedup']:>7.2f}x")
+    print()
+    header = (f"{'dataset':<10} {'backend':<8} {'threads':>7} "
+              f"{'build (s)':>10} {'tree ok':>8}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]["builds"]:
+        print(f"{e['dataset']:<10} {e['backend']:<8} {e['threads']:>7} "
+              f"{e['build_s']:>10.3f} {str(e['tree_matches']):>8}")
+    summary = doc["summary"]
+    print()
+    floor = summary["min_continuous_speedup_64plus"]
+    if floor is not None:
+        print(f"continuous scan at >=64 leaves (uniform): >= {floor:.2f}x")
+    if summary["single_thread_build_speedup"] is not None:
+        print(f"single-thread raw build: "
+              f"{summary['single_thread_build_speedup']:.2f}x vs numpy")
+    for threads, speedup in sorted(summary["threads_build_speedup"].items()):
+        tag = "" if summary["multicore_host"] else " (single-core host, report-only)"
+        print(f"native raw build at {threads} threads: {speedup:.2f}x vs 1{tag}")
+
+
+DATASETS = (
+    {"name": "F2-10K", "function": 2, "n_attributes": 9, "n_records": 10_000},
+)
+QUICK_DATASETS = (
+    {"name": "F2-2K", "function": 2, "n_attributes": 9, "n_records": 2_000},
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Native-vs-numpy benchmark of the C training kernels."
+    )
+    parser.add_argument("--records", type=int, nargs="+",
+                        default=[16384, 131072])
+    parser.add_argument("--leaves", type=int, nargs="+",
+                        default=[1, 16, 64, 256])
+    parser.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4],
+                        help="thread counts for the raw-threads build sweep")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the sweep for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_build_native.json")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            validate_bench_doc(json.load(handle))
+        print(f"{args.validate}: valid {SCHEMA} document")
+        return 0
+
+    if not native.native_available():
+        print("native kernels unavailable (no C compiler?); nothing to "
+              "benchmark", file=sys.stderr)
+        return 1
+
+    if args.quick:
+        records, leaves = [16384], [1, 64]
+        datasets, threads, repeats = QUICK_DATASETS, [1, 2], 1
+    else:
+        records, leaves = args.records, args.leaves
+        datasets, threads, repeats = DATASETS, args.threads, args.repeats
+
+    doc = run_benchmarks(records, leaves, datasets, threads, repeats,
+                         args.seed)
+    validate_bench_doc(doc)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    _print_report(doc)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Validate every committed ``BENCH_*.json`` against its declared schema.
+
+Each benchmark script owns a ``SCHEMA`` identifier (``bench_xxx/N``) and
+a ``validate_bench_doc`` function; committed result documents declare
+which schema they follow in their ``schema`` field.  This checker walks
+the repository root for ``BENCH_*.json``, routes each document to the
+validator that owns its declared schema, and fails on unknown schemas,
+orphaned documents, or validation errors — so a benchmark script can't
+drift away from the committed artifacts without CI noticing.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python benchmarks/check_schemas.py
+    PYTHONPATH=src python benchmarks/check_schemas.py BENCH_kernels.json
+"""
+
+import argparse
+import glob
+import importlib
+import json
+import os
+import sys
+
+#: schema identifier -> benchmark module that owns its validator.
+SCHEMA_OWNERS = {
+    "bench_kernels/1": "bench_kernels",
+    "bench_wallclock/1": "bench_wallclock",
+    "bench_predict/1": "bench_predict",
+    "bench_build_native/1": "bench_build_native",
+}
+
+
+def _load_validator(module_name):
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    try:
+        module = importlib.import_module(module_name)
+    finally:
+        sys.path.pop(0)
+    if module.SCHEMA not in SCHEMA_OWNERS:
+        raise RuntimeError(
+            f"{module_name}.SCHEMA = {module.SCHEMA!r} is not registered "
+            "in check_schemas.SCHEMA_OWNERS"
+        )
+    return module.validate_bench_doc
+
+
+def check_file(path):
+    """Validate one document; returns its schema. Raises on any problem."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema not in SCHEMA_OWNERS:
+        raise ValueError(
+            f"{path}: unknown or missing schema {schema!r}; known: "
+            f"{sorted(SCHEMA_OWNERS)}"
+        )
+    _load_validator(SCHEMA_OWNERS[schema])(doc)
+    return schema
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate committed BENCH_*.json documents against "
+                    "their declared schemas."
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="documents to check (default: BENCH_*.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json documents found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        try:
+            schema = check_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path}: valid {schema} document")
+    if failures:
+        print(f"{failures} of {len(files)} document(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Shared infrastructure for the optional embedded C kernels.
+
+Two kernel families ride on this package: the inference router
+(:mod:`repro.classify.native`) and the training kernels
+(:mod:`repro.sprint.native`).  Both embed their C source as a string,
+compile it once per machine through :mod:`repro._native.cc`, bind it via
+:mod:`ctypes`, and fall back silently to their numpy twins when no
+compiler exists or the gate is off — nothing native is ever required.
+"""
+
+from repro._native.cc import (  # noqa: F401  (re-exported surface)
+    ENV_FLAG,
+    compile_cached,
+    native_enabled,
+    native_override,
+    set_native_override,
+)

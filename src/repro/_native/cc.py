@@ -1,0 +1,171 @@
+"""Compile-and-cache plumbing for the embedded C kernels.
+
+One implementation of the compiler probe, the source-hash-keyed shared
+-object cache and the ``REPRO_NATIVE`` gate, shared by the inference
+router (:mod:`repro.classify.native`) and the training kernels
+(:mod:`repro.sprint.native`) so neither duplicates cc/gcc/clang
+handling.
+
+Gate precedence, highest first:
+
+1. A process-wide override installed by :func:`set_native_override`
+   (the CLI's ``--native {auto,on,off}`` flag) — ``"on"``/``"off"``
+   win over everything, ``"auto"`` defers to the environment.
+2. The ``REPRO_NATIVE`` environment variable: ``0``/``false``/``no``
+   disables, anything else (or unset) enables.
+3. Default: enabled — but "enabled" only means *try*; with no working
+   C compiler every caller silently gets ``None`` and uses numpy.
+
+The gate is re-read on every kernel lookup (it is just an ``os.environ``
+read), so tests and benchmarks can flip backends mid-process; only the
+*compiled library* is cached, never the decision to use it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import Dict, Iterator, Optional
+
+#: Set ``REPRO_NATIVE=0`` to force the pure-numpy kernels everywhere.
+ENV_FLAG = "REPRO_NATIVE"
+
+#: Environment values that read as "off".
+_FALSY = ("0", "false", "no")
+
+#: Compilers probed, in order, on ``PATH``.
+COMPILERS = ("cc", "gcc", "clang")
+
+#: Flags every kernel is built with.  ``-ffp-contract=off`` matters for
+#: bit-identity: without it gcc may fuse the training scan's
+#: multiply-adds into FMAs, perturbing the last ulp of the weighted
+#: gini relative to numpy's separate multiply and add.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+_override_lock = threading.Lock()
+_override: Optional[str] = None  # None/"auto" defer to the environment
+
+#: Compiled-library path cache, keyed by source hash (never invalidated
+#: within a process; the source strings are module constants).
+_compiled: Dict[str, Optional[str]] = {}
+_compile_lock = threading.Lock()
+
+
+def set_native_override(mode: Optional[str]) -> None:
+    """Install the process-wide gate override (the CLI ``--native`` flag).
+
+    ``"on"`` enables even under ``REPRO_NATIVE=0``, ``"off"`` disables
+    unconditionally, ``"auto"``/``None`` restores environment control.
+    """
+    global _override
+    if mode not in (None, "auto", "on", "off"):
+        raise ValueError(f"native override must be auto/on/off, got {mode!r}")
+    with _override_lock:
+        _override = None if mode == "auto" else mode
+
+
+def get_native_override() -> Optional[str]:
+    """The current override: ``"on"``, ``"off"`` or ``None`` (auto)."""
+    return _override
+
+
+@contextlib.contextmanager
+def native_override(mode: Optional[str]) -> Iterator[None]:
+    """Scoped :func:`set_native_override` for tests and benchmarks."""
+    previous = get_native_override()
+    set_native_override(mode)
+    try:
+        yield
+    finally:
+        set_native_override(previous)
+
+
+def native_enabled() -> bool:
+    """Whether native kernels *may* be used right now (gate only).
+
+    True does not promise a kernel exists — compilation can still fail
+    silently; callers treat "enabled but unavailable" as numpy.
+    """
+    override = _override
+    if override == "on":
+        return True
+    if override == "off":
+        return False
+    return os.environ.get(ENV_FLAG, "1").lower() not in _FALSY
+
+
+def cache_dir() -> str:
+    """Per-user directory holding the compiled shared objects."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-native")
+
+
+def find_compiler() -> Optional[str]:
+    """First working C compiler on ``PATH``, or None."""
+    for name in COMPILERS:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def source_tag(source: str) -> str:
+    """Cache key of a C source string (content + platform)."""
+    return hashlib.sha256((source + sys.platform).encode()).hexdigest()[:16]
+
+
+def compile_cached(source: str, stem: str) -> Optional[str]:
+    """Compile ``source`` into the shared cache; return the ``.so`` path.
+
+    The object is keyed by a hash of the source, so editing the embedded
+    C transparently rebuilds while identical sources (across processes
+    and across kernel families) share one artifact.  Returns ``None`` on
+    any failure — no compiler, compile error, unwritable cache — and
+    memoizes that outcome per process so a broken toolchain is probed
+    once, not per call.
+    """
+    tag = source_tag(source)
+    cached = _compiled.get(tag)
+    if cached is not None or tag in _compiled:
+        return cached
+    with _compile_lock:
+        if tag in _compiled:
+            return _compiled[tag]
+        _compiled[tag] = _compile_uncached(source, stem, tag)
+        return _compiled[tag]
+
+
+def _compile_uncached(source: str, stem: str, tag: str) -> Optional[str]:
+    compiler = find_compiler()
+    if not compiler:
+        return None
+    cache = cache_dir()
+    so_path = os.path.join(cache, f"{stem}-{tag}.so")
+    if os.path.exists(so_path):
+        return so_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as tmp:
+            c_path = os.path.join(tmp, f"{stem}.c")
+            with open(c_path, "w") as f:
+                f.write(source)
+            tmp_so = os.path.join(tmp, f"{stem}.so")
+            proc = subprocess.run(
+                [compiler, *CFLAGS, "-o", tmp_so, c_path],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                return None
+            os.replace(tmp_so, so_path)  # atomic: concurrent builds race safely
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None

@@ -38,19 +38,16 @@ scaling when the kernel is present.
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import sys
-import tempfile
 import threading
 from typing import Dict, Optional
 
 import numpy as np
 
-#: Set ``REPRO_NATIVE=0`` to force the pure-numpy router.
-ENV_FLAG = "REPRO_NATIVE"
+from repro._native import cc
+
+#: Set ``REPRO_NATIVE=0`` to force the pure-numpy router (re-exported
+#: from :mod:`repro._native.cc`, which owns the gate and the compiler).
+ENV_FLAG = cc.ENV_FLAG
 
 C_SOURCE = r"""
 #include <stdint.h>
@@ -239,61 +236,22 @@ _kernel: Optional[NativeKernel] = None
 _tried = False
 
 
-def _cache_dir() -> str:
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    return os.path.join(base, "repro-native")
-
-
-def _compile(source: str) -> Optional[str]:
-    """Build the shared object; returns its path or None on any failure."""
-    compiler = None
-    for name in ("cc", "gcc", "clang"):
-        compiler = shutil.which(name)
-        if compiler:
-            break
-    if not compiler:
-        return None
-    tag = hashlib.sha256(
-        (source + sys.platform).encode()
-    ).hexdigest()[:16]
-    cache = _cache_dir()
-    so_path = os.path.join(cache, f"route-{tag}.so")
-    if os.path.exists(so_path):
-        return so_path
-    try:
-        os.makedirs(cache, exist_ok=True)
-        with tempfile.TemporaryDirectory(dir=cache) as tmp:
-            c_path = os.path.join(tmp, "route.c")
-            with open(c_path, "w") as f:
-                f.write(source)
-            tmp_so = os.path.join(tmp, "route.so")
-            proc = subprocess.run(
-                [compiler, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path],
-                capture_output=True,
-                timeout=120,
-            )
-            if proc.returncode != 0:
-                return None
-            os.replace(tmp_so, so_path)  # atomic: concurrent builds race safely
-        return so_path
-    except (OSError, subprocess.SubprocessError):
-        return None
-
-
 def native_kernel() -> Optional[NativeKernel]:
-    """The process-wide kernel, building it on first use; None if unavailable."""
+    """The process-wide kernel, building it on first use; None if unavailable.
+
+    The gate (``REPRO_NATIVE`` / the CLI's ``--native`` override) is
+    re-checked on every call, so flipping it mid-process takes effect
+    immediately; only the compiled library itself is cached.
+    """
     global _kernel, _tried
+    if not cc.native_enabled():
+        return None
     if _tried:
         return _kernel
     with _lock:
         if _tried:
             return _kernel
-        if os.environ.get(ENV_FLAG, "1") in ("0", "false", "no"):
-            _tried = True
-            return None
-        so_path = _compile(C_SOURCE)
+        so_path = cc.compile_cached(C_SOURCE, "route")
         if so_path is not None:
             try:
                 _kernel = NativeKernel(ctypes.CDLL(so_path), so_path)

@@ -52,6 +52,28 @@ def _save_dataset(dataset, path: str) -> None:
         save_dataset_npz(dataset, path)
 
 
+def _add_native_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--native", default="auto", choices=("auto", "on", "off"),
+        help="C training kernels: auto (default) follows REPRO_NATIVE, "
+             "on/off override the environment",
+    )
+
+
+def _apply_native_mode(args: argparse.Namespace) -> None:
+    """Install the --native override; precedence: flag > env > default-on."""
+    from repro._native import cc
+    from repro.sprint import native as sprint_native
+
+    cc.set_native_override(args.native)
+    if args.native == "on" and not sprint_native.native_available():
+        print(
+            "warning: --native on, but the C kernels are unavailable "
+            "(no C compiler, or compilation failed); using numpy",
+            file=sys.stderr,
+        )
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     spec = DatasetSpec(
         function=args.function,
@@ -71,6 +93,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    _apply_native_mode(args)
     dataset = _load_dataset(args.input)
     machine = _MACHINES[args.machine](args.procs)
     params = BuildParams(window=args.window, max_depth=args.max_depth)
@@ -249,6 +272,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
+    _apply_native_mode(args)
     name = args.experiment
     if name == "table1":
         rows = experiments.table1(args.records)
@@ -311,6 +335,10 @@ def _kernel_batch_summary(metrics) -> str:
     """One-line digest of the level-batched kernel counters."""
     values = metrics.values()
     lines = []
+    for backend in ("native", "numpy"):
+        if values.get(f'kernel_backend_info{{backend="{backend}"}}', 0):
+            lines.append(f"  backend: {backend} kernels")
+            break
     for kernel in ("E", "S"):
         calls = values.get(f'kernel_level_calls_total{{kernel="{kernel}"}}', 0)
         leaves = values.get(f'kernel_level_leaves_total{{kernel="{kernel}"}}', 0)
@@ -330,6 +358,7 @@ def _kernel_batch_summary(metrics) -> str:
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
+    _apply_native_mode(args)
     from repro.obs import SpanCollector, write_chrome_trace, write_jsonl
     from repro.smp.runtime import VirtualSMP
     from repro.smp.trace import render_timeline, utilization_table
@@ -449,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write wait/disk/buffer/scheme metrics in Prometheus text format",
     )
+    _add_native_flag(b)
     b.set_defaults(func=cmd_build)
 
     c = sub.add_parser("classify", help="evaluate a saved tree on a dataset")
@@ -486,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     n.add_argument("--records", type=int, default=0,
                    help="dataset size (0 = benchmark default)")
+    _add_native_flag(n)
     n.set_defaults(func=cmd_benchmark)
 
     v = sub.add_parser(
@@ -522,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--out",
         help="output file for chrome/jsonl (default timeline.json[l])",
     )
+    _add_native_flag(t)
     t.set_defaults(func=cmd_timeline)
 
     i = sub.add_parser("info", help="list algorithms and machine models")

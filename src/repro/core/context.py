@@ -42,6 +42,7 @@ from repro.smp.runtime import SMPRuntime
 from repro.sprint.attribute_files import FileLayout
 from repro.sprint.attribute_list import build_attribute_list
 from repro.sprint.criteria import get_criterion
+from repro.sprint import native as sprint_native
 from repro.sprint.gini import SplitCandidate, gini_from_counts
 from repro.sprint.kernels import (
     ScratchArena,
@@ -150,6 +151,9 @@ class BuildContext:
         self.obs = observer
         #: Per-processor partition scratch arenas (created on first use).
         self._arenas: Dict[int, ScratchArena] = {}
+        #: One-shot flag: the kernel_backend instant is emitted on the
+        #: first batched-kernel call, once the backend is actually known.
+        self._backend_reported = False
         self.root = Node(0, 0, dataset.class_histogram())
 
     # -- storage + I/O charging --------------------------------------------------
@@ -288,10 +292,13 @@ class BuildContext:
                 criterion=self.params.criterion,
             )
         else:
+            # The count tensor is consumed before this call returns, so
+            # it can live in this processor's recycled arena scratch.
             candidates = segmented_categorical_splits(
                 values, classes, offsets, attr.cardinality, self.n_classes,
                 max_exhaustive=self.params.max_exhaustive_subset,
                 criterion=self.params.criterion,
+                arena=self.arena(),
             )
         # Phase C: charge each leaf in order; spans bracket its charges.
         for task, records, candidate in zip(tasks, payloads, candidates):
@@ -563,6 +570,23 @@ class BuildContext:
         if obs is None:
             return
         metrics = obs.metrics
+        if not self._backend_reported:
+            # Reported lazily rather than at construction so the label
+            # reflects the backend the build actually used (the gate is
+            # re-read per kernel call and compilation is on demand).
+            self._backend_reported = True
+            backend = (
+                "native" if sprint_native.active_kernels() is not None
+                else "numpy"
+            )
+            obs.instant(
+                self.runtime.pid(), "kernel_backend", self.runtime.now(),
+                backend=backend,
+            )
+            metrics.counter(
+                "kernel_backend_info", {"backend": backend},
+                help="training kernel backend selected for this build",
+            ).inc()
         metrics.counter(
             "kernel_level_calls_total", {"kernel": kernel},
             help="level-batched kernel invocations by kernel",

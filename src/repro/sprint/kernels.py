@@ -28,6 +28,14 @@ every scheme's determinism rests on — are bit-identical to the
 per-leaf path.  The scan reference in :mod:`repro.sprint.histogram`
 remains the independent oracle; ``tests/sprint/test_kernels.py``
 cross-checks all three.
+
+When the embedded C training kernels are available and the native gate
+is open (``REPRO_NATIVE`` / the CLI's ``--native``; see
+:mod:`repro._native.cc`), the gini split scan, the categorical count
+tensor and the stable partition run in :mod:`repro.sprint.native`
+instead — same results bit-for-bit, but the loops release the GIL so
+the real-thread runtime overlaps them across cores.  The numpy
+spellings below remain the fallback and the differential reference.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.sprint import native as _native
 from repro.sprint.criteria import get_criterion, weighted_impurity
 from repro.sprint.gini import (
     DEFAULT_MAX_EXHAUSTIVE,
@@ -128,6 +137,15 @@ def segmented_continuous_splits(
     """
     n_segments = len(offsets) - 1
     n = len(values)
+    if criterion == "gini" and n > 0 and n_segments > 0:
+        nat = _native.active_kernels()
+        if nat is not None:
+            # All the crossover constants below pick between equally
+            # exact numpy spellings; the C scan replaces every one of
+            # them for the gini criterion, bit-identically.
+            return _continuous_splits_native(
+                nat, values, classes, offsets, n_segments, n_classes
+            )
     if n_segments == 1 and 0 < n <= SINGLE_LEAF_DENSE_LIMIT:
         # The delegated per-leaf spelling: straight to the dense scan
         # before any other bookkeeping.
@@ -231,6 +249,47 @@ def segmented_continuous_splits(
     return out
 
 
+def _continuous_splits_native(
+    nat: "_native.TrainingKernels",
+    values: np.ndarray,
+    classes: np.ndarray,
+    offsets: np.ndarray,
+    n_segments: int,
+    n_classes: int,
+) -> List[Optional[SplitCandidate]]:
+    """The C spelling of the gini split scan (see :mod:`repro.sprint.native`).
+
+    Staging note: record fields arrive as strided views of the packed
+    record array, and the kernel wants flat C buffers, so both columns
+    are ``ascontiguousarray``-staged (a no-op when already flat).  The
+    threshold midpoint is computed here with the identical Python-float
+    expression the numpy path uses.
+    """
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    classes = np.ascontiguousarray(classes, dtype=np.int32)
+    weighted, boundary, n_left = nat.continuous_splits(
+        values, classes, offsets, n_classes
+    )
+    out: List[Optional[SplitCandidate]] = [None] * n_segments
+    for s in range(n_segments):
+        b = int(boundary[s])
+        if b < 0:
+            continue
+        nl = int(n_left[s])
+        n_seg = int(offsets[s + 1] - offsets[s])
+        threshold = (float(values[b - 1]) + float(values[b])) / 2.0
+        out[s] = SplitCandidate(
+            weighted_gini=float(weighted[s]),
+            threshold=threshold,
+            subset=None,
+            n_left=nl,
+            n_right=n_seg - nl,
+            work_points=n_seg,
+        )
+    return out
+
+
 # -- step E, categorical: segmented count matrices ----------------------------
 
 
@@ -240,6 +299,7 @@ def segmented_categorical_counts(
     offsets: np.ndarray,
     cardinality: int,
     n_classes: int,
+    arena: Optional["ScratchArena"] = None,
 ) -> np.ndarray:
     """Count tensor ``(n_segments, cardinality, n_classes)`` in one pass.
 
@@ -247,11 +307,34 @@ def segmented_categorical_counts(
     :class:`~repro.sprint.histogram.CountMatrix` per leaf; all leaves'
     matrices come from a single ``bincount`` over fused
     ``(segment, value, class)`` codes.
+
+    ``arena`` is an optional scratch source for the native path: when
+    given *and* the C kernel runs, the returned tensor is recycled
+    arena memory — valid only until the arena's next int64 ``take`` on
+    this thread, so callers must consume it before partitioning.  The
+    numpy fallback ignores the arena and returns fresh memory.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     n_segments = len(offsets) - 1
     shape = (n_segments, cardinality, n_classes)
     dense_cells = n_segments * cardinality * n_classes
+    if dense_cells > 0:
+        nat = _native.active_kernels()
+        if nat is not None:
+            offsets64 = np.ascontiguousarray(offsets, dtype=np.int64)
+            values64 = np.ascontiguousarray(values, dtype=np.int64)
+            classes32 = np.ascontiguousarray(classes, dtype=np.int32)
+            if arena is not None:
+                # zero= is load-bearing: the C kernel only increments,
+                # and a reused arena buffer holds the previous level's
+                # counts.
+                flat = arena.take(np.int64, dense_cells, zero=True)
+            else:
+                flat = np.zeros(dense_cells, dtype=np.int64)
+            nat.categorical_counts(
+                values64, classes32, offsets64, cardinality, n_classes, flat
+            )
+            return flat.reshape(shape)
     if dense_cells > DENSE_COUNTS_LIMIT:
         counts = np.zeros(shape, dtype=np.int64)
         for s in range(n_segments):
@@ -276,12 +359,17 @@ def segmented_categorical_splits(
     n_classes: int,
     max_exhaustive: int = DEFAULT_MAX_EXHAUSTIVE,
     criterion: str = "gini",
+    arena: Optional["ScratchArena"] = None,
 ) -> List[Optional[SplitCandidate]]:
     """Best categorical split per segment: fused counting, then the
-    (inherently per-leaf) subset search on each leaf's matrix."""
+    (inherently per-leaf) subset search on each leaf's matrix.
+
+    The count tensor is consumed within this call, so it may live in
+    ``arena`` scratch (see :func:`segmented_categorical_counts`).
+    """
     offsets = np.asarray(offsets, dtype=np.int64)
     counts = segmented_categorical_counts(
-        values, classes, offsets, cardinality, n_classes
+        values, classes, offsets, cardinality, n_classes, arena=arena
     )
     out: List[Optional[SplitCandidate]] = []
     for s in range(len(offsets) - 1):
@@ -325,10 +413,14 @@ class ScratchArena:
         self.allocated_bytes = 0
         self.reused_bytes = 0
 
-    def take(self, dtype: np.dtype, n: int) -> np.ndarray:
+    def take(self, dtype: np.dtype, n: int, zero: bool = False) -> np.ndarray:
         """A length-``n`` view of the arena's buffer for ``dtype``.
 
-        Contents are uninitialized; the view is only valid until the
+        Contents are uninitialized — a reused buffer still holds
+        whatever bytes the previous borrower left — unless ``zero`` is
+        set, which is mandatory for any consumer that only *accumulates*
+        into the view (the native categorical counter, for one) instead
+        of overwriting every element.  The view is only valid until the
         next ``take`` of the same dtype on this arena from the calling
         thread.
         """
@@ -343,7 +435,10 @@ class ScratchArena:
                 self.allocated_bytes += buf.nbytes
             else:
                 self.reused_bytes += n * dtype.itemsize
-        return buf[:n]
+        view = buf[:n]
+        if zero:
+            view.fill(0)
+        return view
 
 
 def partition_stable(
@@ -369,6 +464,27 @@ def partition_stable(
     if n == 0:
         empty = records[:0]
         return empty, empty
+    nat = _native.active_kernels()
+    if (
+        nat is not None
+        and records.flags.c_contiguous
+        and not records.dtype.hasobject
+    ):
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            mask = mask.astype(np.bool_)
+        if not mask.flags.c_contiguous:
+            mask = np.ascontiguousarray(mask)
+        # `out` needs no zeroing: the scatter overwrites every one of
+        # its n records exactly once (n_left from the left, n - n_left
+        # from the right).
+        out = (
+            arena.take(records.dtype, n)
+            if arena is not None
+            else np.empty(n, dtype=records.dtype)
+        )
+        n_left = nat.partition(records, mask.view(np.uint8), out)
+        return out[:n_left], out[n_left:]
     if arena is None and n < PARTITION_COMPRESS_MIN:
         return records[mask], records[~mask]
     out = (

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sprint import native as _native
+
 
 class BitProbe:
     """One bit per training tuple: set = tuple goes to the left child.
@@ -112,10 +114,20 @@ class HashProbe:
             self._tids = self._tids[~gone]
 
     def contains(self, tids: np.ndarray) -> np.ndarray:
-        """Boolean mask: which of ``tids`` are in the backing store."""
+        """Boolean mask: which of ``tids`` are in the backing store.
+
+        Uses the native sorted-table binary search when the C training
+        kernels are active (it releases the GIL and skips ``np.isin``'s
+        sort of the query side); ``np.isin`` otherwise.  The store is
+        sorted and unique either way, so results are identical.
+        """
         tids = np.asarray(tids, dtype=np.int64)
         if self._tids.size == 0:
             return np.zeros(len(tids), dtype=bool)
+        nat = _native.active_kernels()
+        if nat is not None:
+            queries = np.ascontiguousarray(tids)
+            return nat.membership(self._tids, queries)
         return np.isin(tids, self._tids)
 
     def is_left(self, tids: np.ndarray) -> np.ndarray:

@@ -1,0 +1,76 @@
+"""End-to-end native-vs-numpy differential: bit-identical trees.
+
+The native kernels replace the numpy training loops underneath every
+scheme, so the strongest acceptance check is at the tree level: for
+each of the 24 scheme x procs x probe configurations and several
+dataset seeds, a build with the C kernels must produce *exactly* the
+tree a numpy serial build produces — same structure, same split
+attributes/thresholds/subsets, same class counts (all captured by
+``DecisionTree.signature``).
+
+Comparing every config against the per-dataset numpy serial reference
+proves both cross-backend bit-identity and scheme-invariance under the
+native kernels in one assertion.
+"""
+
+import pytest
+
+from repro._native import cc
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.smp.machine import machine_b
+from repro.sprint import native
+
+pytestmark = pytest.mark.skipif(
+    not native.native_available(),
+    reason="no C compiler / native kernels unavailable",
+)
+
+SCHEMES = ("serial", "basic", "fwk", "mwk", "subtree", "recordpar")
+
+#: (function, seed) per dataset — F7 grows the large, deep trees.
+DATASETS = ((2, 3), (7, 11), (2, 29))
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return [
+        generate_dataset(
+            DatasetSpec(function=fn, n_attributes=9, n_records=300, seed=seed)
+        )
+        for fn, seed in DATASETS
+    ]
+
+
+@pytest.fixture(scope="module")
+def numpy_references(datasets):
+    refs = []
+    with cc.native_override("off"):
+        for ds in datasets:
+            refs.append(
+                build_classifier(ds, algorithm="serial").tree.signature()
+            )
+    return refs
+
+
+@pytest.mark.parametrize("probe", ["bit", "hash"])
+@pytest.mark.parametrize("n_procs", [1, 3])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_native_tree_bit_identical(
+    datasets, numpy_references, scheme, n_procs, probe
+):
+    params = BuildParams(probe=probe)
+    for ds, ref in zip(datasets, numpy_references):
+        with cc.native_override("on"):
+            result = build_classifier(
+                ds,
+                algorithm=scheme,
+                machine=machine_b(n_procs),
+                n_procs=n_procs,
+                params=params,
+            )
+        assert result.tree.signature() == ref, (
+            f"native {scheme}/procs={n_procs}/probe={probe} diverged "
+            f"from the numpy serial reference on {ds.name}"
+        )
