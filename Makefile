@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native check-schemas examples trace-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native check-schemas check-regression examples trace-demo top-demo clean
 
 install:
 	pip install -e .
@@ -46,6 +46,13 @@ bench-build-native:
 check-schemas:
 	PYTHONPATH=src python benchmarks/check_schemas.py
 
+# Tolerance-banded diff of benchmark documents against the committed
+# baselines (self-check when CURRENT is unset; pass CURRENT=dir/ to
+# gate fresh results).
+check-regression:
+	PYTHONPATH=src python benchmarks/check_regression.py \
+		$(if $(CURRENT),--current $(CURRENT))
+
 examples:
 	@for ex in examples/*.py; do \
 		echo "=== $$ex ==="; \
@@ -62,6 +69,28 @@ trace-demo:
 		--trace-out /tmp/repro-trace-demo.json \
 		--metrics-out /tmp/repro-trace-demo.prom
 	@echo "open https://ui.perfetto.dev and load /tmp/repro-trace-demo.json"
+
+# Serve a small tree with live telemetry on :9100, stream generated
+# requests through it, and print one `repro top` dashboard frame.
+top-demo:
+	PYTHONPATH=src python -m repro generate --records 4000 \
+		-o /tmp/repro-top-demo.npz
+	PYTHONPATH=src python -m repro build -i /tmp/repro-top-demo.npz \
+		--algorithm serial -o /tmp/repro-top-demo-tree.json
+	PYTHONPATH=src python -c "import json, numpy as np; \
+		from repro.data.io import load_dataset_npz; \
+		d = load_dataset_npz('/tmp/repro-top-demo.npz'); \
+		print('\n'.join(json.dumps({k: float(v) for k, v in d.tuple_at(i).items()}) for i in range(d.n_records)))" \
+		> /tmp/repro-top-demo-requests.jsonl
+	PYTHONPATH=src sh -c '\
+		{ cat /tmp/repro-top-demo-requests.jsonl; sleep 3; } | \
+		python -m repro serve --model /tmp/repro-top-demo-tree.json \
+			--telemetry-port 9100 \
+			--trace-out /tmp/repro-top-demo-trace.json > /dev/null & \
+		sleep 1.5; \
+		python -m repro top --url http://127.0.0.1:9100 --once; \
+		STATUS=$$?; wait; exit $$STATUS'
+	@echo "open https://ui.perfetto.dev and load /tmp/repro-top-demo-trace.json"
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks

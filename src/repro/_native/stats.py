@@ -1,0 +1,82 @@
+"""Process-wide kernel traffic counters: numpy vs native, calls and rows.
+
+The native gate (``REPRO_NATIVE`` / ``--native``) makes backend choice
+invisible by design — results are bit-identical either way — which is
+exactly why operators need a counter saying which backend actually
+served the traffic.  Every kernel call site records here: the inference
+routers (:mod:`repro.classify.native` and the numpy router in
+:mod:`repro.classify.compiled`) and the native training kernels
+(:mod:`repro.sprint.native`).
+
+This module lives under :mod:`repro._native` because it must be
+importable by both kernel families without dragging in :mod:`repro.obs`
+(the dependency points the other way: telemetry *reads* these counters
+via :func:`fold_into`).
+
+Counters are cumulative per process and thread-safe; :func:`fold_into`
+publishes them into a :class:`~repro.obs.metrics.MetricsRegistry` as
+``kernel_calls_total{kernel,backend}`` / ``kernel_rows_total{kernel,
+backend}`` by *setting* the counter values (idempotent — folding at
+every telemetry scrape must not double-count).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+_LOCK = threading.Lock()
+#: (kernel, backend) -> [calls, rows]
+_COUNTS: Dict[Tuple[str, str], list] = {}
+
+
+def record(kernel: str, backend: str, rows: int) -> None:
+    """Count one kernel call over ``rows`` rows on ``backend``."""
+    key = (kernel, backend)
+    with _LOCK:
+        entry = _COUNTS.get(key)
+        if entry is None:
+            _COUNTS[key] = [1, rows]
+        else:
+            entry[0] += 1
+            entry[1] += rows
+
+
+def snapshot() -> Dict[Tuple[str, str], Tuple[int, int]]:
+    """``(kernel, backend) -> (calls, rows)``, consistent copy."""
+    with _LOCK:
+        return {k: (v[0], v[1]) for k, v in _COUNTS.items()}
+
+
+def reset() -> None:
+    """Zero every counter (test isolation only)."""
+    with _LOCK:
+        _COUNTS.clear()
+
+
+def backend_rows(kernel: str = "route") -> Dict[str, int]:
+    """Rows served per backend for one kernel — the traffic split."""
+    out: Dict[str, int] = {}
+    for (k, backend), (_calls, rows) in snapshot().items():
+        if k == kernel:
+            out[backend] = out.get(backend, 0) + rows
+    return out
+
+
+def fold_into(registry) -> None:
+    """Publish the counters into a metrics registry (idempotent).
+
+    Values are *assigned*, not incremented: the sources are monotone, so
+    the published counters stay monotone, and calling this on every
+    scrape cannot double-count.
+    """
+    for (kernel, backend), (calls, rows) in snapshot().items():
+        labels = {"kernel": kernel, "backend": backend}
+        registry.counter(
+            "kernel_calls_total", labels,
+            help="kernel invocations by backend (numpy vs native)",
+        ).value = float(calls)
+        registry.counter(
+            "kernel_rows_total", labels,
+            help="rows processed by kernel and backend",
+        ).value = float(rows)

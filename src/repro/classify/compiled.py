@@ -48,6 +48,7 @@ from typing import List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro._native import stats as kernel_stats
 from repro.classify import native
 from repro.core.tree import DecisionTree, Node, Split
 from repro.data.dataset import Dataset
@@ -237,6 +238,7 @@ class CompiledTree:
         ~5x a gather, so it only runs once enough rows have parked on
         (self-looping) leaves to pay for itself.
         """
+        kernel_stats.record("route", "numpy", n)
         values = np.empty((self.schema.n_attributes, n), dtype=np.float64)
         for f in used:
             values[f] = columns[self.schema.attribute_names[f]]
@@ -288,6 +290,7 @@ class CompiledTree:
 
     def _route_rows_exact(self, columns: Columns, n: int) -> np.ndarray:
         """Narrow-float router: per-attribute compares in column dtype."""
+        kernel_stats.record("route", "numpy", n)
         cur = np.zeros(n, dtype=np.int64)
         active = np.arange(n, dtype=np.int64)
         while active.size:

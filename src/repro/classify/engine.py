@@ -17,11 +17,20 @@ scatters the results back to each request's future.  Oversized requests
 are processed in ``batch_size`` chunks, so one huge submit cannot
 monopolize a worker unboundedly between metric observations.
 
-Observability folds into :mod:`repro.obs`: per-batch latency/row-count
-histograms, request/row/rejection counters and a queue-depth gauge live
+Observability is always on and folds into :mod:`repro.obs`: HDR
+latency histograms (queue wait, per-chunk predict, submit-to-resolve
+request latency — exact p50/p99/p99.9, see :mod:`repro.obs.hdr`),
+request/row/rejection/completion counters and a queue-depth gauge live
 in a :class:`~repro.obs.metrics.MetricsRegistry` (pass the registry of
-an existing :class:`~repro.obs.spans.SpanCollector` to merge streams),
-and an optional collector records per-worker busy intervals so
+an existing :class:`~repro.obs.spans.SpanCollector` to merge streams).
+Every admitted request is additionally minted a trace ID and carries a
+:class:`~repro.obs.tracectx.TraceContext` through queueing →
+micro-batch grouping → worker drain → predict, landing in a bounded
+:class:`~repro.obs.tracectx.TraceRing` on completion (exportable as a
+Chrome trace with one track per worker; ``trace_ring_size=0`` turns
+per-request tracing off).  A :class:`~repro.obs.telemetry
+.TelemetryServer` publishes all of it over HTTP while traffic flows.
+An optional collector still records per-worker busy intervals so
 ``render_timeline`` can draw serving the same way it draws builds.
 """
 
@@ -30,20 +39,16 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Union
+from typing import Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.classify.compiled import CompiledTree, compiled_for
 from repro.core.tree import DecisionTree
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracectx import TraceContext, TraceRing, mint_trace_id
 from repro.smp.threads import WORKER_POOL, _Latch
 
-#: Batch latency bucket bounds (wall seconds) — serving latencies are
-#: orders of magnitude below the build-phase defaults.
-LATENCY_BUCKETS = (
-    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
-)
 #: Batch size bucket bounds (rows).
 ROWS_BUCKETS = (1, 8, 64, 512, 4096, 32768, 262144)
 
@@ -53,15 +58,23 @@ Columns = Mapping[str, np.ndarray]
 class PredictionRequest:
     """Future-style handle for one submitted request."""
 
-    __slots__ = ("columns", "n", "scalar", "_event", "_value", "_error")
+    __slots__ = ("columns", "n", "scalar", "trace", "_event", "_value",
+                 "_error")
 
-    def __init__(self, columns: Dict[str, np.ndarray], n: int, scalar: bool):
+    def __init__(self, columns: Dict[str, np.ndarray], n: int, scalar: bool,
+                 trace: Optional[TraceContext] = None):
         self.columns = columns
         self.n = n
         self.scalar = scalar
+        #: Per-request trace context (None when tracing is disabled).
+        self.trace = trace
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -92,19 +105,29 @@ class InferenceEngine:
         registry: Optional[MetricsRegistry] = None,
         collector=None,
         name: str = "model",
+        version: str = "",
+        trace_ring_size: int = 512,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if n_workers < 1:
             raise ValueError(f"need >= 1 worker, got {n_workers}")
+        if trace_ring_size < 0:
+            raise ValueError(
+                f"trace_ring_size must be >= 0, got {trace_ring_size}"
+            )
         self.compiled = (
             model if isinstance(model, CompiledTree) else compiled_for(model)
         )
         self.batch_size = batch_size
         self.n_workers = n_workers
         self.name = name
+        self.version = version
         self.collector = collector
         self.metrics = registry if registry is not None else MetricsRegistry()
+        self.trace_ring: Optional[TraceRing] = (
+            TraceRing(trace_ring_size) if trace_ring_size else None
+        )
         self._t0 = time.perf_counter()
 
         m = self.metrics
@@ -126,16 +149,31 @@ class InferenceEngine:
             )
         }
         self._rows = m.counter("engine_rows_total", help="rows predicted")
+        self._completed = m.counter(
+            "engine_completed_requests_total",
+            help="admitted requests resolved successfully",
+        )
+        self._errored = m.counter(
+            "engine_request_errors_total",
+            help="admitted requests resolved with an error",
+        )
         self._batches = m.counter(
             "engine_batches_total", help="vectorized predict calls"
         )
         self._batch_rows = m.histogram(
             "engine_batch_rows", help="rows per batch", buckets=ROWS_BUCKETS
         )
-        self._latency = m.histogram(
+        self._latency = m.hdr(
             "engine_batch_latency_seconds",
             help="wall seconds per vectorized predict call",
-            buckets=LATENCY_BUCKETS,
+        )
+        self._queue_wait = m.hdr(
+            "engine_queue_wait_seconds",
+            help="seconds a request waited before a worker picked it up",
+        )
+        self._request_latency = m.hdr(
+            "engine_request_latency_seconds",
+            help="submit-to-resolve wall seconds per request",
         )
         self._queue_depth = m.gauge(
             "engine_queue_depth", help="requests waiting in the queue"
@@ -150,6 +188,10 @@ class InferenceEngine:
             worker.submit(lambda wid=wid: self._drain(wid))
 
     # -- admission -------------------------------------------------------------
+
+    def _now(self) -> float:
+        """Engine-relative clock shared by traces and busy intervals."""
+        return time.perf_counter() - self._t0
 
     def _reject(self, reason: str, message: str) -> "ValueError":
         self._rejected[reason].inc()
@@ -210,7 +252,10 @@ class InferenceEngine:
                     f"{self.name!r}: {attr!r} has {rows} rows, expected {n}",
                 )
             columns[attr] = col
-        request = PredictionRequest(columns, n, scalar)
+        trace = None
+        if self.trace_ring is not None:
+            trace = TraceContext(mint_trace_id(), self.name, n, self._now())
+        request = PredictionRequest(columns, n, scalar, trace)
         with self._cond:
             if self._closed:
                 raise self._reject(
@@ -247,24 +292,41 @@ class InferenceEngine:
                         group.append(self._queue.popleft())
                         rows += nxt.n
                     self._queue_depth.set(len(self._queue))
+                dequeue_ts = self._now()
+                for request in group:
+                    trace = request.trace
+                    if trace is not None:
+                        trace.dequeue_ts = dequeue_ts
+                        trace.worker = wid
+                        trace.group_size = len(group)
+                        trace.batch_rows = rows
+                        self._queue_wait.record(trace.queue_wait_s)
                 self._process(wid, group)
         finally:
             self._latch.count_down()
 
-    def _predict_chunked(self, wid: int, columns: Columns, n: int) -> np.ndarray:
-        """One or more ``batch_size``-bounded vectorized predict calls."""
+    def _predict_chunked(
+        self, wid: int, columns: Columns, n: int
+    ) -> Tuple[np.ndarray, int, float]:
+        """One or more ``batch_size``-bounded vectorized predict calls.
+
+        Returns ``(predictions, n_chunks, predict_seconds)`` so callers
+        can stamp chunking and per-phase durations onto request traces.
+        """
         out = np.empty(n, dtype=np.int32)
         if n == 0:
             # An empty request is still one (trivial) batch.
             starts = [0]
         else:
             starts = list(range(0, n, self.batch_size))
+        predict_s = 0.0
         for start in starts:
             stop = min(start + self.batch_size, n)
             chunk = {k: v[start:stop] for k, v in columns.items()}
             t0 = time.perf_counter()
             out[start:stop] = self.compiled.predict(chunk)
             t1 = time.perf_counter()
+            predict_s += t1 - t0
             self._batches.inc()
             self._batch_rows.observe(stop - start)
             self._latency.observe(t1 - t0)
@@ -273,30 +335,59 @@ class InferenceEngine:
                 self.collector.record(
                     wid, "busy", t0 - self._t0, t1 - self._t0
                 )
-        return out
+        return out, len(starts), predict_s
+
+    def _finish(
+        self,
+        request: PredictionRequest,
+        value: Optional[np.ndarray],
+        error: Optional[BaseException],
+        chunks: int,
+        predict_s: float,
+    ) -> None:
+        """Resolve the future and complete its trace/accounting."""
+        trace = request.trace
+        if trace is not None:
+            trace.chunks = chunks
+            trace.predict_s = predict_s
+            trace.finish_ts = self._now()
+            trace.status = "ok" if error is None else "error"
+            trace.error = "" if error is None else str(error)
+        request._resolve(value, error)
+        if error is None:
+            self._completed.inc()
+        else:
+            self._errored.inc()
+        if trace is not None:
+            self._request_latency.record(trace.total_s)
+            self.trace_ring.push(trace)
 
     def _process(self, wid: int, group: List[PredictionRequest]) -> None:
         try:
             if len(group) == 1:
                 request = group[0]
-                request._resolve(
-                    self._predict_chunked(wid, request.columns, request.n)
+                out, chunks, predict_s = self._predict_chunked(
+                    wid, request.columns, request.n
                 )
+                self._finish(request, out, None, chunks, predict_s)
                 return
             merged = {
                 attr: np.concatenate([r.columns[attr] for r in group])
                 for attr in self.compiled.schema.attribute_names
             }
             total = sum(r.n for r in group)
-            out = self._predict_chunked(wid, merged, total)
+            out, chunks, predict_s = self._predict_chunked(wid, merged, total)
             offset = 0
             for request in group:
-                request._resolve(out[offset:offset + request.n])
+                self._finish(
+                    request, out[offset:offset + request.n], None,
+                    chunks, predict_s,
+                )
                 offset += request.n
         except BaseException as exc:  # noqa: BLE001 - delivered to callers
             for request in group:
                 if not request.done():
-                    request._resolve(None, exc)
+                    self._finish(request, None, exc, 0, 0.0)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -319,10 +410,38 @@ class InferenceEngine:
 
     # -- reporting -------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
     def stats(self) -> Dict[str, float]:
         """Flat snapshot of the engine's counters and gauges."""
         return {
             k: v
             for k, v in self.metrics.values().items()
             if k.startswith("engine_")
+        }
+
+    def rejections(self) -> Dict[str, int]:
+        """Per-reason rejection counts (every reason, including zeros)."""
+        return {
+            reason: int(counter.value)
+            for reason, counter in sorted(self._rejected.items())
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness document for ``/healthz`` and the CLI."""
+        with self._cond:
+            closed = self._closed
+            depth = len(self._queue)
+        return {
+            "status": "closed" if closed else "ok",
+            "model": self.name,
+            "version": self.version,
+            "queue_depth": depth,
+            "workers": self.n_workers,
+            "batch_size": self.batch_size,
+            "n_nodes": self.compiled.n_nodes,
+            "uptime_s": self._now(),
         }

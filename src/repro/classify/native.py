@@ -44,6 +44,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro._native import cc
+from repro._native import stats as kernel_stats
 
 #: Set ``REPRO_NATIVE=0`` to force the pure-numpy router (re-exported
 #: from :mod:`repro._native.cc`, which owns the gate and the compiler).
@@ -228,6 +229,7 @@ class NativeKernel:
                 p(compiled.subset_offset), p(compiled.subset_nwords),
                 p(compiled.subset_words), p(out),
             )
+        kernel_stats.record("route", "native", n)
         return out
 
 

@@ -9,7 +9,9 @@ Everything the library does, driveable from a shell::
     python -m repro classify  -i data.npz --tree tree.json
     python -m repro predict   --model tree.json --data data.npz \
                               --batch-size 8192 --workers 2
-    echo '{"salary": 50e3, ...}' | python -m repro serve --model tree.json
+    echo '{"salary": 50e3, ...}' | python -m repro serve --model tree.json \
+                              --telemetry-port 9100
+    python -m repro top       --url http://127.0.0.1:9100
     python -m repro benchmark --experiment fig10
     python -m repro info
 """
@@ -220,7 +222,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     A request is ``{"attr": value, ...}`` (single row) or
     ``{"attr": [values...], ...}`` (batch).  Replies carry class names;
     malformed or incomplete requests get an ``{"error": ...}`` reply and
-    the loop continues.
+    the loop continues.  With ``--telemetry-port``, a background HTTP
+    server publishes ``/metrics``, ``/healthz`` and ``/snapshot`` while
+    the loop runs (``repro top`` renders those snapshots live).
     """
     import json as _json
 
@@ -234,41 +238,99 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         name=args.model,
     )
+    telemetry = None
+    if args.telemetry_port is not None:
+        from repro.obs.telemetry import TelemetryServer
+
+        telemetry = TelemetryServer.for_engine(
+            engine, port=args.telemetry_port
+        ).start()
+        print(f"telemetry: {telemetry.url}", file=sys.stderr, flush=True)
     served = 0
-    with engine:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = _json.loads(line)
-                request = engine.submit(row)
-                result = request.result(timeout=args.timeout)
-            except Exception as exc:  # noqa: BLE001 - reported to the client
-                print(_json.dumps({"error": str(exc)}), flush=True)
-                continue
-            if request.scalar:
-                reply = {"class": names[result], "class_index": result}
-            else:
-                reply = {
-                    "classes": [names[int(c)] for c in result],
-                    "class_indices": [int(c) for c in result],
-                }
-            print(_json.dumps(reply), flush=True)
-            served += 1
+    try:
+        with engine:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = _json.loads(line)
+                    request = engine.submit(row)
+                    result = request.result(timeout=args.timeout)
+                except Exception as exc:  # noqa: BLE001 - sent to the client
+                    print(_json.dumps({"error": str(exc)}), flush=True)
+                    continue
+                if request.scalar:
+                    reply = {"class": names[result], "class_index": result}
+                else:
+                    reply = {
+                        "classes": [names[int(c)] for c in result],
+                        "class_indices": [int(c) for c in result],
+                    }
+                print(_json.dumps(reply), flush=True)
+                served += 1
+    finally:
+        if args.trace_out and engine.trace_ring is not None:
+            from repro.obs.tracectx import write_chrome_trace_for
+
+            write_chrome_trace_for(
+                args.trace_out, engine.trace_ring.traces(), model=args.model
+            )
+            print(f"chrome trace -> {args.trace_out}", file=sys.stderr)
+        if telemetry is not None:
+            telemetry.close()
     stats = engine.stats()
-    rejected = sum(
-        v
-        for k, v in stats.items()
-        if k.startswith("engine_rejected_requests_total")
+    breakdown = engine.rejections()
+    rejected = sum(breakdown.values())
+    detail = ", ".join(
+        f"{reason}: {count}" for reason, count in breakdown.items() if count
     )
     print(
         f"served {served} request(s), "
         f"{int(stats.get('engine_rows_total', 0))} row(s), "
-        f"{int(rejected)} rejected",
+        f"{rejected} rejected" + (f" ({detail})" if detail else ""),
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live text dashboard over a serving telemetry endpoint.
+
+    Polls ``<url>/snapshot`` every ``--interval`` seconds and renders
+    traffic, latency percentiles, rejections, batch-size shape and the
+    kernel backend split.  ``--once`` prints a single frame (lifetime
+    averages); continuous mode shows per-interval rates.
+    """
+    import json as _json
+    import time as _time
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs.telemetry import render_dashboard
+
+    url = args.url.rstrip("/")
+    prev = None
+    frames = 0
+    try:
+        while True:
+            try:
+                with urlopen(url + "/snapshot", timeout=args.timeout) as resp:
+                    doc = _json.loads(resp.read().decode())
+            except (URLError, OSError, ValueError) as exc:
+                print(f"cannot fetch {url}/snapshot: {exc}", file=sys.stderr)
+                return 1
+            interval = doc["ts"] - prev["ts"] if prev is not None else None
+            if frames and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(render_dashboard(doc, prev, interval), flush=True)
+            frames += 1
+            if args.once or (args.frames and frames >= args.frames):
+                return 0
+            prev = doc
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
@@ -507,7 +569,35 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=1)
     s.add_argument("--timeout", type=float, default=30.0,
                    help="seconds to wait for one reply")
+    s.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="publish /metrics, /healthz, /snapshot over HTTP on this "
+             "port while serving (0 = pick an ephemeral port; the bound "
+             "URL is printed to stderr)",
+    )
+    s.add_argument(
+        "--trace-out", metavar="PATH",
+        help="on exit, write the buffered request traces as a Chrome "
+             "trace JSON (one track per engine worker)",
+    )
     s.set_defaults(func=cmd_serve)
+
+    o = sub.add_parser(
+        "top", help="live text dashboard over a serving telemetry endpoint"
+    )
+    o.add_argument(
+        "--url", default="http://127.0.0.1:9100",
+        help="base URL of a `repro serve --telemetry-port` server",
+    )
+    o.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between dashboard refreshes")
+    o.add_argument("--once", action="store_true",
+                   help="print one frame and exit")
+    o.add_argument("--frames", type=int, default=0,
+                   help="stop after N frames (0 = run until interrupted)")
+    o.add_argument("--timeout", type=float, default=5.0,
+                   help="HTTP timeout per snapshot fetch")
+    o.set_defaults(func=cmd_top)
 
     n = sub.add_parser("benchmark", help="rerun one paper experiment")
     n.add_argument(

@@ -29,6 +29,7 @@ from repro.obs.export import (
     write_jsonl,
     write_prometheus,
 )
+from repro.obs.hdr import HdrHistogram, HdrSnapshot, merge_snapshots
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -38,10 +39,20 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import ObservationReport, observe_build
 from repro.obs.spans import PHASES, InstantEvent, PhaseSpan, SpanCollector
+from repro.obs.telemetry import TelemetryServer, render_dashboard
+from repro.obs.tracectx import (
+    TraceContext,
+    TraceRing,
+    chrome_trace_for,
+    mint_trace_id,
+    write_chrome_trace_for,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "HdrHistogram",
+    "HdrSnapshot",
     "Histogram",
     "InstantEvent",
     "MetricsRegistry",
@@ -49,13 +60,21 @@ __all__ = [
     "PHASES",
     "PhaseSpan",
     "SpanCollector",
+    "TelemetryServer",
+    "TraceContext",
+    "TraceRing",
     "chrome_trace",
     "chrome_trace_events",
+    "chrome_trace_for",
     "jsonl_lines",
+    "merge_snapshots",
+    "mint_trace_id",
     "observe_build",
     "prometheus_text",
+    "render_dashboard",
     "wait_attribution",
     "write_chrome_trace",
+    "write_chrome_trace_for",
     "write_jsonl",
     "write_prometheus",
 ]

@@ -24,6 +24,7 @@ import json
 import math
 from typing import IO, Iterator, List, Optional, Union
 
+from repro.obs.hdr import STANDARD_PERCENTILES, HdrHistogram
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.spans import SpanCollector
 
@@ -199,12 +200,19 @@ def write_jsonl(dest: Union[str, IO[str]], collector: SpanCollector) -> int:
 
 
 def _escape_label(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash first
+    (so the escapes it introduces survive), then quote, then newline."""
     return (
         str(value)
         .replace("\\", "\\\\")
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: only backslash and newline are special."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _label_str(labels, extra: Optional[tuple] = None) -> str:
@@ -224,16 +232,41 @@ def _fmt(value: float) -> str:
 
 
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition of every metric in the registry."""
+    """Prometheus text exposition of every metric in the registry.
+
+    Counters, gauges and bucket histograms render as their own types;
+    :class:`~repro.obs.hdr.HdrHistogram` metrics render as summaries
+    (``{quantile="0.5"}`` etc. plus ``_sum``/``_count``) — the compact
+    spelling of "exact percentiles, hundreds of internal buckets".
+    """
     lines: List[str] = []
     typed = set()
     for metric in registry:
         if metric.name not in typed:
             typed.add(metric.name)
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-        if isinstance(metric, Histogram):
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}"
+                )
+            kind = "summary" if metric.kind == "hdr" else metric.kind
+            lines.append(f"# TYPE {metric.name} {kind}")
+        if isinstance(metric, HdrHistogram):
+            snap = metric.snapshot()
+            for p, _key in STANDARD_PERCENTILES:
+                lines.append(
+                    f"{metric.name}"
+                    f"{_label_str(metric.labels, ('quantile', _fmt(p / 100.0)))}"
+                    f" {_fmt(snap.percentile(p))}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_str(metric.labels)} "
+                f"{_fmt(snap.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(metric.labels)} "
+                f"{snap.count}"
+            )
+        elif isinstance(metric, Histogram):
             for le, count in metric.cumulative():
                 le_str = "+Inf" if math.isinf(le) else _fmt(le)
                 lines.append(

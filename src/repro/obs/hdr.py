@@ -1,0 +1,303 @@
+"""Log-scaled latency histograms with exact percentile readout.
+
+The Prometheus-style :class:`~repro.obs.metrics.Histogram` keeps a
+handful of hand-picked buckets — fine for dashboards, useless for tail
+latency: p99.9 of a serving workload lands between two bounds an order
+of magnitude apart.  :class:`HdrHistogram` is the serving-grade
+replacement: a fixed array of geometrically-spaced buckets (a constant
+number per decade, HdrHistogram-style), so relative error is bounded by
+the bucket growth factor (~6% at the default 40 buckets/decade) across
+the whole six-decade range, recording is one ``log10`` plus an integer
+increment, and memory is a few KB regardless of sample count.
+
+Two pieces:
+
+* :class:`HdrHistogram` — the live, thread-safe recorder.  It fits the
+  :class:`~repro.obs.metrics.MetricsRegistry` metric shape (``name`` /
+  ``labels`` / ``help`` / ``kind``), so ``registry.hdr(...)`` is
+  get-or-create like every other metric and the exporters pick it up.
+* :class:`HdrSnapshot` — an immutable copy of the counts.  Snapshots of
+  *same-shaped* histograms merge (counts add, min/max combine), which is
+  what makes per-worker or per-process histograms aggregatable without
+  losing percentile fidelity — the property ad-hoc percentile lists
+  don't have.
+
+Percentiles are computed by rank-walking the cumulative counts and
+reporting the bucket's geometric midpoint, clamped to the exact
+``[min, max]`` observed — so a single-sample histogram reports that
+sample exactly, and an all-in-one-bucket histogram never reports a
+value outside what it saw.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default range: 1µs .. 1000s, in seconds — six decades covering
+#: everything from one native-kernel chunk to a stuck request.
+DEFAULT_MIN = 1e-6
+DEFAULT_MAX = 1e3
+#: Buckets per decade of value range.  40/decade keeps relative error
+#: under ``10**(1/40) - 1`` ~ 5.9% — tighter than run-to-run noise.
+DEFAULT_BUCKETS_PER_DECADE = 40
+
+#: The standard readout, as (percentile, attribute-friendly key) pairs.
+STANDARD_PERCENTILES: Tuple[Tuple[float, str], ...] = (
+    (50.0, "p50"),
+    (90.0, "p90"),
+    (99.0, "p99"),
+    (99.9, "p999"),
+)
+
+
+def _bucket_count(min_value: float, max_value: float, per_decade: int) -> int:
+    decades = math.log10(max_value / min_value)
+    # +2: bucket 0 is the underflow bucket (values <= min_value), the
+    # last bucket is the overflow bucket (values > max_value).
+    return int(math.ceil(decades * per_decade)) + 2
+
+
+class HdrSnapshot:
+    """Immutable counts of an :class:`HdrHistogram` at one instant.
+
+    Snapshots taken from histograms with identical ``(min_value,
+    max_value, buckets_per_decade)`` shape support :meth:`merge`.
+    """
+
+    __slots__ = (
+        "min_value", "max_value", "buckets_per_decade",
+        "counts", "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        min_value: float,
+        max_value: float,
+        buckets_per_decade: int,
+        counts: Sequence[int],
+        total: int,
+        value_sum: float,
+        min_seen: float,
+        max_seen: float,
+    ) -> None:
+        self.min_value = min_value
+        self.max_value = max_value
+        self.buckets_per_decade = buckets_per_decade
+        self.counts = tuple(counts)
+        self.count = total
+        self.sum = value_sum
+        self.min = min_seen
+        self.max = max_seen
+
+    # -- merging -------------------------------------------------------------
+
+    def _same_shape(self, other: "HdrSnapshot") -> bool:
+        return (
+            self.min_value == other.min_value
+            and self.max_value == other.max_value
+            and self.buckets_per_decade == other.buckets_per_decade
+        )
+
+    def merge(self, other: "HdrSnapshot") -> "HdrSnapshot":
+        """Combined snapshot; both inputs are left untouched."""
+        if not self._same_shape(other):
+            raise ValueError(
+                "cannot merge snapshots of differently-shaped histograms: "
+                f"({self.min_value}, {self.max_value}, "
+                f"{self.buckets_per_decade}) vs ({other.min_value}, "
+                f"{other.max_value}, {other.buckets_per_decade})"
+            )
+        counts = [a + b for a, b in zip(self.counts, other.counts)]
+        if self.count == 0:
+            lo, hi = other.min, other.max
+        elif other.count == 0:
+            lo, hi = self.min, self.max
+        else:
+            lo, hi = min(self.min, other.min), max(self.max, other.max)
+        return HdrSnapshot(
+            self.min_value, self.max_value, self.buckets_per_decade,
+            counts, self.count + other.count, self.sum + other.sum, lo, hi,
+        )
+
+    # -- readout -------------------------------------------------------------
+
+    def _bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """(lower, upper) value bounds of bucket ``index``."""
+        if index <= 0:
+            return (0.0, self.min_value)
+        step = 1.0 / self.buckets_per_decade
+        lo = self.min_value * 10.0 ** ((index - 1) * step)
+        hi = self.min_value * 10.0 ** (index * step)
+        return (lo, hi)
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100); 0.0 for an empty snapshot.
+
+        Reported as the geometric midpoint of the bucket holding the
+        rank, clamped to the observed ``[min, max]`` — exact for a
+        single sample, never outside the data.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(p / 100.0 * self.count)))
+        running = 0
+        index = len(self.counts) - 1
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank:
+                index = i
+                break
+        lo, hi = self._bucket_bounds(index)
+        mid = math.sqrt(lo * hi) if lo > 0.0 else hi / 2.0
+        return min(max(mid, self.min), self.max)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard ``{p50, p90, p99, p999}`` readout."""
+        return {key: self.percentile(p) for p, key in STANDARD_PERCENTILES}
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by /snapshot and the registry)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            **self.percentiles(),
+        }
+
+
+class HdrHistogram:
+    """Thread-safe log-bucketed recorder; registry-compatible metric.
+
+    The constructor signature matches what
+    :meth:`~repro.obs.metrics.MetricsRegistry._get_or_create` passes, so
+    instances live in the registry next to counters and gauges with
+    ``kind = "hdr"``.
+    """
+
+    kind = "hdr"
+    __slots__ = (
+        "name", "labels", "help",
+        "min_value", "max_value", "buckets_per_decade",
+        "_counts", "_count", "_sum", "_min", "_max", "_lock", "_log_min",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: Tuple[Tuple[str, str], ...] = (),
+        help: str = "",
+        min_value: float = DEFAULT_MIN,
+        max_value: float = DEFAULT_MAX,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ) -> None:
+        if not (0.0 < min_value < max_value):
+            raise ValueError(
+                f"need 0 < min_value < max_value, got {min_value}, {max_value}"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError("need >= 1 bucket per decade")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self._counts = [0] * _bucket_count(
+            self.min_value, self.max_value, self.buckets_per_decade
+        )
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+        self._log_min = math.log10(self.min_value)
+
+    def bucket_index(self, value: float) -> int:
+        """Bucket holding ``value`` (0 = underflow, last = overflow)."""
+        if value <= self.min_value:
+            return 0
+        if value > self.max_value:
+            return len(self._counts) - 1
+        raw = (math.log10(value) - self._log_min) * self.buckets_per_decade
+        # ceil puts a value sitting exactly on a bound in the bucket
+        # *below* it (bounds are upper-inclusive, like Prometheus `le`);
+        # the epsilon absorbs log10 jitter on exact powers.
+        index = int(math.ceil(raw - 1e-9))
+        return min(max(index, 1), len(self._counts) - 2)
+
+    def record(self, value: Union[int, float]) -> None:
+        """Record one observation (negative values clamp to underflow).
+
+        This is the serving hot path (several records per request), so
+        the bucket math from :meth:`bucket_index` is inlined and
+        attribute reads are kept to a minimum.
+        """
+        value = float(value)
+        counts = self._counts
+        if value <= self.min_value:
+            index = 0
+        elif value > self.max_value:
+            index = len(counts) - 1
+        else:
+            raw = (math.log10(value) - self._log_min) * self.buckets_per_decade
+            index = int(math.ceil(raw - 1e-9))
+            if index < 1:
+                index = 1
+            elif index > len(counts) - 2:
+                index = len(counts) - 2
+        with self._lock:
+            counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    #: Alias so call sites can treat Histogram and HdrHistogram alike.
+    observe = record
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> HdrSnapshot:
+        """Consistent point-in-time copy (safe under concurrent record)."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            value_sum = self._sum
+            lo = self._min if total else 0.0
+            hi = self._max if total else 0.0
+        return HdrSnapshot(
+            self.min_value, self.max_value, self.buckets_per_decade,
+            counts, total, value_sum, lo, hi,
+        )
+
+    def percentile(self, p: float) -> float:
+        return self.snapshot().percentile(p)
+
+    def percentiles(self) -> Dict[str, float]:
+        return self.snapshot().percentiles()
+
+
+def merge_snapshots(snapshots: Sequence[HdrSnapshot]) -> Optional[HdrSnapshot]:
+    """Fold any number of same-shaped snapshots; None for an empty list."""
+    merged: Optional[HdrSnapshot] = None
+    for snap in snapshots:
+        merged = snap if merged is None else merged.merge(snap)
+    return merged

@@ -21,6 +21,13 @@ import math
 import threading
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.obs.hdr import (
+    DEFAULT_BUCKETS_PER_DECADE,
+    DEFAULT_MAX,
+    DEFAULT_MIN,
+    HdrHistogram,
+)
+
 #: One process-wide mutation lock shared by every metric instance.  The
 #: virtual runtime never contends on it (one runnable thread at a time),
 #: but the real-thread backend increments counters from truly concurrent
@@ -137,7 +144,7 @@ class Histogram:
         return out
 
 
-Metric = Union[Counter, Gauge, Histogram]
+Metric = Union[Counter, Gauge, Histogram, HdrHistogram]
 
 
 class MetricsRegistry:
@@ -186,6 +193,22 @@ class MetricsRegistry:
             Histogram, name, labels, help, buckets=buckets
         )
 
+    def hdr(
+        self,
+        name: str,
+        labels: Optional[LabelMap] = None,
+        help: str = "",
+        min_value: float = DEFAULT_MIN,
+        max_value: float = DEFAULT_MAX,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ) -> HdrHistogram:
+        """Get-or-create a log-scaled latency histogram (see obs.hdr)."""
+        return self._get_or_create(
+            HdrHistogram, name, labels, help,
+            min_value=min_value, max_value=max_value,
+            buckets_per_decade=buckets_per_decade,
+        )
+
     def snapshot(self) -> List[dict]:
         """Every metric as a JSON-serializable dict (stable order)."""
         out: List[dict] = []
@@ -202,6 +225,8 @@ class MetricsRegistry:
                     ["+Inf" if math.isinf(le) else le, n]
                     for le, n in metric.cumulative()
                 ]
+            elif isinstance(metric, HdrHistogram):
+                entry.update(metric.snapshot().to_dict())
             else:
                 entry["value"] = metric.value
             out.append(entry)
@@ -211,7 +236,7 @@ class MetricsRegistry:
         """Flat ``name{k="v"}`` -> value map (counters and gauges only)."""
         out: Dict[str, float] = {}
         for metric in self._metrics.values():
-            if isinstance(metric, Histogram):
+            if isinstance(metric, (Histogram, HdrHistogram)):
                 continue
             if metric.labels:
                 label_str = ",".join(f'{k}="{v}"' for k, v in metric.labels)

@@ -1,0 +1,310 @@
+"""Live telemetry: a stdlib-only HTTP endpoint over the metrics registry.
+
+A :class:`TelemetryServer` is a background :mod:`http.server` thread
+exposing the serving tier's observability surface while traffic flows:
+
+=============  ================================================================
+``/metrics``   Prometheus text exposition of the registry (scrape target)
+``/healthz``   JSON liveness: engine status, queue depth, model name/version
+``/snapshot``  JSON of the full registry snapshot + the last-N request traces
+=============  ================================================================
+
+Nothing outside the standard library is involved — the point of this
+repo's serving tier is that it deploys anywhere a Python and a C
+compiler exist, and its telemetry holds itself to the same bar.
+
+The server is deliberately engine-agnostic: it is constructed from a
+registry plus two callables (health and traces), so builds, benchmarks
+or future multi-model registries can expose the same endpoints.
+:meth:`TelemetryServer.for_engine` wires one to an
+:class:`~repro.classify.engine.InferenceEngine`, folding the process's
+kernel traffic counters (:mod:`repro._native.stats`) into the registry
+at scrape time so ``/metrics`` and ``repro top`` show the numpy-vs-
+native split.
+
+:func:`render_dashboard` turns a ``/snapshot`` document into the text
+dashboard ``repro top`` prints — kept here, next to the data it
+renders, so the CLI stays a thin fetch-and-print loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+
+from repro._native import stats as kernel_stats
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetryServer:
+    """Background HTTP server publishing /metrics, /healthz, /snapshot."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        health: Optional[Callable[[], dict]] = None,
+        traces: Optional[Callable[[], List[dict]]] = None,
+        collect: Optional[Callable[[], None]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self._health = health
+        self._traces = traces
+        self._collect = collect
+        self._started = False
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # One telemetry request is served per connection keep-alive
+            # round; logging goes nowhere (stderr belongs to the CLI).
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def _send(self, status: int, content_type: str, body: bytes):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = outer.metrics_text().encode()
+                        self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+                    elif path == "/healthz":
+                        doc = outer.health()
+                        status = 200 if doc.get("status") == "ok" else 503
+                        self._send(
+                            status, "application/json",
+                            json.dumps(doc).encode(),
+                        )
+                    elif path == "/snapshot":
+                        body = json.dumps(outer.snapshot()).encode()
+                        self._send(200, "application/json", body)
+                    else:
+                        self._send(
+                            404, "text/plain",
+                            b"not found; try /metrics, /healthz, /snapshot\n",
+                        )
+                except BrokenPipeError:  # pragma: no cover - client gone
+                    pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def for_engine(
+        cls, engine, *, host: str = "127.0.0.1", port: int = 0
+    ) -> "TelemetryServer":
+        """A server wired to one inference engine's registry/ring/health."""
+        ring = engine.trace_ring
+        return cls(
+            engine.metrics,
+            health=engine.health,
+            traces=(lambda: ring.snapshot()) if ring is not None else None,
+            collect=lambda: kernel_stats.fold_into(engine.metrics),
+            host=host,
+            port=port,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after construction; 0 means pick)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        if self._started:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._started = False
+        self._server.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- responses (callable without HTTP, for tests and repro top) ----------
+
+    def _run_collect(self) -> None:
+        if self._collect is not None:
+            self._collect()
+
+    def metrics_text(self) -> str:
+        self._run_collect()
+        return prometheus_text(self.registry)
+
+    def health(self) -> dict:
+        if self._health is not None:
+            return self._health()
+        return {"status": "ok"}
+
+    def snapshot(self) -> dict:
+        self._run_collect()
+        doc = {
+            "ts": time.time(),
+            "health": self.health(),
+            "metrics": self.registry.snapshot(),
+            "traces": self._traces() if self._traces is not None else [],
+        }
+        return doc
+
+
+# -- the `repro top` dashboard -------------------------------------------------
+
+
+def _metric_index(snapshot_doc: dict) -> Dict[str, List[dict]]:
+    index: Dict[str, List[dict]] = {}
+    for entry in snapshot_doc.get("metrics", ()):
+        index.setdefault(entry["name"], []).append(entry)
+    return index
+
+
+def _value(index, name, **labels) -> float:
+    for entry in index.get(name, ()):
+        if all(entry["labels"].get(k) == v for k, v in labels.items()):
+            return float(entry.get("value", 0.0))
+    return 0.0
+
+
+def _bar(n: float, peak: float, width: int = 20) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(int(round(n / peak * width)), 1 if n > 0 else 0)
+
+
+def render_dashboard(
+    snapshot_doc: dict,
+    prev: Optional[dict] = None,
+    interval: Optional[float] = None,
+) -> str:
+    """One text frame of the live dashboard from a ``/snapshot`` document.
+
+    With a previous snapshot and the seconds between the two, rates
+    (qps, rows/s) are per-interval deltas; otherwise they are lifetime
+    averages over the engine's uptime.
+    """
+    index = _metric_index(snapshot_doc)
+    health = snapshot_doc.get("health", {})
+    uptime = float(health.get("uptime_s", 0.0))
+
+    requests = _value(index, "engine_requests_total")
+    rows = _value(index, "engine_rows_total")
+    completed = _value(index, "engine_completed_requests_total")
+    if prev is not None and interval and interval > 0:
+        prev_index = _metric_index(prev)
+        qps = (requests - _value(prev_index, "engine_requests_total")) / interval
+        rps = (rows - _value(prev_index, "engine_rows_total")) / interval
+        window = f"last {interval:.1f}s"
+    else:
+        qps = requests / uptime if uptime > 0 else 0.0
+        rps = rows / uptime if uptime > 0 else 0.0
+        window = "lifetime"
+
+    lines = [
+        f"repro top — model {health.get('model', '?')!s} "
+        f"[{health.get('status', '?')}]  "
+        f"workers {health.get('workers', '?')}  "
+        f"uptime {uptime:.1f}s",
+        f"  traffic ({window}): {qps:,.1f} req/s, {rps:,.0f} rows/s; "
+        f"totals: {requests:,.0f} requests, {completed:,.0f} completed, "
+        f"{rows:,.0f} rows",
+        f"  queue depth: {int(_value(index, 'engine_queue_depth'))}",
+    ]
+
+    for name, label in (
+        ("engine_request_latency_seconds", "request latency"),
+        ("engine_queue_wait_seconds", "queue wait"),
+        ("engine_batch_latency_seconds", "predict chunk"),
+    ):
+        for entry in index.get(name, ()):
+            if entry.get("count", 0):
+                lines.append(
+                    f"  {label:>15}: p50 {entry['p50'] * 1e3:8.3f} ms  "
+                    f"p90 {entry['p90'] * 1e3:8.3f} ms  "
+                    f"p99 {entry['p99'] * 1e3:8.3f} ms  "
+                    f"p99.9 {entry['p999'] * 1e3:8.3f} ms  "
+                    f"(n={entry['count']})"
+                )
+
+    rejected = [
+        (entry["labels"].get("reason", "?"), entry.get("value", 0.0))
+        for entry in index.get("engine_rejected_requests_total", ())
+        if entry.get("value", 0.0) > 0
+    ]
+    if rejected:
+        parts = ", ".join(f"{r}: {int(v)}" for r, v in sorted(rejected))
+        lines.append(f"  rejections: {parts}")
+    else:
+        lines.append("  rejections: none")
+
+    for entry in index.get("engine_batch_rows", ()):
+        buckets = entry.get("buckets") or []
+        counts = []
+        prev_cum = 0
+        for le, cum in buckets:
+            counts.append((le, cum - prev_cum))
+            prev_cum = cum
+        peak = max((n for _le, n in counts), default=0)
+        if peak:
+            lines.append("  batch-size histogram (rows <= bound):")
+            for le, n in counts:
+                if n:
+                    lines.append(f"    {str(le):>8}: {n:>8} {_bar(n, peak)}")
+
+    split = {}
+    for entry in index.get("kernel_rows_total", ()):
+        if entry["labels"].get("kernel") == "route":
+            split[entry["labels"].get("backend", "?")] = entry.get("value", 0.0)
+    if split:
+        total = sum(split.values()) or 1.0
+        parts = ", ".join(
+            f"{backend} {rows_ / total * 100.0:.1f}% ({rows_:,.0f} rows)"
+            for backend, rows_ in sorted(split.items())
+        )
+        lines.append(f"  kernel backend split (route): {parts}")
+
+    traces = snapshot_doc.get("traces", ())
+    if traces:
+        last = traces[-1]
+        lines.append(
+            f"  traces: {len(traces)} buffered; last {last['trace_id']} "
+            f"({last['rows']} rows, queue {last['queue_wait_s'] * 1e3:.3f} ms, "
+            f"total {last['total_s'] * 1e3:.3f} ms, {last['status']})"
+        )
+    return "\n".join(lines)

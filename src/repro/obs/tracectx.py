@@ -1,0 +1,265 @@
+"""Per-request trace contexts for the serving path.
+
+Every request admitted by
+:meth:`~repro.classify.engine.InferenceEngine.submit` gets a
+:class:`TraceContext`: a trace ID minted at admission plus timestamps
+for each hop of the request's life — queued, picked up by a worker,
+predicted (possibly in several ``batch_size`` chunks), resolved.  The
+engine stamps the context as the request moves; nothing here blocks or
+allocates beyond the one small object per request.
+
+Completed traces land in a :class:`TraceRing` — a bounded, thread-safe
+last-N buffer.  ``recorded`` counts every push ever made, ``evicted``
+counts how many fell off the old end, and ``dropped`` counts pushes
+that failed outright (always zero by construction; the counter exists
+so the stress tests can *assert* that rather than assume it).
+
+:func:`chrome_trace_for` serializes a batch of traces to the Chrome
+Trace Event Format with **one track per engine worker**: each request
+renders as a ``request`` span on the worker that served it, with its
+``queue-wait`` and ``predict`` sub-spans nested inside by time
+containment, and the trace ID in the args of every event — load the
+file in Perfetto and the whole life of request ``a3f2...`` is one
+click.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, IO, List, Optional, Union
+
+#: Engine-local monotonic sequence + per-process random prefix, so IDs
+#: stay unique across engines and across processes without coordination.
+_SEQ = itertools.count(1)
+_PREFIX = os.urandom(4).hex()
+
+
+def mint_trace_id() -> str:
+    """A short, process-unique trace ID (hex prefix + sequence)."""
+    return f"{_PREFIX}-{next(_SEQ):08x}"
+
+
+class TraceContext:
+    """The recorded life of one request, in engine-relative seconds.
+
+    All timestamps come from the engine's ``perf_counter``-based clock
+    (zero at engine construction), so traces from many requests share
+    one timeline.
+    """
+
+    __slots__ = (
+        "trace_id", "model", "rows", "submit_ts", "dequeue_ts",
+        "finish_ts", "worker", "group_size", "batch_rows", "chunks",
+        "predict_s", "status", "error",
+    )
+
+    def __init__(self, trace_id: str, model: str, rows: int,
+                 submit_ts: float) -> None:
+        self.trace_id = trace_id
+        self.model = model
+        self.rows = rows
+        self.submit_ts = submit_ts
+        self.dequeue_ts: float = -1.0
+        self.finish_ts: float = -1.0
+        self.worker: int = -1
+        #: Requests coalesced into the same micro-batch (incl. this one).
+        self.group_size: int = 0
+        #: Total rows of the micro-batch this request rode in.
+        self.batch_rows: int = 0
+        #: ``batch_size``-bounded predict calls the micro-batch took.
+        self.chunks: int = 0
+        #: Seconds inside vectorized predict for the micro-batch.
+        self.predict_s: float = 0.0
+        self.status: str = "pending"
+        self.error: str = ""
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds between admission and a worker picking the request up."""
+        if self.dequeue_ts < 0.0:
+            return 0.0
+        return self.dequeue_ts - self.submit_ts
+
+    @property
+    def total_s(self) -> float:
+        """Submit-to-resolve wall seconds."""
+        if self.finish_ts < 0.0:
+            return 0.0
+        return self.finish_ts - self.submit_ts
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record (what /snapshot returns)."""
+        return {
+            "trace_id": self.trace_id,
+            "model": self.model,
+            "rows": self.rows,
+            "worker": self.worker,
+            "group_size": self.group_size,
+            "batch_rows": self.batch_rows,
+            "chunks": self.chunks,
+            "submit_ts": self.submit_ts,
+            "queue_wait_s": self.queue_wait_s,
+            "predict_s": self.predict_s,
+            "total_s": self.total_s,
+            "status": self.status,
+            "error": self.error,
+        }
+
+
+class TraceRing:
+    """Bounded, thread-safe ring of the last N completed traces."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[TraceContext] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+        self._dropped = 0
+
+    def push(self, trace: TraceContext) -> None:
+        with self._lock:
+            try:
+                self._ring.append(trace)
+                self._recorded += 1
+            except BaseException:  # pragma: no cover - deque.append can't fail
+                self._dropped += 1
+                raise
+
+    @property
+    def recorded(self) -> int:
+        """Traces ever pushed (monotone; survives eviction)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Pushes that failed to record — zero unless something is broken."""
+        return self._dropped
+
+    @property
+    def evicted(self) -> int:
+        """Traces that aged out of the last-N window."""
+        with self._lock:
+            return self._recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def traces(self, last: Optional[int] = None) -> List[TraceContext]:
+        """The newest ``last`` traces, oldest first (all when None)."""
+        with self._lock:
+            items = list(self._ring)
+        return items if last is None else items[-last:]
+
+    def snapshot(self, last: Optional[int] = None) -> List[dict]:
+        """JSON-ready dicts of the newest ``last`` traces."""
+        return [t.to_dict() for t in self.traces(last)]
+
+
+# -- Chrome trace export -------------------------------------------------------
+
+#: Engine-relative seconds -> Chrome trace microseconds.
+TIME_SCALE = 1e6
+
+
+def chrome_trace_events_for(traces: List[TraceContext]) -> List[dict]:
+    """Trace Event list: one thread track per engine worker.
+
+    Per trace: a ``request`` span covering submit..finish on the
+    worker's track, with ``queue-wait`` (submit..dequeue) and
+    ``predict`` (dequeue..dequeue+predict_s) spans nested inside it.
+    Events carry the full ``ts/dur/ph/pid/tid/name`` shape the build
+    exporter uses, so the same validators accept both.
+    """
+    workers = sorted({t.worker for t in traces if t.worker >= 0})
+    events: List[dict] = [
+        {
+            "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
+            "pid": 0, "tid": 0, "args": {"name": "repro serving"},
+        }
+    ]
+    for wid in workers:
+        events.append(
+            {
+                "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
+                "pid": 0, "tid": wid, "args": {"name": f"worker {wid}"},
+            }
+        )
+    body: List[dict] = []
+    for t in traces:
+        tid = max(t.worker, 0)
+        args = {
+            "trace_id": t.trace_id,
+            "rows": t.rows,
+            "group_size": t.group_size,
+            "batch_rows": t.batch_rows,
+            "chunks": t.chunks,
+            "status": t.status,
+        }
+        body.append(
+            {
+                "name": "request", "cat": "serve", "ph": "X",
+                "ts": t.submit_ts * TIME_SCALE,
+                "dur": max(t.total_s, 0.0) * TIME_SCALE,
+                "pid": 0, "tid": tid, "args": args,
+            }
+        )
+        if t.dequeue_ts >= 0.0:
+            body.append(
+                {
+                    "name": "queue-wait", "cat": "serve", "ph": "X",
+                    "ts": t.submit_ts * TIME_SCALE,
+                    "dur": max(t.queue_wait_s, 0.0) * TIME_SCALE,
+                    "pid": 0, "tid": tid,
+                    "args": {"trace_id": t.trace_id},
+                }
+            )
+            body.append(
+                {
+                    "name": "predict", "cat": "serve", "ph": "X",
+                    "ts": t.dequeue_ts * TIME_SCALE,
+                    "dur": max(t.predict_s, 0.0) * TIME_SCALE,
+                    "pid": 0, "tid": tid,
+                    "args": {"trace_id": t.trace_id, "chunks": t.chunks},
+                }
+            )
+    # Same viewer-friendly order as the build exporter: per track by
+    # start, wider spans first so equal-start events nest correctly.
+    body.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    return events + body
+
+
+def chrome_trace_for(traces: List[TraceContext], **metadata) -> dict:
+    """Complete Chrome trace document for a batch of request traces."""
+    return {
+        "traceEvents": chrome_trace_events_for(traces),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.tracectx", **metadata},
+    }
+
+
+def write_chrome_trace_for(
+    dest: Union[str, IO[str]], traces: List[TraceContext], **metadata
+) -> dict:
+    """Write the serving Chrome trace to a path or file; returns the doc."""
+    doc = chrome_trace_for(traces, **metadata)
+    if hasattr(dest, "write"):
+        json.dump(doc, dest)
+    else:
+        with open(dest, "w") as fh:
+            json.dump(doc, fh)
+    return doc
+
+
+def now() -> float:
+    """The clock trace timestamps are taken from (wall perf counter)."""
+    return time.perf_counter()

@@ -50,6 +50,7 @@ from typing import Optional
 import numpy as np
 
 from repro._native import cc
+from repro._native import stats as kernel_stats
 
 C_SOURCE = r"""
 #include <stdint.h>
@@ -263,6 +264,7 @@ class TrainingKernels:
         Inputs must be C-contiguous float64/int32/int64 (the caller in
         :mod:`repro.sprint.kernels` stages them).
         """
+        kernel_stats.record("continuous_splits", "native", len(values))
         n_segments = len(offsets) - 1
         weighted = np.empty(n_segments, dtype=np.float64)
         boundary = np.empty(n_segments, dtype=np.int64)
@@ -293,6 +295,7 @@ class TrainingKernels:
         ``n_segments * cardinality * n_classes`` cells — the kernel only
         increments.
         """
+        kernel_stats.record("categorical_counts", "native", len(values))
         self._categorical(
             _ptr(values), _ptr(classes), _ptr(offsets),
             ctypes.c_int64(len(offsets) - 1),
@@ -312,6 +315,7 @@ class TrainingKernels:
         arrays must be C-contiguous and ``out`` at least ``len(records)``
         items of the same dtype.
         """
+        kernel_stats.record("partition", "native", len(records))
         return int(
             self._partition(
                 _ptr(records), ctypes.c_int64(len(records)),
@@ -331,6 +335,7 @@ class TrainingKernels:
         over the range (np.isin's own fast path, minus the GIL); sparse
         ranges fall back to one binary search per query.
         """
+        kernel_stats.record("membership", "native", len(queries))
         n_table = len(table)
         n_queries = len(queries)
         out = np.empty(n_queries, dtype=np.uint8)

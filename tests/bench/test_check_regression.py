@@ -1,0 +1,162 @@
+"""Gate behaviour tests for benchmarks/check_regression.py."""
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+sys.path.insert(0, BENCH_DIR)
+import check_regression  # noqa: E402
+
+sys.path.pop(0)
+
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+
+def baseline(name):
+    with open(os.path.join(REPO_ROOT, name)) as handle:
+        return json.load(handle)
+
+
+def run(argv):
+    return check_regression.main(argv)
+
+
+class TestSelfCheck:
+    def test_committed_baselines_pass(self, capsys):
+        assert run([]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        for name in (
+            "BENCH_kernels.json", "BENCH_wallclock.json",
+            "BENCH_predict.json", "BENCH_build_native.json",
+        ):
+            assert name in out
+
+    def test_every_committed_schema_has_a_plan(self):
+        import glob
+
+        for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+            schema = json.load(open(path)).get("schema")
+            assert schema in check_regression.PLANS, (
+                f"{os.path.basename(path)} declares {schema!r} with no "
+                "regression plan — add one to check_regression.PLANS"
+            )
+
+
+class TestDegradations:
+    def degrade(self, tmp_path, name, mutate):
+        doc = copy.deepcopy(baseline(name))
+        mutate(doc)
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(tmp_path)
+
+    def test_halved_speedup_fails(self, tmp_path, capsys):
+        current = self.degrade(
+            tmp_path, "BENCH_kernels.json",
+            lambda d: d["results"].__getitem__(0).update(
+                speedup=d["results"][0]["speedup"] * 0.5
+            ),
+        )
+        assert run(["--current", current]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "speedup" in out
+
+    def test_small_wobble_passes(self, tmp_path):
+        def mutate(doc):
+            for row in doc["results"]:
+                row["speedup"] *= 0.9  # inside the 25% band
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        assert run(["--current", current]) == 0
+
+    def test_tolerance_flag_tightens_the_band(self, tmp_path):
+        def mutate(doc):
+            doc["results"][0]["speedup"] *= 0.9
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        assert run(["--current", current, "--tolerance", "0.05"]) == 1
+
+    def test_slower_build_fails(self, tmp_path):
+        def mutate(doc):
+            doc["results"][0]["build_s"] *= 2.0
+
+        current = self.degrade(tmp_path, "BENCH_wallclock.json", mutate)
+        assert run(["--current", current]) == 1
+
+    def test_correctness_flag_is_zero_tolerance(self, tmp_path, capsys):
+        def mutate(doc):
+            doc["summary"]["all_outputs_match_oracle"] = False
+
+        current = self.degrade(tmp_path, "BENCH_predict.json", mutate)
+        assert run(["--current", current]) == 1
+        assert "zero tolerance" in capsys.readouterr().out
+
+    def test_tree_match_regression_in_nested_table(self, tmp_path):
+        def mutate(doc):
+            doc["results"]["builds"][0]["tree_matches"] = False
+
+        current = self.degrade(tmp_path, "BENCH_build_native.json", mutate)
+        assert run(["--current", current]) == 1
+
+    def test_report_only_reports_but_exits_zero(self, tmp_path, capsys):
+        def mutate(doc):
+            doc["results"][0]["speedup"] = 0.01
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        assert run(["--current", current, "--report-only"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "report-only" in out
+
+    def test_missing_rows_noted_not_failed(self, tmp_path, capsys):
+        def mutate(doc):
+            doc["results"] = doc["results"][:10]
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        assert run(["--current", current]) == 0
+        assert "baseline row(s) missing" in capsys.readouterr().out
+
+    def test_schema_mismatch_fails(self, tmp_path, capsys):
+        def mutate(doc):
+            doc["schema"] = "bench_predict/1"
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        assert run(["--current", current]) == 1
+        assert "schema mismatch" in capsys.readouterr().out
+
+    def test_single_file_current(self, tmp_path):
+        def mutate(doc):
+            doc["results"][0]["speedup"] *= 0.5
+
+        current = self.degrade(tmp_path, "BENCH_kernels.json", mutate)
+        path = os.path.join(current, "BENCH_kernels.json")
+        assert run(["--current", path]) == 1
+
+
+class TestCompare:
+    def test_higher_better_band(self):
+        assert check_regression._compare("higher", 2.0, 1.6, 0.25)[0]
+        assert not check_regression._compare("higher", 2.0, 1.4, 0.25)[0]
+        assert check_regression._compare("higher", 2.0, 3.0, 0.25)[0]
+
+    def test_lower_better_band(self):
+        assert check_regression._compare("lower", 1.0, 1.2, 0.25)[0]
+        assert not check_regression._compare("lower", 1.0, 1.3, 0.25)[0]
+        assert check_regression._compare("lower", 1.0, 0.5, 0.25)[0]
+
+    def test_bool_only_fails_true_to_false(self):
+        assert not check_regression._compare("bool", True, False, 0.25)[0]
+        assert check_regression._compare("bool", True, True, 0.25)[0]
+        assert check_regression._compare("bool", False, True, 0.25)[0]
+        assert check_regression._compare("bool", False, False, 0.25)[0]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            check_regression._compare("sideways", 1.0, 1.0, 0.25)

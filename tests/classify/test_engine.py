@@ -191,3 +191,117 @@ class TestStress:
             request = engine.submit(small_f2.columns)
             with pytest.raises(RuntimeError, match="kernel exploded"):
                 request.result(timeout=30)
+
+
+class TestRejectionBreakdown:
+    def test_per_reason_counts(self, model, small_f2):
+        good = small_f2.columns
+        missing = {k: v for k, v in list(good.items())[1:]}
+        ragged = {k: v.copy() for k, v in good.items()}
+        ragged[next(iter(ragged))] = ragged[next(iter(ragged))][:-1]
+        bad_shape = {k: np.stack([v, v]) for k, v in good.items()}
+        engine = InferenceEngine(model)
+        with engine:
+            for bad in (missing, missing, ragged, bad_shape):
+                with pytest.raises(ValueError):
+                    engine.submit(bad)
+            engine.predict_batch(good, timeout=30)
+        with pytest.raises(ValueError):
+            engine.submit(good)  # after close
+        breakdown = engine.rejections()
+        assert breakdown == {
+            "bad-shape": 1,
+            "closed": 1,
+            "missing-attribute": 2,
+            "non-numeric": 0,
+            "ragged": 1,
+        }
+        stats = engine.stats()
+        # Submit attempts = admitted + every rejection, exactly.
+        assert stats["engine_requests_total"] == 1
+        assert sum(breakdown.values()) == 4 + 1
+
+    def test_breakdown_starts_all_zero(self, model):
+        with InferenceEngine(model) as engine:
+            breakdown = engine.rejections()
+        assert set(breakdown) == {
+            "missing-attribute", "ragged", "non-numeric", "bad-shape",
+            "closed",
+        }
+        assert all(v == 0 for v in breakdown.values())
+
+
+class TestTracing:
+    def test_completed_request_trace_fields(self, model, small_f2):
+        with InferenceEngine(
+            model, batch_size=64, name="traced"
+        ) as engine:
+            handle = engine.submit(small_f2.columns)
+            handle.result(timeout=30)
+            trace = engine.trace_ring.traces()[-1]
+        assert trace.trace_id == handle.trace_id
+        assert trace.model == "traced"
+        assert trace.rows == small_f2.n_records
+        assert trace.worker == 0
+        assert trace.group_size == 1
+        assert trace.batch_rows == small_f2.n_records
+        assert trace.chunks == -(-small_f2.n_records // 64)
+        assert trace.status == "ok"
+        assert 0.0 <= trace.queue_wait_s <= trace.total_s
+        assert 0.0 < trace.predict_s <= trace.total_s
+        assert trace.dequeue_ts >= trace.submit_ts
+        assert trace.finish_ts >= trace.dequeue_ts
+
+    def test_grouped_requests_share_group_fields(self, model, small_f2):
+        cols = small_f2.columns
+        with InferenceEngine(model, batch_size=4096) as engine:
+            handles = [
+                engine.submit({k: v[i : i + 1] for k, v in cols.items()})
+                for i in range(20)
+            ]
+            for h in handles:
+                h.result(timeout=30)
+            traces = engine.trace_ring.traces()
+        assert len(traces) == 20
+        assert len({t.trace_id for t in traces}) == 20
+        grouped = [t for t in traces if t.group_size > 1]
+        assert grouped, "no requests coalesced"
+        assert all(t.batch_rows == t.group_size for t in grouped)
+
+    def test_error_trace_recorded(self, model, small_f2, monkeypatch):
+        engine = InferenceEngine(model, name="err")
+
+        def boom(columns):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(engine.compiled, "predict", boom)
+        with engine:
+            handle = engine.submit(small_f2.columns)
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                handle.result(timeout=30)
+        trace = engine.trace_ring.traces()[-1]
+        assert trace.status == "error"
+        assert "kernel exploded" in trace.error
+        assert engine.stats()["engine_request_errors_total"] == 1
+        assert engine.stats()["engine_completed_requests_total"] == 0
+
+
+class TestHealth:
+    def test_health_document(self, model, small_f2):
+        with InferenceEngine(
+            model, n_workers=2, batch_size=256, name="h", version="3"
+        ) as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+            doc = engine.health()
+            assert doc["status"] == "ok"
+            assert not engine.closed
+        assert engine.closed
+        closed_doc = engine.health()
+        assert closed_doc["status"] == "closed"
+        assert doc["model"] == "h"
+        assert doc["version"] == "3"
+        assert doc["workers"] == 2
+        assert doc["batch_size"] == 256
+        assert doc["n_nodes"] == engine.compiled.n_nodes
+        assert doc["uptime_s"] > 0
+        assert doc["queue_depth"] == 0

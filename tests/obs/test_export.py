@@ -162,3 +162,61 @@ class TestPrometheus:
         text = write_prometheus(path, r)
         assert open(path).read() == text
         assert text.endswith("\n")
+
+
+class TestPrometheusHostileInput:
+    def test_hostile_label_values_escaped(self):
+        r = MetricsRegistry()
+        hostile = 'quo"te\\back\nnewline'
+        r.counter("c_total", {"model": hostile}).inc()
+        text = prometheus_text(r)
+        assert 'model="quo\\"te\\\\back\\nnewline"' in text
+        assert "\nnewline" not in text.replace("\\n", "")
+        # Every non-comment line is single-line name{labels} value.
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            bare = line.replace("\\\\", "").replace('\\"', "")
+            assert bare.count('"') % 2 == 0
+            name, _, value = line.rpartition(" ")
+            float(value)
+            assert name
+
+    def test_help_text_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c_total", help="path C:\\tmp\nsecond line").inc()
+        text = prometheus_text(r)
+        assert "# HELP c_total path C:\\\\tmp\\nsecond line\n" in text
+        assert len([l for l in text.splitlines() if l.startswith("# HELP")]) == 1
+
+    def test_help_and_type_emitted_once_per_family(self):
+        r = MetricsRegistry()
+        r.counter("f_total", {"k": "a"}, help="an f").inc()
+        r.counter("f_total", {"k": "b"}, help="an f").inc()
+        text = prometheus_text(r)
+        assert text.count("# HELP f_total an f") == 1
+        assert text.count("# TYPE f_total counter") == 1
+
+
+class TestPrometheusHdr:
+    def test_hdr_renders_as_summary_with_quantiles(self):
+        from repro.obs.metrics import MetricsRegistry as _R
+
+        r = _R()
+        h = r.hdr("lat_seconds", {"model": "m"}, help="latency")
+        for _ in range(100):
+            h.record(0.01)
+        text = prometheus_text(r)
+        assert "# TYPE lat_seconds summary" in text
+        assert "# HELP lat_seconds latency" in text
+        for q in ("0.5", "0.9", "0.99", "0.999"):
+            assert f'lat_seconds{{model="m",quantile="{q}"}}' in text
+        assert 'lat_seconds_sum{model="m"} 1\n' in text
+        assert 'lat_seconds_count{model="m"} 100' in text
+
+    def test_empty_hdr_exports_zeroes(self):
+        r = MetricsRegistry()
+        r.hdr("lat")
+        text = prometheus_text(r)
+        assert 'lat{quantile="0.999"} 0' in text
+        assert "lat_count 0" in text

@@ -1,0 +1,200 @@
+"""Percentile-edge and merge tests for the log-bucketed HDR histograms."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.hdr import (
+    DEFAULT_BUCKETS_PER_DECADE,
+    HdrHistogram,
+    HdrSnapshot,
+    merge_snapshots,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestBucketing:
+    def test_underflow_and_overflow_buckets(self):
+        h = HdrHistogram(min_value=1e-3, max_value=1e3)
+        assert h.bucket_index(0.0) == 0
+        assert h.bucket_index(1e-9) == 0
+        assert h.bucket_index(1e-3) == 0  # bounds are upper-inclusive
+        assert h.bucket_index(1e9) == len(h._counts) - 1
+
+    def test_negative_values_clamp_to_underflow(self):
+        h = HdrHistogram()
+        h.record(-1.0)
+        snap = h.snapshot()
+        assert snap.count == 1
+        assert snap.counts[0] == 1
+
+    def test_monotone_in_value(self):
+        h = HdrHistogram(min_value=1e-6, max_value=1e3)
+        values = [10.0 ** (e / 7.0) for e in range(-40, 20)]
+        indices = [h.bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+    def test_relative_error_bounded_by_bucket_growth(self):
+        h = HdrHistogram()
+        growth = 10.0 ** (1.0 / DEFAULT_BUCKETS_PER_DECADE) - 1.0
+        for value in (3.7e-5, 0.0042, 0.11, 2.5, 41.0):
+            h = HdrHistogram()
+            h.record(1e-7)  # pin min below so clamping can't mask error
+            h.record(value)
+            h.record(900.0)  # and max above
+            assert h.percentile(50.0) == pytest.approx(value, rel=growth)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="min_value"):
+            HdrHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ValueError, match="bucket"):
+            HdrHistogram(buckets_per_decade=0)
+
+
+class TestPercentileEdges:
+    def test_empty_histogram_reads_zero(self):
+        h = HdrHistogram()
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(99.9) == 0.0
+        snap = h.snapshot()
+        assert snap.to_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0,
+        }
+
+    def test_single_sample_is_exact_at_every_percentile(self):
+        h = HdrHistogram()
+        h.record(0.0123)
+        for p in (0.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+            assert h.percentile(p) == pytest.approx(0.0123)
+
+    def test_all_in_one_bucket_stays_inside_observed_range(self):
+        h = HdrHistogram()
+        lo, hi = 0.00102, 0.00105  # same bucket at 40/decade
+        assert h.bucket_index(lo) == h.bucket_index(hi)
+        for _ in range(500):
+            h.record(lo)
+            h.record(hi)
+        for p in (1.0, 50.0, 99.0, 99.9):
+            assert lo <= h.percentile(p) <= hi
+
+    def test_long_tail_p999(self):
+        h = HdrHistogram()
+        for _ in range(9990):
+            h.record(0.001)
+        for _ in range(10):
+            h.record(5.0)
+        growth = 10.0 ** (1.0 / DEFAULT_BUCKETS_PER_DECADE) - 1.0
+        assert h.percentile(99.0) == pytest.approx(0.001, rel=growth)
+        # The 10 slow samples are invisible below p99.9 but dominate it.
+        assert h.percentile(99.91) == pytest.approx(5.0, rel=growth)
+        assert h.percentile(50.0) == pytest.approx(0.001, rel=growth)
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            HdrHistogram().percentile(101.0)
+
+    def test_mean_and_sum(self):
+        h = HdrHistogram()
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap.sum == pytest.approx(0.6)
+        assert snap.mean == pytest.approx(0.2)
+
+
+class TestMerge:
+    def test_merge_disjoint_snapshots(self):
+        fast, slow = HdrHistogram(), HdrHistogram()
+        for _ in range(900):
+            fast.record(0.001)
+        for _ in range(100):
+            slow.record(1.0)
+        merged = fast.snapshot().merge(slow.snapshot())
+        assert merged.count == 1000
+        assert merged.min == pytest.approx(0.001)
+        assert merged.max == pytest.approx(1.0)
+        growth = 10.0 ** (1.0 / DEFAULT_BUCKETS_PER_DECADE) - 1.0
+        # p50 comes from the fast side, p99 from the slow side — exactly
+        # what loses fidelity when percentiles are averaged instead of
+        # counts merged.
+        assert merged.percentile(50.0) == pytest.approx(0.001, rel=growth)
+        assert merged.percentile(99.0) == pytest.approx(1.0, rel=growth)
+
+    def test_merge_leaves_inputs_untouched(self):
+        a, b = HdrHistogram(), HdrHistogram()
+        a.record(0.5)
+        b.record(2.0)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        snap_a.merge(snap_b)
+        assert snap_a.count == 1 and snap_b.count == 1
+
+    def test_merge_with_empty(self):
+        a, empty = HdrHistogram(), HdrHistogram()
+        a.record(0.25)
+        merged = a.snapshot().merge(empty.snapshot())
+        assert merged.count == 1
+        assert merged.percentile(50.0) == pytest.approx(0.25)
+
+    def test_shape_mismatch_raises(self):
+        a = HdrHistogram(buckets_per_decade=40)
+        b = HdrHistogram(buckets_per_decade=20)
+        with pytest.raises(ValueError, match="differently-shaped"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_merge_snapshots_helper(self):
+        assert merge_snapshots([]) is None
+        parts = []
+        for worker in range(4):
+            h = HdrHistogram()
+            for i in range(100):
+                h.record(0.001 * (worker + 1))
+            parts.append(h.snapshot())
+        merged = merge_snapshots(parts)
+        assert merged.count == 400
+        assert merged.max == pytest.approx(0.004)
+
+
+class TestRegistryIntegration:
+    def test_get_or_create_and_snapshot(self):
+        r = MetricsRegistry()
+        h = r.hdr("lat_seconds", help="latency")
+        assert r.hdr("lat_seconds") is h
+        h.record(0.01)
+        entries = {e["name"]: e for e in r.snapshot()}
+        entry = entries["lat_seconds"]
+        assert entry["type"] == "hdr"
+        assert entry["count"] == 1
+        assert entry["p999"] == pytest.approx(0.01)
+
+    def test_observe_alias(self):
+        h = MetricsRegistry().hdr("x")
+        h.observe(0.5)
+        assert h.count == 1
+
+    def test_excluded_from_flat_values(self):
+        r = MetricsRegistry()
+        r.hdr("lat").record(1.0)
+        r.counter("c").inc()
+        assert "lat" not in r.values()
+        assert r.values()["c"] == 1
+
+    def test_concurrent_recording_loses_nothing(self):
+        h = HdrHistogram()
+        n, threads = 5000, 8
+
+        def pound(seed):
+            for i in range(n):
+                h.record(1e-4 * ((seed * 31 + i) % 100 + 1))
+
+        workers = [
+            threading.Thread(target=pound, args=(s,)) for s in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        snap = h.snapshot()
+        assert snap.count == n * threads
+        assert sum(snap.counts) == n * threads

@@ -1,0 +1,273 @@
+"""HTTP endpoint, dashboard and serving-stress tests for live telemetry.
+
+The stress test is the PR's acceptance gate: >= 10k rows through an
+engine from >= 4 client threads while other threads poll all three
+endpoints, with *exact* request accounting afterwards — every submit
+is either completed or rejected, counters are monotone across scrapes,
+and the trace ring dropped nothing.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro._native import stats as kernel_stats
+from repro.classify.engine import InferenceEngine
+from repro.core.builder import build_classifier
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
+    render_dashboard,
+)
+
+
+@pytest.fixture
+def model(small_f2):
+    return build_classifier(small_f2).tree
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestEndpoints:
+    def test_metrics_healthz_snapshot(self, model, small_f2):
+        with InferenceEngine(model, name="m1", version="7") as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+            with TelemetryServer.for_engine(engine) as server:
+                status, ctype, body = fetch(server.url + "/metrics")
+                assert status == 200
+                assert ctype == PROMETHEUS_CONTENT_TYPE
+                text = body.decode()
+                assert "# TYPE engine_requests_total counter" in text
+                assert "# TYPE engine_request_latency_seconds summary" in text
+                assert (
+                    'engine_request_latency_seconds{quantile="0.999"}' in text
+                )
+                assert "engine_request_latency_seconds_count 1" in text
+
+                status, ctype, body = fetch(server.url + "/healthz")
+                assert status == 200 and ctype == "application/json"
+                health = json.loads(body)
+                assert health["status"] == "ok"
+                assert health["model"] == "m1"
+                assert health["version"] == "7"
+                assert health["workers"] == 1
+                assert health["uptime_s"] > 0
+
+                status, _ctype, body = fetch(server.url + "/snapshot")
+                doc = json.loads(body)
+                assert doc["health"]["model"] == "m1"
+                assert len(doc["traces"]) == 1
+                assert doc["traces"][0]["status"] == "ok"
+                names = {m["name"] for m in doc["metrics"]}
+                assert "engine_queue_wait_seconds" in names
+
+    def test_unknown_path_404(self, model):
+        with InferenceEngine(model) as engine:
+            with TelemetryServer.for_engine(engine) as server:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    fetch(server.url + "/nope")
+                assert err.value.code == 404
+
+    def test_healthz_503_after_close(self, model):
+        engine = InferenceEngine(model)
+        with TelemetryServer.for_engine(engine) as server:
+            engine.close()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/healthz")
+            assert err.value.code == 503
+            assert json.loads(err.value.read())["status"] == "closed"
+
+    def test_kernel_counters_folded_at_scrape(self, model, small_f2):
+        kernel_stats.reset()
+        with InferenceEngine(model) as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+            with TelemetryServer.for_engine(engine) as server:
+                text = fetch(server.url + "/metrics")[2].decode()
+        assert "kernel_rows_total{" in text
+        split = kernel_stats.backend_rows("route")
+        assert sum(split.values()) >= small_f2.n_records
+
+    def test_standalone_registry_server(self):
+        r = MetricsRegistry()
+        r.counter("x_total").inc(3)
+        with TelemetryServer(r) as server:
+            assert "x_total 3" in fetch(server.url + "/metrics")[2].decode()
+            assert json.loads(fetch(server.url + "/healthz")[2]) == {
+                "status": "ok"
+            }
+            assert json.loads(fetch(server.url + "/snapshot")[2])["traces"] == []
+
+
+class TestServingStress:
+    N_CLIENTS = 4
+    BATCHES_PER_CLIENT = 25
+    ROWS_PER_BATCH = 150  # 4 * 20 good batches * 150 = 12000 rows
+
+    def test_stress_with_exact_accounting(self, model, small_f2):
+        base = {
+            k: np.resize(v, self.ROWS_PER_BATCH)
+            for k, v in small_f2.columns.items()
+        }
+        bad = dict(base)
+        bad.pop(next(iter(bad)))
+        submitted = [0] * self.N_CLIENTS
+        rejected_local = [0] * self.N_CLIENTS
+        errors = []
+        scrapes = []
+        stop = threading.Event()
+
+        engine = InferenceEngine(
+            model, batch_size=512, n_workers=2, name="stress",
+            trace_ring_size=256,
+        )
+
+        def client(cid):
+            for i in range(self.BATCHES_PER_CLIENT):
+                try:
+                    if i % 5 == 4:  # every 5th submit is malformed
+                        try:
+                            engine.submit(bad)
+                        except ValueError:
+                            rejected_local[cid] += 1
+                        else:
+                            errors.append(f"client {cid}: bad submit passed")
+                    else:
+                        out = engine.predict_batch(base, timeout=60)
+                        if len(out) != self.ROWS_PER_BATCH:
+                            errors.append(f"client {cid}: short result")
+                        submitted[cid] += 1
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(f"client {cid}: {exc!r}")
+
+        def poller(server_url):
+            last_requests = -1.0
+            last_rows = -1.0
+            while not stop.is_set():
+                try:
+                    text = fetch(server_url + "/metrics")[2].decode()
+                    health = json.loads(fetch(server_url + "/healthz")[2])
+                    doc = json.loads(fetch(server_url + "/snapshot")[2])
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(f"poller: {exc!r}")
+                    return
+                if health["status"] != "ok":
+                    errors.append(f"poller: health {health}")
+                requests_now = rows_now = 0.0
+                for m in doc["metrics"]:
+                    if m["name"] == "engine_requests_total":
+                        requests_now = m["value"]
+                    elif m["name"] == "engine_rows_total":
+                        rows_now = m["value"]
+                if requests_now < last_requests or rows_now < last_rows:
+                    errors.append(
+                        f"poller: counters went backwards "
+                        f"({last_requests}->{requests_now}, "
+                        f"{last_rows}->{rows_now})"
+                    )
+                last_requests, last_rows = requests_now, rows_now
+                scrapes.append((len(text), len(doc["traces"])))
+
+        with engine:
+            with TelemetryServer.for_engine(engine) as server:
+                clients = [
+                    threading.Thread(target=client, args=(c,))
+                    for c in range(self.N_CLIENTS)
+                ]
+                pollers = [
+                    threading.Thread(target=poller, args=(server.url,))
+                    for _ in range(2)
+                ]
+                for t in clients + pollers:
+                    t.start()
+                for t in clients:
+                    t.join()
+                stop.set()
+                for t in pollers:
+                    t.join()
+
+        assert errors == []
+        assert scrapes, "pollers never scraped"
+
+        stats = engine.stats()
+        breakdown = engine.rejections()
+        ok = sum(submitted)
+        rejected = sum(rejected_local)
+        attempts = self.N_CLIENTS * self.BATCHES_PER_CLIENT
+        # Exact accounting: every submit attempt is admitted or rejected,
+        # and every admitted request resolved.
+        assert ok + rejected == attempts
+        assert stats["engine_requests_total"] == ok
+        assert breakdown["missing-attribute"] == rejected
+        assert sum(breakdown.values()) == rejected
+        assert (
+            stats["engine_completed_requests_total"]
+            + stats["engine_request_errors_total"]
+            == ok
+        )
+        assert stats["engine_request_errors_total"] == 0
+        assert stats["engine_rows_total"] == ok * self.ROWS_PER_BATCH
+        assert stats["engine_rows_total"] >= 10000
+        # Zero dropped trace records; the ring saw every completion.
+        ring = engine.trace_ring
+        assert ring.dropped == 0
+        assert ring.recorded == ok
+        assert ring.evicted == ok - len(ring)
+        assert len(ring) == min(ok, 256)
+        # The request-latency HDR saw exactly the completed requests.
+        reg_entries = {m["name"]: m for m in engine.metrics.snapshot()}
+        assert reg_entries["engine_request_latency_seconds"]["count"] == ok
+        assert reg_entries["engine_queue_wait_seconds"]["count"] == ok
+
+
+class TestTracingOff:
+    def test_ring_size_zero_disables_tracing(self, model, small_f2):
+        with InferenceEngine(model, trace_ring_size=0) as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+            stats = engine.stats()
+            assert engine.trace_ring is None
+        # Completion accounting still works without traces.
+        assert stats["engine_completed_requests_total"] == 1
+        with InferenceEngine(model, trace_ring_size=0) as engine:
+            with TelemetryServer.for_engine(engine) as server:
+                doc = json.loads(fetch(server.url + "/snapshot")[2])
+                assert doc["traces"] == []
+
+
+class TestDashboard:
+    def snapshot_doc(self, model, small_f2):
+        with InferenceEngine(model, name="dash") as engine:
+            engine.predict_batch(small_f2.columns, timeout=30)
+            with pytest.raises(ValueError):
+                engine.submit({})
+            server = TelemetryServer.for_engine(engine)
+            return server.snapshot()
+
+    def test_render_lifetime_frame(self, model, small_f2):
+        frame = render_dashboard(self.snapshot_doc(model, small_f2))
+        assert "model dash" in frame
+        assert "lifetime" in frame
+        assert "request latency" in frame and "p99.9" in frame
+        assert "missing-attribute: 1" in frame
+        assert "traces: 1 buffered" in frame
+
+    def test_render_interval_rates(self, model, small_f2):
+        doc = self.snapshot_doc(model, small_f2)
+        prev = json.loads(json.dumps(doc))
+        for m in prev["metrics"]:
+            if m["name"] in ("engine_requests_total", "engine_rows_total"):
+                m["value"] = 0.0
+        frame = render_dashboard(doc, prev, interval=2.0)
+        assert "last 2.0s" in frame
+        assert "0.5 req/s" in frame  # 1 request / 2 s
+
+    def test_render_empty_snapshot(self):
+        frame = render_dashboard({"health": {}, "metrics": [], "traces": []})
+        assert "repro top" in frame
+        assert "rejections: none" in frame

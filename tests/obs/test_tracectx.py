@@ -1,0 +1,168 @@
+"""Trace-ID, ring and Chrome-export tests for per-request tracing."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracectx import (
+    TIME_SCALE,
+    TraceContext,
+    TraceRing,
+    chrome_trace_events_for,
+    chrome_trace_for,
+    mint_trace_id,
+    write_chrome_trace_for,
+)
+
+
+def make_trace(i=0, worker=0):
+    t = TraceContext(mint_trace_id(), "m", rows=10, submit_ts=float(i))
+    t.dequeue_ts = i + 0.25
+    t.finish_ts = i + 1.0
+    t.worker = worker
+    t.group_size = 2
+    t.batch_rows = 20
+    t.chunks = 1
+    t.predict_s = 0.5
+    t.status = "ok"
+    return t
+
+
+class TestTraceIds:
+    def test_unique_and_ordered(self):
+        ids = [mint_trace_id() for _ in range(1000)]
+        assert len(set(ids)) == 1000
+        prefixes = {i.split("-")[0] for i in ids}
+        assert len(prefixes) == 1  # one process, one prefix
+        seqs = [int(i.split("-")[1], 16) for i in ids]
+        assert seqs == sorted(seqs)
+
+    def test_unique_under_concurrency(self):
+        out = []
+        lock = threading.Lock()
+
+        def mint_many():
+            local = [mint_trace_id() for _ in range(500)]
+            with lock:
+                out.extend(local)
+
+        workers = [threading.Thread(target=mint_many) for _ in range(8)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(set(out)) == len(out) == 4000
+
+
+class TestTraceContext:
+    def test_derived_durations(self):
+        t = make_trace()
+        assert t.queue_wait_s == pytest.approx(0.25)
+        assert t.total_s == pytest.approx(1.0)
+
+    def test_unstamped_durations_read_zero(self):
+        t = TraceContext(mint_trace_id(), "m", 1, 5.0)
+        assert t.queue_wait_s == 0.0
+        assert t.total_s == 0.0
+        assert t.status == "pending"
+
+    def test_to_dict_is_json_ready(self):
+        doc = json.loads(json.dumps(make_trace().to_dict()))
+        assert doc["rows"] == 10
+        assert doc["group_size"] == 2
+        assert doc["status"] == "ok"
+        assert doc["queue_wait_s"] == pytest.approx(0.25)
+
+
+class TestTraceRing:
+    def test_bounded_with_exact_accounting(self):
+        ring = TraceRing(capacity=16)
+        for i in range(100):
+            ring.push(make_trace(i))
+        assert len(ring) == 16
+        assert ring.recorded == 100
+        assert ring.evicted == 84
+        assert ring.dropped == 0
+        kept = ring.traces()
+        assert [t.submit_ts for t in kept] == [float(i) for i in range(84, 100)]
+
+    def test_last_n_and_snapshot(self):
+        ring = TraceRing(capacity=8)
+        for i in range(8):
+            ring.push(make_trace(i))
+        assert [t.submit_ts for t in ring.traces(3)] == [5.0, 6.0, 7.0]
+        docs = ring.snapshot(2)
+        assert len(docs) == 2 and docs[-1]["submit_ts"] == 7.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRing(0)
+
+    def test_concurrent_pushes_drop_nothing(self):
+        ring = TraceRing(capacity=64)
+        n, threads = 2000, 8
+
+        def pound(seed):
+            for i in range(n):
+                ring.push(make_trace(i, worker=seed))
+
+        workers = [
+            threading.Thread(target=pound, args=(s,)) for s in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert ring.recorded == n * threads
+        assert ring.dropped == 0
+        assert ring.evicted == n * threads - 64
+
+
+class TestChromeExport:
+    def test_one_track_per_worker(self):
+        traces = [make_trace(i, worker=i % 3) for i in range(9)]
+        events = chrome_trace_events_for(traces)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert names == {0: "worker 0", 1: "worker 1", 2: "worker 2"}
+        assert any(e["name"] == "process_name" for e in events)
+
+    def test_spans_nest_inside_request(self):
+        t = make_trace(0, worker=1)
+        events = chrome_trace_events_for([t])
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(spans) == {"request", "queue-wait", "predict"}
+        req = spans["request"]
+        assert req["ts"] == pytest.approx(0.0)
+        assert req["dur"] == pytest.approx(1.0 * TIME_SCALE)
+        for name in ("queue-wait", "predict"):
+            child = spans[name]
+            assert child["tid"] == req["tid"] == 1
+            assert child["ts"] >= req["ts"]
+            assert child["ts"] + child["dur"] <= req["ts"] + req["dur"] + 1e-6
+
+    def test_every_event_has_required_keys_and_trace_id(self):
+        events = chrome_trace_events_for([make_trace(i) for i in range(4)])
+        for event in events:
+            for key in ("ts", "dur", "ph", "pid", "tid", "name"):
+                assert key in event, f"{event} missing {key}"
+        body = [e for e in events if e["ph"] == "X"]
+        assert all("trace_id" in e["args"] for e in body)
+
+    def test_pending_trace_renders_without_subspans(self):
+        t = TraceContext(mint_trace_id(), "m", 1, 0.0)
+        events = chrome_trace_events_for([t])
+        assert {e["name"] for e in events if e["ph"] == "X"} == {"request"}
+
+    def test_write_round_trip(self, tmp_path):
+        path = str(tmp_path / "serve-trace.json")
+        doc = write_chrome_trace_for(path, [make_trace()], model="m")
+        reparsed = json.load(open(path))
+        assert reparsed == json.loads(json.dumps(doc))
+        assert reparsed["otherData"]["source"] == "repro.obs.tracectx"
+        assert reparsed["otherData"]["model"] == "m"
+        assert chrome_trace_for([])["traceEvents"]  # metadata only, valid

@@ -249,3 +249,128 @@ class TestBenchmarkAndInfo:
         ) == 0
         out = capsys.readouterr().out
         assert "F2-A32" in out and "F7-A64" in out
+
+
+class TestTelemetry:
+    @pytest.fixture
+    def tree_file(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main(["build", "-i", dataset_file, "-o", tree_path])
+        capsys.readouterr()
+        return tree_path
+
+    def test_serve_writes_chrome_trace(
+        self, dataset_file, tree_file, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        from repro.data.io import load_dataset_npz
+
+        dataset = load_dataset_npz(dataset_file)
+        rows = "\n".join(
+            json.dumps({k: float(v) for k, v in dataset.tuple_at(i).items()})
+            for i in range(5)
+        )
+        trace_path = str(tmp_path / "serve-trace.json")
+        monkeypatch.setattr("sys.stdin", io.StringIO(rows + "\n"))
+        code = main(
+            ["serve", "--model", tree_file, "--trace-out", trace_path]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"chrome trace -> {trace_path}" in captured.err
+        doc = json.load(open(trace_path))
+        requests = [
+            e for e in doc["traceEvents"] if e.get("name") == "request"
+        ]
+        assert len(requests) == 5
+        assert all("trace_id" in e["args"] for e in requests)
+
+    def test_serve_with_telemetry_port_and_top(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        import queue
+        import socket
+        import threading
+        import urllib.request
+
+        from repro.data.io import load_dataset_npz
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        class QueueStdin:
+            def __init__(self):
+                self.lines = queue.Queue()
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                line = self.lines.get()
+                if line is None:
+                    raise StopIteration
+                return line
+
+        stdin = QueueStdin()
+        monkeypatch.setattr("sys.stdin", stdin)
+        codes = []
+        server_thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    ["serve", "--model", tree_file,
+                     "--telemetry-port", str(port)]
+                )
+            )
+        )
+        server_thread.start()
+        try:
+            dataset = load_dataset_npz(dataset_file)
+            row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+            stdin.lines.put(json.dumps(row) + "\n")
+            url = f"http://127.0.0.1:{port}"
+            deadline = 50
+            for attempt in range(deadline):
+                try:
+                    with urllib.request.urlopen(
+                        url + "/healthz", timeout=5
+                    ) as resp:
+                        assert json.loads(resp.read())["status"] == "ok"
+                    break
+                except OSError:
+                    if attempt == deadline - 1:
+                        raise
+                    import time
+
+                    time.sleep(0.1)
+            with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+                assert b"engine_requests_total" in resp.read()
+            assert main(["top", "--url", url, "--once"]) == 0
+        finally:
+            stdin.lines.put(None)
+            server_thread.join(timeout=30)
+        assert codes == [0]
+        captured = capsys.readouterr()
+        assert f"telemetry: http://127.0.0.1:{port}" in captured.err
+        assert "repro top" in captured.out
+        assert "served 1 request(s)" in captured.err
+
+    def test_top_unreachable_url_fails(self, capsys):
+        code = main(
+            ["top", "--url", "http://127.0.0.1:1", "--once",
+             "--timeout", "1"]
+        )
+        assert code == 1
+        assert "cannot fetch" in capsys.readouterr().err
+
+    def test_serve_reports_rejection_breakdown(
+        self, tree_file, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"salary": 1.0}\n'))
+        code = main(["serve", "--model", tree_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 rejected (missing-attribute: 1)" in captured.err
