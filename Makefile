@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native check-schemas check-regression examples trace-demo top-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard check-schemas check-regression examples trace-demo top-demo clean
 
 install:
 	pip install -e .
@@ -41,6 +41,11 @@ bench-predict:
 # bench_build_native/1).
 bench-build-native:
 	PYTHONPATH=src python benchmarks/bench_build_native.py --out BENCH_build_native.json
+
+# Sharded multi-process build: shards x merge-mode x raw/paced; writes
+# BENCH_shard.json (schema bench_shard/1).
+bench-shard:
+	PYTHONPATH=src python benchmarks/bench_shard.py --out BENCH_shard.json
 
 # Validate every committed BENCH_*.json against its declared schema.
 check-schemas:

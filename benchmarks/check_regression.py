@@ -32,8 +32,11 @@ Run from the repository root::
 
 With no ``--current``, the committed baselines are compared against
 themselves — a structural self-test that must always pass.  CI runs
-``--report-only`` (report, exit 0) because benchmark numbers from
-shared runners are advisory; release machines drop the flag.
+``--stable-only`` as a *blocking* gate: correctness flags (tree
+identity, oracle agreement) are host-independent and must hold even on
+shared runners, while timing/ratio metrics print without failing
+there.  Release machines drop the flag and gate the full band;
+``--report-only`` remains for purely advisory runs.
 """
 
 import argparse
@@ -102,7 +105,29 @@ PLANS = {
         ],
         "summary": (("all_trees_match", "bool"),),
     },
+    "bench_shard/1": {
+        "rows": [
+            {
+                "path": ("results",),
+                "key": ("dataset", "mode", "merge", "shards"),
+                "metrics": (
+                    ("speedup", "higher"),
+                    ("build_s", "lower"),
+                    # Protocol traffic is deterministic per config; more
+                    # bytes than baseline means the merge got chattier.
+                    ("bytes_total", "lower"),
+                    ("tree_matches_serial", "bool"),
+                ),
+            },
+        ],
+        "summary": (("all_exact_trees_match", "bool"),),
+    },
 }
+
+#: Metric kinds gated under ``--stable-only`` (shared-runner CI): only
+#: host-independent correctness flags; timing/ratio metrics move with
+#: the machine and stay advisory there.
+STABLE_KINDS = ("bool",)
 
 
 class Verdict:
@@ -163,8 +188,13 @@ def _compare(kind, baseline, current, tolerance):
     raise ValueError(f"unknown metric kind {kind!r}")
 
 
-def check_doc(name, baseline_doc, current_doc, tolerance):
-    """Compare one benchmark document pair; returns (verdicts, notes)."""
+def check_doc(name, baseline_doc, current_doc, tolerance, stable_only=False):
+    """Compare one benchmark document pair; returns (verdicts, notes).
+
+    With ``stable_only`` only the host-independent metric kinds in
+    :data:`STABLE_KINDS` are gated — correctness flags must hold even
+    on noisy shared runners, while timings merely report.
+    """
     schema = baseline_doc.get("schema")
     if current_doc.get("schema") != schema:
         raise ValueError(
@@ -196,6 +226,8 @@ def check_doc(name, baseline_doc, current_doc, tolerance):
             for metric, kind in spec["metrics"]:
                 if metric not in base[key] or metric not in cur[key]:
                     continue
+                if stable_only and kind not in STABLE_KINDS:
+                    continue
                 ok, note = _compare(
                     kind, base[key][metric], cur[key][metric], tolerance
                 )
@@ -207,6 +239,8 @@ def check_doc(name, baseline_doc, current_doc, tolerance):
     cur_summary = current_doc.get("summary", {})
     for metric, kind in plan["summary"]:
         if metric not in base_summary or metric not in cur_summary:
+            continue
+        if stable_only and kind not in STABLE_KINDS:
             continue
         ok, note = _compare(
             kind, base_summary[metric], cur_summary[metric], tolerance
@@ -256,8 +290,13 @@ def main(argv=None):
     )
     parser.add_argument(
         "--report-only", action="store_true",
-        help="print the full report but always exit 0 (CI-on-shared-"
-             "runners mode)",
+        help="print the full report but always exit 0 (advisory mode)",
+    )
+    parser.add_argument(
+        "--stable-only", action="store_true",
+        help="gate only host-independent correctness flags; timing and "
+             "ratio metrics report without failing (blocking CI mode "
+             "for shared runners)",
     )
     parser.add_argument(
         "--verbose", action="store_true",
@@ -278,7 +317,7 @@ def main(argv=None):
         try:
             verdicts, notes = check_doc(
                 name, _load(baseline_path), _load(current_docs[name]),
-                args.tolerance,
+                args.tolerance, stable_only=args.stable_only,
             )
         except (ValueError, KeyError, OSError, json.JSONDecodeError) as exc:
             print(f"  FAIL  {name}: {exc}")

@@ -27,6 +27,7 @@ SCHEMA_OWNERS = {
     "bench_wallclock/1": "bench_wallclock",
     "bench_predict/1": "bench_predict",
     "bench_build_native/1": "bench_build_native",
+    "bench_shard/1": "bench_shard",
 }
 
 

@@ -56,6 +56,17 @@ _override: Optional[str] = None  # None/"auto" defer to the environment
 _compiled: Dict[str, Optional[str]] = {}
 _compile_lock = threading.Lock()
 
+#: Times this process actually ran the C compiler (cache hits — an
+#: existing ``.so`` on disk — do not count).  Spawn-safety tests use it
+#: to prove worker processes reuse the shared cache instead of
+#: recompiling.
+_invocations = 0
+
+
+def compiler_invocations() -> int:
+    """How many times this process launched the compiler."""
+    return _invocations
+
 
 def set_native_override(mode: Optional[str]) -> None:
     """Install the process-wide gate override (the CLI ``--native`` flag).
@@ -144,6 +155,7 @@ def compile_cached(source: str, stem: str) -> Optional[str]:
 
 
 def _compile_uncached(source: str, stem: str, tag: str) -> Optional[str]:
+    global _invocations
     compiler = find_compiler()
     if not compiler:
         return None
@@ -151,6 +163,7 @@ def _compile_uncached(source: str, stem: str, tag: str) -> Optional[str]:
     so_path = os.path.join(cache, f"{stem}-{tag}.so")
     if os.path.exists(so_path):
         return so_path
+    _invocations += 1
     try:
         os.makedirs(cache, exist_ok=True)
         with tempfile.TemporaryDirectory(dir=cache) as tmp:

@@ -101,7 +101,7 @@ class InferenceEngine:
         model: Union[DecisionTree, CompiledTree],
         *,
         batch_size: int = 8192,
-        n_workers: int = 1,
+        n_workers: Optional[int] = 1,
         registry: Optional[MetricsRegistry] = None,
         collector=None,
         name: str = "model",
@@ -110,6 +110,12 @@ class InferenceEngine:
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if n_workers is None or n_workers == 0:
+            # Auto-size to the CPUs this process may actually run on
+            # (affinity mask, not raw core count).
+            from repro.smp.cpus import available_cpus
+
+            n_workers = available_cpus()
         if n_workers < 1:
             raise ValueError(f"need >= 1 worker, got {n_workers}")
         if trace_ring_size < 0:

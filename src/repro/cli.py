@@ -97,7 +97,15 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     _apply_native_mode(args)
     dataset = _load_dataset(args.input)
-    machine = _MACHINES[args.machine](args.procs)
+    shards = None
+    if args.runtime == "procs":
+        # --shards 0 (the default) falls back to --procs, then to the
+        # CPUs in this process's affinity mask.
+        from repro.smp.cpus import available_cpus
+
+        shards = args.shards or args.procs or available_cpus()
+    n_procs = shards if shards is not None else args.procs
+    machine = _MACHINES[args.machine](n_procs)
     params = BuildParams(window=args.window, max_depth=args.max_depth)
     collector = None
     if args.trace_out or args.metrics_out:
@@ -113,6 +121,9 @@ def cmd_build(args: argparse.Namespace) -> int:
         collector=collector,
         runtime=args.runtime,
         pace=args.pace,
+        shards=shards,
+        merge=args.merge,
+        vote_k=args.vote_k,
     )
     tree = result.tree
     if args.prune:
@@ -136,6 +147,15 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"{tree.n_levels} levels; training accuracy "
         f"{accuracy(tree, dataset):.4f}"
     )
+    if result.shard is not None:
+        sh = result.shard
+        rounds = sum(sh.rounds.values())
+        print(
+            f"shards: {sh.shards} worker(s) [{sh.start_method}], "
+            f"merge={sh.merge}, {rounds} rounds, "
+            f"{sh.bytes_total:,} bytes exchanged, "
+            f"worker busy {sh.worker_busy_s:.2f}s"
+        )
     if args.output:
         save_tree(tree, args.output)
         print(f"tree saved to {args.output}")
@@ -179,7 +199,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     engine = InferenceEngine(
         tree,
         batch_size=args.batch_size,
-        n_workers=args.workers,
+        n_workers=args.workers or None,
         name=args.model,
     )
     start = time.perf_counter()
@@ -202,7 +222,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     print(
         f"{dataset.n_records} rows through {args.model} in {elapsed:.3f}s "
         f"({rate:,.0f} rows/s; {int(stats.get('engine_batches_total', 0))} "
-        f"batches of <= {args.batch_size}, {args.workers} worker(s))"
+        f"batches of <= {args.batch_size}, {engine.n_workers} worker(s))"
     )
     if dataset.n_records:
         agreement = float(np.mean(predicted == dataset.labels))
@@ -235,7 +255,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = InferenceEngine(
         tree,
         batch_size=args.batch_size,
-        n_workers=args.workers,
+        n_workers=args.workers or None,
         name=args.model,
     )
     telemetry = None
@@ -431,29 +451,45 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     # every format additionally gets the E/W/S spans and live metrics
     # (the text table reports the batched-kernel counters from them).
     tracer = SpanCollector()
-    if args.runtime == "threads":
-        from repro.smp.threads import RealThreadRuntime
-
-        runtime = RealThreadRuntime(
-            args.procs, machine, tracer=tracer, pace=args.pace
+    if args.runtime == "procs":
+        # Lane 0 is the coordinator (merge = busy, waiting on workers =
+        # io); lanes 1..N are the shard workers.
+        result = build_classifier(
+            dataset,
+            runtime="procs",
+            shards=args.procs,
+            merge=args.merge,
+            machine=machine,
+            pace=args.pace,
+            collector=tracer,
         )
     else:
-        runtime = VirtualSMP(machine, args.procs, tracer=tracer)
-    result = build_classifier(
-        dataset, algorithm=args.algorithm, runtime=runtime, n_procs=args.procs
-    )
-    if args.runtime == "threads" and not tracer.intervals:
-        # Raw wall-clock runs charge no busy/io intervals; project the
-        # E/W/S phase spans onto the busy lanes so the timeline renders
-        # where the wall time actually went.
-        for span in tracer.spans:
-            if span.end > span.start:
-                tracer.record(span.pid, "busy", span.start, span.end)
+        if args.runtime == "threads":
+            from repro.smp.threads import RealThreadRuntime
+
+            runtime = RealThreadRuntime(
+                args.procs, machine, tracer=tracer, pace=args.pace
+            )
+        else:
+            runtime = VirtualSMP(machine, args.procs, tracer=tracer)
+        result = build_classifier(
+            dataset,
+            algorithm=args.algorithm,
+            runtime=runtime,
+            n_procs=args.procs,
+        )
+        if args.runtime == "threads" and not tracer.intervals:
+            # Raw wall-clock runs charge no busy/io intervals; project
+            # the E/W/S phase spans onto the busy lanes so the timeline
+            # renders where the wall time actually went.
+            for span in tracer.spans:
+                if span.end > span.start:
+                    tracer.record(span.pid, "busy", span.start, span.end)
     clock = "virtual" if args.runtime == "virtual" else (
         "wall, paced model replay" if args.pace else "wall"
     )
     print(
-        f"{args.algorithm} on {args.procs} processor(s): build "
+        f"{result.algorithm} on {result.n_procs} processor(s): build "
         f"{result.build_time:.2f}s ({clock})"
     )
     if args.format == "text":
@@ -468,7 +504,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     )
     if args.format == "chrome":
         write_chrome_trace(
-            out, tracer, algorithm=args.algorithm, procs=args.procs
+            out, tracer, algorithm=result.algorithm, procs=result.n_procs
         )
         print(f"Chrome trace -> {out} (open in Perfetto / chrome://tracing)")
     else:
@@ -519,14 +555,31 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--window", type=int, default=4)
     b.add_argument("--max-depth", type=int, default=64)
     b.add_argument(
-        "--runtime", default="virtual", choices=("virtual", "threads"),
-        help="virtual-time model (default) or real OS threads (wall clock)",
+        "--runtime", default="virtual",
+        choices=("virtual", "threads", "procs"),
+        help="virtual-time model (default), real OS threads, or sharded "
+             "worker processes over shared memory (both wall clock)",
     )
     b.add_argument(
         "--pace", type=float, default=0.0, metavar="SCALE",
-        help="with --runtime threads: replay the machine's cost model in "
-             "real time, sleeping SCALE wall seconds per virtual second "
-             "(0 = raw wall clock)",
+        help="with --runtime threads/procs: replay the machine's cost "
+             "model in real time, sleeping SCALE wall seconds per virtual "
+             "second (0 = raw wall clock)",
+    )
+    b.add_argument(
+        "--shards", type=int, default=0,
+        help="with --runtime procs: worker process count "
+             "(0 = --procs, else the CPUs in the affinity mask)",
+    )
+    b.add_argument(
+        "--merge", default="exact", choices=("exact", "vote"),
+        help="with --runtime procs: split-merge protocol — exact "
+             "(bit-identical trees) or vote (top-k candidate voting, "
+             "less traffic)",
+    )
+    b.add_argument(
+        "--vote-k", type=int, default=3, dest="vote_k", metavar="K",
+        help="with --merge vote: local ballot size per shard",
     )
     b.add_argument("--prune", action="store_true", help="MDL-prune the tree")
     b.add_argument("-o", "--output", help="save the tree as JSON")
@@ -556,7 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=8192,
                    help="rows per vectorized micro-batch")
     p.add_argument("--workers", type=int, default=1,
-                   help="engine worker threads (from the shared pool)")
+                   help="engine worker threads (from the shared pool; "
+                        "0 = all CPUs in the affinity mask)")
     p.add_argument("-o", "--output",
                    help="write predicted class names, one per line")
     p.set_defaults(func=cmd_predict)
@@ -566,7 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--model", required=True, help="tree JSON from `build -o`")
     s.add_argument("--batch-size", type=int, default=1024)
-    s.add_argument("--workers", type=int, default=1)
+    s.add_argument("--workers", type=int, default=1,
+                   help="engine worker threads (0 = all CPUs in the "
+                        "affinity mask)")
     s.add_argument("--timeout", type=float, default=30.0,
                    help="seconds to wait for one reply")
     s.add_argument(
@@ -627,7 +683,12 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--procs", type=int, default=4)
     t.add_argument("--machine", default="b", choices=sorted(_MACHINES))
     t.add_argument(
-        "--runtime", default="virtual", choices=("virtual", "threads"),
+        "--merge", default="exact", choices=("exact", "vote"),
+        help="with --runtime procs: split-merge protocol",
+    )
+    t.add_argument(
+        "--runtime", default="virtual",
+        choices=("virtual", "threads", "procs"),
         help="trace the virtual-time model (default) or a real-thread run",
     )
     t.add_argument(

@@ -61,6 +61,8 @@ class BuildResult:
     dataset_name: str = ""
     #: Spans/metrics report; present only when a collector was attached.
     observation: Optional[ObservationReport] = None
+    #: Communication/spill statistics (``runtime="procs"`` only).
+    shard: Optional["object"] = None
 
     @property
     def build_time(self) -> float:
@@ -105,6 +107,11 @@ def build_classifier(
     parallel_setup: bool = False,
     collector: Optional[SpanCollector] = None,
     pace: float = 0.0,
+    shards: Optional[int] = None,
+    merge: str = "exact",
+    vote_k: Optional[int] = None,
+    start_method: Optional[str] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> BuildResult:
     """Build a decision tree from ``dataset``.
 
@@ -128,8 +135,9 @@ def build_classifier(
         out-of-core build).
     runtime:
         ``"virtual"`` (timing model, deterministic), ``"threads"`` (real
-        OS threads, wall-clock timing), or a pre-built
-        :class:`SMPRuntime`.
+        OS threads, wall-clock timing), ``"procs"`` (sharded worker
+        processes, wall-clock timing; see :mod:`repro.shard`), or a
+        pre-built :class:`SMPRuntime`.
     parallel_setup:
         Parallelize the setup/sort phases over the processors — the
         improvement the paper names as future work (§4.2).  Default off,
@@ -142,10 +150,18 @@ def build_classifier(
         ``observation`` report (trace/metrics exporters).  When None,
         no collector is allocated and nothing is recorded.
     pace:
-        Only meaningful with ``runtime="threads"``: 0 (default) runs
+        With ``runtime="threads"`` or ``"procs"``: 0 (default) runs
         raw wall-clock; a positive value replays the machine's cost
         model in real time, sleeping ``pace`` wall seconds per charged
         virtual second (see :mod:`repro.smp.threads`).
+    shards, merge, vote_k, start_method, memory_budget_bytes:
+        Only meaningful with ``runtime="procs"`` (the sharded
+        multi-process backend, :mod:`repro.shard`): shard count
+        (default: the CPUs this process may run on), merge protocol
+        (``"exact"`` — bit-identical trees — or ``"vote"`` — Meng-style
+        communication-efficient voting), ballot size, multiprocessing
+        start method (``fork``/``spawn``) and the per-worker in-memory
+        segment budget beyond which shards spill to paged disk.
 
     Returns
     -------
@@ -156,6 +172,23 @@ def build_classifier(
     if dataset.n_records == 0:
         raise ValueError("cannot build a classifier from an empty dataset")
     params = params if params is not None else BuildParams()
+    if runtime == "procs":
+        # Sharded multi-process backend; the paper's schemes schedule
+        # in-process kernels, so ``algorithm`` does not apply here.
+        from repro.shard.coordinator import build_sharded
+
+        return build_sharded(
+            dataset,
+            params=params,
+            shards=shards if shards is not None else n_procs,
+            merge=merge,
+            vote_k=vote_k if vote_k is not None else 3,
+            start_method=start_method,
+            machine=machine,
+            pace=pace,
+            collector=collector,
+            memory_budget_bytes=memory_budget_bytes,
+        )
     if algorithm == "serial":
         n_procs = 1
     if machine is None:
@@ -177,8 +210,8 @@ def build_classifier(
         rt = RealThreadRuntime(n_procs, machine, tracer=collector, pace=pace)
     else:
         raise ValueError(
-            f"runtime must be 'virtual', 'threads' or an SMPRuntime, "
-            f"got {runtime!r}"
+            f"runtime must be 'virtual', 'threads', 'procs' or an "
+            f"SMPRuntime, got {runtime!r}"
         )
 
     ctx = BuildContext(

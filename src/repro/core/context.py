@@ -58,6 +58,58 @@ from repro.sprint.splitter import winner_left_mask
 from repro.storage.backends import StorageBackend
 
 
+def choose_winner_from(
+    node: Node,
+    candidates: List[Optional[SplitCandidate]],
+    params: BuildParams,
+) -> Optional[Tuple[int, SplitCandidate]]:
+    """The winning (attribute, candidate) for a node, or None.
+
+    Deterministic: minimum weighted impurity, ties to the lowest
+    attribute index, and the split must improve on the node's own
+    impurity by ``min_gini_improvement``.  Shared by every in-process
+    scheme (via :meth:`BuildContext.choose_winner`) and by the sharded
+    coordinator, so the decision rule — and therefore the tree — cannot
+    drift between runtimes.
+    """
+    if params.criterion == "gini":
+        node_gini = gini_from_counts(node.class_counts)
+    else:
+        node_gini = float(
+            get_criterion(params.criterion)(
+                node.class_counts[np.newaxis, :]
+            )[0]
+        )
+    best: Optional[Tuple[int, SplitCandidate]] = None
+    for attr_index, cand in enumerate(candidates):
+        if cand is None:
+            continue
+        if best is None or cand.weighted_gini < best[1].weighted_gini:
+            best = (attr_index, cand)
+    if best is None:
+        return None
+    if best[1].weighted_gini >= node_gini - params.min_gini_improvement:
+        return None
+    return best
+
+
+def should_pre_finalize(child: Node, params: BuildParams) -> bool:
+    """The purity pre-test (generalized to every stopping rule).
+
+    Children that can never split are finalized as leaves now, so they
+    are excluded from file relabeling and from the next level's
+    schedule — no holes in the window (paper §3.2.2, Figure 5).
+    """
+    if (
+        child.is_pure
+        or child.n_records < params.min_split_records
+        or child.depth >= params.depth_limit
+    ):
+        child.make_leaf()
+        return True
+    return False
+
+
 class LeafTask:
     """Per-level work unit: one active leaf awaiting E/W/S.
 
@@ -334,25 +386,7 @@ class BuildContext:
         attribute index, and the split must improve on the node's own
         impurity by ``min_gini_improvement``.
         """
-        if self.params.criterion == "gini":
-            node_gini = gini_from_counts(task.node.class_counts)
-        else:
-            node_gini = float(
-                get_criterion(self.params.criterion)(
-                    task.node.class_counts[np.newaxis, :]
-                )[0]
-            )
-        best: Optional[Tuple[int, SplitCandidate]] = None
-        for attr_index, cand in enumerate(task.candidates):
-            if cand is None:
-                continue
-            if best is None or cand.weighted_gini < best[1].weighted_gini:
-                best = (attr_index, cand)
-        if best is None:
-            return None
-        if best[1].weighted_gini >= node_gini - self.params.min_gini_improvement:
-            return None
-        return best
+        return choose_winner_from(task.node, task.candidates, self.params)
 
     def winner_phase(self, task: LeafTask) -> None:
         """Step W: pick winner, scan its list, build probe, make children."""
@@ -433,21 +467,8 @@ class BuildContext:
         task.w_done = True
 
     def _pre_finalize(self, child: Node) -> bool:
-        """The purity pre-test (generalized to every stopping rule).
-
-        Children that can never split are finalized as leaves now, so
-        they are excluded from file relabeling and from the next level's
-        schedule — no holes in the window (paper §3.2.2, Figure 5).
-        """
-        params = self.params
-        if (
-            child.is_pure
-            or child.n_records < params.min_split_records
-            or child.depth >= params.depth_limit
-        ):
-            child.make_leaf()
-            return True
-        return False
+        """The purity pre-test; see :func:`should_pre_finalize`."""
+        return should_pre_finalize(child, self.params)
 
     # -- step S: split one attribute's lists across a level of leaves --------------
 

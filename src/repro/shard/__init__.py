@@ -1,0 +1,36 @@
+"""Sharded multi-process training (coordinator + shared-memory shards).
+
+The threads backend (PR 3) is wall-clock real but single-address-space:
+the GIL serializes the W/S phases even when the native E kernels release
+it.  This package goes past that by *sharding the attribute lists by
+record range* across a persistent pool of worker processes:
+
+* :mod:`repro.shard.shm` — attribute-list segments in named
+  ``multiprocessing.shared_memory`` blocks, so the root lists are
+  written once and mapped (not copied) into every worker;
+* :mod:`repro.shard.stats` — mergeable per-shard split statistics:
+  run-compressed value histograms whose merged evaluation is
+  bit-identical to the global scan;
+* :mod:`repro.shard.worker` / :mod:`repro.shard.pool` — the spawn-safe
+  worker loop and the reusable process pool;
+* :mod:`repro.shard.coordinator` — the level-synchronous driver with
+  two merge modes: ``exact`` (full histogram exchange, trees
+  bit-identical to the virtual baseline) and ``vote`` (Meng-style local
+  top-k candidate voting, histograms only for the voted attributes).
+
+Entry point: ``build_classifier(runtime="procs", shards=, merge=)`` or
+``repro build --runtime procs --shards N --merge {exact,vote}``.
+"""
+
+from repro.shard.coordinator import ShardBuildError, build_sharded
+from repro.shard.pool import ShardPool, get_pool, shutdown_pools
+from repro.shard.protocol import ShardWorkerError
+
+__all__ = [
+    "ShardBuildError",
+    "ShardPool",
+    "ShardWorkerError",
+    "build_sharded",
+    "get_pool",
+    "shutdown_pools",
+]

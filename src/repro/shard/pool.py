@@ -1,0 +1,152 @@
+"""A persistent, reusable pool of shard worker processes.
+
+Starting a process — especially under ``spawn``, which re-imports numpy
+— costs far more than one build level, so pools are cached process-wide
+keyed by (size, start method) and reused across builds: a build *loads*
+its shards into the running workers and *unloads* them afterwards,
+exactly like the threads runtime checks workers out of its daemon
+pool.  An ``atexit`` hook shuts every pool down so workers never
+outlive the coordinator.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.shard.protocol import Channel, ShardWorkerError
+from repro.shard.worker import worker_main
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (fast), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardPool:
+    """``n`` worker processes, one framed channel each."""
+
+    def __init__(self, n: int, start_method: Optional[str] = None) -> None:
+        if n < 1:
+            raise ValueError(f"need >= 1 shard, got {n}")
+        self.n = n
+        self.start_method = start_method or default_start_method()
+        self.broken = False
+        self._closed = False
+        self._lock = threading.Lock()
+        ctx = multiprocessing.get_context(self.start_method)
+        self.channels: List[Channel] = []
+        self.processes = []
+        for index in range(n):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn, index),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.channels.append(Channel(parent_conn))
+            self.processes.append(proc)
+
+    @property
+    def alive(self) -> bool:
+        return (
+            not self.broken
+            and not self._closed
+            and all(p.is_alive() for p in self.processes)
+        )
+
+    def pids(self) -> List[int]:
+        return [p.pid for p in self.processes]
+
+    def request(self, index: int, kind: str, payload=None):
+        """Send one command to one worker and wait for its reply."""
+        channel = self.channels[index]
+        try:
+            channel.send(kind, payload)
+            return channel.recv_reply()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self.broken = True
+            raise ShardWorkerError(
+                f"shard worker {index} died (pid {self.processes[index].pid})"
+            ) from exc
+
+    def broadcast(self, kind: str, payloads) -> List:
+        """Send to every worker, then collect every reply in order.
+
+        ``payloads`` is either one payload for all workers or a list of
+        per-worker payloads.  Sending everything before receiving
+        anything is what lets the workers overlap.
+        """
+        per_worker = (
+            payloads if isinstance(payloads, list)
+            else [payloads] * self.n
+        )
+        try:
+            for channel, payload in zip(self.channels, per_worker):
+                channel.send(kind, payload)
+            return [channel.recv_reply() for channel in self.channels]
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self.broken = True
+            raise ShardWorkerError("a shard worker died mid-round") from exc
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(c.bytes_sent for c in self.channels)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(c.bytes_received for c in self.channels)
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Shut every worker down; terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for channel in self.channels:
+            try:
+                channel.send("shutdown")
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for proc in self.processes:
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for channel in self.channels:
+            channel.close()
+
+
+_pools_lock = threading.Lock()
+_pools: Dict[Tuple[int, str], ShardPool] = {}
+
+
+def get_pool(n: int, start_method: Optional[str] = None) -> ShardPool:
+    """A live pool of ``n`` workers, created or reused."""
+    method = start_method or default_start_method()
+    with _pools_lock:
+        pool = _pools.get((n, method))
+        if pool is not None and pool.alive:
+            return pool
+        if pool is not None:
+            pool.close()
+        pool = ShardPool(n, method)
+        _pools[(n, method)] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached pool (tests and atexit)."""
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,60 @@
+"""Framed coordinator<->worker messaging with exact byte accounting.
+
+Messages are ``(kind, payload)`` tuples pickled into one frame and
+moved over a ``multiprocessing`` pipe with ``send_bytes``/``recv_bytes``
+— the manual framing exists so both ends can count the *exact* bytes
+exchanged, which is the quantity the vote merge mode is designed to
+shrink and the quantity folded into the obs registry as
+``shard_bytes_total``.
+
+Workers answer every request with ``("ok", payload)`` or
+``("error", {"traceback": ...})``; the coordinator re-raises the latter
+as :class:`ShardWorkerError` with the worker's traceback inlined.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Tuple
+
+
+class ShardWorkerError(RuntimeError):
+    """A worker raised; carries the remote traceback text."""
+
+
+class Channel:
+    """One end of a framed pipe, counting bytes both ways."""
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, kind: str, payload: Any = None) -> int:
+        frame = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(frame)
+        self.bytes_sent += len(frame)
+        return len(frame)
+
+    def recv(self) -> Tuple[str, Any]:
+        frame = self.conn.recv_bytes()
+        self.bytes_received += len(frame)
+        kind, payload = pickle.loads(frame)
+        return kind, payload
+
+    def recv_reply(self) -> Any:
+        """Receive an ok/error reply; raise on error."""
+        kind, payload = self.recv()
+        if kind == "ok":
+            return payload
+        if kind == "error":
+            raise ShardWorkerError(
+                "shard worker failed:\n" + payload.get("traceback", "")
+            )
+        raise ShardWorkerError(f"unexpected reply kind {kind!r}")
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass

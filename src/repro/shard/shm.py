@@ -1,0 +1,164 @@
+"""Record arrays in named shared-memory blocks.
+
+The coordinator writes each shard's slice of every root attribute list
+into one ``multiprocessing.shared_memory`` block; workers map the block
+by name and wrap it in a numpy record array without copying.  A
+process-wide registry plus an ``atexit`` hook guarantees the segments
+are unlinked even when a build dies mid-flight — leaked ``/dev/shm``
+blocks survive process exit, unlike heap memory, so cleanup here is a
+correctness feature, not hygiene.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Prefix of every segment name this module creates (leak tests grep
+#: /dev/shm for it).
+NAME_PREFIX = "repro-shard"
+
+_lock = threading.Lock()
+#: name -> (SharedMemory, owner).  Owners unlink at cleanup; attachers
+#: only close their mapping.
+_live: Dict[str, Tuple[shared_memory.SharedMemory, bool]] = {}
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach by name without registering with the resource tracker.
+
+    On 3.8–3.12 *attaching* registers the block with the resource
+    tracker too, so a worker exiting would unlink (or warn about) a
+    segment the coordinator still owns.  3.13+ has ``track=False`` for
+    exactly this; earlier versions get the registration suppressed for
+    the duration of the constructor.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory block."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        dtype: np.dtype,
+        length: int,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.owner = owner
+        self.array = np.frombuffer(
+            shm.buf, dtype=dtype, count=length
+        )
+
+    @classmethod
+    def create(cls, records: np.ndarray, token: str, tag: str) -> "SharedArray":
+        """Copy ``records`` into a fresh named block (coordinator side)."""
+        records = np.ascontiguousarray(records)
+        name = f"{NAME_PREFIX}-{token}-{tag}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(records.nbytes, 1), name=name
+        )
+        with _lock:
+            _live[name] = (shm, True)
+        out = cls(shm, records.dtype, len(records), owner=True)
+        out.array[:] = records
+        return out
+
+    @classmethod
+    def attach(cls, spec: Dict) -> "SharedArray":
+        """Map an existing block by its :meth:`spec` (worker side)."""
+        shm = _attach_untracked(spec["name"])
+        with _lock:
+            _live[spec["name"]] = (shm, False)
+        dtype = np.dtype(pickle.loads(spec["dtype"]))
+        return cls(shm, dtype, spec["length"], owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def spec(self) -> Dict:
+        """Picklable description a worker can :meth:`attach` from."""
+        return {
+            "name": self._shm.name,
+            "dtype": pickle.dumps(self.array.dtype.descr),
+            "length": len(self.array),
+        }
+
+    def close(self) -> None:
+        """Drop this process's mapping; owners also unlink the block."""
+        name = self._shm.name
+        with _lock:
+            _live.pop(name, None)
+        # The numpy view pins shm.buf; release it before closing.
+        self.array = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None
+
+
+def new_token() -> str:
+    """Collision-safe name component for one build's segment family."""
+    return secrets.token_hex(4)
+
+
+def live_segments() -> Dict[str, bool]:
+    """name -> owner flag for every live mapping (for leak tests)."""
+    with _lock:
+        return {name: owner for name, (_shm, owner) in _live.items()}
+
+
+def cleanup_all() -> None:
+    """Close every live mapping; owners unlink.  Idempotent."""
+    with _lock:
+        leaked = list(_live.items())
+        _live.clear()
+    for _name, (shm, owner) in leaked:
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            pass
+        if owner:
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+atexit.register(cleanup_all)

@@ -1,0 +1,133 @@
+"""Per-worker segment store with an out-of-core spill path.
+
+Each worker owns the records of its tid range for every attribute.
+Segments live in a dict until an optional memory budget is exceeded;
+beyond it, the least-recently stored segments spill to a
+:class:`~repro.storage.backends.DiskBackend` pagefile (checksummed 8 KB
+pages through the buffer manager) inside a tracked temp directory.  The
+level loop reads each segment once per phase, so a spilled segment is
+read back without promotion — the working set stays bounded by the
+budget regardless of shard size.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.backends import DiskBackend
+
+#: Segment key: (attribute index, node id).
+Key = Tuple[int, int]
+
+
+class ShardStore:
+    """In-memory segment dict with DiskBackend overflow."""
+
+    def __init__(
+        self,
+        memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        buffer_capacity: int = 64,
+    ) -> None:
+        self._mem: "OrderedDict[Key, np.ndarray]" = OrderedDict()
+        self._mem_bytes = 0
+        self._on_disk: Dict[Key, int] = {}  # key -> record count
+        self._budget = memory_budget_bytes
+        self._spill_dir = spill_dir
+        self._buffer_capacity = buffer_capacity
+        self._disk: Optional[DiskBackend] = None
+        self.spilled_bytes = 0
+        self.faulted_bytes = 0
+        self.spill_segments = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def put(self, key: Key, records: np.ndarray) -> None:
+        if len(records) == 0:
+            return
+        self.delete(key)
+        self._mem[key] = records
+        self._mem_bytes += records.nbytes
+        self._enforce_budget()
+
+    def get(self, key: Key) -> Optional[np.ndarray]:
+        """The segment's records, or None when empty/absent."""
+        records = self._mem.get(key)
+        if records is not None:
+            return records
+        if key in self._on_disk:
+            records = self._disk.read(self._disk_key(key))
+            self.faulted_bytes += records.nbytes
+            return records
+        return None
+
+    def n_records(self, key: Key) -> int:
+        records = self._mem.get(key)
+        if records is not None:
+            return len(records)
+        return self._on_disk.get(key, 0)
+
+    def delete(self, key: Key) -> None:
+        records = self._mem.pop(key, None)
+        if records is not None:
+            self._mem_bytes -= records.nbytes
+        if self._on_disk.pop(key, None) is not None:
+            self._disk.delete(self._disk_key(key))
+
+    def clear(self) -> None:
+        for key in list(self._mem) + list(self._on_disk):
+            self.delete(key)
+
+    def close(self) -> None:
+        self._mem.clear()
+        self._mem_bytes = 0
+        self._on_disk.clear()
+        if self._disk is not None:
+            path = self._disk_path()
+            self._disk.close()
+            self._disk = None
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._mem_bytes
+
+    # -- internals ----------------------------------------------------------
+
+    def _disk_key(self, key: Key) -> str:
+        return f"a{key[0]}.n{key[1]}"
+
+    def _disk_path(self) -> str:
+        return os.path.join(self._spill_dir, f"spill-{os.getpid()}.pages")
+
+    def _ensure_disk(self) -> DiskBackend:
+        if self._disk is None:
+            self._disk = DiskBackend(
+                self._disk_path(), buffer_capacity=self._buffer_capacity
+            )
+        return self._disk
+
+    def _enforce_budget(self) -> None:
+        if self._budget is None or self._spill_dir is None:
+            return
+        if self._mem_bytes <= self._budget:
+            return
+        disk = self._ensure_disk()
+        # Evict oldest-stored first (level order makes that the segment
+        # whose next read is furthest away).
+        for key in list(self._mem):
+            if self._mem_bytes <= self._budget:
+                break
+            records = self._mem.pop(key)
+            self._mem_bytes -= records.nbytes
+            disk.write(self._disk_key(key), records)
+            self._on_disk[key] = len(records)
+            self.spilled_bytes += records.nbytes
+            self.spill_segments += 1

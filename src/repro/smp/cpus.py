@@ -1,0 +1,25 @@
+"""CPU availability for pool sizing.
+
+Every place a pool of workers is sized — the threads runtime's daemon
+pool, the inference engine, the sharded process pool — must respect the
+scheduler's *affinity mask*, not the machine's raw core count: inside a
+container pinned to a cpuset, ``os.cpu_count()`` still reports the
+host's cores and oversubscribing them just adds context-switch churn.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (always >= 1).
+
+    ``os.sched_getaffinity`` honors cpuset/affinity restrictions; on
+    platforms without it (macOS, Windows) fall back to the raw core
+    count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)

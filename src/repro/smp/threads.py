@@ -215,11 +215,17 @@ class RealThreadRuntime(SMPRuntime):
 
     def __init__(
         self,
-        n_procs: int,
+        n_procs: Optional[int] = None,
         machine: Optional[MachineConfig] = None,
         tracer=None,
         pace: float = 0.0,
     ) -> None:
+        if n_procs is None or n_procs == 0:
+            # Respect the scheduler's affinity mask, not the raw core
+            # count — oversubscribing a pinned cpuset helps nothing.
+            from repro.smp.cpus import available_cpus
+
+            n_procs = available_cpus()
         if n_procs < 1:
             raise ValueError(f"need >= 1 processor, got {n_procs}")
         if pace < 0:

@@ -1,0 +1,64 @@
+"""Tracked temporary spill directories.
+
+The sharded runtime spills out-of-core attribute-list segments into
+per-worker :class:`~repro.storage.backends.DiskBackend` pagefiles under
+a temp directory.  Those files are pure scratch — they must never
+outlive the build, even when the build dies mid-flight — so every
+directory handed out here is registered in a process-wide set and
+removed by an ``atexit`` hook if its owner never released it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+import threading
+from typing import Iterator, Set
+
+import contextlib
+
+_lock = threading.Lock()
+_live: Set[str] = set()
+
+
+def create_spill_dir(prefix: str = "repro-spill-") -> str:
+    """Make a tracked temp directory for spill pagefiles."""
+    path = tempfile.mkdtemp(prefix=prefix)
+    with _lock:
+        _live.add(path)
+    return path
+
+
+def release_spill_dir(path: str) -> None:
+    """Remove a tracked spill directory and everything in it."""
+    with _lock:
+        _live.discard(path)
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@contextlib.contextmanager
+def spill_dir(prefix: str = "repro-spill-") -> Iterator[str]:
+    """Context-managed spill directory: removed on exit, success or not."""
+    path = create_spill_dir(prefix)
+    try:
+        yield path
+    finally:
+        release_spill_dir(path)
+
+
+def live_spill_dirs() -> Set[str]:
+    """Directories currently tracked (for leak tests)."""
+    with _lock:
+        return set(_live)
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:
+    with _lock:
+        leaked = list(_live)
+        _live.clear()
+    for path in leaked:
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)

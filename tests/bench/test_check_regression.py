@@ -36,6 +36,7 @@ class TestSelfCheck:
         for name in (
             "BENCH_kernels.json", "BENCH_wallclock.json",
             "BENCH_predict.json", "BENCH_build_native.json",
+            "BENCH_shard.json",
         ):
             assert name in out
 
@@ -105,6 +106,41 @@ class TestDegradations:
 
         current = self.degrade(tmp_path, "BENCH_build_native.json", mutate)
         assert run(["--current", current]) == 1
+
+    def test_shard_exact_tree_regression_fails(self, tmp_path):
+        def mutate(doc):
+            for row in doc["results"]:
+                if row["merge"] == "exact":
+                    row["tree_matches_serial"] = False
+                    break
+
+        current = self.degrade(tmp_path, "BENCH_shard.json", mutate)
+        assert run(["--current", current]) == 1
+
+    def test_shard_traffic_regression_fails(self, tmp_path):
+        def mutate(doc):
+            doc["results"][0]["bytes_total"] *= 3
+
+        current = self.degrade(tmp_path, "BENCH_shard.json", mutate)
+        assert run(["--current", current]) == 1
+
+    def test_stable_only_ignores_timing_regressions(self, tmp_path):
+        def mutate(doc):
+            for row in doc["results"]:
+                row["speedup"] = 0.01
+                row["build_s"] *= 100
+
+        current = self.degrade(tmp_path, "BENCH_shard.json", mutate)
+        assert run(["--current", current, "--stable-only"]) == 0
+        assert run(["--current", current]) == 1
+
+    def test_stable_only_still_blocks_correctness(self, tmp_path, capsys):
+        def mutate(doc):
+            doc["summary"]["all_exact_trees_match"] = False
+
+        current = self.degrade(tmp_path, "BENCH_shard.json", mutate)
+        assert run(["--current", current, "--stable-only"]) == 1
+        assert "zero tolerance" in capsys.readouterr().out
 
     def test_report_only_reports_but_exits_zero(self, tmp_path, capsys):
         def mutate(doc):

@@ -1,0 +1,43 @@
+"""Shard-suite helpers: baseline trees and leak scanning."""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.shard.pool import shutdown_pools
+from repro.shard.shm import NAME_PREFIX, live_segments
+from repro.storage.temp import live_spill_dirs
+
+
+def shm_leaks() -> list:
+    """Segments this package created that are still visible in /dev/shm."""
+    return sorted(glob.glob(f"/dev/shm/{NAME_PREFIX}-*"))
+
+
+@pytest.fixture(scope="session")
+def serial_f2(small_f2):
+    """The uniprocessor baseline every sharded tree must reproduce."""
+    return build_classifier(small_f2, algorithm="serial").tree
+
+
+@pytest.fixture(scope="session")
+def serial_f7(small_f7):
+    return build_classifier(small_f7, algorithm="serial").tree
+
+
+@pytest.fixture(autouse=True)
+def no_leaks_around_each_test():
+    """Every test must leave /dev/shm and the spill registry clean."""
+    yield
+    assert live_segments() == {}
+    assert live_spill_dirs() == set()
+    assert shm_leaks() == []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shutdown_pools_at_end():
+    yield
+    shutdown_pools()

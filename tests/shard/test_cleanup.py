@@ -1,0 +1,96 @@
+"""Leak regression: segments and spill files die with the build.
+
+Shared-memory blocks and spill directories outlive the heap — a build
+that raises (or whose worker is killed) must still leave /dev/shm and
+the temp tree clean.  The autouse fixture in conftest asserts this
+after *every* test; these tests force the failure paths.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+import repro.shard.coordinator as coordinator
+from repro.core.builder import build_classifier
+from repro.shard import ShardWorkerError
+from repro.shard.pool import ShardPool
+from repro.shard.shm import SharedArray, cleanup_all, live_segments, new_token
+from repro.storage.temp import live_spill_dirs, release_spill_dir, spill_dir
+from tests.shard.conftest import shm_leaks
+
+
+class TestSuccessPath:
+    def test_build_leaves_nothing(self, small_f2):
+        build_classifier(small_f2, runtime="procs", shards=2)
+        # conftest's autouse fixture re-checks; assert eagerly too.
+        assert live_segments() == {}
+        assert shm_leaks() == []
+
+    def test_spill_build_leaves_nothing(self, small_f2):
+        build_classifier(
+            small_f2, runtime="procs", shards=2, memory_budget_bytes=4096
+        )
+        assert live_spill_dirs() == set()
+
+
+class TestFailurePaths:
+    def test_coordinator_crash_cleans_up(self, small_f2, monkeypatch):
+        """An exception mid-build must not leak segments or spill dirs."""
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected coordinator failure")
+
+        monkeypatch.setattr(coordinator, "choose_winner_from", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            build_classifier(
+                small_f2, runtime="procs", shards=2,
+                memory_budget_bytes=4096,
+            )
+        assert live_segments() == {}
+        assert live_spill_dirs() == set()
+        assert shm_leaks() == []
+
+    def test_killed_worker_cleans_up(self, small_f2):
+        """SIGKILLing a worker fails the build but leaks nothing."""
+        pool = ShardPool(2)
+        try:
+            os.kill(pool.pids()[1], signal.SIGKILL)
+            with pytest.raises(ShardWorkerError):
+                coordinator.build_sharded(small_f2, shards=2, pool=pool)
+            assert live_segments() == {}
+            assert shm_leaks() == []
+        finally:
+            pool.close()
+
+    def test_spill_dir_context_manager_on_exception(self):
+        with pytest.raises(ValueError):
+            with spill_dir() as path:
+                assert os.path.isdir(path)
+                raise ValueError("boom")
+        assert not os.path.exists(path)
+        assert live_spill_dirs() == set()
+
+    def test_release_is_idempotent(self):
+        with spill_dir() as path:
+            release_spill_dir(path)
+        release_spill_dir(path)
+
+
+class TestRegistry:
+    def test_cleanup_all_unlinks_owned_segments(self):
+        import numpy as np
+
+        arr = SharedArray.create(
+            np.arange(8, dtype=np.int64), new_token(), "a0"
+        )
+        name = arr.name
+        assert live_segments() == {name: True}
+        assert os.path.exists(f"/dev/shm/{name}")
+        arr.array = None  # release the buffer pin, as an exiting owner would
+        cleanup_all()
+        assert live_segments() == {}
+        assert not os.path.exists(f"/dev/shm/{name}")
+        cleanup_all()  # idempotent

@@ -1,0 +1,107 @@
+"""Differential identity: the sharded build vs the serial baseline.
+
+``merge="exact"`` must be *bit-identical* — same splits, same
+thresholds, same per-node class histograms — for any shard count,
+because every merged statistic is integer-exact and every float
+expression mirrors the global scan's spelling.  ``merge="vote"`` is
+exact whenever the ballot covers all attributes, and merely a valid
+tree otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.classify.metrics import accuracy
+
+
+def build_procs(dataset, **kw):
+    kw.setdefault("runtime", "procs")
+    return build_classifier(dataset, **kw)
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_simple_function(self, small_f2, serial_f2, shards):
+        res = build_procs(small_f2, shards=shards, merge="exact")
+        assert res.tree.signature() == serial_f2.signature()
+        assert res.algorithm == "shard-exact"
+        assert res.n_procs == shards
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_complex_function(self, small_f7, serial_f7, shards):
+        res = build_procs(small_f7, shards=shards, merge="exact")
+        assert res.tree.signature() == serial_f7.signature()
+
+    def test_identical_under_spill(self, small_f2, serial_f2):
+        """A starved memory budget changes traffic, never the tree."""
+        res = build_procs(
+            small_f2, shards=2, merge="exact", memory_budget_bytes=4096
+        )
+        assert res.tree.signature() == serial_f2.signature()
+        assert res.shard.spilled_bytes > 0
+        assert res.shard.faulted_bytes > 0
+
+    def test_medium_dataset(self, medium_f2):
+        serial = build_classifier(medium_f2, algorithm="serial").tree
+        res = build_procs(medium_f2, shards=3, merge="exact")
+        assert res.tree.signature() == serial.signature()
+
+
+class TestVoteMerge:
+    def test_full_ballot_matches_exact(self, small_f2, serial_f2):
+        """k >= n_attrs: every attribute is voted, so vote == exact."""
+        res = build_procs(
+            small_f2, shards=2, merge="vote",
+            vote_k=small_f2.schema.n_attributes,
+        )
+        assert res.tree.signature() == serial_f2.signature()
+
+    def test_small_ballot_builds_valid_tree(self, small_f2):
+        exact = build_procs(small_f2, shards=2, merge="exact")
+        vote = build_procs(small_f2, shards=2, merge="vote", vote_k=2)
+        assert vote.algorithm == "shard-vote"
+        # The restricted exchange must actually save traffic...
+        assert vote.shard.bytes_total < exact.shard.bytes_total
+        # ...and still learn the function (training fit, not identity).
+        assert accuracy(vote.tree, small_f2) > 0.95
+
+    def test_bad_merge_mode_rejected(self, small_f2):
+        from repro.shard import ShardBuildError
+
+        with pytest.raises(ShardBuildError):
+            build_procs(small_f2, shards=2, merge="median")
+
+
+class TestRunStats:
+    def test_stats_populated(self, small_f2):
+        res = build_procs(small_f2, shards=2, merge="exact")
+        sh = res.shard
+        assert sh.shards == 2
+        assert len(sh.worker_pids) == 2
+        assert sh.levels > 0
+        assert sh.bytes_sent > 0 and sh.bytes_received > 0
+        for phase in ("load", "eval", "probe", "split"):
+            assert sh.rounds.get(phase, 0) > 0, phase
+        assert sh.worker_busy_s >= 0.0
+        assert set(res.timings) == {"setup", "sort", "build", "total"}
+
+    def test_vote_round_counted(self, small_f2):
+        res = build_procs(small_f2, shards=2, merge="vote", vote_k=2)
+        assert res.shard.rounds.get("vote", 0) > 0
+
+    def test_observation_report(self, small_f2):
+        from repro.obs.spans import SpanCollector
+
+        collector = SpanCollector()
+        res = build_procs(
+            small_f2, shards=2, merge="exact", collector=collector
+        )
+        assert res.observation is not None
+        names = {m.name for m in collector.metrics}
+        assert "shard_rounds_total" in names
+        assert "shard_bytes_total" in names
+        # Lane 0 (coordinator) plus one lane per shard recorded time.
+        lanes = {iv.pid for iv in collector.intervals}
+        assert lanes == {0, 1, 2}

@@ -1,0 +1,91 @@
+"""Spawn-safety: workers re-initialize per process without recompiling.
+
+Under ``spawn`` a worker starts from a blank interpreter: no inherited
+globals, no fork-copied compile cache.  The worker must (a) build the
+same tree, and (b) load any native kernels from the shared on-disk
+``.so`` cache — ``compiler_invocations()`` counts actual compiler
+runs, so a zero from every worker proves the cache was warm, not
+rebuilt per process.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro._native import cc
+from repro.core.builder import build_classifier
+from repro.shard.pool import ShardPool, get_pool
+
+
+class TestSpawn:
+    def test_spawn_identity(self, small_f2, serial_f2):
+        res = build_classifier(
+            small_f2, runtime="procs", shards=2, start_method="spawn"
+        )
+        assert res.tree.signature() == serial_f2.signature()
+        assert res.shard.start_method == "spawn"
+
+    def test_spawn_workers_are_fresh_processes(self, small_f2):
+        res = build_classifier(
+            small_f2, runtime="procs", shards=2, start_method="spawn"
+        )
+        assert os.getpid() not in res.shard.worker_pids
+        assert len(set(res.shard.worker_pids)) == 2
+
+    def test_spawn_workers_use_so_cache_not_compiler(self, small_f2):
+        """No worker may invoke the C compiler when the cache is warm."""
+        # Warm the parent-side cache (a no-op when native is gated off).
+        build_classifier(small_f2, algorithm="serial")
+        pool = get_pool(2, "spawn")
+        replies = pool.broadcast("info", None)
+        for reply in replies:
+            assert reply["compiler_invocations"] == 0
+        backends = {r["native_backend"] for r in replies}
+        # Workers agree with the parent about native availability.
+        parent_native = cc.find_compiler() is not None
+        if not parent_native:
+            assert backends == {"numpy"}
+
+    def test_spawn_scratch_arena_per_process(self, small_f7):
+        """A second spawn build reuses worker-local arenas, not ours."""
+        res = build_classifier(
+            small_f7, runtime="procs", shards=2, start_method="spawn"
+        )
+        assert res.tree.n_nodes > 1
+
+
+class TestPoolReuse:
+    def test_same_workers_across_builds(self, small_f2):
+        first = build_classifier(small_f2, runtime="procs", shards=2)
+        second = build_classifier(small_f2, runtime="procs", shards=2)
+        assert first.shard.worker_pids == second.shard.worker_pids
+
+    def test_distinct_pools_per_shard_count(self, small_f2):
+        two = build_classifier(small_f2, runtime="procs", shards=2)
+        three = build_classifier(small_f2, runtime="procs", shards=3)
+        assert set(two.shard.worker_pids).isdisjoint(three.shard.worker_pids)
+
+    def test_explicit_pool_is_not_closed(self, small_f2):
+        pool = ShardPool(2)
+        try:
+            from repro.shard.coordinator import build_sharded
+
+            build_sharded(small_f2, shards=2, pool=pool)
+            assert pool.alive
+            build_sharded(small_f2, shards=2, pool=pool)
+        finally:
+            pool.close()
+        assert not pool.alive
+
+    def test_pool_rejects_wrong_size(self, small_f2):
+        from repro.shard import ShardBuildError
+        from repro.shard.coordinator import build_sharded
+
+        pool = ShardPool(2)
+        try:
+            with pytest.raises(ShardBuildError):
+                build_sharded(small_f2, shards=3, pool=pool)
+        finally:
+            pool.close()

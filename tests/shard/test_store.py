@@ -1,0 +1,71 @@
+"""ShardStore: in-memory segment cache with budgeted disk spill."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.shard.store import ShardStore
+from repro.sprint.records import CONTINUOUS_RECORD
+
+
+def records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = np.empty(n, dtype=CONTINUOUS_RECORD)
+    out["value"] = np.sort(rng.normal(size=n))
+    out["cls"] = rng.integers(0, 2, size=n)
+    out["tid"] = np.arange(n)
+    return out
+
+
+class TestMemoryPath:
+    def test_roundtrip(self, tmp_path):
+        store = ShardStore(memory_budget_bytes=None, spill_dir=str(tmp_path))
+        recs = records(100)
+        store.put((0, 0), recs)
+        got = store.get((0, 0))
+        assert (got == recs).all()
+        assert store.spilled_bytes == 0
+        store.close()
+
+    def test_delete_and_missing(self, tmp_path):
+        store = ShardStore(memory_budget_bytes=None, spill_dir=str(tmp_path))
+        store.put((0, 0), records(10))
+        store.delete((0, 0))
+        assert store.get((0, 0)) is None
+        assert store.n_records((0, 0)) == 0
+        store.close()
+
+
+class TestSpillPath:
+    def test_budget_forces_spill_and_faults_back(self, tmp_path):
+        recs = records(200)
+        store = ShardStore(
+            memory_budget_bytes=recs.nbytes // 2, spill_dir=str(tmp_path)
+        )
+        store.put((0, 0), recs)
+        other = records(200, seed=1)
+        store.put((1, 0), other)  # evicts the oldest past the budget
+        assert store.spilled_bytes > 0
+        assert (store.get((0, 0)) == recs).all()
+        assert store.faulted_bytes > 0
+        assert (store.get((1, 0)) == other).all()
+        store.close()
+
+    def test_close_removes_pagefile(self, tmp_path):
+        store = ShardStore(memory_budget_bytes=16, spill_dir=str(tmp_path))
+        store.put((0, 0), records(50))
+        store.put((1, 0), records(50, seed=2))
+        assert store.spill_segments > 0
+        store.close()
+        leftovers = [
+            name for name in os.listdir(tmp_path) if "spill" in name
+        ]
+        assert leftovers == []
+
+    def test_n_records(self, tmp_path):
+        store = ShardStore(memory_budget_bytes=16, spill_dir=str(tmp_path))
+        store.put((0, 7), records(33))
+        assert store.n_records((0, 7)) == 33
+        store.close()

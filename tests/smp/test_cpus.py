@@ -1,0 +1,45 @@
+"""Affinity-aware worker sizing (``available_cpus``) and its callers."""
+
+from __future__ import annotations
+
+import os
+
+from repro.smp.cpus import available_cpus
+from repro.smp.threads import RealThreadRuntime
+
+
+class TestAvailableCpus:
+    def test_positive(self):
+        assert available_cpus() >= 1
+
+    def test_matches_affinity_mask(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == max(1, len(os.sched_getaffinity(0)))
+        else:
+            assert available_cpus() == max(1, os.cpu_count() or 1)
+
+
+class TestCallers:
+    def test_thread_runtime_defaults_to_affinity(self):
+        assert RealThreadRuntime(None).n_procs == available_cpus()
+        assert RealThreadRuntime(0).n_procs == available_cpus()
+
+    def test_thread_runtime_explicit_wins(self):
+        assert RealThreadRuntime(3).n_procs == 3
+
+    def test_inference_engine_defaults_to_affinity(self, small_f2):
+        from repro.classify.engine import InferenceEngine
+        from repro.core.builder import build_classifier
+
+        tree = build_classifier(small_f2, algorithm="serial").tree
+        engine = InferenceEngine(tree, n_workers=0)
+        assert engine.n_workers == available_cpus()
+        engine.close()
+
+    def test_shard_default_is_affinity(self, small_f2):
+        from repro.core.builder import build_classifier
+        from repro.shard.pool import shutdown_pools
+
+        res = build_classifier(small_f2, runtime="procs")
+        assert res.shard.shards == available_cpus()
+        shutdown_pools()

@@ -98,9 +98,14 @@ class TestRealThreadRuntime:
         with pytest.raises(RuntimeError, match="not running"):
             rt.pid()
 
-    def test_zero_procs_rejected(self):
+    def test_zero_procs_means_affinity_auto(self):
+        from repro.smp.cpus import available_cpus
+
+        assert RealThreadRuntime(0).n_procs == available_cpus()
+
+    def test_negative_procs_rejected(self):
         with pytest.raises(ValueError):
-            RealThreadRuntime(0)
+            RealThreadRuntime(-1)
 
 
 class TestWorkerPool:

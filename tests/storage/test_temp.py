@@ -1,0 +1,41 @@
+"""Spill-directory lifecycle: tracked, released, atexit-swept."""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from repro.storage import temp
+
+
+class TestSpillDirs:
+    def test_create_and_release(self):
+        path = temp.create_spill_dir()
+        assert os.path.isdir(path)
+        assert path in temp.live_spill_dirs()
+        temp.release_spill_dir(path)
+        assert not os.path.exists(path)
+        assert path not in temp.live_spill_dirs()
+
+    def test_release_tolerates_contents(self):
+        path = temp.create_spill_dir()
+        with open(os.path.join(path, "pages"), "wb") as f:
+            f.write(b"x" * 128)
+        temp.release_spill_dir(path)
+        assert not os.path.exists(path)
+
+    def test_context_manager(self):
+        with temp.spill_dir() as path:
+            assert os.path.isdir(path)
+        assert not os.path.exists(path)
+
+    def test_atexit_hook_registered(self):
+        # The sweep function exists and is idempotent when nothing leaks.
+        temp._cleanup_at_exit()
+        assert temp.live_spill_dirs() == set()
+
+    def test_cleanup_sweeps_leaked_dirs(self):
+        path = temp.create_spill_dir()
+        temp._cleanup_at_exit()
+        assert not os.path.exists(path)
+        assert temp.live_spill_dirs() == set()

@@ -98,6 +98,48 @@ class TestBuild:
         assert "phase_seconds_bucket" in text
 
 
+class TestBuildProcs:
+    def test_exact_matches_virtual(self, dataset_file, tmp_path, capsys):
+        """`--runtime procs --merge exact` saves the same tree as virtual."""
+        virtual_path = str(tmp_path / "virtual.json")
+        procs_path = str(tmp_path / "procs.json")
+        assert main(
+            ["build", "-i", dataset_file, "--algorithm", "serial",
+             "-o", virtual_path]
+        ) == 0
+        code = main(
+            ["build", "-i", dataset_file, "--runtime", "procs",
+             "--shards", "2", "--merge", "exact", "-o", procs_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard-exact on 2 processor(s)" in out
+        assert "shards: 2 worker(s)" in out
+        assert "bytes exchanged" in out
+        virtual = json.load(open(virtual_path))
+        procs = json.load(open(procs_path))
+        assert virtual["nodes"] == procs["nodes"]
+
+    def test_vote_merge(self, dataset_file, capsys):
+        code = main(
+            ["build", "-i", dataset_file, "--runtime", "procs",
+             "--shards", "2", "--merge", "vote", "--vote-k", "2"]
+        )
+        assert code == 0
+        assert "merge=vote" in capsys.readouterr().out
+
+    def test_timeline_procs(self, dataset_file, capsys):
+        code = main(
+            ["timeline", "-i", dataset_file, "--runtime", "procs",
+             "--procs", "2", "--width", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard-exact on 2 processor(s)" in out
+        # Coordinator lane plus one lane per shard.
+        assert "P0" in out and "P1" in out and "P2" in out
+
+
 class TestClassify:
     def test_round_trip(self, dataset_file, tmp_path, capsys):
         tree_path = str(tmp_path / "tree.json")
