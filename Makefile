@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard check-schemas check-regression examples trace-demo top-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard bench-serve check-schemas check-regression examples trace-demo top-demo clean
 
 install:
 	pip install -e .
@@ -46,6 +46,12 @@ bench-build-native:
 # BENCH_shard.json (schema bench_shard/1).
 bench-shard:
 	PYTHONPATH=src python benchmarks/bench_shard.py --out BENCH_shard.json
+
+# Serving-tier load generator: open/closed-loop latency over real TCP
+# plus the zero-lost hot-swap-under-load proof; writes BENCH_serve.json
+# (schema bench_serve/1).
+bench-serve:
+	PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
 
 # Validate every committed BENCH_*.json against its declared schema.
 check-schemas:

@@ -1,0 +1,444 @@
+"""Serving-tier load generator: open/closed-loop latency + hot-swap proof.
+
+Stands up the real asyncio serving tier (:class:`repro.serve.ServeServer`
+over a :class:`repro.serve.ModelRegistry`) on a loopback TCP port and
+drives it three ways, at each worker count:
+
+* **closed-loop** — K client threads, each a persistent JSONL
+  connection in strict request-reply lockstep.  Throughput is
+  self-limiting; latency is the server's honest per-request cost.
+* **open-loop** — requests dispatched on a fixed arrival schedule over
+  a pipelined connection (``id``-matched replies), latency measured
+  from the *scheduled* send time, so a stalled server accrues the
+  delay instead of hiding it (no coordinated omission).
+* **swap-under-load** — closed-loop traffic while the model is
+  hot-swapped mid-run; every request must get exactly one successful
+  reply, each consistent with exactly one version, with zero requests
+  lost — the zero-downtime acceptance gate.
+
+Every run also checks the registry's exact accounting invariants
+(``arrivals = admitted + shed + rejected`` and, drained,
+``admitted = completed + errored + cancelled``) — a run that drops or
+double-counts a request fails the document, not just a test.
+
+Output is a ``bench_serve/1`` JSON document::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+``--validate FILE`` checks an existing document's schema (used by the
+CI smoke job); ``--quick`` shrinks the matrix for smoke runs.
+"""
+
+import argparse
+import json
+import platform
+import socket
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core.builder import build_classifier
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.serve import ModelRegistry, ServeServer
+
+SCHEMA = "bench_serve/1"
+MODES = ("closed", "open", "swap")
+
+WORKERS = (1, 2)
+CLOSED_CLIENTS = (4,)
+OPEN_RATES = (200.0,)
+DURATION_S = 3.0
+
+QUICK_WORKERS = (1, 2)
+QUICK_CLOSED_CLIENTS = (2,)
+QUICK_OPEN_RATES = (50.0,)
+QUICK_DURATION_S = 0.6
+
+
+def _models(seed):
+    """Two builds of the same schema — the serving and the swap target."""
+    ds = generate_dataset(
+        DatasetSpec(function=2, n_attributes=9, n_records=2000, seed=seed)
+    )
+    ds2 = generate_dataset(
+        DatasetSpec(function=7, n_attributes=9, n_records=2000, seed=seed)
+    )
+    return build_classifier(ds).tree, build_classifier(ds2).tree
+
+
+def _request_row(tree, rng):
+    names = tree.schema.attribute_names
+    return {n: float(rng.uniform(0.0, 100.0)) for n in names}
+
+
+def _percentiles(latencies):
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        return {"p50_s": 0.0, "p90_s": 0.0, "p99_s": 0.0}
+    return {
+        "p50_s": float(np.percentile(arr, 50)),
+        "p90_s": float(np.percentile(arr, 90)),
+        "p99_s": float(np.percentile(arr, 99)),
+    }
+
+
+def _connect(server):
+    sock = socket.create_connection((server.host, server.port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _check_accounting(registry):
+    """The tier's exact invariants, evaluated after close/drain."""
+    acct = registry.accounting()
+    values = registry.metrics.values()
+    resolved = sum(
+        int(values.get(name, 0))
+        for name in (
+            "engine_completed_requests_total",
+            "engine_errored_requests_total",
+            "engine_cancelled_requests_total",
+        )
+    )
+    ok = (
+        acct["pending"] == 0
+        and acct["arrivals"] == acct["admitted"] + acct["shed"]
+        + acct["rejected"]
+        and acct["admitted"] == resolved
+    )
+    return ok, acct
+
+
+def _closed_loop(server, tree, clients, duration_s, seed, swap_at=None,
+                 registry=None, swap_tree=None):
+    """K request-reply clients; optionally hot-swap the model mid-run."""
+    latencies = []
+    versions = {}
+    errors = []
+    sent = [0] * clients
+    lock = threading.Lock()
+    stop = time.perf_counter() + duration_s
+
+    def client(idx):
+        rng = np.random.default_rng(seed + idx)
+        row = _request_row(tree, rng)
+        sock = _connect(server)
+        f = sock.makefile("rwb")
+        local_lat, local_ver, local_err, n = [], {}, [], 0
+        try:
+            while time.perf_counter() < stop:
+                t0 = time.perf_counter()
+                f.write((json.dumps(row) + "\n").encode())
+                f.flush()
+                reply = json.loads(f.readline())
+                local_lat.append(time.perf_counter() - t0)
+                n += 1
+                if "error" in reply:
+                    local_err.append(reply)
+                else:
+                    v = reply.get("version", "?")
+                    local_ver[v] = local_ver.get(v, 0) + 1
+        finally:
+            f.close()
+            sock.close()
+        with lock:
+            latencies.extend(local_lat)
+            errors.extend(local_err)
+            sent[idx] = n
+            for v, c in local_ver.items():
+                versions[v] = versions.get(v, 0) + c
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    swapped = False
+    if swap_at is not None:
+        time.sleep(swap_at)
+        registry.swap(registry.default_model, swap_tree, version="v2")
+        swapped = True
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+    requests = sum(sent)
+    return {
+        "requests": requests,
+        "replies": len(latencies),
+        "errors": len(errors),
+        "elapsed_s": elapsed,
+        "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
+        "versions": versions,
+        "swapped": swapped,
+        **_percentiles(latencies),
+    }
+
+
+def _open_loop(server, tree, rate, duration_s, seed):
+    """Scheduled arrivals over a pipelined id-matched connection.
+
+    Latency is measured from each request's *scheduled* dispatch time:
+    if the writer (or server) falls behind, the delay lands in the
+    recorded latency rather than silently stretching the schedule.
+    """
+    rng = np.random.default_rng(seed)
+    row = _request_row(tree, rng)
+    n_requests = max(int(rate * duration_s), 1)
+    interval = 1.0 / rate
+    sock = _connect(server)
+    f = sock.makefile("rwb")
+    scheduled = {}
+    latencies = []
+    errors = []
+    done = threading.Event()
+
+    def reader():
+        seen = 0
+        while seen < n_requests:
+            line = f.readline()
+            if not line:
+                break
+            reply = json.loads(line)
+            t_reply = time.perf_counter()
+            rid = reply.get("id")
+            if rid in scheduled:
+                latencies.append(t_reply - scheduled[rid])
+                seen += 1
+            if "error" in reply:
+                errors.append(reply)
+        done.set()
+
+    reader_thread = threading.Thread(target=reader)
+    t_start = time.perf_counter()
+    # Pre-compute the schedule before starting the reader so the dict
+    # is never mutated while the reader looks ids up.
+    for i in range(n_requests):
+        scheduled[i] = t_start + i * interval
+    reader_thread.start()
+    try:
+        for i in range(n_requests):
+            now = time.perf_counter()
+            if scheduled[i] > now:
+                time.sleep(scheduled[i] - now)
+            f.write(
+                (json.dumps({"data": row, "id": i}) + "\n").encode()
+            )
+            f.flush()
+        done.wait(timeout=duration_s * 10 + 30)
+    finally:
+        f.close()
+        sock.close()
+        reader_thread.join(timeout=10)
+    elapsed = time.perf_counter() - t_start
+    return {
+        "requests": n_requests,
+        "replies": len(latencies),
+        "errors": len(errors),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "versions": {},
+        "swapped": False,
+        **_percentiles(latencies),
+    }
+
+
+def run_benchmarks(workers_list, closed_clients, open_rates, duration_s,
+                   seed):
+    tree, swap_tree = _models(seed)
+    results = []
+    zero_lost_swap = True
+    all_accounted = True
+
+    def run_cell(mode, workers, clients, rate, fn):
+        nonlocal zero_lost_swap, all_accounted
+        registry = ModelRegistry()
+        registry.add(
+            "bench", tree, version="v1", workers=workers,
+            max_pending=4096,
+        )
+        server = ServeServer(registry, port=0, timeout=60.0).start()
+        try:
+            row = fn(server, registry)
+        finally:
+            server.close()
+            registry.close()
+        ok, acct = _check_accounting(registry)
+        all_accounted = all_accounted and ok
+        lost = row["requests"] - row["replies"]
+        zero_lost = lost == 0 and row["errors"] == 0
+        if mode == "swap":
+            zero_lost_swap = zero_lost_swap and zero_lost and row["swapped"]
+            if not (len(row["versions"]) >= 2 or row["requests"] < 2):
+                # Both versions must actually have served traffic for
+                # the swap run to prove anything.
+                zero_lost_swap = False
+        results.append({
+            "mode": mode,
+            "workers": workers,
+            "clients": clients,
+            "rate": rate,
+            "duration_s": duration_s,
+            "requests": row["requests"],
+            "replies": row["replies"],
+            "errors": row["errors"],
+            "lost": lost,
+            "zero_lost": zero_lost,
+            "throughput_rps": row["throughput_rps"],
+            "p50_s": row["p50_s"],
+            "p90_s": row["p90_s"],
+            "p99_s": row["p99_s"],
+            "versions": row["versions"],
+            "accounting": acct,
+            "accounting_ok": ok,
+        })
+
+    for workers in workers_list:
+        for clients in closed_clients:
+            run_cell(
+                "closed", workers, clients, 0.0,
+                lambda server, registry, c=clients: _closed_loop(
+                    server, tree, c, duration_s, seed
+                ),
+            )
+        for rate in open_rates:
+            run_cell(
+                "open", workers, 1, rate,
+                lambda server, registry, r=rate: _open_loop(
+                    server, tree, r, duration_s, seed
+                ),
+            )
+        run_cell(
+            "swap", workers, closed_clients[0], 0.0,
+            lambda server, registry, c=closed_clients[0]: _closed_loop(
+                server, tree, c, duration_s, seed,
+                swap_at=duration_s / 2, registry=registry,
+                swap_tree=swap_tree,
+            ),
+        )
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "workers": list(workers_list),
+            "closed_clients": list(closed_clients),
+            "open_rates": list(open_rates),
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "results": results,
+        "summary": {
+            "zero_lost_swap": zero_lost_swap,
+            "all_accounted": all_accounted,
+        },
+    }
+
+
+def validate_bench_doc(doc):
+    """Schema check for a ``bench_serve/1`` document; raises ValueError."""
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for section in ("config", "env", "results", "summary"):
+        if section not in doc:
+            raise ValueError(f"missing section {section!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        raise ValueError("results must be a non-empty list")
+    modes = set()
+    worker_counts = set()
+    for i, entry in enumerate(doc["results"]):
+        for key in ("mode", "workers", "clients", "rate", "duration_s",
+                    "requests", "replies", "errors", "lost", "zero_lost",
+                    "throughput_rps", "p50_s", "p90_s", "p99_s",
+                    "accounting_ok"):
+            if key not in entry:
+                raise ValueError(f"results[{i}] missing {key!r}")
+        if entry["mode"] not in MODES:
+            raise ValueError(f"results[{i}] unknown mode {entry['mode']!r}")
+        modes.add(entry["mode"])
+        worker_counts.add(entry["workers"])
+        if entry["requests"] < 1:
+            raise ValueError(f"results[{i}] made no requests")
+        for key in ("p50_s", "p90_s", "p99_s", "throughput_rps"):
+            value = entry[key]
+            if not (isinstance(value, (int, float)) and value >= 0):
+                raise ValueError(f"results[{i}].{key} must be >= 0")
+        if entry["p50_s"] > entry["p99_s"]:
+            raise ValueError(f"results[{i}] p50 > p99")
+        if entry["mode"] == "swap" and not entry["zero_lost"]:
+            raise ValueError(f"results[{i}] swap run lost requests")
+    if modes != set(MODES):
+        raise ValueError(f"results must cover modes {MODES}, got {modes}")
+    if len(worker_counts) < 2:
+        raise ValueError("results must cover >= 2 worker counts")
+    for key in ("zero_lost_swap", "all_accounted"):
+        if doc["summary"].get(key) is not True:
+            raise ValueError(f"summary.{key} must be true")
+
+
+def _print_table(doc):
+    header = (f"{'mode':<7} {'wrk':>3} {'cli':>3} {'rate':>6} "
+              f"{'reqs':>7} {'lost':>4} {'rps':>9} "
+              f"{'p50 (ms)':>9} {'p90 (ms)':>9} {'p99 (ms)':>9}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]:
+        print(f"{e['mode']:<7} {e['workers']:>3} {e['clients']:>3} "
+              f"{e['rate']:>6.0f} {e['requests']:>7} {e['lost']:>4} "
+              f"{e['throughput_rps']:>9,.0f} "
+              f"{e['p50_s'] * 1e3:>9.3f} {e['p90_s'] * 1e3:>9.3f} "
+              f"{e['p99_s'] * 1e3:>9.3f}")
+    s = doc["summary"]
+    print(f"\nzero-lost hot-swap: {s['zero_lost_swap']}; "
+          f"exact accounting: {s['all_accounted']}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Serving-tier load generator: open/closed-loop latency "
+                    "and zero-downtime hot-swap under load."
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds of traffic per cell")
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix for CI smoke")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            validate_bench_doc(json.load(handle))
+        print(f"{args.validate}: valid {SCHEMA} document")
+        return 0
+
+    if args.quick:
+        workers, clients, rates = (
+            QUICK_WORKERS, QUICK_CLOSED_CLIENTS, QUICK_OPEN_RATES
+        )
+        duration = args.duration or QUICK_DURATION_S
+    else:
+        workers, clients, rates = WORKERS, CLOSED_CLIENTS, OPEN_RATES
+        duration = args.duration or DURATION_S
+    doc = run_benchmarks(workers, clients, rates, duration, args.seed)
+    validate_bench_doc(doc)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    _print_table(doc)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,26 @@ PLANS = {
         ],
         "summary": (("all_exact_trees_match", "bool"),),
     },
+    "bench_serve/1": {
+        "rows": [
+            {
+                "path": ("results",),
+                "key": ("mode", "workers", "clients", "rate"),
+                "metrics": (
+                    ("throughput_rps", "higher"),
+                    ("p99_s", "lower"),
+                    # A swap run that drops requests is a correctness
+                    # failure, not a slow day on the runner.
+                    ("zero_lost", "bool"),
+                    ("accounting_ok", "bool"),
+                ),
+            },
+        ],
+        "summary": (
+            ("zero_lost_swap", "bool"),
+            ("all_accounted", "bool"),
+        ),
+    },
 }
 
 #: Metric kinds gated under ``--stable-only`` (shared-runner CI): only

@@ -28,6 +28,7 @@ SCHEMA_OWNERS = {
     "bench_predict/1": "bench_predict",
     "bench_build_native/1": "bench_build_native",
     "bench_shard/1": "bench_shard",
+    "bench_serve/1": "bench_serve",
 }
 
 

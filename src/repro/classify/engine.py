@@ -55,11 +55,23 @@ ROWS_BUCKETS = (1, 8, 64, 512, 4096, 32768, 262144)
 Columns = Mapping[str, np.ndarray]
 
 
+class EngineClosedError(ValueError):
+    """Raised on submit after :meth:`InferenceEngine.close`.
+
+    A distinct type so callers holding a possibly-stale engine handle
+    (the model registry during a hot-swap) can tell "this engine is
+    gone, re-resolve" apart from a genuinely malformed request."""
+
+
+class RequestCancelled(RuntimeError):
+    """The request was cancelled before a worker resolved it."""
+
+
 class PredictionRequest:
     """Future-style handle for one submitted request."""
 
     __slots__ = ("columns", "n", "scalar", "trace", "_event", "_value",
-                 "_error")
+                 "_error", "_lock", "_cancelled", "_callbacks")
 
     def __init__(self, columns: Dict[str, np.ndarray], n: int, scalar: bool,
                  trace: Optional[TraceContext] = None):
@@ -71,6 +83,9 @@ class PredictionRequest:
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._callbacks: List = []
 
     @property
     def trace_id(self) -> Optional[str]:
@@ -79,10 +94,45 @@ class PredictionRequest:
     def done(self) -> bool:
         return self._event.is_set()
 
-    def _resolve(self, value: Optional[np.ndarray], error=None) -> None:
-        self._value = value
-        self._error = error
-        self._event.set()
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Abandon the request; returns True if cancellation won.
+
+        Cancellation and resolution race atomically: when this returns
+        True the engine guarantees the request is counted as cancelled
+        (never completed), queued work is dropped without predicting,
+        and :meth:`result` raises :class:`RequestCancelled`.  When it
+        returns False the result is already resolved — the caller may
+        still fetch it with ``result(timeout=0)``.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._cancelled = True
+            return True
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(request)`` once resolved (immediately if already)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _resolve(self, value: Optional[np.ndarray], error=None) -> bool:
+        """Publish the outcome; returns False if cancellation won."""
+        with self._lock:
+            self._value = value
+            self._error = error
+            delivered = not self._cancelled
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return delivered
 
     def result(self, timeout: Optional[float] = None):
         """Predicted class indices (an array, or an int for scalar rows)."""
@@ -90,6 +140,9 @@ class PredictionRequest:
             raise TimeoutError(f"prediction not ready within {timeout}s")
         if self._error is not None:
             raise self._error
+        if self._value is None:
+            raise RequestCancelled("request was cancelled before a worker "
+                                   "resolved it")
         return int(self._value[0]) if self.scalar else self._value
 
 
@@ -163,6 +216,10 @@ class InferenceEngine:
             "engine_request_errors_total",
             help="admitted requests resolved with an error",
         )
+        self._cancelled_requests = m.counter(
+            "engine_cancelled_requests_total",
+            help="admitted requests abandoned via cancel() before resolve",
+        )
         self._batches = m.counter(
             "engine_batches_total", help="vectorized predict calls"
         )
@@ -199,9 +256,10 @@ class InferenceEngine:
         """Engine-relative clock shared by traces and busy intervals."""
         return time.perf_counter() - self._t0
 
-    def _reject(self, reason: str, message: str) -> "ValueError":
+    def _reject(self, reason: str, message: str,
+                cls=ValueError) -> "ValueError":
         self._rejected[reason].inc()
-        return ValueError(message)
+        return cls(message)
 
     def submit(self, data) -> PredictionRequest:
         """Admit one request; returns a future-style handle.
@@ -258,15 +316,21 @@ class InferenceEngine:
                     f"{self.name!r}: {attr!r} has {rows} rows, expected {n}",
                 )
             columns[attr] = col
-        trace = None
-        if self.trace_ring is not None:
-            trace = TraceContext(mint_trace_id(), self.name, n, self._now())
-        request = PredictionRequest(columns, n, scalar, trace)
         with self._cond:
+            # The closed check must precede trace minting: a trace
+            # minted for a rejected-at-close request would never be
+            # finished, breaking the zero-dropped-traces invariant.
             if self._closed:
                 raise self._reject(
-                    "closed", f"engine for model {self.name!r} is closed"
+                    "closed", f"engine for model {self.name!r} is closed",
+                    cls=EngineClosedError,
                 )
+            trace = None
+            if self.trace_ring is not None:
+                trace = TraceContext(
+                    mint_trace_id(), self.name, n, self._now()
+                )
+            request = PredictionRequest(columns, n, scalar, trace)
             self._queue.append(request)
             self._queue_depth.set(len(self._queue))
             self._cond.notify()
@@ -284,20 +348,30 @@ class InferenceEngine:
     def _drain(self, wid: int) -> None:
         try:
             while True:
+                dropped: List[PredictionRequest] = []
                 with self._cond:
                     while not self._queue and not self._closed:
                         self._cond.wait()
                     if not self._queue:
                         return  # closed and drained
-                    group = [self._queue.popleft()]
-                    rows = group[0].n
+                    group: List[PredictionRequest] = []
+                    rows = 0
                     while self._queue and rows < self.batch_size:
                         nxt = self._queue[0]
-                        if rows + max(nxt.n, 1) > self.batch_size:
+                        if nxt.cancelled:
+                            # Abandoned while queued: drop the work
+                            # entirely instead of predicting for nobody.
+                            dropped.append(self._queue.popleft())
+                            continue
+                        if group and rows + max(nxt.n, 1) > self.batch_size:
                             break
                         group.append(self._queue.popleft())
                         rows += nxt.n
                     self._queue_depth.set(len(self._queue))
+                for request in dropped:
+                    self._finish(request, None, None, 0, 0.0)
+                if not group:
+                    continue
                 dequeue_ts = self._now()
                 for request in group:
                     trace = request.trace
@@ -351,7 +425,13 @@ class InferenceEngine:
         chunks: int,
         predict_s: float,
     ) -> None:
-        """Resolve the future and complete its trace/accounting."""
+        """Resolve the future and complete its trace/accounting.
+
+        ``_resolve`` decides the cancellation race atomically: when it
+        reports the value was not delivered, the request is counted as
+        cancelled — never completed — so caller-side bookkeeping (the
+        serve loop's ``served N``) always matches engine accounting.
+        """
         trace = request.trace
         if trace is not None:
             trace.chunks = chunks
@@ -359,8 +439,12 @@ class InferenceEngine:
             trace.finish_ts = self._now()
             trace.status = "ok" if error is None else "error"
             trace.error = "" if error is None else str(error)
-        request._resolve(value, error)
-        if error is None:
+        delivered = request._resolve(value, error)
+        if not delivered:
+            if trace is not None:
+                trace.status = "cancelled"
+            self._cancelled_requests.inc()
+        elif error is None:
             self._completed.inc()
         else:
             self._errored.inc()

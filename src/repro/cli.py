@@ -237,80 +237,119 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """JSONL loop: one request object per stdin line, one reply per line.
+    """Serve a model: stdin JSONL loop and/or an async TCP/HTTP tier.
 
-    A request is ``{"attr": value, ...}`` (single row) or
-    ``{"attr": [values...], ...}`` (batch).  Replies carry class names;
-    malformed or incomplete requests get an ``{"error": ...}`` reply and
-    the loop continues.  With ``--telemetry-port``, a background HTTP
-    server publishes ``/metrics``, ``/healthz`` and ``/snapshot`` while
-    the loop runs (``repro top`` renders those snapshots live).
+    The model goes into a :class:`~repro.serve.registry.ModelRegistry`
+    (versioned, hot-swappable, bounded admission queue).  By default
+    stdin runs the classic JSONL loop — one request object per line,
+    one reply per line — as a thin client of that registry.  With
+    ``--port``, an asyncio server additionally speaks persistent
+    JSONL-over-TCP and HTTP (``POST /predict``, ``GET /models``,
+    ``GET /healthz``, ``POST /models/<name>/swap``) on the same
+    registry; ``--no-stdin`` serves sockets only.
+
+    A request is ``{"attr": value, ...}`` (single row),
+    ``{"attr": [values...], ...}`` (batch; ``[]`` columns get
+    ``{"classes": []}`` back), or an envelope
+    ``{"data": {...}, "model": name, "id": anything}``.  Malformed,
+    overdue (the engine drops the cancelled work), or shed requests get
+    an ``{"error": ..., "reason": ...}`` reply and the loop continues.
+    With ``--telemetry-port``, a background HTTP server publishes
+    ``/metrics``, ``/healthz`` and ``/snapshot`` for the whole tier
+    while traffic flows (``repro top`` renders those snapshots live).
     """
     import json as _json
 
-    from repro.classify.engine import InferenceEngine
+    from repro.serve import ModelRegistry, ServeServer, submit_and_wait
 
     tree = load_tree(args.model)
-    names = tree.schema.class_names
-    engine = InferenceEngine(
+    registry = ModelRegistry()
+    registry.add(
+        args.model,
         tree,
+        version=args.model_version,
+        workers=args.workers or None,
         batch_size=args.batch_size,
-        n_workers=args.workers or None,
-        name=args.model,
+        max_pending=args.max_pending,
     )
+    server = None
     telemetry = None
-    if args.telemetry_port is not None:
-        from repro.obs.telemetry import TelemetryServer
-
-        telemetry = TelemetryServer.for_engine(
-            engine, port=args.telemetry_port
-        ).start()
-        print(f"telemetry: {telemetry.url}", file=sys.stderr, flush=True)
     served = 0
     try:
-        with engine:
+        if args.port is not None:
+            server = ServeServer(
+                registry, host=args.host, port=args.port,
+                timeout=args.timeout,
+            ).start()
+            print(
+                f"serving on {server.address} (JSONL + HTTP)",
+                file=sys.stderr, flush=True,
+            )
+        if args.telemetry_port is not None:
+            from repro.obs.telemetry import TelemetryServer
+
+            telemetry = TelemetryServer.for_registry(
+                registry, port=args.telemetry_port
+            ).start()
+            print(f"telemetry: {telemetry.url}", file=sys.stderr, flush=True)
+        if args.no_stdin:
+            if server is None:
+                print("--no-stdin requires --port", file=sys.stderr)
+                return 2
+            try:
+                import threading as _threading
+
+                _threading.Event().wait()
+            except KeyboardInterrupt:
+                pass
+        else:
             for line in sys.stdin:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    row = _json.loads(line)
-                    request = engine.submit(row)
-                    result = request.result(timeout=args.timeout)
-                except Exception as exc:  # noqa: BLE001 - sent to the client
-                    print(_json.dumps({"error": str(exc)}), flush=True)
-                    continue
-                if request.scalar:
-                    reply = {"class": names[result], "class_index": result}
+                    obj = _json.loads(line)
+                except ValueError as exc:
+                    reply = {"error": f"bad JSON: {exc}", "reason": "invalid"}
                 else:
-                    reply = {
-                        "classes": [names[int(c)] for c in result],
-                        "class_indices": [int(c) for c in result],
-                    }
+                    reply = submit_and_wait(
+                        registry, obj, timeout=args.timeout
+                    )
                 print(_json.dumps(reply), flush=True)
-                served += 1
+                if "error" not in reply:
+                    served += 1
     finally:
-        if args.trace_out and engine.trace_ring is not None:
+        if server is not None:
+            server.close()
+        registry.close()
+        if args.trace_out:
             from repro.obs.tracectx import write_chrome_trace_for
 
             write_chrome_trace_for(
-                args.trace_out, engine.trace_ring.traces(), model=args.model
+                args.trace_out, registry.all_traces(), model=args.model
             )
             print(f"chrome trace -> {args.trace_out}", file=sys.stderr)
         if telemetry is not None:
             telemetry.close()
-    stats = engine.stats()
-    breakdown = engine.rejections()
+    values = registry.metrics.values()
+    breakdown = registry.rejections()
     rejected = sum(breakdown.values())
     detail = ", ".join(
-        f"{reason}: {count}" for reason, count in breakdown.items() if count
+        f"{reason}: {count}"
+        for reason, count in sorted(breakdown.items()) if count
     )
-    print(
+    shed = registry.shed_total()
+    line = (
         f"served {served} request(s), "
-        f"{int(stats.get('engine_rows_total', 0))} row(s), "
-        f"{rejected} rejected" + (f" ({detail})" if detail else ""),
-        file=sys.stderr,
+        f"{int(values.get('engine_rows_total', 0))} row(s), "
+        f"{rejected} rejected" + (f" ({detail})" if detail else "")
     )
+    if shed:
+        line += f", {shed} shed"
+    cancelled = int(values.get("engine_cancelled_requests_total", 0))
+    if cancelled:
+        line += f", {cancelled} cancelled"
+    print(line, file=sys.stderr)
     return 0
 
 
@@ -616,15 +655,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_predict)
 
     s = sub.add_parser(
-        "serve", help="JSONL inference loop: rows on stdin, labels on stdout"
+        "serve",
+        help="serve a model: stdin JSONL loop and/or async TCP/HTTP tier",
     )
     s.add_argument("--model", required=True, help="tree JSON from `build -o`")
+    s.add_argument("--model-version", default="", metavar="TAG",
+                   help="version tag reported in replies (default gen1)")
     s.add_argument("--batch-size", type=int, default=1024)
     s.add_argument("--workers", type=int, default=1,
                    help="engine worker threads (0 = all CPUs in the "
                         "affinity mask)")
     s.add_argument("--timeout", type=float, default=30.0,
-                   help="seconds to wait for one reply")
+                   help="seconds to wait for one reply (overdue requests "
+                        "are cancelled and their work dropped)")
+    s.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="also serve persistent JSONL-over-TCP and HTTP on this port "
+             "(0 = ephemeral; the bound address is printed to stderr)",
+    )
+    s.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --port (default 127.0.0.1)")
+    s.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="admission limit: shed requests past N pending (429/"
+             '{"shed": true} replies) instead of queueing unboundedly',
+    )
+    s.add_argument(
+        "--no-stdin", action="store_true",
+        help="socket tier only: don't read requests from stdin "
+             "(requires --port; run until interrupted)",
+    )
     s.add_argument(
         "--telemetry-port", type=int, default=None, metavar="PORT",
         help="publish /metrics, /healthz, /snapshot over HTTP on this "

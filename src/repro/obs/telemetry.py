@@ -125,6 +125,26 @@ class TelemetryServer:
             port=port,
         )
 
+    @classmethod
+    def for_registry(
+        cls, registry, *, host: str = "127.0.0.1", port: int = 0
+    ) -> "TelemetryServer":
+        """A server over a :class:`~repro.serve.registry.ModelRegistry`.
+
+        One scrape covers the whole tier: every engine (live and
+        retired) folds into the registry's shared metrics, ``/healthz``
+        reports per-model liveness, and ``/snapshot`` merges traces
+        across engines in submit order.
+        """
+        return cls(
+            registry.metrics,
+            health=registry.health,
+            traces=registry.trace_snapshots,
+            collect=lambda: kernel_stats.fold_into(registry.metrics),
+            host=host,
+            port=port,
+        )
+
     # -- lifecycle -----------------------------------------------------------
 
     @property

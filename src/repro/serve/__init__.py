@@ -1,0 +1,49 @@
+"""Async serving tier: model registry, wire protocol, socket server.
+
+``repro.serve`` turns the micro-batching
+:class:`~repro.classify.engine.InferenceEngine` into a network
+service:
+
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`, a versioned
+  multi-model map with per-model admission control (bounded pending
+  queue, load shedding) and zero-downtime hot-swap.
+* :mod:`repro.serve.protocol` — the transport-independent request and
+  reply shapes shared by stdin, TCP-JSONL, and HTTP front-ends.
+* :mod:`repro.serve.server` — :class:`ServeServer`, an asyncio
+  front-end speaking persistent JSONL-over-TCP and HTTP/1.1 on one
+  port.
+"""
+
+from repro.serve.protocol import (
+    STATUS_BY_REASON,
+    InvalidRequest,
+    RequestTimeout,
+    error_reply,
+    parse_request,
+    status_for,
+    submit_and_wait,
+    success_reply,
+)
+from repro.serve.registry import (
+    ModelRegistry,
+    ServingModel,
+    ShedError,
+    UnknownModelError,
+)
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "STATUS_BY_REASON",
+    "InvalidRequest",
+    "ModelRegistry",
+    "RequestTimeout",
+    "ServeServer",
+    "ServingModel",
+    "ShedError",
+    "UnknownModelError",
+    "error_reply",
+    "parse_request",
+    "status_for",
+    "submit_and_wait",
+    "success_reply",
+]

@@ -1,0 +1,157 @@
+"""Wire-level request/reply shapes shared by every serving front-end.
+
+One request, one reply — regardless of transport.  The stdin JSONL
+loop, the persistent-TCP JSONL protocol and the HTTP POST endpoint all
+route through the functions here, so the reply a client sees is
+defined once:
+
+* **request** — either a bare column mapping (``{"age": 30.0, ...}``
+  scalars for one row, arrays for a batch) or an envelope
+  ``{"data": {...}, "model": "name", "id": anything}``.  The envelope
+  selects a model by name and carries an opaque ``id`` echoed in the
+  reply, which lets pipelined clients match out-of-order replies.
+* **success reply** — ``{"class": name, "class_index": i}`` for a
+  scalar row, ``{"classes": [...], "class_indices": [...]}`` for a
+  batch (``{"classes": []}`` for the zero-row batch), always tagged
+  with the ``model`` and ``version`` that served it.
+* **error reply** — ``{"error": msg, "reason": r}`` with ``reason`` in
+  ``invalid | unknown-model | shed | timeout | closed``; shed replies
+  additionally carry ``"shed": true`` so clients can tell backpressure
+  from client error.  The paired HTTP status (400/404/429/504/503) is
+  what :class:`~repro.serve.server.ServeServer` sends.
+
+Timeouts never desync client and engine: :func:`submit_and_wait`
+cancels an overdue request (:meth:`PredictionRequest.cancel`), and the
+engine honors the cancellation atomically — either the cancel wins and
+the engine drops/discounts the work, or the result was already
+resolved and it is returned to the client after all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.classify.engine import EngineClosedError
+from repro.serve.registry import ModelRegistry, ServingModel, ShedError, \
+    UnknownModelError
+
+#: HTTP status per error reason.
+STATUS_BY_REASON = {
+    "invalid": 400,
+    "unknown-model": 404,
+    "shed": 429,
+    "timeout": 504,
+    "closed": 503,
+}
+
+
+class RequestTimeout(RuntimeError):
+    """The reply was not ready within the serving timeout."""
+
+
+class InvalidRequest(ValueError):
+    """The request body is not a usable JSON object."""
+
+
+def parse_request(obj: Any) -> Tuple[Optional[str], Mapping, Any]:
+    """Split one decoded request into ``(model, columns, request_id)``."""
+    if not isinstance(obj, Mapping):
+        raise InvalidRequest(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    if "data" in obj:
+        payload = obj["data"]
+        if not isinstance(payload, Mapping):
+            raise InvalidRequest(
+                "request 'data' must be an object of attribute columns, "
+                f"got {type(payload).__name__}"
+            )
+        model = obj.get("model")
+        if model is not None and not isinstance(model, str):
+            raise InvalidRequest("request 'model' must be a string")
+        return model, payload, obj.get("id")
+    return None, obj, None
+
+
+def success_reply(
+    entry: ServingModel, scalar: bool, result, request_id: Any = None
+) -> Dict[str, Any]:
+    """The reply document for one resolved prediction."""
+    names = entry.class_names
+    reply: Dict[str, Any] = {}
+    if request_id is not None:
+        reply["id"] = request_id
+    if scalar:
+        reply["class"] = names[int(result)]
+        reply["class_index"] = int(result)
+    else:
+        indices = [int(c) for c in result]
+        reply["classes"] = [names[i] for i in indices]
+        reply["class_indices"] = indices
+    reply["model"] = entry.name
+    reply["version"] = entry.version
+    return reply
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception from the submit path to a reply ``reason``."""
+    if isinstance(exc, ShedError):
+        return "shed"
+    if isinstance(exc, UnknownModelError):
+        return "unknown-model"
+    if isinstance(exc, RequestTimeout):
+        return "timeout"
+    if isinstance(exc, EngineClosedError):
+        return "closed"
+    return "invalid"
+
+
+def error_reply(exc: BaseException, request_id: Any = None) -> Dict[str, Any]:
+    reason = classify_error(exc)
+    reply: Dict[str, Any] = {}
+    if request_id is not None:
+        reply["id"] = request_id
+    reply["error"] = str(exc)
+    reply["reason"] = reason
+    if reason == "shed":
+        reply["shed"] = True
+    return reply
+
+
+def status_for(reply: Mapping) -> int:
+    """HTTP status for a reply document built by this module."""
+    if "error" not in reply:
+        return 200
+    return STATUS_BY_REASON.get(reply.get("reason", "invalid"), 400)
+
+
+def submit_and_wait(
+    registry: ModelRegistry,
+    obj: Any,
+    *,
+    timeout: Optional[float],
+    model: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One blocking request/reply round — the stdin thin client's core.
+
+    On timeout the request is cancelled; if the cancel loses the race
+    (the result resolved first) the result is returned normally, so
+    the client-visible outcome always matches engine accounting.
+    """
+    request_id = None
+    try:
+        named, payload, request_id = parse_request(obj)
+        entry, request = registry.submit(payload, model=named or model)
+        try:
+            result = request.result(timeout=timeout)
+        except TimeoutError:
+            if request.cancel():
+                raise RequestTimeout(
+                    f"no reply within {timeout}s; request cancelled"
+                ) from None
+            result = request.result(timeout=0)
+        return success_reply(entry, request.scalar, result, request_id)
+    except BaseException as exc:  # noqa: BLE001 - every error becomes a reply
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return error_reply(exc, request_id)

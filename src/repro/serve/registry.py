@@ -1,0 +1,457 @@
+"""Versioned multi-model registry with admission control and hot-swap.
+
+The serving tier's model plane.  A :class:`ModelRegistry` maps model
+names to :class:`ServingModel` entries — each one live
+:class:`~repro.classify.engine.InferenceEngine` plus a bounded
+admission gate — and supports **zero-downtime hot-swap**: load a new
+(serialize-v2) model, build its engine while the old one keeps
+serving, atomically switch the name to the new entry, then drain the
+old engine's in-flight requests and return its workers.  A request is
+handled end-to-end by exactly the engine that admitted it, so every
+reply is consistent with exactly one model version — no torn reads.
+
+Admission control is the piece ``InferenceEngine.submit`` deliberately
+does not have: the engine queue is unbounded, so a traffic spike would
+grow the queue (and client latency) without limit.  Each
+:class:`ServingModel` caps *pending* requests (admitted but not yet
+resolved) at ``max_pending``; beyond that, new requests are **shed**
+with a :class:`ShedError` carrying the rejection reason, which the
+front-ends translate into a 429 / ``{"shed": true}`` reply.  Shedding
+keeps p99 bounded under overload and gives closed-loop clients
+backpressure they can act on.
+
+Accounting is exact and proven by tests: per model,
+
+``arrivals = admitted + shed + rejected``  and, once drained,
+``admitted = completed + errored + cancelled``.
+
+All metrics fold into one shared
+:class:`~repro.obs.metrics.MetricsRegistry` (engines included), so a
+single :class:`~repro.obs.telemetry.TelemetryServer` scrape shows the
+whole tier: HDR latency percentiles, queue depths, shed counts by
+reason, swap counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.classify.compiled import CompiledTree
+from repro.classify.engine import (
+    EngineClosedError,
+    InferenceEngine,
+    PredictionRequest,
+)
+from repro.core.tree import DecisionTree
+from repro.obs.metrics import MetricsRegistry
+
+Model = Union[DecisionTree, CompiledTree]
+
+
+class ShedError(RuntimeError):
+    """Request shed by admission control (load, not malformedness)."""
+
+    def __init__(self, model: str, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.model = model
+        self.reason = reason
+
+
+class UnknownModelError(KeyError):
+    """Request named a model the registry does not serve."""
+
+    def __init__(self, message: str) -> None:
+        # KeyError repr-quotes its arg; store the clean message.
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class ServingModel:
+    """One live, versioned engine behind a bounded admission gate."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: InferenceEngine,
+        *,
+        version: str,
+        generation: int,
+        max_pending: int,
+        metrics: MetricsRegistry,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.name = name
+        self.engine = engine
+        self.version = version
+        self.generation = generation
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._pending = 0
+        #: Exact per-entry accounting (ints, not shared across swaps).
+        self.arrivals = 0
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+        self.pending_high_water = 0
+        labels = {"model": name}
+        self._admitted_ctr = metrics.counter(
+            "serve_admitted_total", labels,
+            help="requests admitted past the admission gate",
+        )
+        self._shed_ctr = metrics.counter(
+            "serve_shed_total", {**labels, "reason": "queue-full"},
+            help="requests shed by admission control",
+        )
+        self._pending_gauge = metrics.gauge(
+            "serve_pending_requests", labels,
+            help="admitted requests not yet resolved",
+        )
+        self._pending_peak = metrics.gauge(
+            "serve_pending_peak", labels,
+            help="high-water mark of pending requests",
+        )
+
+    @property
+    def class_names(self):
+        return self.engine.compiled.schema.class_names
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def _on_done(self, _request: PredictionRequest) -> None:
+        with self._lock:
+            self._pending -= 1
+        self._pending_gauge.dec()
+
+    def submit(self, data) -> PredictionRequest:
+        """Admit one request or shed it; returns the engine's future.
+
+        Raises :class:`ShedError` past ``max_pending`` pending requests,
+        :class:`~repro.classify.engine.EngineClosedError` when this
+        entry has been swapped out (the registry retries on the fresh
+        entry), or ``ValueError`` for malformed requests (counted in
+        the engine's per-reason rejection metrics).
+        """
+        with self._lock:
+            self.arrivals += 1
+            if self._pending >= self.max_pending:
+                self.shed += 1
+                self._shed_ctr.inc()
+                raise ShedError(
+                    self.name, "queue-full",
+                    f"model {self.name!r} is overloaded: {self._pending} "
+                    f"requests pending (max {self.max_pending}); retry later",
+                )
+            self._pending += 1
+            if self._pending > self.pending_high_water:
+                self.pending_high_water = self._pending
+        self._pending_gauge.inc()
+        self._pending_peak.set_max(self.pending_high_water)
+        try:
+            request = self.engine.submit(data)
+        except BaseException as exc:
+            with self._lock:
+                self._pending -= 1
+                if isinstance(exc, EngineClosedError):
+                    # Swap race, not a client error: the registry
+                    # retries on the live entry; undo the arrival so
+                    # the request is counted once, where it lands.
+                    self.arrivals -= 1
+                else:
+                    self.rejected += 1
+            self._pending_gauge.dec()
+            raise
+        with self._lock:
+            self.admitted += 1
+        self._admitted_ctr.inc()
+        request.add_done_callback(self._on_done)
+        return request
+
+    def accounting(self) -> Dict[str, int]:
+        """Exact per-entry request accounting (for tests and /models)."""
+        with self._lock:
+            return {
+                "arrivals": self.arrivals,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "pending": self._pending,
+                "pending_high_water": self.pending_high_water,
+            }
+
+    def describe(self) -> Dict[str, object]:
+        doc = {
+            "model": self.name,
+            "version": self.version,
+            "generation": self.generation,
+            "max_pending": self.max_pending,
+            "workers": self.engine.n_workers,
+            "batch_size": self.engine.batch_size,
+            "n_nodes": self.engine.compiled.n_nodes,
+        }
+        doc.update(self.accounting())
+        return doc
+
+
+class ModelRegistry:
+    """Name -> :class:`ServingModel` map with atomic versioned swaps."""
+
+    def __init__(
+        self,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_ring_size: int = 512,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_ring_size = trace_ring_size
+        self._lock = threading.Lock()
+        self._models: Dict[str, ServingModel] = {}
+        self._retired: List[ServingModel] = []
+        self._default: Optional[str] = None
+        self._generation = 0
+        self._closed = False
+        self._swaps = self.metrics.counter(
+            "serve_model_swaps_total", help="zero-downtime model swaps"
+        )
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    @property
+    def default_model(self) -> Optional[str]:
+        with self._lock:
+            return self._default
+
+    def resolve(self, name: Optional[str] = None) -> ServingModel:
+        with self._lock:
+            if self._closed:
+                raise EngineClosedError("model registry is closed")
+            key = name if name is not None else self._default
+            if key is None or key not in self._models:
+                raise UnknownModelError(
+                    f"unknown model {key!r}; serving: "
+                    f"{sorted(self._models) or 'nothing'}"
+                )
+            return self._models[key]
+
+    # -- model plane -----------------------------------------------------------
+
+    def _entry(self, name, model, version, workers, batch_size,
+               max_pending) -> ServingModel:
+        self._generation += 1
+        generation = self._generation
+        engine = InferenceEngine(
+            model,
+            batch_size=batch_size,
+            n_workers=workers,
+            registry=self.metrics,
+            name=name,
+            version=version or f"gen{generation}",
+            trace_ring_size=self.trace_ring_size,
+        )
+        return ServingModel(
+            name, engine,
+            version=engine.version,
+            generation=generation,
+            max_pending=max_pending,
+            metrics=self.metrics,
+        )
+
+    def add(
+        self,
+        name: str,
+        model: Model,
+        *,
+        version: str = "",
+        workers: Optional[int] = 1,
+        batch_size: int = 1024,
+        max_pending: int = 1024,
+    ) -> ServingModel:
+        """Register and start serving a model under ``name``."""
+        with self._lock:
+            if self._closed:
+                raise EngineClosedError("model registry is closed")
+            if name in self._models:
+                raise ValueError(
+                    f"model {name!r} is already served; use swap() to "
+                    "replace it"
+                )
+            entry = self._entry(
+                name, model, version, workers, batch_size, max_pending
+            )
+            self._models[name] = entry
+            if self._default is None:
+                self._default = name
+        return entry
+
+    def swap(
+        self,
+        name: str,
+        model: Model,
+        *,
+        version: str = "",
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> ServingModel:
+        """Zero-downtime replace of ``name``: build, switch, drain.
+
+        The new engine is built while the old one keeps serving; the
+        name is switched atomically (submissions racing with the swap
+        land on whichever entry they resolved, each fully served by
+        that entry's engine/version); then the old engine drains its
+        queue and in-flight micro-batches before its workers return to
+        the pool.  No admitted request is dropped.
+        """
+        with self._lock:
+            if self._closed:
+                raise EngineClosedError("model registry is closed")
+            if name not in self._models:
+                raise UnknownModelError(
+                    f"cannot swap unknown model {name!r}; serving: "
+                    f"{sorted(self._models) or 'nothing'}"
+                )
+            old = self._models[name]
+            entry = self._entry(
+                name, model, version,
+                old.engine.n_workers if workers is None else workers,
+                old.engine.batch_size if batch_size is None else batch_size,
+                old.max_pending if max_pending is None else max_pending,
+            )
+            self._models[name] = entry
+            self._retired.append(old)
+        # Drain outside the registry lock: in-flight requests complete
+        # on the old engine while new traffic flows through the new one.
+        old.engine.close()
+        self._swaps.inc()
+        return entry
+
+    # -- data plane ------------------------------------------------------------
+
+    def submit(self, data, model: Optional[str] = None):
+        """Route one request; returns ``(serving_model, request)``.
+
+        A submission racing with a swap can resolve the outgoing entry
+        just as its engine closes; that raises
+        :class:`~repro.classify.engine.EngineClosedError`, which is a
+        routing artifact, not a client error — re-resolve and retry on
+        the fresh entry.
+        """
+        for _ in range(16):
+            entry = self.resolve(model)
+            try:
+                return entry, entry.submit(data)
+            except EngineClosedError:
+                with self._lock:
+                    still_current = self._models.get(entry.name) is entry
+                if still_current:
+                    raise  # closed for real, not swapped
+        raise EngineClosedError(
+            f"model {model!r} kept swapping during submit; giving up"
+        )
+
+    # -- lifecycle / reporting -------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and close every engine; further submits are rejected."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._models.values())
+        for entry in entries:
+            entry.engine.close()
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> Dict[str, object]:
+        """The ``/models`` document."""
+        with self._lock:
+            entries = list(self._models.values())
+            default = self._default
+            swaps = len(self._retired)
+        return {
+            "default": default,
+            "swaps": swaps,
+            "models": [e.describe() for e in entries],
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness document; single-model keys stay `repro top`-shaped."""
+        with self._lock:
+            entries = list(self._models.values())
+            default = self._default
+            closed = self._closed
+        doc: Dict[str, object] = {
+            "status": "closed" if closed else "ok",
+            "models": {e.name: e.engine.health() for e in entries},
+        }
+        for entry in entries:
+            if entry.name == default:
+                base = entry.engine.health()
+                base.update(doc)
+                if closed:
+                    base["status"] = "closed"
+                return base
+        return doc
+
+    def all_traces(self):
+        """Completed traces across live and retired engines, by time."""
+        with self._lock:
+            entries = list(self._models.values()) + list(self._retired)
+        traces = []
+        for entry in entries:
+            if entry.engine.trace_ring is not None:
+                traces.extend(entry.engine.trace_ring.traces())
+        traces.sort(key=lambda t: t.submit_ts)
+        return traces
+
+    def trace_snapshots(self) -> List[dict]:
+        return [t.to_dict() for t in self.all_traces()]
+
+    def rejections(self) -> Dict[str, int]:
+        """Tier-wide engine rejection counts by reason (includes zeros)."""
+        reasons = ("missing-attribute", "ragged", "non-numeric",
+                   "bad-shape", "closed")
+        return {
+            reason: int(
+                self.metrics.counter(
+                    "engine_rejected_requests_total", {"reason": reason}
+                ).value
+            )
+            for reason in reasons
+        }
+
+    def shed_total(self) -> int:
+        with self._lock:
+            entries = list(self._models.values()) + list(self._retired)
+        return sum(e.shed for e in entries)
+
+    def accounting(self) -> Dict[str, int]:
+        """Exact tier-wide accounting summed over live + retired entries."""
+        with self._lock:
+            entries = list(self._models.values()) + list(self._retired)
+        total: Dict[str, int] = {}
+        for entry in entries:
+            for key, value in entry.accounting().items():
+                total[key] = total.get(key, 0) + value
+        return total

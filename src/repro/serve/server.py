@@ -1,0 +1,391 @@
+"""Asyncio front-end: persistent JSONL-over-TCP and HTTP on one port.
+
+:class:`ServeServer` owns an event loop on a daemon thread and accepts
+both wire protocols on a single listening socket, sniffing the first
+line of each connection:
+
+* a line starting with an HTTP method (``POST /predict HTTP/1.1``)
+  enters **HTTP mode** — keep-alive request/response with JSON bodies:
+
+  =============================  =============================================
+  ``POST /predict[?model=m]``    one prediction (body = request object)
+  ``GET /models``                the registry's ``/models`` document
+  ``POST /models/<name>/swap``   zero-downtime hot-swap: body
+                                 ``{"path": tree.json, "version": "v2"}``
+  ``GET /healthz``               liveness (503 once the registry closes)
+  =============================  =============================================
+
+* anything else enters **JSONL mode** — one request object per line,
+  one reply per line, connection held open.  Requests wrapped in the
+  ``{"data": ..., "id": ...}`` envelope are handled concurrently and
+  replied to as they finish (the ``id`` matches replies to requests, so
+  a single connection can pipeline); bare requests are answered in
+  order.
+
+The server never blocks its event loop on a prediction: requests are
+queued on the engine's worker threads and awaited through a
+per-request done-callback bridged onto the loop.  Overdue requests are
+cancelled (see :mod:`repro.serve.protocol`), shed requests reply 429 /
+``{"shed": true}``, and all request/connection metrics fold into the
+registry's shared :class:`~repro.obs.metrics.MetricsRegistry` so the
+:class:`~repro.obs.telemetry.TelemetryServer` publishes the whole tier
+from one scrape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.serve import protocol
+from repro.serve.registry import ModelRegistry
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ",
+                 b"OPTIONS ", b"PATCH ")
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Refuse request lines / bodies beyond this (a defensive bound, large
+#: enough for six-figure-row batch requests).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ServeServer:
+    """Background asyncio server over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.registry = registry
+        self.timeout = timeout
+        self._host = host
+        self._port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        m = registry.metrics
+        self._connections = m.counter(
+            "serve_connections_total", help="client connections accepted"
+        )
+        self._active = m.gauge(
+            "serve_active_connections", help="connections currently open"
+        )
+        self._proto_requests = {
+            proto: m.counter(
+                "serve_requests_total", {"proto": proto},
+                help="requests handled by wire protocol",
+            )
+            for proto in ("jsonl", "http")
+        }
+        self._latency = m.hdr(
+            "serve_request_latency_seconds",
+            help="transport-level request wall seconds (parse to reply)",
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        if self._bound is None:
+            raise RuntimeError("server not started")
+        return self._bound[0]
+
+    @property
+    def port(self) -> int:
+        if self._bound is None:
+            raise RuntimeError("server not started")
+        return self._bound[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve server failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def close(self) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: self._stop is not None and self._stop.set()
+                )
+            except RuntimeError:  # loop already closing
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._on_connection, self._host, self._port,
+                limit=MAX_LINE_BYTES,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._bound = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        self._connections.inc()
+        self._active.inc()
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(_HTTP_METHODS):
+                await self._http_session(reader, writer, first)
+            else:
+                await self._jsonl_session(reader, writer, first)
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request
+        except asyncio.CancelledError:
+            # Server shutdown mid-connection: end the task cleanly so
+            # the stream protocol's done-callback has nothing to log.
+            pass
+        finally:
+            self._active.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- the shared predict path ----------------------------------------------
+
+    async def _predict(self, obj: Any, model: Optional[str] = None) -> dict:
+        """Parse, admit, await (without blocking the loop), reply."""
+        request_id = None
+        try:
+            named, payload, request_id = protocol.parse_request(obj)
+            entry, request = self.registry.submit(
+                payload, model=named or model
+            )
+            loop = asyncio.get_running_loop()
+            done = loop.create_future()
+
+            def _resolved(_req, loop=loop, done=done):
+                try:
+                    loop.call_soon_threadsafe(
+                        lambda: done.done() or done.set_result(None)
+                    )
+                except RuntimeError:  # loop closed during shutdown
+                    pass
+
+            request.add_done_callback(_resolved)
+            try:
+                await asyncio.wait_for(done, timeout=self.timeout)
+            except asyncio.TimeoutError:
+                if request.cancel():
+                    raise protocol.RequestTimeout(
+                        f"no reply within {self.timeout}s; request cancelled"
+                    ) from None
+            result = request.result(timeout=0)
+            return protocol.success_reply(
+                entry, request.scalar, result, request_id
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - becomes a reply
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return protocol.error_reply(exc, request_id)
+
+    # -- JSONL mode ------------------------------------------------------------
+
+    async def _jsonl_session(self, reader, writer, first_line: bytes) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def reply_to(obj: Any) -> None:
+            t0 = time.perf_counter()
+            doc = await self._predict(obj)
+            self._latency.record(time.perf_counter() - t0)
+            self._proto_requests["jsonl"].inc()
+            async with write_lock:
+                writer.write(json.dumps(doc).encode() + b"\n")
+                await writer.drain()
+
+        line = first_line
+        while line:
+            stripped = line.strip()
+            if stripped:
+                try:
+                    obj = json.loads(stripped)
+                except ValueError as exc:
+                    doc = protocol.error_reply(
+                        protocol.InvalidRequest(f"bad JSON: {exc}")
+                    )
+                    async with write_lock:
+                        writer.write(json.dumps(doc).encode() + b"\n")
+                        await writer.drain()
+                else:
+                    if isinstance(obj, dict) and "id" in obj:
+                        # Pipelined: ids match replies to requests, so
+                        # these may complete (and reply) out of order.
+                        task = asyncio.ensure_future(reply_to(obj))
+                        tasks.add(task)
+                        task.add_done_callback(tasks.discard)
+                    else:
+                        await reply_to(obj)
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- HTTP mode -------------------------------------------------------------
+
+    async def _http_session(self, reader, writer, request_line: bytes) -> None:
+        while request_line:
+            try:
+                method, target, _ = (
+                    request_line.decode("latin-1").strip().split(" ", 2)
+                )
+            except ValueError:
+                break
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            body = await reader.readexactly(length) if length else b""
+            t0 = time.perf_counter()
+            status, doc = await self._route_http(method, target, body)
+            self._latency.record(time.perf_counter() - t0)
+            self._proto_requests["http"].inc()
+            keep_alive = headers.get("connection", "").lower() != "close"
+            payload = (json.dumps(doc) + "\n").encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            writer.write(head + payload)
+            await writer.drain()
+            if not keep_alive:
+                return
+            request_line = await reader.readline()
+
+    async def _route_http(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        path, _, query = target.partition("?")
+        params = parse_qs(query)
+        if path == "/predict":
+            if method != "POST":
+                return 405, {"error": "POST /predict", "reason": "invalid"}
+            try:
+                obj = json.loads(body.decode() or "null")
+            except ValueError as exc:
+                return 400, protocol.error_reply(
+                    protocol.InvalidRequest(f"bad JSON body: {exc}")
+                )
+            model = params.get("model", [None])[0]
+            doc = await self._predict(obj, model=model)
+            return protocol.status_for(doc), doc
+        if path == "/models" and method == "GET":
+            return 200, self.registry.describe()
+        if path == "/healthz" and method == "GET":
+            doc = self.registry.health()
+            return (200 if doc.get("status") == "ok" else 503), doc
+        if path.startswith("/models/") and path.endswith("/swap"):
+            if method != "POST":
+                return 405, {
+                    "error": "POST /models/<name>/swap", "reason": "invalid",
+                }
+            name = path[len("/models/"):-len("/swap")]
+            return await self._swap(name, body)
+        return 404, {
+            "error": f"no route {method} {path}; try POST /predict, "
+                     "GET /models, GET /healthz, POST /models/<name>/swap",
+            "reason": "invalid",
+        }
+
+    async def _swap(self, name: str, body: bytes) -> Tuple[int, dict]:
+        from repro.core.serialize import load_tree
+
+        try:
+            spec = json.loads(body.decode() or "{}")
+            if not isinstance(spec, dict) or "path" not in spec:
+                raise ValueError('swap body must be {"path": "tree.json"[, '
+                                 '"version": "..."]}')
+            path = spec["path"]
+            version = str(spec.get("version", ""))
+        except ValueError as exc:
+            return 400, {"error": str(exc), "reason": "invalid"}
+        loop = asyncio.get_running_loop()
+        try:
+            # Load + compile + drain off-loop: the swap must not stall
+            # traffic already flowing through the event loop.
+            tree = await loop.run_in_executor(None, load_tree, path)
+            entry = await loop.run_in_executor(
+                None,
+                lambda: self.registry.swap(name, tree, version=version),
+            )
+        except BaseException as exc:  # noqa: BLE001 - becomes a reply
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            doc = protocol.error_reply(exc)
+            return protocol.status_for(doc), doc
+        return 200, {
+            "swapped": name,
+            "version": entry.version,
+            "generation": entry.generation,
+        }

@@ -305,3 +305,184 @@ class TestHealth:
         assert doc["n_nodes"] == engine.compiled.n_nodes
         assert doc["uptime_s"] > 0
         assert doc["queue_depth"] == 0
+
+
+class TestCancellation:
+    """PredictionRequest.cancel(): dropped work, exact accounting."""
+
+    def test_cancel_queued_request_drops_work(self, model, small_f2,
+                                              monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        engine = InferenceEngine(model, n_workers=1, batch_size=64)
+        original = engine.compiled.predict
+
+        def gated(columns):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(engine.compiled, "predict", gated)
+        row = {k: v[:8] for k, v in small_f2.columns.items()}
+        with engine:
+            first = engine.submit(row)
+            assert started.wait(timeout=30)  # worker busy in predict
+            second = engine.submit(row)
+            assert second.cancel() is True
+            assert second.cancelled
+            release.set()
+            first.result(timeout=30)
+        from repro.classify.engine import RequestCancelled
+
+        with pytest.raises(RequestCancelled):
+            second.result(timeout=30)
+        stats = engine.stats()
+        assert stats["engine_completed_requests_total"] == 1
+        assert stats["engine_cancelled_requests_total"] == 1
+        # The cancelled request's rows were never predicted.
+        assert stats["engine_rows_total"] == 8
+        statuses = [t.status for t in engine.trace_ring.traces()]
+        assert sorted(statuses) == ["cancelled", "ok"]
+
+    def test_cancel_after_resolve_loses_the_race(self, model, small_f2):
+        with InferenceEngine(model) as engine:
+            request = engine.submit(small_f2.columns)
+            result = request.result(timeout=30)
+        # The result already resolved: cancel reports failure and the
+        # value stays retrievable — client and engine agree.
+        assert request.cancel() is False
+        assert not request.cancelled
+        np.testing.assert_array_equal(request.result(timeout=0), result)
+        assert engine.stats()["engine_completed_requests_total"] == 1
+        assert engine.stats()["engine_cancelled_requests_total"] == 0
+
+    def test_cancel_in_flight_counts_cancelled_not_completed(
+        self, model, small_f2, monkeypatch
+    ):
+        started = threading.Event()
+        release = threading.Event()
+        engine = InferenceEngine(model, n_workers=1)
+        original = engine.compiled.predict
+
+        def gated(columns):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(engine.compiled, "predict", gated)
+        with engine:
+            request = engine.submit(small_f2.columns)
+            assert started.wait(timeout=30)
+            assert request.cancel() is True  # mid-predict: cancel wins
+            release.set()
+        stats = engine.stats()
+        assert stats["engine_completed_requests_total"] == 0
+        assert stats["engine_cancelled_requests_total"] == 1
+        assert engine.trace_ring.traces()[-1].status == "cancelled"
+
+    def test_done_callback_fires_once_resolved(self, model, small_f2):
+        fired = []
+        with InferenceEngine(model) as engine:
+            request = engine.submit(small_f2.columns)
+            request.add_done_callback(fired.append)
+            request.result(timeout=30)
+        assert fired == [request]
+        # Registering on an already-resolved request fires immediately.
+        late = []
+        request.add_done_callback(late.append)
+        assert late == [request]
+
+
+class TestCloseRace:
+    """Regression: submit racing close must not leak unfinished traces."""
+
+    def test_zero_dropped_traces_under_submit_close_race(
+        self, model, small_f2, monkeypatch
+    ):
+        import repro.classify.engine as engine_mod
+        from repro.obs.tracectx import mint_trace_id as real_mint
+
+        mints = []
+        mint_lock = threading.Lock()
+
+        def counting_mint():
+            tid = real_mint()
+            with mint_lock:
+                mints.append(tid)
+            return tid
+
+        monkeypatch.setattr(engine_mod, "mint_trace_id", counting_mint)
+        row = {k: v[:4] for k, v in small_f2.columns.items()}
+        for _ in range(5):  # several rounds to make the race likely
+            mints.clear()
+            engine = InferenceEngine(model, n_workers=2, batch_size=64)
+            barrier = threading.Barrier(5)
+
+            def submitter():
+                barrier.wait()
+                try:
+                    while True:
+                        engine.submit(row)
+                except ValueError:
+                    return  # engine closed under us
+
+            threads = [
+                threading.Thread(target=submitter) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            engine.close()
+            for t in threads:
+                t.join()
+            # Every minted trace was finished and pushed: a trace is
+            # only minted for an admitted request (after the closed
+            # check), and close() drains every admitted request.
+            assert engine.trace_ring.recorded == len(mints)
+            assert engine.trace_ring.dropped == 0
+
+    def test_rejected_at_close_mints_no_trace(self, model, small_f2,
+                                              monkeypatch):
+        import repro.classify.engine as engine_mod
+        from repro.classify.engine import EngineClosedError
+
+        mints = []
+        monkeypatch.setattr(
+            engine_mod, "mint_trace_id",
+            lambda: mints.append(1) or "t-0",
+        )
+        engine = InferenceEngine(model)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.submit(small_f2.columns)
+        assert mints == []
+        assert engine.rejections()["closed"] == 1
+
+
+class TestZeroRowBatch:
+    def test_zero_row_submit_resolves_empty(self, model, small_f2):
+        empty = {k: v[:0] for k, v in small_f2.columns.items()}
+        with InferenceEngine(model, n_workers=2) as engine:
+            request = engine.submit(empty)
+            out = request.result(timeout=30)
+        assert out.shape == (0,)
+        assert not request.scalar
+        stats = engine.stats()
+        assert stats["engine_completed_requests_total"] == 1
+        assert stats["engine_rows_total"] == 0
+        trace = engine.trace_ring.traces()[-1]
+        assert trace.rows == 0
+        assert trace.status == "ok"
+
+    def test_zero_row_grouped_with_real_requests(self, model, small_f2):
+        cols = small_f2.columns
+        empty = {k: v[:0] for k, v in cols.items()}
+        with InferenceEngine(model, batch_size=4096) as engine:
+            handles = [engine.submit(empty) for _ in range(3)]
+            handles.append(engine.submit(cols))
+            outs = [h.result(timeout=30) for h in handles]
+        from repro.classify.predict import predict as _predict
+
+        for out in outs[:3]:
+            assert out.shape == (0,)
+        np.testing.assert_array_equal(outs[3], _predict(model, small_f2))

@@ -1,0 +1,193 @@
+"""Zero-downtime hot-swap: version consistency, no dropped futures."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classify.engine import EngineClosedError
+from repro.classify.predict import predict
+from repro.core.builder import build_classifier
+from repro.serve import ModelRegistry, ShedError
+
+
+@pytest.fixture
+def model(small_f2):
+    return build_classifier(small_f2).tree
+
+
+@pytest.fixture
+def model_b(small_f7):
+    # Same schema, different function: the two versions genuinely
+    # disagree on some rows, so a torn read would be detectable.
+    return build_classifier(small_f7).tree
+
+
+class TestSwap:
+    def test_swap_switches_version_and_drains_old(self, model, model_b,
+                                                  small_f2):
+        with ModelRegistry() as registry:
+            old = registry.add("alpha", model, version="v1")
+            new = registry.swap("alpha", model_b, version="v2")
+            assert registry.resolve("alpha") is new
+            assert new.version == "v2"
+            assert new.generation == 2
+            assert old.engine.closed  # drained, workers returned
+            entry, request = registry.submit(small_f2.columns)
+            got = request.result(timeout=30)
+            assert entry is new
+        np.testing.assert_array_equal(got, predict(model_b, small_f2))
+        assert registry.describe()["swaps"] == 1
+
+    def test_swap_inherits_config_unless_overridden(self, model, model_b):
+        with ModelRegistry() as registry:
+            registry.add(
+                "alpha", model, workers=2, batch_size=128, max_pending=9
+            )
+            entry = registry.swap("alpha", model_b)
+            assert entry.engine.n_workers == 2
+            assert entry.engine.batch_size == 128
+            assert entry.max_pending == 9
+            resized = registry.swap("alpha", model, max_pending=3)
+            assert resized.max_pending == 3
+            assert resized.engine.n_workers == 2
+
+    def test_swap_unknown_name_rejected(self, model):
+        from repro.serve import UnknownModelError
+
+        with ModelRegistry() as registry:
+            registry.add("alpha", model)
+            with pytest.raises(UnknownModelError):
+                registry.swap("ghost", model)
+
+    def test_retired_traces_still_visible(self, model, model_b, small_f2):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model, version="v1")
+            _, request = registry.submit(small_f2.columns)
+            request.result(timeout=30)
+            registry.swap("alpha", model_b, version="v2")
+            _, request = registry.submit(small_f2.columns)
+            request.result(timeout=30)
+            traces = registry.all_traces()
+        assert len(traces) == 2
+        assert traces[0].submit_ts <= traces[1].submit_ts
+
+
+class TestSwapUnderLoad:
+    def test_inflight_requests_consistent_with_exactly_one_version(
+        self, model, model_b, small_f2
+    ):
+        """The differential gate: swap mid-traffic, check every reply.
+
+        Each request's reply must equal what exactly one of the two
+        versions predicts for its rows — a torn read (partially
+        swapped state) or a dropped future fails loudly.
+        """
+        want_v1 = predict(model, small_f2)
+        want_v2 = predict(model_b, small_f2)
+        n = small_f2.n_records
+        registry = ModelRegistry()
+        registry.add("alpha", model, version="v1", workers=2,
+                     max_pending=4096)
+        stop = threading.Event()
+        failures = []
+        counts = {"v1": 0, "v2": 0}
+        lock = threading.Lock()
+
+        def client(seed):
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                lo = int(rng.integers(0, n - 16))
+                hi = lo + int(rng.integers(1, 16))
+                cols = {
+                    k: v[lo:hi] for k, v in small_f2.columns.items()
+                }
+                try:
+                    entry, request = registry.submit(cols)
+                    got = request.result(timeout=30)
+                except (EngineClosedError, ShedError) as exc:
+                    with lock:
+                        failures.append(f"request refused: {exc!r}")
+                    return
+                matches_v1 = np.array_equal(got, want_v1[lo:hi])
+                matches_v2 = np.array_equal(got, want_v2[lo:hi])
+                expected = {
+                    "v1": matches_v1, "v2": matches_v2
+                }[entry.version]
+                if not expected:
+                    with lock:
+                        failures.append(
+                            f"reply from {entry.version} does not match "
+                            f"that version's model for rows {lo}:{hi}"
+                        )
+                    return
+                with lock:
+                    counts[entry.version] += 1
+
+        threads = [
+            threading.Thread(target=client, args=(seed,))
+            for seed in range(6)
+        ]
+        for t in threads:
+            t.start()
+        # Let v1 serve some traffic, swap, let v2 serve some traffic.
+        while True:
+            with lock:
+                if counts["v1"] >= 50:
+                    break
+        registry.swap("alpha", model_b, version="v2")
+        while True:
+            with lock:
+                if counts["v2"] >= 50 or failures:
+                    break
+        stop.set()
+        for t in threads:
+            t.join()
+        registry.close()
+        assert not failures
+        assert counts["v1"] >= 50 and counts["v2"] >= 50
+        acct = registry.accounting()
+        assert acct["pending"] == 0
+        assert acct["arrivals"] == (
+            acct["admitted"] + acct["shed"] + acct["rejected"]
+        )
+        assert acct["shed"] == 0  # max_pending ample: nothing shed
+        assert acct["admitted"] == counts["v1"] + counts["v2"]
+
+    def test_no_dropped_futures_across_repeated_swaps(self, model, model_b,
+                                                      small_f2):
+        """Every admitted request resolves even while swaps churn."""
+        registry = ModelRegistry()
+        registry.add("alpha", model, version="v1", workers=1,
+                     max_pending=4096)
+        row = {k: v[:4] for k, v in small_f2.columns.items()}
+        stop = threading.Event()
+        resolved = []
+        failures = []
+
+        def client():
+            while not stop.is_set():
+                try:
+                    _, request = registry.submit(row)
+                    request.result(timeout=30)
+                    resolved.append(1)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        trees = (model_b, model)
+        for i in range(6):
+            registry.swap("alpha", trees[i % 2], version=f"v{i + 2}")
+        stop.set()
+        for t in threads:
+            t.join()
+        registry.close()
+        assert not failures
+        assert len(resolved) > 0
+        acct = registry.accounting()
+        assert acct["pending"] == 0
+        assert acct["admitted"] == len(resolved)
+        assert registry.describe()["swaps"] == 6

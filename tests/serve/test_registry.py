@@ -1,0 +1,225 @@
+"""ModelRegistry: routing, admission control, accounting, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classify.engine import EngineClosedError
+from repro.core.builder import build_classifier
+from repro.serve import ModelRegistry, ShedError, UnknownModelError
+
+
+@pytest.fixture
+def model(small_f2):
+    return build_classifier(small_f2).tree
+
+
+@pytest.fixture
+def model_b(small_f7):
+    return build_classifier(small_f7).tree
+
+
+class TestRouting:
+    def test_first_model_becomes_default(self, model, small_f2):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model, version="v1")
+            entry, request = registry.submit(small_f2.columns)
+            request.result(timeout=30)
+            assert entry.name == "alpha"
+            assert entry.version == "v1"
+            assert registry.default_model == "alpha"
+
+    def test_submit_by_name(self, model, model_b, small_f2):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model)
+            registry.add("beta", model_b)
+            entry, request = registry.submit(small_f2.columns, model="beta")
+            request.result(timeout=30)
+            assert entry.name == "beta"
+
+    def test_unknown_model_rejected(self, model, small_f2):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model)
+            with pytest.raises(UnknownModelError) as exc:
+                registry.submit(small_f2.columns, model="ghost")
+            # KeyError repr-quoting must not leak into the message.
+            assert str(exc.value).startswith("unknown model 'ghost'")
+
+    def test_duplicate_add_rejected(self, model):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model)
+            with pytest.raises(ValueError, match="already served"):
+                registry.add("alpha", model)
+
+    def test_default_version_is_generation(self, model):
+        with ModelRegistry() as registry:
+            entry = registry.add("alpha", model)
+            assert entry.version == "gen1"
+            assert entry.generation == 1
+
+    def test_closed_registry_rejects_submits(self, model, small_f2):
+        registry = ModelRegistry()
+        registry.add("alpha", model)
+        registry.close()
+        with pytest.raises(EngineClosedError):
+            registry.submit(small_f2.columns)
+        assert registry.closed
+
+    def test_describe_document(self, model, model_b):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model, version="v1", max_pending=7)
+            registry.add("beta", model_b)
+            doc = registry.describe()
+        assert doc["default"] == "alpha"
+        assert doc["swaps"] == 0
+        by_name = {m["model"]: m for m in doc["models"]}
+        assert by_name["alpha"]["version"] == "v1"
+        assert by_name["alpha"]["max_pending"] == 7
+        assert by_name["beta"]["n_nodes"] > 0
+
+    def test_health_keeps_engine_shape_for_top(self, model):
+        with ModelRegistry() as registry:
+            registry.add("alpha", model, version="v1")
+            doc = registry.health()
+            # `repro top` reads the single-engine keys off the default
+            # model; the tier adds status + per-model breakdown.
+            assert doc["status"] == "ok"
+            assert doc["model"] == "alpha"
+            assert doc["version"] == "v1"
+            assert "queue_depth" in doc
+            assert doc["models"]["alpha"]["status"] == "ok"
+        assert registry.health()["status"] == "closed"
+
+
+class TestAdmissionControl:
+    def test_shed_past_max_pending(self, model, small_f2, monkeypatch):
+        registry = ModelRegistry()
+        entry = registry.add("alpha", model, workers=1, max_pending=2)
+        started = threading.Event()
+        release = threading.Event()
+        original = entry.engine.compiled.predict
+
+        def gated(columns):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(entry.engine.compiled, "predict", gated)
+        row = {k: v[:4] for k, v in small_f2.columns.items()}
+        first = entry.submit(row)
+        assert started.wait(timeout=30)
+        second = entry.submit(row)  # fills the admission window
+        with pytest.raises(ShedError) as exc:
+            entry.submit(row)
+        assert exc.value.model == "alpha"
+        assert exc.value.reason == "queue-full"
+        release.set()
+        first.result(timeout=30)
+        second.result(timeout=30)
+        registry.close()
+        acct = entry.accounting()
+        assert acct == {
+            "arrivals": 3,
+            "admitted": 2,
+            "shed": 1,
+            "rejected": 0,
+            "pending": 0,
+            "pending_high_water": 2,
+        }
+        assert registry.shed_total() == 1
+
+    def test_admission_reopens_after_drain(self, model, small_f2):
+        with ModelRegistry() as registry:
+            entry = registry.add("alpha", model, max_pending=1)
+            row = {k: v[:4] for k, v in small_f2.columns.items()}
+            for _ in range(5):  # strictly serial: never sheds
+                entry.submit(row).result(timeout=30)
+            acct = entry.accounting()
+        assert acct["admitted"] == 5
+        assert acct["shed"] == 0
+        assert acct["pending"] == 0
+
+    def test_malformed_requests_counted_rejected(self, model, small_f2):
+        with ModelRegistry() as registry:
+            entry = registry.add("alpha", model)
+            with pytest.raises(ValueError):
+                entry.submit({"nope": 1.0})
+            entry.submit(small_f2.columns).result(timeout=30)
+            acct = entry.accounting()
+        assert acct["arrivals"] == 2
+        assert acct["admitted"] == 1
+        assert acct["rejected"] == 1
+        assert registry.rejections()["missing-attribute"] == 1
+
+    def test_shed_metric_labelled_by_model(self, model, small_f2,
+                                           monkeypatch):
+        registry = ModelRegistry()
+        entry = registry.add("alpha", model, workers=1, max_pending=1)
+        started = threading.Event()
+        release = threading.Event()
+        original = entry.engine.compiled.predict
+
+        def gated(columns):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(entry.engine.compiled, "predict", gated)
+        row = {k: v[:4] for k, v in small_f2.columns.items()}
+        first = entry.submit(row)
+        assert started.wait(timeout=30)
+        with pytest.raises(ShedError):
+            entry.submit(row)
+        release.set()
+        first.result(timeout=30)
+        registry.close()
+        values = registry.metrics.values()
+        key = 'serve_shed_total{model="alpha",reason="queue-full"}'
+        assert values[key] == 1
+        assert values['serve_pending_peak{model="alpha"}'] == 1
+
+
+class TestAccountingInvariants:
+    def test_exact_accounting_under_concurrency(self, model, small_f2):
+        registry = ModelRegistry()
+        registry.add("alpha", model, workers=2, max_pending=8)
+        row = {k: v[:4] for k, v in small_f2.columns.items()}
+        outcomes = {"ok": 0, "shed": 0}
+        lock = threading.Lock()
+
+        def client():
+            for _ in range(50):
+                try:
+                    _, request = registry.submit(row)
+                    request.result(timeout=30)
+                    with lock:
+                        outcomes["ok"] += 1
+                except ShedError:
+                    with lock:
+                        outcomes["shed"] += 1
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        registry.close()
+        acct = registry.accounting()
+        assert acct["arrivals"] == 300
+        assert acct["arrivals"] == (
+            acct["admitted"] + acct["shed"] + acct["rejected"]
+        )
+        assert acct["pending"] == 0
+        assert acct["admitted"] == outcomes["ok"]
+        assert acct["shed"] == outcomes["shed"]
+        values = registry.metrics.values()
+        resolved = sum(
+            int(values.get(name, 0))
+            for name in (
+                "engine_completed_requests_total",
+                "engine_errored_requests_total",
+                "engine_cancelled_requests_total",
+            )
+        )
+        assert acct["admitted"] == resolved

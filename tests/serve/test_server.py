@@ -1,0 +1,336 @@
+"""ServeServer: JSONL-over-TCP and HTTP front-ends over the registry."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_classifier
+from repro.core.serialize import save_tree
+from repro.serve import ModelRegistry, ServeServer
+
+
+@pytest.fixture
+def model(small_f2):
+    return build_classifier(small_f2).tree
+
+
+@pytest.fixture
+def model_b(small_f7):
+    return build_classifier(small_f7).tree
+
+
+@pytest.fixture
+def tier(model):
+    registry = ModelRegistry()
+    registry.add("alpha", model, version="v1", workers=2)
+    server = ServeServer(registry, port=0, timeout=10.0).start()
+    try:
+        yield registry, server
+    finally:
+        server.close()
+        registry.close()
+
+
+def _row(model, value=30.0):
+    return {name: value for name in model.schema.attribute_names}
+
+
+def _jsonl_client(server):
+    sock = socket.create_connection((server.host, server.port))
+    return sock, sock.makefile("rwb")
+
+
+def _roundtrip(f, obj):
+    f.write((json.dumps(obj) + "\n").encode())
+    f.flush()
+    return json.loads(f.readline())
+
+
+def _http(server, path, body=None, method=None):
+    req = urllib.request.Request(
+        f"http://{server.address}{path}",
+        data=None if body is None else json.dumps(body).encode(),
+        method=method or ("POST" if body is not None else "GET"),
+    )
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestJsonl:
+    def test_scalar_batch_and_empty_on_one_connection(self, tier, model,
+                                                      small_f2):
+        _, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            reply = _roundtrip(f, _row(model))
+            assert set(reply) == {
+                "class", "class_index", "model", "version"
+            }
+            assert reply["model"] == "alpha"
+            assert reply["version"] == "v1"
+            batch = {
+                k: v[:5].tolist() for k, v in small_f2.columns.items()
+            }
+            reply = _roundtrip(f, batch)
+            assert len(reply["classes"]) == 5
+            assert len(reply["class_indices"]) == 5
+            empty = {k: [] for k in small_f2.columns}
+            reply = _roundtrip(f, empty)
+            assert reply["classes"] == []
+            assert reply["class_indices"] == []
+            assert "error" not in reply
+        finally:
+            f.close()
+            sock.close()
+
+    def test_error_replies_keep_connection_alive(self, tier, model):
+        _, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            reply = _roundtrip(f, {"bogus": 1.0})
+            assert reply["reason"] == "invalid"
+            assert "error" in reply
+            reply = _roundtrip(f, {"data": _row(model), "model": "ghost"})
+            assert reply["reason"] == "unknown-model"
+            f.write(b"this is not json\n")
+            f.flush()
+            reply = json.loads(f.readline())
+            assert reply["reason"] == "invalid"
+            # The connection survived all three failures.
+            reply = _roundtrip(f, _row(model))
+            assert "class" in reply
+        finally:
+            f.close()
+            sock.close()
+
+    def test_pipelined_ids_match_replies(self, tier, model, small_f2):
+        _, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            n = 20
+            for i in range(n):
+                start = i % (small_f2.n_records - 1)
+                data = {
+                    k: v[start:start + 1].tolist()
+                    for k, v in small_f2.columns.items()
+                }
+                f.write(
+                    (json.dumps({"data": data, "id": i}) + "\n").encode()
+                )
+            f.flush()
+            replies = [json.loads(f.readline()) for _ in range(n)]
+        finally:
+            f.close()
+            sock.close()
+        assert sorted(r["id"] for r in replies) == list(range(n))
+        assert all("classes" in r for r in replies)
+
+    def test_envelope_id_echoed_on_error(self, tier):
+        _, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            reply = _roundtrip(f, {"data": {"x": 1.0}, "id": "req-9"})
+            assert reply["id"] == "req-9"
+            assert reply["reason"] == "invalid"
+        finally:
+            f.close()
+            sock.close()
+
+    def test_shed_reply_shape(self, model, small_f2, monkeypatch):
+        registry = ModelRegistry()
+        entry = registry.add("alpha", model, workers=1, max_pending=1)
+        started = threading.Event()
+        release = threading.Event()
+        original = entry.engine.compiled.predict
+
+        def gated(columns):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(entry.engine.compiled, "predict", gated)
+        server = ServeServer(registry, port=0, timeout=30.0).start()
+        sock, f = _jsonl_client(server)
+        sock2, f2 = _jsonl_client(server)
+        try:
+            # First request occupies the only admission slot...
+            f.write((json.dumps(_row(model)) + "\n").encode())
+            f.flush()
+            assert started.wait(timeout=30)
+            # ...so the second is shed with the backpressure marker.
+            reply = _roundtrip(f2, _row(model))
+            assert reply["shed"] is True
+            assert reply["reason"] == "shed"
+            release.set()
+            assert "class" in json.loads(f.readline())
+        finally:
+            f.close()
+            sock.close()
+            f2.close()
+            sock2.close()
+            server.close()
+            registry.close()
+        assert registry.shed_total() == 1
+
+    def test_timeout_reply_and_cancelled_accounting(self, model,
+                                                    monkeypatch):
+        registry = ModelRegistry()
+        entry = registry.add("alpha", model, workers=1)
+        release = threading.Event()
+        original = entry.engine.compiled.predict
+
+        def slow(columns):
+            release.wait(timeout=30)
+            return original(columns)
+
+        monkeypatch.setattr(entry.engine.compiled, "predict", slow)
+        server = ServeServer(registry, port=0, timeout=0.2).start()
+        sock, f = _jsonl_client(server)
+        try:
+            reply = _roundtrip(f, _row(model))
+            assert reply["reason"] == "timeout"
+        finally:
+            f.close()
+            sock.close()
+            release.set()
+            server.close()
+            registry.close()
+        values = registry.metrics.values()
+        # The overdue request was cancelled, not completed: client
+        # outcome and engine accounting agree.
+        assert values["engine_cancelled_requests_total"] == 1
+        assert values["engine_completed_requests_total"] == 0
+
+
+class TestHttp:
+    def test_predict_and_keep_alive(self, tier, model):
+        _, server = tier
+        status, reply = _http(server, "/predict", body=_row(model))
+        assert status == 200
+        assert reply["class_index"] in (0, 1)
+        assert reply["model"] == "alpha"
+
+    def test_predict_envelope_and_query_model(self, tier, model):
+        _, server = tier
+        status, reply = _http(
+            server, "/predict",
+            body={"data": _row(model), "model": "alpha", "id": 3},
+        )
+        assert status == 200 and reply["id"] == 3
+        status, reply = _http(
+            server, "/predict?model=alpha", body=_row(model)
+        )
+        assert status == 200
+
+    def test_error_statuses(self, tier, model):
+        _, server = tier
+        for path, body, want in (
+            ("/predict", {"bogus": 1.0}, 400),
+            ("/predict", {"data": _row(model), "model": "ghost"}, 404),
+            ("/nope", None, 404),
+        ):
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _http(server, path, body=body)
+            assert exc.value.code == want
+
+    def test_zero_row_batch_over_http(self, tier, small_f2):
+        _, server = tier
+        empty = {k: [] for k in small_f2.columns}
+        status, reply = _http(server, "/predict", body=empty)
+        assert status == 200
+        assert reply["classes"] == []
+
+    def test_models_and_healthz(self, tier):
+        _, server = tier
+        status, doc = _http(server, "/models")
+        assert status == 200
+        assert doc["default"] == "alpha"
+        assert doc["models"][0]["version"] == "v1"
+        status, doc = _http(server, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["models"]["alpha"]["status"] == "ok"
+
+    def test_swap_endpoint(self, tier, model, model_b, small_f2,
+                           tmp_path):
+        registry, server = tier
+        path = tmp_path / "v2.json"
+        save_tree(model_b, str(path))
+        status, doc = _http(
+            server, "/models/alpha/swap",
+            body={"path": str(path), "version": "v2"},
+        )
+        assert status == 200
+        assert doc == {"swapped": "alpha", "version": "v2",
+                       "generation": 2}
+        status, reply = _http(server, "/predict", body=_row(model))
+        assert reply["version"] == "v2"
+        assert registry.describe()["swaps"] == 1
+
+    def test_swap_bad_body_is_400(self, tier):
+        _, server = tier
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _http(server, "/models/alpha/swap", body={"nope": 1})
+        assert exc.value.code == 400
+
+    def test_mixed_protocols_on_one_port(self, tier, model):
+        _, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            jsonl_reply = _roundtrip(f, _row(model))
+            status, http_reply = _http(server, "/predict",
+                                       body=_row(model))
+        finally:
+            f.close()
+            sock.close()
+        assert jsonl_reply["class"] == http_reply["class"]
+
+
+class TestLifecycleAndTelemetry:
+    def test_connection_metrics(self, tier, model):
+        registry, server = tier
+        sock, f = _jsonl_client(server)
+        try:
+            _roundtrip(f, _row(model))
+        finally:
+            f.close()
+            sock.close()
+        _http(server, "/healthz")
+        values = registry.metrics.values()
+        assert values["serve_connections_total"] >= 2
+        assert values['serve_requests_total{proto="jsonl"}'] >= 1
+        assert values['serve_requests_total{proto="http"}'] >= 1
+
+    def test_close_is_idempotent_and_frees_port(self, model):
+        registry = ModelRegistry()
+        registry.add("alpha", model)
+        server = ServeServer(registry, port=0).start()
+        host, port = server.host, server.port
+        server.close()
+        server.close()  # second close is a no-op
+        # The port is released: a fresh socket can bind it.
+        probe = socket.socket()
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, port))
+        probe.close()
+        registry.close()
+
+    def test_telemetry_for_registry(self, tier, model):
+        from repro.obs.telemetry import TelemetryServer
+
+        registry, server = tier
+        _http(server, "/predict", body=_row(model))
+        with TelemetryServer.for_registry(registry) as telemetry:
+            text = telemetry.metrics_text()
+            health = telemetry.health()
+            snapshot = telemetry.snapshot()
+        assert "engine_requests_total" in text
+        assert "serve_admitted_total" in text
+        assert health["status"] == "ok"
+        assert health["model"] == "alpha"
+        assert snapshot["traces"], "registry traces missing from snapshot"

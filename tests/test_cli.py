@@ -416,3 +416,168 @@ class TestTelemetry:
         assert code == 0
         captured = capsys.readouterr()
         assert "1 rejected (missing-attribute: 1)" in captured.err
+
+
+class TestServeTier:
+    """The async serving tier behind `repro serve` and its bug fixes."""
+
+    @pytest.fixture
+    def tree_file(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main(["build", "-i", dataset_file, "-o", tree_path])
+        capsys.readouterr()
+        return tree_path
+
+    def test_timeout_cancels_and_accounting_matches(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        """Regression: a timed-out request must not count as served.
+
+        Before the fix the client got an error reply while the engine
+        still processed and counted the request as completed — the
+        `served N` exit line and engine accounting disagreed.
+        """
+        import io
+        import time
+
+        from repro.classify.compiled import CompiledTree
+        from repro.data.io import load_dataset_npz
+
+        original = CompiledTree.predict
+
+        def slow(self, columns, **kwargs):
+            time.sleep(0.6)
+            return original(self, columns, **kwargs)
+
+        monkeypatch.setattr(CompiledTree, "predict", slow)
+        dataset = load_dataset_npz(dataset_file)
+        row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(row) + "\n"))
+        code = main(
+            ["serve", "--model", tree_file, "--timeout", "0.1"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        reply = json.loads(captured.out.splitlines()[0])
+        assert reply["reason"] == "timeout"
+        assert "cancelled" in reply["error"]
+        # Engine accounting agrees with the exit line: nothing served,
+        # one request cancelled, zero completed.
+        assert "served 0 request(s)" in captured.err
+        assert "1 cancelled" in captured.err
+
+    def test_zero_row_batch_reply_shape(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        import io
+
+        from repro.data.io import load_dataset_npz
+
+        dataset = load_dataset_npz(dataset_file)
+        empty = {k: [] for k in dataset.columns}
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps(empty) + "\n")
+        )
+        code = main(["serve", "--model", tree_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        reply = json.loads(captured.out.splitlines()[0])
+        assert reply["classes"] == []
+        assert reply["class_indices"] == []
+        assert "error" not in reply
+        assert "served 1 request(s)" in captured.err
+
+    def test_replies_tagged_with_model_and_version(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        import io
+
+        from repro.data.io import load_dataset_npz
+
+        dataset = load_dataset_npz(dataset_file)
+        row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(row) + "\n"))
+        code = main(
+            ["serve", "--model", tree_file, "--model-version", "2024-06"]
+        )
+        assert code == 0
+        reply = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert reply["model"] == tree_file
+        assert reply["version"] == "2024-06"
+
+    def test_no_stdin_requires_port(self, tree_file, capsys):
+        code = main(["serve", "--model", tree_file, "--no-stdin"])
+        assert code == 2
+        assert "--no-stdin requires --port" in capsys.readouterr().err
+
+    def test_port_serves_sockets_alongside_stdin(
+        self, dataset_file, tree_file, capsys, monkeypatch
+    ):
+        import queue
+        import socket
+        import threading
+
+        from repro.data.io import load_dataset_npz
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        class QueueStdin:
+            def __init__(self):
+                self.lines = queue.Queue()
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                line = self.lines.get()
+                if line is None:
+                    raise StopIteration
+                return line
+
+        stdin = QueueStdin()
+        monkeypatch.setattr("sys.stdin", stdin)
+        codes = []
+        server_thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["serve", "--model", tree_file, "--port", str(port)])
+            )
+        )
+        server_thread.start()
+        try:
+            dataset = load_dataset_npz(dataset_file)
+            row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+            # stdin and the socket are clients of the same registry.
+            stdin.lines.put(json.dumps(row) + "\n")
+            deadline = 50
+            for attempt in range(deadline):
+                try:
+                    sock = socket.create_connection(
+                        ("127.0.0.1", port), timeout=5
+                    )
+                    break
+                except OSError:
+                    if attempt == deadline - 1:
+                        raise
+                    import time
+
+                    time.sleep(0.1)
+            f = sock.makefile("rwb")
+            try:
+                f.write((json.dumps(row) + "\n").encode())
+                f.flush()
+                reply = json.loads(f.readline())
+            finally:
+                f.close()
+                sock.close()
+        finally:
+            stdin.lines.put(None)
+            server_thread.join(timeout=30)
+        assert codes == [0]
+        assert reply["class"] in ("A", "B")
+        captured = capsys.readouterr()
+        assert f"serving on 127.0.0.1:{port}" in captured.err
+        # stdin counted 1 served; the socket request flowed through the
+        # same engines (2 completed in total, visible in row count).
+        assert "served 1 request(s), 2 row(s)" in captured.err
