@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard bench-serve check-schemas check-regression examples trace-demo top-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard bench-serve bench-forest check-schemas check-regression examples trace-demo top-demo clean
 
 install:
 	pip install -e .
@@ -52,6 +52,12 @@ bench-shard:
 # (schema bench_serve/1).
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+# Forest inference: the fused multi-tree native walker vs per-tree
+# loops plus bagged-forest vs single-tree held-out accuracy; writes
+# BENCH_forest.json (schema bench_forest/1).
+bench-forest:
+	PYTHONPATH=src python benchmarks/bench_forest.py --out BENCH_forest.json
 
 # Validate every committed BENCH_*.json against its declared schema.
 check-schemas:

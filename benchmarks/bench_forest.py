@@ -1,0 +1,415 @@
+"""Forest inference benchmark: fused multi-tree walker vs per-tree loops.
+
+Two sections, one ``bench_forest/1`` JSON document:
+
+**Routing** sweeps tree count x batch size over synthetic forests
+(:mod:`repro.classify.treegen`) and times four predictors on identical
+inputs:
+
+* **oracle** — per-tree recursive router + majority vote
+  (:func:`repro.classify.forest.predict_forest_oracle`), the
+  differential reference,
+* **numpy** — the forest's per-tree compiled vector router + numpy vote
+  accumulation,
+* **pertree** — one native C ``route`` call *per member tree*, votes
+  accumulated in numpy (the obvious way to serve a forest with the
+  single-tree kernel),
+* **fused** — the forest kernel's single C call: tree-major blocked
+  8-lane interleaved walk with in-C vote accumulation and argmax.
+
+Every timed prediction is compared against the oracle — the run aborts
+on any mismatch, so the numbers always describe bit-identical results.
+The headline number is ``summary.fused_speedup_vs_pertree_at_32x64k``:
+how much the fused walker beats the per-tree native loop at 32 trees on
+a 65536-row batch.
+
+**Accuracy** trains bagged forests against single trees on held-out
+Quest F2 (simple) and F7 (complex) splits, recording test accuracy per
+tree count — the classic variance-reduction curve.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_forest.py --out BENCH_forest.json
+
+``--validate FILE`` checks an existing document's schema (used by the
+CI smoke job); ``--quick`` shrinks the matrix for smoke runs.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.classify.compiled import compiled_for
+from repro.classify.forest import compile_forest, predict_forest_oracle
+from repro.classify.metrics import accuracy
+from repro.classify.native import native_available
+from repro.classify.treegen import random_columns, random_tree
+from repro.core.builder import build_classifier
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.ensemble import train_forest
+
+SCHEMA = "bench_forest/1"
+BACKENDS = ("oracle", "numpy", "pertree", "fused")
+
+TREE_COUNTS = (1, 8, 32)
+BATCH_SIZES = (8192, 65536)
+ACCURACY_DATASETS = (
+    {"name": "quest-f2", "function": 2, "n_records": 8000},
+    {"name": "quest-f7", "function": 7, "n_records": 8000},
+)
+ACCURACY_TREE_COUNTS = (1, 8, 32)
+
+QUICK_TREE_COUNTS = (1, 4)
+QUICK_BATCH_SIZES = (2048,)
+QUICK_ACCURACY_DATASETS = (
+    {"name": "quest-f2", "function": 2, "n_records": 1200},
+)
+QUICK_ACCURACY_TREE_COUNTS = (1, 4)
+
+#: Member-tree shape for the routing section: deep enough that routing
+#: dominates, with a couple of categorical attributes so the bitmask
+#: path is exercised inside the fused walker.
+MEMBER_DEPTH = 10
+MEMBER_LEAF_PROB = 0.05
+
+
+def _routing_schema():
+    attrs = [
+        Attribute(f"c{i}", AttributeKind.CONTINUOUS) for i in range(6)
+    ]
+    attrs += [
+        Attribute(f"k{i}", AttributeKind.CATEGORICAL, 16) for i in range(2)
+    ]
+    return Schema(attrs, class_names=("A", "B", "C"))
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def _pertree_native(members, columns, n_classes):
+    """The per-tree baseline: one native route per tree + numpy vote."""
+    n = len(next(iter(columns.values())))
+    votes = np.zeros((n, n_classes), dtype=np.int64)
+    rows = np.arange(n)
+    for member in members:
+        votes[rows, member.predict(columns, backend="native")] += 1
+    return np.argmax(votes, axis=1).astype(np.int32)
+
+
+def run_routing(tree_counts, batch_sizes, repeats, seed):
+    results = []
+    mismatches = []
+    have_native = native_available()
+    schema = _routing_schema()
+    max_trees = max(tree_counts)
+    trees = [
+        random_tree(
+            schema,
+            max_depth=MEMBER_DEPTH,
+            seed=seed * 1000 + t,
+            leaf_prob=MEMBER_LEAF_PROB,
+        )
+        for t in range(max_trees)
+    ]
+    for n_trees in tree_counts:
+        members = [compiled_for(t) for t in trees[:n_trees]]
+        forest = compile_forest(trees[:n_trees])
+        for batch in batch_sizes:
+            columns = random_columns(schema, batch, seed=seed + batch)
+            oracle_s, want = _best_of(
+                lambda: predict_forest_oracle(trees[:n_trees], columns),
+                repeats,
+            )
+            timings = {"oracle": oracle_s}
+            numpy_s, got = _best_of(
+                lambda: forest.predict(columns, backend="numpy"), repeats
+            )
+            timings["numpy"] = numpy_s
+            if not np.array_equal(got, want):
+                mismatches.append((n_trees, batch, "numpy"))
+            if have_native:
+                pertree_s, got = _best_of(
+                    lambda: _pertree_native(
+                        members, columns, forest.n_classes
+                    ),
+                    repeats,
+                )
+                timings["pertree"] = pertree_s
+                if not np.array_equal(got, want):
+                    mismatches.append((n_trees, batch, "pertree"))
+                fused_s, got = _best_of(
+                    lambda: forest.predict(columns, backend="native"),
+                    repeats,
+                )
+                timings["fused"] = fused_s
+                if not np.array_equal(got, want):
+                    mismatches.append((n_trees, batch, "fused"))
+            pertree_s = timings.get("pertree")
+            for backend, seconds in timings.items():
+                results.append({
+                    "kind": "route",
+                    "n_trees": n_trees,
+                    "n_nodes": forest.n_nodes,
+                    "backend": backend,
+                    "batch": batch,
+                    "seconds": seconds,
+                    "rows_per_s": batch / seconds,
+                    "speedup_vs_oracle": oracle_s / seconds,
+                    "speedup_vs_pertree": (
+                        pertree_s / seconds
+                        if pertree_s is not None
+                        else None
+                    ),
+                })
+    return results, mismatches
+
+
+def run_accuracy(dataset_specs, tree_counts, seed):
+    """Held-out accuracy: bagged forest vs the single pruned-free tree."""
+    results = []
+    for spec in dataset_specs:
+        dataset = generate_dataset(
+            DatasetSpec(
+                function=spec["function"],
+                n_attributes=9,
+                n_records=spec["n_records"],
+                perturbation=0.1,
+                seed=seed,
+            )
+        )
+        train, test = dataset.split(0.75, seed=seed)
+        single = build_classifier(train).tree
+        single_acc = accuracy(single, test)
+        for n_trees in tree_counts:
+            start = time.perf_counter()
+            result = train_forest(
+                train,
+                n_trees,
+                subsample=0.8,
+                feature_frac=0.75,
+                seed=seed,
+                workers=min(4, n_trees),
+            )
+            train_s = time.perf_counter() - start
+            forest_acc = accuracy(result.forest, test)
+            results.append({
+                "kind": "accuracy",
+                "dataset": spec["name"],
+                "function": spec["function"],
+                "n_records": spec["n_records"],
+                "n_trees": n_trees,
+                "train_s": train_s,
+                "forest_accuracy": forest_acc,
+                "single_tree_accuracy": single_acc,
+                "accuracy_delta": forest_acc - single_acc,
+            })
+    return results
+
+
+def run_benchmarks(tree_counts, batch_sizes, accuracy_specs,
+                   accuracy_tree_counts, repeats, seed):
+    routing, mismatches = run_routing(
+        tree_counts, batch_sizes, repeats, seed
+    )
+    acc = run_accuracy(accuracy_specs, accuracy_tree_counts, seed)
+    headline = [
+        e for e in routing
+        if e["backend"] == "fused"
+        and e["n_trees"] == max(tree_counts)
+        and e["batch"] == max(batch_sizes)
+    ]
+    best_delta = max(
+        (e for e in acc), key=lambda e: e["accuracy_delta"], default=None
+    )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "tree_counts": list(tree_counts),
+            "batch_sizes": list(batch_sizes),
+            "member_depth": MEMBER_DEPTH,
+            "member_leaf_prob": MEMBER_LEAF_PROB,
+            "accuracy_datasets": [dict(s) for s in accuracy_specs],
+            "accuracy_tree_counts": list(accuracy_tree_counts),
+            "repeats": repeats,
+            "seed": seed,
+            "native_available": native_available(),
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "results": routing + acc,
+        "summary": {
+            "all_outputs_match_oracle": not mismatches,
+            "fused_speedup_vs_pertree_at_32x64k": (
+                headline[0]["speedup_vs_pertree"] if headline else None
+            ),
+            "fused_speedup_vs_oracle_at_32x64k": (
+                headline[0]["speedup_vs_oracle"] if headline else None
+            ),
+            "best_accuracy_delta": (
+                {
+                    "dataset": best_delta["dataset"],
+                    "n_trees": best_delta["n_trees"],
+                    "delta": best_delta["accuracy_delta"],
+                }
+                if best_delta
+                else None
+            ),
+        },
+    }, mismatches
+
+
+def validate_bench_doc(doc):
+    """Schema check for a ``bench_forest/1`` document; raises ValueError."""
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for section in ("config", "env", "results", "summary"):
+        if section not in doc:
+            raise ValueError(f"missing section {section!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        raise ValueError("results must be a non-empty list")
+    saw_route = saw_accuracy = False
+    for i, entry in enumerate(doc["results"]):
+        kind = entry.get("kind")
+        if kind == "route":
+            saw_route = True
+            for key in ("n_trees", "n_nodes", "backend", "batch",
+                        "seconds", "rows_per_s", "speedup_vs_oracle",
+                        "speedup_vs_pertree"):
+                if key not in entry:
+                    raise ValueError(f"results[{i}] missing {key!r}")
+            if entry["backend"] not in BACKENDS:
+                raise ValueError(
+                    f"results[{i}] unknown backend {entry['backend']!r}"
+                )
+            if not (isinstance(entry["seconds"], (int, float))
+                    and entry["seconds"] > 0):
+                raise ValueError(f"results[{i}].seconds must be positive")
+            expected = entry["batch"] / entry["seconds"]
+            if abs(entry["rows_per_s"] - expected) > 1e-6 * max(
+                expected, 1.0
+            ):
+                raise ValueError(f"results[{i}].rows_per_s inconsistent")
+        elif kind == "accuracy":
+            saw_accuracy = True
+            for key in ("dataset", "n_trees", "forest_accuracy",
+                        "single_tree_accuracy", "accuracy_delta"):
+                if key not in entry:
+                    raise ValueError(f"results[{i}] missing {key!r}")
+            for key in ("forest_accuracy", "single_tree_accuracy"):
+                if not 0.0 <= entry[key] <= 1.0:
+                    raise ValueError(
+                        f"results[{i}].{key} outside [0, 1]"
+                    )
+        else:
+            raise ValueError(f"results[{i}] unknown kind {kind!r}")
+    if not saw_route or not saw_accuracy:
+        raise ValueError("document needs both route and accuracy rows")
+    if doc["summary"].get("all_outputs_match_oracle") is not True:
+        raise ValueError("summary.all_outputs_match_oracle must be true")
+
+
+def _print_table(doc):
+    header = (f"{'trees':>5} {'nodes':>6} {'backend':<8} {'batch':>7} "
+              f"{'time (ms)':>10} {'rows/s':>12} {'vs oracle':>9} "
+              f"{'vs pertree':>10}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]:
+        if e["kind"] != "route":
+            continue
+        vs_pertree = (
+            f"{e['speedup_vs_pertree']:>9.2f}x"
+            if e["speedup_vs_pertree"] is not None
+            else f"{'-':>10}"
+        )
+        print(f"{e['n_trees']:>5} {e['n_nodes']:>6} {e['backend']:<8} "
+              f"{e['batch']:>7} {e['seconds'] * 1e3:>10.2f} "
+              f"{e['rows_per_s']:>12,.0f} "
+              f"{e['speedup_vs_oracle']:>8.2f}x {vs_pertree}")
+    print()
+    header = (f"{'dataset':<10} {'trees':>5} {'forest acc':>10} "
+              f"{'single acc':>10} {'delta':>8} {'train (s)':>9}")
+    print(header)
+    print("-" * len(header))
+    for e in doc["results"]:
+        if e["kind"] != "accuracy":
+            continue
+        print(f"{e['dataset']:<10} {e['n_trees']:>5} "
+              f"{e['forest_accuracy']:>10.4f} "
+              f"{e['single_tree_accuracy']:>10.4f} "
+              f"{e['accuracy_delta']:>+8.4f} {e['train_s']:>9.2f}")
+    summary = doc["summary"]
+    if summary["fused_speedup_vs_pertree_at_32x64k"] is not None:
+        print(f"\nfused walker vs per-tree native loop at "
+              f"{max(doc['config']['tree_counts'])} trees x "
+              f"{max(doc['config']['batch_sizes'])} rows: "
+              f"{summary['fused_speedup_vs_pertree_at_32x64k']:.2f}x")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Forest inference benchmark "
+                    "(oracle vs numpy vs per-tree native vs fused)."
+    )
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix for CI smoke")
+    parser.add_argument("--out", default="BENCH_forest.json",
+                        help="output JSON path")
+    parser.add_argument("--validate", metavar="FILE",
+                        help="validate an existing document and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            validate_bench_doc(json.load(handle))
+        print(f"{args.validate}: valid {SCHEMA} document")
+        return 0
+
+    if args.quick:
+        tree_counts, batches = QUICK_TREE_COUNTS, QUICK_BATCH_SIZES
+        acc_specs = QUICK_ACCURACY_DATASETS
+        acc_trees = QUICK_ACCURACY_TREE_COUNTS
+        repeats = 2
+    else:
+        tree_counts, batches = TREE_COUNTS, BATCH_SIZES
+        acc_specs = ACCURACY_DATASETS
+        acc_trees = ACCURACY_TREE_COUNTS
+        repeats = args.repeats
+    doc, mismatches = run_benchmarks(
+        tree_counts, batches, acc_specs, acc_trees, repeats, args.seed
+    )
+    if mismatches:
+        for n_trees, batch, backend in mismatches:
+            print(f"OUTPUT MISMATCH: trees={n_trees} batch={batch} "
+                  f"{backend}", file=sys.stderr)
+        return 1
+    validate_bench_doc(doc)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    _print_table(doc)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,36 @@ PLANS = {
         ],
         "summary": (("all_exact_trees_match", "bool"),),
     },
+    "bench_forest/1": {
+        "rows": [
+            {
+                "path": ("results",),
+                "key": ("kind", "n_trees", "backend", "batch"),
+                "metrics": (
+                    ("speedup_vs_oracle", "higher"),
+                    # The fused-walker headline: a regression here means
+                    # the multi-tree kernel lost its edge over routing
+                    # the member trees one at a time.
+                    ("speedup_vs_pertree", "higher"),
+                ),
+            },
+            {
+                "path": ("results",),
+                "key": ("kind", "dataset", "n_trees"),
+                "metrics": (
+                    # Held-out accuracy is deterministic per seed; drift
+                    # means training or voting changed behavior, not the
+                    # host.
+                    ("forest_accuracy", "higher"),
+                    ("single_tree_accuracy", "higher"),
+                ),
+            },
+        ],
+        "summary": (
+            ("all_outputs_match_oracle", "bool"),
+            ("fused_speedup_vs_pertree_at_32x64k", "higher"),
+        ),
+    },
     "bench_serve/1": {
         "rows": [
             {
@@ -246,6 +276,11 @@ def check_doc(name, baseline_doc, current_doc, tolerance, stable_only=False):
             for metric, kind in spec["metrics"]:
                 if metric not in base[key] or metric not in cur[key]:
                     continue
+                # Null metrics mean "not measured on this host" (e.g.
+                # native-relative speedups without a C compiler) — an
+                # absent measurement is a note-worthy gap, not a fail.
+                if base[key][metric] is None or cur[key][metric] is None:
+                    continue
                 if stable_only and kind not in STABLE_KINDS:
                     continue
                 ok, note = _compare(
@@ -259,6 +294,8 @@ def check_doc(name, baseline_doc, current_doc, tolerance, stable_only=False):
     cur_summary = current_doc.get("summary", {})
     for metric, kind in plan["summary"]:
         if metric not in base_summary or metric not in cur_summary:
+            continue
+        if base_summary[metric] is None or cur_summary[metric] is None:
             continue
         if stable_only and kind not in STABLE_KINDS:
             continue

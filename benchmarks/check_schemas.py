@@ -29,6 +29,7 @@ SCHEMA_OWNERS = {
     "bench_build_native/1": "bench_build_native",
     "bench_shard/1": "bench_shard",
     "bench_serve/1": "bench_serve",
+    "bench_forest/1": "bench_forest",
 }
 
 

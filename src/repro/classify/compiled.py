@@ -110,6 +110,16 @@ class CompiledTree:
     # -- basic properties ------------------------------------------------------
 
     @property
+    def kind(self) -> str:
+        """Model kind under the common model surface (see
+        :func:`repro.classify.forest.compile_model`)."""
+        return "tree"
+
+    @property
+    def n_trees(self) -> int:
+        return 1
+
+    @property
     def n_nodes(self) -> int:
         return len(self.feature)
 

@@ -43,7 +43,8 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.classify.compiled import CompiledTree, compiled_for
+from repro.classify.compiled import CompiledTree
+from repro.classify.forest import CompiledForest, Model, compile_model
 from repro.core.tree import DecisionTree
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracectx import TraceContext, TraceRing, mint_trace_id
@@ -147,11 +148,17 @@ class PredictionRequest:
 
 
 class InferenceEngine:
-    """Micro-batching prediction service over a compiled tree."""
+    """Micro-batching prediction service over a compiled model.
+
+    The model may be a single tree or a
+    :class:`~repro.classify.forest.CompiledForest`; both expose the
+    same compiled surface (``schema`` / ``predict`` / ``n_nodes``), so
+    batching, admission and telemetry are model-kind agnostic.
+    """
 
     def __init__(
         self,
-        model: Union[DecisionTree, CompiledTree],
+        model: Model,
         *,
         batch_size: int = 8192,
         n_workers: Optional[int] = 1,
@@ -175,9 +182,7 @@ class InferenceEngine:
             raise ValueError(
                 f"trace_ring_size must be >= 0, got {trace_ring_size}"
             )
-        self.compiled = (
-            model if isinstance(model, CompiledTree) else compiled_for(model)
-        )
+        self.compiled = compile_model(model)
         self.batch_size = batch_size
         self.n_workers = n_workers
         self.name = name
@@ -532,6 +537,8 @@ class InferenceEngine:
             "queue_depth": depth,
             "workers": self.n_workers,
             "batch_size": self.batch_size,
+            "kind": self.compiled.kind,
+            "n_trees": self.compiled.n_trees,
             "n_nodes": self.compiled.n_nodes,
             "uptime_s": self._now(),
         }

@@ -1,0 +1,346 @@
+"""Compiled forest IR: struct-of-arrays ensembles of compiled trees.
+
+A :class:`CompiledForest` is to an ensemble what
+:class:`~repro.classify.compiled.CompiledTree` is to one tree: the
+deployment representation.  The member trees' flat node tables are
+concatenated tree-major into one set of parallel arrays — ``feature``,
+``threshold``, ``children2``, ``leaf_class`` and the packed categorical
+bitmask table — with an ``tree_offsets`` array (``int64[n_trees + 1]``)
+marking where each tree's rows start.  Child indices in the concatenated
+``children2`` table are *global* row indices (already rebased by each
+tree's offset), so a router can walk any member tree without per-tree
+bookkeeping: start at ``tree_offsets[t]`` and step exactly like the
+single-tree walk.
+
+Prediction is a majority vote over the member trees.  Ties break toward
+the lowest class index, matching ``np.argmax`` — the native kernel, the
+numpy fallback and the :func:`predict_forest_oracle` reference all
+implement the same rule, so the three are bit-identical.
+
+Routing backends mirror the single-tree ones:
+
+* **native** — one fused C call
+  (:meth:`~repro.classify.native.NativeKernel.predict_forest`) that
+  walks the concatenated tables tree-major over blocks of rows with the
+  same 8-lane interleave as single-tree routing, accumulating votes in
+  C.  Columns are staged once for the whole forest instead of once per
+  tree.
+* **numpy** — batch-router fallback: each member tree routes the batch
+  through its own (numpy) router and votes are accumulated in an
+  ``(n, k)`` count matrix.
+* narrow-float columns (float32/float16 continuous inputs) divert to
+  the member trees' exact per-attribute routers, same as single trees.
+
+The module also owns the ``Model`` abstraction used by every consumer
+that previously assumed "the model is one tree": :func:`compile_model`
+maps a :class:`~repro.core.tree.DecisionTree`, a ``CompiledTree``, a
+``CompiledForest`` or a sequence of trees onto the compiled form, and
+everything downstream (engine, registry, CLI) is written against the
+common surface — ``schema``, ``kind``, ``n_trees``, ``n_nodes``,
+``predict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._native import stats as kernel_stats
+from repro.classify import native
+from repro.classify.compiled import (
+    CompiledTree,
+    compile_tree,
+    compiled_for,
+)
+from repro.classify.predict import predict_oracle
+from repro.core.tree import DecisionTree
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+
+Columns = Mapping[str, np.ndarray]
+
+#: Anything the serving/CLI surface accepts as "a model".
+Model = Union[DecisionTree, CompiledTree, "CompiledForest"]
+
+
+def _columns_of(data: Union[Dataset, Columns]) -> Columns:
+    return data.columns if isinstance(data, Dataset) else data
+
+
+def _n_rows(columns: Columns) -> int:
+    for col in columns.values():
+        return len(col)
+    return 0
+
+
+@dataclass
+class CompiledForest:
+    """Flat struct-of-arrays forest (see module docstring)."""
+
+    schema: Schema
+    #: Member trees, in vote order.  Kept whole (including ``splits``)
+    #: so serialization and reconstruction stay exact.
+    trees: List[CompiledTree]
+    #: ``int64[n_trees + 1]``; tree ``t`` owns concatenated rows
+    #: ``tree_offsets[t]:tree_offsets[t + 1]``.
+    tree_offsets: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    #: Fused child table over the concatenated rows with *global* child
+    #: indices; leaves self-loop (same contract as the single-tree one).
+    children2: np.ndarray
+    leaf_class: np.ndarray
+    subset_offset: np.ndarray
+    subset_nwords: np.ndarray
+    subset_words: np.ndarray
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return "forest"
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count across all member trees."""
+        return len(self.feature)
+
+    @property
+    def n_classes(self) -> int:
+        return self.schema.n_classes
+
+    @property
+    def max_depth(self) -> int:
+        return max((t.max_depth for t in self.trees), default=0)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the concatenated array payload."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.tree_offsets, self.feature, self.threshold,
+                self.children2, self.leaf_class, self.subset_offset,
+                self.subset_nwords, self.subset_words,
+            )
+        )
+
+    @property
+    def used_features(self) -> List[int]:
+        """Attribute indices referenced by any member tree (cached)."""
+        cached = self.__dict__.get("_used_features")
+        if cached is None:
+            used = set()
+            for tree in self.trees:
+                used.update(tree.used_features)
+            cached = sorted(used)
+            self.__dict__["_used_features"] = cached
+        return cached
+
+    def _check_columns(self, columns: Columns) -> None:
+        names = self.schema.attribute_names
+        for f in self.used_features:
+            if names[f] not in columns:
+                raise ValueError(
+                    f"input is missing attribute {names[f]!r} required by "
+                    f"the model (model attributes: {', '.join(names)})"
+                )
+
+    # -- prediction ------------------------------------------------------------
+
+    def _narrow_float(self, columns: Columns) -> bool:
+        names = self.schema.attribute_names
+        attrs = self.schema.attributes
+        return any(
+            attrs[f].is_continuous
+            and np.issubdtype(columns[names[f]].dtype, np.floating)
+            and columns[names[f]].dtype != np.float64
+            for f in self.used_features
+        )
+
+    def vote_counts(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """``int64[n, k]`` per-class vote counts across the member trees.
+
+        Votes always route tree-by-tree (the fused native walk keeps its
+        counts in a per-block scratch and never materializes them); each
+        member tree still uses its fastest applicable router.
+        """
+        columns = _columns_of(data)
+        n = _n_rows(columns)
+        self._check_columns(columns)
+        votes = np.zeros((n, self.n_classes), dtype=np.int64)
+        if n == 0:
+            return votes
+        rows = np.arange(n)
+        for tree in self.trees:
+            votes[rows, tree.predict(columns, backend=backend)] += 1
+        return votes
+
+    def predict_proba(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """``float64[n, k]`` vote fractions (rows sum to 1)."""
+        return self.vote_counts(data, backend=backend) / float(self.n_trees)
+
+    def predict(
+        self,
+        data: Union[Dataset, Columns],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Majority-vote class index per tuple, ``int32[n]``.
+
+        Backend selection mirrors :meth:`CompiledTree.route_rows`: the
+        fused native multi-tree kernel when it compiled and every used
+        column stages exactly to float64, else the numpy batch-router
+        vote; ``backend`` forces one.  All paths are bit-identical to
+        the per-tree oracle + vote reference
+        (:func:`predict_forest_oracle`).
+        """
+        columns = _columns_of(data)
+        n = _n_rows(columns)
+        self._check_columns(columns)
+        if n == 0:
+            return np.zeros(0, dtype=np.int32)
+        narrow_float = self._narrow_float(columns)
+        if backend == "native":
+            if narrow_float:
+                raise ValueError(
+                    "native backend cannot honor narrow-float columns "
+                    "exactly; use the numpy backend"
+                )
+            kernel = native.native_kernel()
+            if kernel is None:
+                raise RuntimeError(
+                    "native kernel unavailable (no C compiler, build "
+                    f"failure, or {native.ENV_FLAG}=0)"
+                )
+            return kernel.predict_forest(self, columns, n)
+        if backend is None and not narrow_float:
+            kernel = native.native_kernel()
+            if kernel is not None:
+                return kernel.predict_forest(self, columns, n)
+        elif backend not in (None, "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        kernel_stats.record("vote", "numpy", n)
+        votes = self.vote_counts(columns, backend="numpy" if backend else None)
+        return np.argmax(votes, axis=1).astype(np.int32)
+
+
+def compile_forest(
+    trees: Sequence[Union[DecisionTree, CompiledTree]],
+) -> CompiledForest:
+    """Concatenate member trees into one :class:`CompiledForest`.
+
+    All members must share one schema (attributes *and* class names) —
+    votes are indexed by class position, so mixed schemas would vote in
+    different coordinate systems.
+    """
+    if not trees:
+        raise ValueError("a forest needs at least one tree")
+    members: List[CompiledTree] = [
+        t if isinstance(t, CompiledTree) else compiled_for(t) for t in trees
+    ]
+    schema = members[0].schema
+    for i, tree in enumerate(members[1:], start=1):
+        if tree.schema != schema:
+            raise ValueError(
+                f"forest member {i} has a different schema than member 0; "
+                "all trees of a forest must share one schema"
+            )
+
+    counts = [t.n_nodes for t in members]
+    tree_offsets = np.zeros(len(members) + 1, dtype=np.int64)
+    np.cumsum(counts, out=tree_offsets[1:])
+
+    feature = np.concatenate([t.feature for t in members])
+    threshold = np.concatenate([t.threshold for t in members])
+    leaf_class = np.concatenate([t.leaf_class for t in members])
+    subset_nwords = np.concatenate([t.subset_nwords for t in members])
+    # Rebase child rows and bitmask offsets into the concatenated tables.
+    children2_parts: List[np.ndarray] = []
+    subset_offset_parts: List[np.ndarray] = []
+    word_base = 0
+    for t, tree in enumerate(members):
+        children2_parts.append(
+            tree.children2 + np.int32(tree_offsets[t])
+        )
+        off = tree.subset_offset.copy()
+        off[off >= 0] += word_base
+        subset_offset_parts.append(off)
+        word_base += len(tree.subset_words)
+    subset_words = (
+        np.concatenate([t.subset_words for t in members])
+        if word_base
+        else np.zeros(0, dtype=np.uint64)
+    )
+    return CompiledForest(
+        schema=schema,
+        trees=members,
+        tree_offsets=tree_offsets,
+        feature=feature,
+        threshold=threshold,
+        children2=np.concatenate(children2_parts),
+        leaf_class=leaf_class,
+        subset_offset=np.concatenate(subset_offset_parts),
+        subset_nwords=subset_nwords,
+        subset_words=subset_words,
+    )
+
+
+def compile_model(model: Union[Model, Sequence[DecisionTree]]):
+    """Map any accepted model shape onto its compiled form.
+
+    ``DecisionTree`` → cached :class:`CompiledTree`; compiled models
+    pass through; a sequence of trees becomes a forest.  The result
+    always exposes the common surface (``schema``, ``kind``,
+    ``n_trees``, ``n_nodes``, ``predict``).
+    """
+    if isinstance(model, CompiledForest):
+        return model
+    if isinstance(model, CompiledTree):
+        return model
+    if isinstance(model, DecisionTree):
+        return compiled_for(model)
+    if isinstance(model, (list, tuple)):
+        return compile_forest(model)
+    raise TypeError(
+        f"cannot compile {type(model).__name__} into a model "
+        "(expected DecisionTree, CompiledTree, CompiledForest, or a "
+        "sequence of trees)"
+    )
+
+
+def predict_forest_oracle(
+    trees: Sequence[Union[DecisionTree, CompiledTree]],
+    data: Union[Dataset, Columns],
+) -> np.ndarray:
+    """Reference forest prediction: per-tree recursive oracle + vote.
+
+    The differential ground truth for every forest backend: each member
+    tree is evaluated with :func:`repro.classify.predict.predict_oracle`
+    (Python recursion, no IR), votes are tallied per class, ties break
+    toward the lowest class index via ``np.argmax``.
+    """
+    if not trees:
+        raise ValueError("a forest needs at least one tree")
+    plain = [t.to_tree() if isinstance(t, CompiledTree) else t for t in trees]
+    columns = _columns_of(data)
+    n = _n_rows(columns)
+    k = plain[0].schema.n_classes
+    votes = np.zeros((n, k), dtype=np.int64)
+    rows = np.arange(n)
+    for tree in plain:
+        votes[rows, predict_oracle(tree, columns)] += 1
+    return np.argmax(votes, axis=1).astype(np.int32)

@@ -1,31 +1,36 @@
-"""Classifier evaluation metrics."""
+"""Classifier evaluation metrics.
+
+All metrics accept any model shape — a
+:class:`~repro.core.tree.DecisionTree`, a compiled tree, or a
+:class:`~repro.classify.forest.CompiledForest` — via the common
+compiled-model surface.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.classify.predict import predict
-from repro.core.tree import DecisionTree
+from repro.classify.forest import Model, compile_model
 from repro.data.dataset import Dataset
 
 
-def accuracy(tree: DecisionTree, dataset: Dataset) -> float:
+def accuracy(model: Model, dataset: Dataset) -> float:
     """Fraction of tuples classified correctly."""
     if dataset.n_records == 0:
         raise ValueError("cannot score an empty dataset")
-    predicted = predict(tree, dataset)
+    predicted = compile_model(model).predict(dataset)
     return float(np.mean(predicted == dataset.labels))
 
 
-def error_rate(tree: DecisionTree, dataset: Dataset) -> float:
+def error_rate(model: Model, dataset: Dataset) -> float:
     """``1 - accuracy``."""
-    return 1.0 - accuracy(tree, dataset)
+    return 1.0 - accuracy(model, dataset)
 
 
-def confusion_matrix(tree: DecisionTree, dataset: Dataset) -> np.ndarray:
+def confusion_matrix(model: Model, dataset: Dataset) -> np.ndarray:
     """``matrix[actual, predicted]`` counts."""
     n = dataset.schema.n_classes
-    predicted = predict(tree, dataset)
+    predicted = compile_model(model).predict(dataset)
     matrix = np.zeros((n, n), dtype=np.int64)
     np.add.at(matrix, (dataset.labels, predicted), 1)
     return matrix

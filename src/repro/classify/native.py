@@ -131,6 +131,94 @@ void route_rows(
     }
 }
 
+/* Fused forest prediction over concatenated node tables.
+ *
+ * The arrays are the member trees' tables laid out tree-major
+ * (tree t owns rows roots[t] .. roots[t+1]-1) with *global* child
+ * indices in children2, so walking any member tree is exactly the
+ * single-tree walk started at roots[t].  Rows are processed in blocks
+ * of FBLOCK; within a block every tree walks all rows before the next
+ * tree starts — tree-major blocking keeps the current tree's node rows
+ * hot across the whole block while the block's column values stay
+ * cache-resident across trees.  The walk interleaves FLANES rows (much
+ * wider than route_rows' 8: with votes accumulated in C there is no
+ * per-lane output ordering to preserve, and the extra independent
+ * dependent-load chains are what hides node-table latency at forest
+ * scale).  Votes accumulate in a caller-provided FBLOCK*n_classes
+ * scratch; the argmax breaks ties toward the lowest class index,
+ * matching np.argmax in the numpy fallback. */
+#define FLANES 128
+#define FBLOCK 16384
+
+void predict_forest(
+    const double **cols, int64_t n_rows,
+    const int64_t *roots, int32_t n_trees,
+    const int32_t *feature, const double *threshold,
+    const int32_t *children2,
+    const int64_t *subset_offset, const int32_t *subset_nwords,
+    const uint64_t *subset_words,
+    const int32_t *leaf_class, int32_t n_classes,
+    int32_t *votes,
+    int32_t *out)
+{
+    int64_t b;
+    for (b = 0; b < n_rows; b += FBLOCK) {
+        int64_t m = n_rows - b, r;
+        int32_t t;
+        if (m > FBLOCK) m = FBLOCK;
+        for (r = 0; r < m * n_classes; r++) votes[r] = 0;
+        for (t = 0; t < n_trees; t++) {
+            int32_t root = (int32_t)roots[t];
+            int64_t i = 0;
+            for (; i + FLANES <= m; i += FLANES) {
+                /* Wide interleave with active-lane compaction: lanes
+                 * that reach a leaf vote immediately and drop out, so
+                 * late iterations only touch the deep rows instead of
+                 * re-scanning parked lanes. */
+                int32_t node[FLANES];
+                int32_t row[FLANES];
+                int l, n_active = FLANES;
+                for (l = 0; l < FLANES; l++) {
+                    node[l] = root;
+                    row[l] = (int32_t)i + l;
+                }
+                while (n_active) {
+                    int kept = 0;
+                    for (l = 0; l < n_active; l++) {
+                        int32_t nd = node[l];
+                        int32_t f = feature[nd];
+                        if (f < 0) {
+                            votes[row[l] * n_classes + leaf_class[nd]]++;
+                            continue;
+                        }
+                        node[kept] = step(cols, b + row[l], nd, f,
+                                          threshold, children2,
+                                          subset_offset, subset_nwords,
+                                          subset_words);
+                        row[kept] = row[l];
+                        kept++;
+                    }
+                    n_active = kept;
+                }
+            }
+            for (; i < m; i++) {
+                int32_t node = root, f;
+                while ((f = feature[node]) >= 0)
+                    node = step(cols, b + i, node, f, threshold, children2,
+                                subset_offset, subset_nwords, subset_words);
+                votes[i * n_classes + leaf_class[node]]++;
+            }
+        }
+        for (r = 0; r < m; r++) {
+            const int32_t *v = votes + r * n_classes;
+            int32_t best = 0, c;
+            for (c = 1; c < n_classes; c++)
+                if (v[c] > v[best]) best = c;
+            out[b + r] = best;
+        }
+    }
+}
+
 /* Continuous-only specialization: no categorical bookkeeping at all. */
 void route_rows_cont(
     const double **cols, int64_t n_rows,
@@ -186,15 +274,15 @@ class NativeKernel:
         self._general.restype = None
         self._cont = lib.route_rows_cont
         self._cont.restype = None
+        self._forest = lib.predict_forest
+        self._forest.restype = None
         self._pad_words = np.zeros(1, dtype=np.uint64)
+        #: Block size of the fused forest walk; the vote scratch passed
+        #: to C is sized FBLOCK * n_classes.  Must match the C FBLOCK.
+        self.forest_block = 16384
 
-    def route(self, compiled, columns: Dict[str, np.ndarray], n: int) -> np.ndarray:
-        """Leaf row index per tuple; bit-identical to the numpy router.
-
-        ``columns`` values must stage exactly to float64 (the caller —
-        :meth:`CompiledTree.route_rows` — already guarantees that by
-        diverting narrow-float columns to the exact numpy path).
-        """
+    def _stage_columns(self, compiled, columns: Dict[str, np.ndarray]):
+        """(ptrs, staged) for the kernel's column-pointer array."""
         names = compiled.schema.attribute_names
         n_attrs = compiled.schema.n_attributes
         staged = []  # keeps converted columns alive across the call
@@ -210,6 +298,16 @@ class NativeKernel:
             col = np.ascontiguousarray(col, dtype=np.float64)
             staged.append(col)
             ptrs[f] = col.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        return ptrs, staged
+
+    def route(self, compiled, columns: Dict[str, np.ndarray], n: int) -> np.ndarray:
+        """Leaf row index per tuple; bit-identical to the numpy router.
+
+        ``columns`` values must stage exactly to float64 (the caller —
+        :meth:`CompiledTree.route_rows` — already guarantees that by
+        diverting narrow-float columns to the exact numpy path).
+        """
+        ptrs, staged = self._stage_columns(compiled, columns)
         out = np.empty(n, dtype=np.int64)
 
         def p(a: np.ndarray) -> ctypes.c_void_p:
@@ -230,6 +328,41 @@ class NativeKernel:
                 p(compiled.subset_words), p(out),
             )
         kernel_stats.record("route", "native", n)
+        return out
+
+    def predict_forest(
+        self, forest, columns: Dict[str, np.ndarray], n: int
+    ) -> np.ndarray:
+        """Majority-vote class per tuple via the fused multi-tree walk.
+
+        One C call walks every member tree over the concatenated node
+        tables (tree-major blocks, 8-lane row interleave) and
+        accumulates votes in C; bit-identical to the numpy batch-router
+        vote (ties break toward the lowest class index, like
+        ``np.argmax``).  Columns are staged once for the whole forest.
+        """
+        ptrs, staged = self._stage_columns(forest, columns)
+        k = forest.n_classes
+        votes = np.empty(self.forest_block * k, dtype=np.int32)
+        out = np.empty(n, dtype=np.int32)
+
+        def p(a: np.ndarray) -> ctypes.c_void_p:
+            return a.ctypes.data_as(ctypes.c_void_p)
+
+        self._forest(
+            ptrs, ctypes.c_int64(n),
+            p(forest.tree_offsets), ctypes.c_int32(forest.n_trees),
+            p(forest.feature), p(forest.threshold), p(forest.children2),
+            p(forest.subset_offset), p(forest.subset_nwords),
+            p(forest.subset_words if forest.subset_words.size
+              else self._pad_words),
+            p(forest.leaf_class), ctypes.c_int32(k),
+            p(votes), p(out),
+        )
+        # One row-walk per (row, tree) pair, same accounting as the
+        # per-tree fallback which records n once per member tree.
+        kernel_stats.record("route", "native", n * forest.n_trees)
+        kernel_stats.record("vote", "native", n)
         return out
 
 

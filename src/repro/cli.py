@@ -28,7 +28,7 @@ from repro.classify.metrics import accuracy, confusion_matrix
 from repro.classify.prune import mdl_prune
 from repro.core.builder import ALGORITHMS, build_classifier
 from repro.core.params import BuildParams
-from repro.core.serialize import load_tree, save_tree
+from repro.core.serialize import load_model, save_model, save_tree
 from repro.data.generator import DatasetSpec, generate_dataset
 from repro.data.io import (
     load_dataset_csv,
@@ -104,6 +104,8 @@ def cmd_build(args: argparse.Namespace) -> int:
         from repro.smp.cpus import available_cpus
 
         shards = args.shards or args.procs or available_cpus()
+    if args.forest:
+        return _build_forest(args, dataset, shards)
     n_procs = shards if shards is not None else args.procs
     machine = _MACHINES[args.machine](n_procs)
     params = BuildParams(window=args.window, max_depth=args.max_depth)
@@ -174,13 +176,53 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_forest(args: argparse.Namespace, dataset, shards) -> int:
+    """`repro build --forest N`: train a bagged forest, save it as v3."""
+    from repro.ensemble import train_forest
+
+    if args.prune:
+        print(
+            "--prune applies to single trees only; ignoring for a forest",
+            file=sys.stderr,
+        )
+    result = train_forest(
+        dataset,
+        args.forest,
+        subsample=args.subsample,
+        feature_frac=args.feature_frac,
+        seed=args.forest_seed,
+        algorithm=args.algorithm,
+        n_procs=args.procs,
+        tree_runtime=args.runtime,
+        shards=shards,
+        merge=args.merge,
+        workers=args.forest_workers or args.procs,
+    )
+    forest = result.forest
+    print(
+        f"{dataset.name}: forest of {forest.n_trees} tree(s) via "
+        f"{args.algorithm} (subsample {args.subsample:g}, feature-frac "
+        f"{args.feature_frac:g}, seed {args.forest_seed}, "
+        f"{result.workers} concurrent build(s)) in {result.train_s:.2f}s wall"
+    )
+    print(
+        f"forest: {forest.n_nodes} total nodes, max depth "
+        f"{forest.max_depth}; training accuracy "
+        f"{accuracy(forest, dataset):.4f}"
+    )
+    if args.output:
+        save_model(forest, args.output)
+        print(f"forest saved to {args.output} (v3 container)")
+    return 0
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.input)
-    tree = load_tree(args.tree)
-    acc = accuracy(tree, dataset)
-    matrix = confusion_matrix(tree, dataset)
+    model = load_model(args.tree)
+    acc = accuracy(model, dataset)
+    matrix = confusion_matrix(model, dataset)
     print(f"accuracy on {dataset.name or args.input}: {acc:.4f}")
-    classes = tree.schema.class_names
+    classes = model.schema.class_names
     rows = [
         (classes[i], *[int(matrix[i, j]) for j in range(len(classes))])
         for i in range(len(classes))
@@ -193,11 +235,24 @@ def cmd_predict(args: argparse.Namespace) -> int:
     import time
 
     from repro.classify.engine import InferenceEngine
+    from repro.classify.forest import compile_model
 
-    tree = load_tree(args.model)
+    model = load_model(args.model)
+    compiled = compile_model(model)
+    if args.oracle and compiled.kind == "forest":
+        print(
+            f"error: --oracle differential mode checks one tree against "
+            f"the recursive reference, but {args.model} is a v3 forest "
+            f"container with {compiled.n_trees} trees. Run without "
+            "--oracle (forest backends are differentially tested against "
+            "the per-tree oracle + vote in the test suite), or predict "
+            "with a single-tree model file.",
+            file=sys.stderr,
+        )
+        return 2
     dataset = _load_dataset(args.data)
     engine = InferenceEngine(
-        tree,
+        model,
         batch_size=args.batch_size,
         n_workers=args.workers or None,
         name=args.model,
@@ -227,8 +282,24 @@ def cmd_predict(args: argparse.Namespace) -> int:
     if dataset.n_records:
         agreement = float(np.mean(predicted == dataset.labels))
         print(f"label agreement: {agreement:.4f}")
+    if args.oracle:
+        from repro.classify.predict import predict_oracle
+
+        reference = predict_oracle(model, dataset)
+        mismatches = int(np.count_nonzero(predicted != reference))
+        if mismatches:
+            print(
+                f"ORACLE MISMATCH: {mismatches} of {dataset.n_records} "
+                "row(s) differ from the recursive reference",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"oracle check: all {dataset.n_records} row(s) bit-identical "
+            "to the recursive reference"
+        )
     if args.output:
-        names = tree.schema.class_names
+        names = compiled.schema.class_names
         with open(args.output, "w") as f:
             for c in predicted:
                 f.write(names[int(c)] + "\n")
@@ -262,11 +333,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ModelRegistry, ServeServer, submit_and_wait
 
-    tree = load_tree(args.model)
+    model = load_model(args.model)
     registry = ModelRegistry()
     registry.add(
         args.model,
-        tree,
+        model,
         version=args.model_version,
         workers=args.workers or None,
         batch_size=args.batch_size,
@@ -620,6 +691,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--vote-k", type=int, default=3, dest="vote_k", metavar="K",
         help="with --merge vote: local ballot size per shard",
     )
+    b.add_argument(
+        "--forest", type=int, default=0, metavar="N",
+        help="train a bagged forest of N trees instead of one tree "
+             "(saved as a v3 forest container); 0 = single tree",
+    )
+    b.add_argument(
+        "--subsample", type=float, default=1.0, metavar="FRAC",
+        help="with --forest: bootstrap sample fraction per tree "
+             "(drawn with replacement; default 1.0)",
+    )
+    b.add_argument(
+        "--feature-frac", type=float, default=1.0, metavar="FRAC",
+        dest="feature_frac",
+        help="with --forest: fraction of attributes visible to each tree "
+             "(default 1.0 = all)",
+    )
+    b.add_argument(
+        "--forest-seed", type=int, default=0, dest="forest_seed",
+        help="with --forest: root seed of the spawned per-tree RNG "
+             "streams (same seed => bit-identical forest)",
+    )
+    b.add_argument(
+        "--forest-workers", type=int, default=0, dest="forest_workers",
+        metavar="N",
+        help="with --forest: trees trained concurrently "
+             "(0 = --procs; determinism does not depend on this)",
+    )
     b.add_argument("--prune", action="store_true", help="MDL-prune the tree")
     b.add_argument("-o", "--output", help="save the tree as JSON")
     b.add_argument("--render", action="store_true", help="print the tree")
@@ -637,13 +735,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = sub.add_parser("classify", help="evaluate a saved tree on a dataset")
     c.add_argument("-i", "--input", required=True)
-    c.add_argument("--tree", required=True, help="tree JSON from `build -o`")
+    c.add_argument("--tree", required=True,
+                   help="model JSON from `build -o` (tree or forest)")
     c.set_defaults(func=cmd_classify)
 
     p = sub.add_parser(
         "predict", help="batch inference: run a saved tree over a dataset"
     )
-    p.add_argument("--model", required=True, help="tree JSON from `build -o`")
+    p.add_argument("--model", required=True,
+                   help="model JSON from `build -o` (tree or forest)")
     p.add_argument("--data", required=True, help=".npz or .csv dataset")
     p.add_argument("--batch-size", type=int, default=8192,
                    help="rows per vectorized micro-batch")
@@ -652,13 +752,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "0 = all CPUs in the affinity mask)")
     p.add_argument("-o", "--output",
                    help="write predicted class names, one per line")
+    p.add_argument(
+        "--oracle", action="store_true",
+        help="differential mode: check every prediction against the "
+             "recursive reference implementation (single-tree models "
+             "only; fails with a clear error on forest containers)",
+    )
     p.set_defaults(func=cmd_predict)
 
     s = sub.add_parser(
         "serve",
         help="serve a model: stdin JSONL loop and/or async TCP/HTTP tier",
     )
-    s.add_argument("--model", required=True, help="tree JSON from `build -o`")
+    s.add_argument("--model", required=True,
+                   help="model JSON from `build -o` (tree or forest)")
     s.add_argument("--model-version", default="", metavar="TAG",
                    help="version tag reported in replies (default gen1)")
     s.add_argument("--batch-size", type=int, default=1024)

@@ -5,19 +5,32 @@ pipeline wants to build once and ship the model.  The format is plain
 JSON — schema (attributes + classes) plus the node data — so it is
 diffable, versionable and language-neutral.
 
-Two format versions exist:
+Three format versions exist:
 
 * **v1** (legacy) — one nested dict per node mirroring the pointer
   tree.  Still readable; writable via ``tree_to_dict(tree, version=1)``
   for migration tests.
-* **v2** (current) — a *columnar* node table in breadth-first order,
-  mirroring the compiled flat-tree IR
+* **v2** (current single-tree format) — a *columnar* node table in
+  breadth-first order, mirroring the compiled flat-tree IR
   (:mod:`repro.classify.compiled`): parallel lists ``feature`` /
   ``threshold`` / ``subset`` / ``left`` / ``right`` / ... indexed by
   node row.  A v2 document round-trips both representations:
   :func:`tree_from_dict` rebuilds the pointer tree,
   :func:`compiled_tree_from_dict` materializes a
   :class:`~repro.classify.compiled.CompiledTree` directly.
+* **v3** (forest container) — the members' v2-style node tables
+  concatenated tree-major into *one* columnar table plus a
+  ``tree_offsets`` list (``n_trees + 1`` entries; tree ``t`` owns rows
+  ``tree_offsets[t]:tree_offsets[t+1]``).  Child indices are *global*
+  rows of the concatenated table and must stay inside their own tree's
+  range.  Mirrors :class:`repro.classify.forest.CompiledForest`.
+
+Single trees keep reading and writing as v2 — v3 is only ever written
+for forests.  The generic entry points are :func:`save_model` /
+:func:`load_model` (and ``model_to_dict`` / ``model_from_dict``), which
+dispatch on model kind when writing and on the version header when
+reading; :func:`load_tree` stays for single-tree callers and fails with
+a pointed message when handed a forest container.
 
 Every code path here is iterative — reading or writing a 10k-deep
 chain tree never touches ``sys.getrecursionlimit()``.
@@ -35,10 +48,14 @@ from repro.data.schema import Attribute, AttributeKind, Schema
 
 #: Format identifier written into every file.
 FORMAT = "repro-decision-tree"
-#: Version written by default.
+#: Version written by default for single trees.
 FORMAT_VERSION = 2
-#: Versions :func:`tree_from_dict` accepts.
+#: Version written for forest containers.
+FOREST_FORMAT_VERSION = 3
+#: Versions :func:`tree_from_dict` accepts (single trees only).
 SUPPORTED_VERSIONS = (1, 2)
+#: Versions :func:`model_from_dict` accepts.
+SUPPORTED_MODEL_VERSIONS = (1, 2, 3)
 
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:
@@ -146,7 +163,10 @@ def _node_from_dict(data: Dict[str, Any]) -> Node:
 def _nodes_to_table(tree: DecisionTree) -> Dict[str, Any]:
     from repro.classify.compiled import compiled_for
 
-    compiled = compiled_for(tree)
+    return _compiled_to_table(compiled_for(tree))
+
+
+def _compiled_to_table(compiled) -> Dict[str, Any]:
     n = compiled.n_nodes
     threshold: List[Optional[float]] = []
     subset: List[Optional[List[int]]] = []
@@ -252,6 +272,13 @@ def _check_header(data: Dict[str, Any]) -> int:
             f"not a {FORMAT} document (format={data.get('format')!r})"
         )
     version = data.get("version")
+    if version == FOREST_FORMAT_VERSION:
+        n = data.get("n_trees", "?")
+        raise ValueError(
+            f"document is a v{FOREST_FORMAT_VERSION} forest container "
+            f"({n} trees), not a single tree; load it with load_model() "
+            "/ model_from_dict()"
+        )
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported format version {version!r} "
@@ -294,3 +321,177 @@ def load_tree(path: str) -> DecisionTree:
     """Read a tree saved by :func:`save_tree` (any supported version)."""
     with open(path) as f:
         return tree_from_dict(json.load(f))
+
+
+# -- v3: forest container ------------------------------------------------------
+
+
+def _concat_tables(tables: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Concatenate per-tree v2-style tables with global child indices."""
+    out: Dict[str, Any] = {"count": sum(t["count"] for t in tables)}
+    columns = (
+        "node_id", "depth", "feature", "threshold", "subset",
+        "weighted_gini", "class_counts",
+    )
+    for col in columns:
+        out[col] = [v for t in tables for v in t[col]]
+    for col in ("left", "right"):
+        rebased: List[int] = []
+        base = 0
+        for t in tables:
+            rebased.extend(
+                c + base if c >= 0 else c for c in t[col]
+            )
+            base += t["count"]
+        out[col] = rebased
+    return out
+
+
+def forest_to_dict(forest) -> Dict[str, Any]:
+    """A JSON-serializable v3 container for a
+    :class:`~repro.classify.forest.CompiledForest`."""
+    tables = [_compiled_to_table(t) for t in forest.trees]
+    return {
+        "format": FORMAT,
+        "version": FOREST_FORMAT_VERSION,
+        "kind": "forest",
+        "schema": schema_to_dict(forest.schema),
+        "n_trees": forest.n_trees,
+        "tree_offsets": [int(o) for o in forest.tree_offsets],
+        "nodes": _concat_tables(tables),
+    }
+
+
+def _check_tree_offsets(offsets: Any, n_trees: Any, count: int) -> List[int]:
+    """Validate a v3 offset table; ValueError on anything malformed.
+
+    A valid table has ``n_trees + 1`` non-negative, strictly increasing
+    integers from 0 to the node count — anything else (negative rows,
+    overlapping/unordered tree ranges, ranges that miss or exceed the
+    table) corrupts the walk and is rejected here, before any node is
+    rebuilt.
+    """
+    if not isinstance(offsets, list) or not all(
+        isinstance(o, int) and not isinstance(o, bool) for o in offsets
+    ):
+        raise ValueError("tree_offsets must be a list of integers")
+    if not isinstance(n_trees, int) or n_trees < 1:
+        raise ValueError(f"n_trees must be a positive integer, got {n_trees!r}")
+    if len(offsets) != n_trees + 1:
+        raise ValueError(
+            f"tree_offsets has {len(offsets)} entries, expected "
+            f"n_trees + 1 = {n_trees + 1}"
+        )
+    if offsets[0] != 0:
+        raise ValueError(f"tree_offsets must start at 0, got {offsets[0]}")
+    for t in range(n_trees):
+        if offsets[t] < 0 or offsets[t + 1] <= offsets[t]:
+            raise ValueError(
+                f"tree_offsets invalid at tree {t}: "
+                f"[{offsets[t]}, {offsets[t + 1]}) — offsets must be "
+                "non-negative and strictly increasing (no empty, "
+                "negative or overlapping tree ranges)"
+            )
+    if offsets[-1] != count:
+        raise ValueError(
+            f"tree_offsets end at {offsets[-1]} but the node table has "
+            f"{count} rows"
+        )
+    return offsets
+
+
+def forest_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`~repro.classify.forest.CompiledForest` from a
+    v3 container, validating offsets and per-tree child ranges."""
+    from repro.classify.forest import compile_forest
+
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FOREST_FORMAT_VERSION:
+        raise ValueError(
+            f"not a forest container (version={data.get('version')!r}, "
+            f"expected {FOREST_FORMAT_VERSION})"
+        )
+    schema = schema_from_dict(data["schema"])
+    table = data["nodes"]
+    offsets = _check_tree_offsets(
+        data.get("tree_offsets"), data.get("n_trees"), table["count"]
+    )
+    columns = (
+        "node_id", "depth", "feature", "threshold", "subset",
+        "weighted_gini", "class_counts",
+    )
+    trees = []
+    for t in range(len(offsets) - 1):
+        start, stop = offsets[t], offsets[t + 1]
+        local: Dict[str, Any] = {"count": stop - start}
+        for col in columns:
+            local[col] = table[col][start:stop]
+        for col in ("left", "right"):
+            rebased: List[int] = []
+            for i, child in enumerate(table[col][start:stop]):
+                if isinstance(child, int) and child < 0:
+                    rebased.append(child)
+                    continue
+                if not isinstance(child, int) or not start <= child < stop:
+                    raise ValueError(
+                        f"tree {t} node row {start + i}: {col} child "
+                        f"{child!r} escapes the tree's rows "
+                        f"[{start}, {stop})"
+                    )
+                rebased.append(child - start)
+            local[col] = rebased
+        trees.append(_tree_from_table(schema, local))
+    return compile_forest(trees)
+
+
+# -- generic model API ---------------------------------------------------------
+
+
+def model_to_dict(model) -> Dict[str, Any]:
+    """Serialize any model shape: trees as v2, forests as v3."""
+    from repro.classify.compiled import CompiledTree
+    from repro.classify.forest import CompiledForest
+
+    if isinstance(model, CompiledForest):
+        return forest_to_dict(model)
+    if isinstance(model, CompiledTree):
+        model = model.to_tree()
+    if isinstance(model, DecisionTree):
+        return tree_to_dict(model)
+    raise TypeError(
+        f"cannot serialize {type(model).__name__} "
+        "(expected DecisionTree, CompiledTree, or CompiledForest)"
+    )
+
+
+def model_from_dict(data: Dict[str, Any]):
+    """Load any supported version: v1/v2 → :class:`DecisionTree`,
+    v3 → :class:`~repro.classify.forest.CompiledForest`."""
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version == FOREST_FORMAT_VERSION:
+        return forest_from_dict(data)
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(supported: {SUPPORTED_MODEL_VERSIONS})"
+        )
+    return tree_from_dict(data)
+
+
+def save_model(model, path: str) -> None:
+    """Write any model as JSON (single trees as v2, forests as v3)."""
+    with open(path, "w") as f:
+        json.dump(model_to_dict(model), f, indent=1)
+
+
+def load_model(path: str):
+    """Read any model saved by :func:`save_model` / :func:`save_tree`."""
+    with open(path) as f:
+        return model_from_dict(json.load(f))

@@ -1,0 +1,24 @@
+"""Ensemble layer: bagged forests over the SPRINT build schemes.
+
+The paper parallelizes building *one* tree; a random forest is the
+embarrassingly task-parallel layer above it.  :func:`train_forest` draws
+per-tree bootstrap samples and feature subsets from deterministically
+spawned RNG streams and trains member trees (concurrently, over the
+shared SMP worker pool) with any of the existing algorithms — every
+per-tree build reuses SUBTREE/MWK and the native gini kernels
+unchanged.
+"""
+
+from repro.ensemble.train import (
+    ForestParams,
+    ForestResult,
+    TreeReport,
+    train_forest,
+)
+
+__all__ = [
+    "ForestParams",
+    "ForestResult",
+    "TreeReport",
+    "train_forest",
+]

@@ -1,0 +1,280 @@
+"""Deterministic bagged-forest training over the SPRINT build schemes.
+
+Every member tree is an ordinary :func:`repro.core.builder.build_classifier`
+run on a resampled view of the training set:
+
+* **Bagging** — each tree draws ``round(subsample * n)`` row indices
+  *with replacement* from its own RNG stream.
+* **Feature subsampling** — each tree sees a random
+  ``round(feature_frac * n_attrs)``-attribute projection of the schema.
+  The tree is built against the reduced schema (so split search never
+  touches hidden attributes), then its splits are re-indexed onto the
+  full schema — attribute *names* are unchanged, only
+  ``attribute_index`` moves — so every member tree of the forest shares
+  one schema and one input layout.
+
+Determinism is the load-bearing property: tree ``t`` derives everything
+random — bootstrap rows, feature subset, nothing else — from child ``t``
+of ``np.random.SeedSequence(seed).spawn(n_trees)``.  Streams are
+assigned by tree *index*, not by worker or completion order, so the same
+seed yields a bit-identical forest whether the trees are built serially,
+across 2 pool workers, or across 8 (see
+``tests/ensemble/test_train.py``).
+
+Trees train concurrently across the process-wide
+:data:`repro.smp.threads.WORKER_POOL` daemon threads (``workers > 1``);
+each tree's build may additionally be an SMP build in its own right via
+``algorithm`` / ``n_procs`` / ``tree_runtime`` — including
+``tree_runtime="procs"`` for sharded multi-process builds per tree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.classify.forest import CompiledForest, compile_forest
+from repro.core.builder import build_classifier
+from repro.core.params import BuildParams
+from repro.core.tree import DecisionTree
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.smp.threads import WORKER_POOL, _Latch
+
+
+@dataclass(frozen=True)
+class ForestParams:
+    """Ensemble-level knobs (per-tree knobs live in :class:`BuildParams`).
+
+    Parameters
+    ----------
+    n_trees:
+        Number of member trees (>= 1).
+    subsample:
+        Bootstrap sample size as a fraction of the training set; rows
+        are drawn *with replacement* (classic bagging at 1.0).
+    feature_frac:
+        Fraction of attributes visible to each tree (at least one).
+        1.0 disables feature subsampling.
+    seed:
+        Root of the spawned per-tree RNG streams.
+    """
+
+    n_trees: int = 10
+    subsample: float = 1.0
+    feature_frac: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {self.n_trees}")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError(
+                f"subsample must be in (0, 1], got {self.subsample}"
+            )
+        if not 0.0 < self.feature_frac <= 1.0:
+            raise ValueError(
+                f"feature_frac must be in (0, 1], got {self.feature_frac}"
+            )
+
+
+@dataclass
+class TreeReport:
+    """Per-member provenance: what tree ``t`` was trained on."""
+
+    index: int
+    n_sample: int
+    #: Full-schema attribute indices visible to this tree (sorted).
+    feature_indices: List[int]
+    n_nodes: int
+    build_s: float
+
+
+@dataclass
+class ForestResult:
+    """A trained forest plus per-tree provenance."""
+
+    forest: CompiledForest
+    trees: List[DecisionTree]
+    params: ForestParams
+    reports: List[TreeReport]
+    train_s: float
+    workers: int
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+
+def _project_schema(schema: Schema, indices: np.ndarray) -> Schema:
+    return Schema(
+        [schema.attributes[int(i)] for i in indices],
+        class_names=schema.class_names,
+    )
+
+
+def _remap_to_full_schema(
+    tree: DecisionTree, schema: Schema, indices: np.ndarray
+) -> DecisionTree:
+    """Re-index a reduced-schema tree's splits onto the full schema.
+
+    Attribute names are already the full-schema names (the projection
+    keeps :class:`Attribute` objects intact); only ``attribute_index``
+    needs to move from reduced to full positions.
+    """
+    for node in tree.iter_nodes():
+        split = node.split
+        if split is not None:
+            node.split = replace(
+                split, attribute_index=int(indices[split.attribute_index])
+            )
+    return DecisionTree(schema, tree.root)
+
+
+def _train_one(
+    dataset: Dataset,
+    t: int,
+    stream: np.random.SeedSequence,
+    params: ForestParams,
+    build_kwargs: dict,
+) -> tuple:
+    """Build member tree ``t`` from its own RNG stream; returns
+    ``(tree, report)``."""
+    rng = np.random.default_rng(stream)
+    n = dataset.n_records
+    n_attrs = dataset.schema.n_attributes
+    # Draw in a fixed order (rows then features) so the stream layout
+    # is part of the format: same seed => same forest, forever.
+    n_sample = max(1, int(round(params.subsample * n)))
+    tids = np.sort(rng.integers(0, n, size=n_sample))
+    n_pick = max(1, int(round(params.feature_frac * n_attrs)))
+    indices = np.sort(rng.choice(n_attrs, size=n_pick, replace=False))
+
+    sample = dataset.take(tids, name=f"{dataset.name}[tree{t}]")
+    if n_pick < n_attrs:
+        sample = Dataset(
+            schema=_project_schema(dataset.schema, indices),
+            columns={
+                dataset.schema.attribute_names[int(i)]: sample.columns[
+                    dataset.schema.attribute_names[int(i)]
+                ]
+                for i in indices
+            },
+            labels=sample.labels,
+            name=sample.name,
+        )
+    start = time.perf_counter()
+    result = build_classifier(sample, **build_kwargs)
+    build_s = time.perf_counter() - start
+    tree = result.tree
+    if n_pick < n_attrs:
+        tree = _remap_to_full_schema(tree, dataset.schema, indices)
+    report = TreeReport(
+        index=t,
+        n_sample=n_sample,
+        feature_indices=[int(i) for i in indices],
+        n_nodes=tree.n_nodes,
+        build_s=build_s,
+    )
+    return tree, report
+
+
+def train_forest(
+    dataset: Dataset,
+    n_trees: Optional[int] = None,
+    *,
+    params: Optional[ForestParams] = None,
+    subsample: Optional[float] = None,
+    feature_frac: Optional[float] = None,
+    seed: Optional[int] = None,
+    algorithm: str = "mwk",
+    n_procs: Optional[int] = None,
+    build_params: Optional[BuildParams] = None,
+    tree_runtime: Union[str, object] = "virtual",
+    shards: Optional[int] = None,
+    merge: str = "exact",
+    workers: int = 1,
+) -> ForestResult:
+    """Train a bagged forest; see the module docstring for semantics.
+
+    ``workers`` is ensemble-level concurrency (trees in flight at once,
+    over the shared worker pool); ``algorithm`` / ``n_procs`` /
+    ``tree_runtime`` / ``shards`` configure each member's own SPRINT
+    build.  The produced forest is bit-identical for a given
+    ``(dataset, params)`` regardless of ``workers``.
+    """
+    if params is None:
+        params = ForestParams(
+            n_trees=10 if n_trees is None else n_trees,
+            subsample=1.0 if subsample is None else subsample,
+            feature_frac=1.0 if feature_frac is None else feature_frac,
+            seed=0 if seed is None else seed,
+        )
+    elif any(v is not None for v in (n_trees, subsample, feature_frac, seed)):
+        raise ValueError("pass either params= or the individual knobs, not both")
+    build_kwargs = dict(
+        algorithm=algorithm,
+        n_procs=n_procs,
+        params=build_params,
+        runtime=tree_runtime,
+        shards=shards,
+        merge=merge,
+    )
+    streams = np.random.SeedSequence(params.seed).spawn(params.n_trees)
+    workers = max(1, min(workers, params.n_trees))
+
+    start = time.perf_counter()
+    slots: List[Optional[tuple]] = [None] * params.n_trees
+    if workers == 1:
+        for t in range(params.n_trees):
+            slots[t] = _train_one(dataset, t, streams[t], params, build_kwargs)
+    else:
+        # Work-steal tree indices from a shared counter; results land in
+        # their index's slot, so scheduling order never shows in the
+        # output.
+        next_index = [0]
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+        latch = _Latch(workers)
+
+        def run() -> None:
+            try:
+                while True:
+                    with lock:
+                        t = next_index[0]
+                        if t >= params.n_trees or errors:
+                            return
+                        next_index[0] = t + 1
+                    slots[t] = _train_one(
+                        dataset, t, streams[t], params, build_kwargs
+                    )
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    errors.append(exc)
+            finally:
+                latch.count_down()
+
+        pool_workers = WORKER_POOL.checkout(workers)
+        try:
+            for w in pool_workers:
+                w.submit(run)
+            latch.wait()
+        finally:
+            WORKER_POOL.checkin(pool_workers)
+        if errors:
+            raise errors[0]
+
+    trees = [slot[0] for slot in slots]
+    reports = [slot[1] for slot in slots]
+    return ForestResult(
+        forest=compile_forest(trees),
+        trees=trees,
+        params=params,
+        reports=reports,
+        train_s=time.perf_counter() - start,
+        workers=workers,
+    )

@@ -35,18 +35,15 @@ reason, swap counts.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
-from repro.classify.compiled import CompiledTree
 from repro.classify.engine import (
     EngineClosedError,
     InferenceEngine,
     PredictionRequest,
 )
-from repro.core.tree import DecisionTree
+from repro.classify.forest import Model
 from repro.obs.metrics import MetricsRegistry
-
-Model = Union[DecisionTree, CompiledTree]
 
 
 class ShedError(RuntimeError):
@@ -194,6 +191,8 @@ class ServingModel:
             "max_pending": self.max_pending,
             "workers": self.engine.n_workers,
             "batch_size": self.engine.batch_size,
+            "kind": self.engine.compiled.kind,
+            "n_trees": self.engine.compiled.n_trees,
             "n_nodes": self.engine.compiled.n_nodes,
         }
         doc.update(self.accounting())

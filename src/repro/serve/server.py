@@ -359,12 +359,12 @@ class ServeServer:
         }
 
     async def _swap(self, name: str, body: bytes) -> Tuple[int, dict]:
-        from repro.core.serialize import load_tree
+        from repro.core.serialize import load_model
 
         try:
             spec = json.loads(body.decode() or "{}")
             if not isinstance(spec, dict) or "path" not in spec:
-                raise ValueError('swap body must be {"path": "tree.json"[, '
+                raise ValueError('swap body must be {"path": "model.json"[, '
                                  '"version": "..."]}')
             path = spec["path"]
             version = str(spec.get("version", ""))
@@ -373,11 +373,12 @@ class ServeServer:
         loop = asyncio.get_running_loop()
         try:
             # Load + compile + drain off-loop: the swap must not stall
-            # traffic already flowing through the event loop.
-            tree = await loop.run_in_executor(None, load_tree, path)
+            # traffic already flowing through the event loop.  load_model
+            # accepts v1/v2 trees and v3 forest containers alike.
+            model = await loop.run_in_executor(None, load_model, path)
             entry = await loop.run_in_executor(
                 None,
-                lambda: self.registry.swap(name, tree, version=version),
+                lambda: self.registry.swap(name, model, version=version),
             )
         except BaseException as exc:  # noqa: BLE001 - becomes a reply
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):

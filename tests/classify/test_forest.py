@@ -1,0 +1,212 @@
+"""CompiledForest IR: differential, backend identity, vote semantics."""
+
+import numpy as np
+import pytest
+
+from repro.classify import treegen
+from repro.classify.compiled import compiled_for
+from repro.classify.forest import (
+    CompiledForest,
+    compile_forest,
+    compile_model,
+    predict_forest_oracle,
+)
+from repro.classify.native import native_available
+from repro.core.tree import DecisionTree
+from repro.data.schema import Schema, categorical, continuous
+
+
+def _random_forest(seed, n_trees, max_depth=7):
+    rng = np.random.default_rng(seed)
+    schema = treegen.random_schema(rng)
+    trees = [
+        treegen.random_tree(
+            schema, max_depth=max_depth, seed=seed * 1000 + t
+        )
+        for t in range(n_trees)
+    ]
+    return schema, trees
+
+
+# -- differential suite: >= 3 datasets x tree counts {1, 8, 32} ---------------
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("n_trees", [1, 8, 32])
+def test_differential_vs_per_tree_oracle_and_vote(seed, n_trees):
+    """Forest predictions are bit-identical to per-tree predict_oracle +
+    vote, on every backend, across datasets and tree counts."""
+    schema, trees = _random_forest(seed, n_trees)
+    forest = compile_forest(trees)
+    columns = treegen.random_columns(schema, 997, seed=seed + 50, wild=True)
+    reference = predict_forest_oracle(trees, columns)
+    got_default = forest.predict(columns)
+    got_numpy = forest.predict(columns, backend="numpy")
+    assert np.array_equal(got_default, reference)
+    assert np.array_equal(got_numpy, reference)
+    if native_available():
+        got_native = forest.predict(columns, backend="native")
+        assert np.array_equal(got_native, reference)
+
+
+def test_vote_tie_breaks_toward_lowest_class_index():
+    """An even split between two classes must pick the lower index on
+    every backend (the np.argmax rule)."""
+    schema = Schema([continuous("x")], class_names=("A", "B"))
+    # Tree 0 always predicts class 1, tree 1 always class 0: a 1-1 tie.
+    trees = []
+    for want in (1, 0):
+        base = treegen.random_tree(schema, max_depth=0, seed=want)
+        root = base.root
+        counts = np.zeros(2, dtype=np.int64)
+        counts[want] = 5
+        root.class_counts = counts
+        trees.append(DecisionTree(schema, root))
+    forest = compile_forest(trees)
+    columns = {"x": np.linspace(-5, 5, 64)}
+    reference = predict_forest_oracle(trees, columns)
+    assert set(reference.tolist()) == {0}
+    assert np.array_equal(forest.predict(columns, backend="numpy"), reference)
+    if native_available():
+        assert np.array_equal(
+            forest.predict(columns, backend="native"), reference
+        )
+
+
+def test_predict_proba_and_vote_counts():
+    schema, trees = _random_forest(7, 8)
+    forest = compile_forest(trees)
+    columns = treegen.random_columns(schema, 301, seed=8)
+    counts = forest.vote_counts(columns)
+    assert counts.shape == (301, schema.n_classes)
+    assert np.all(counts.sum(axis=1) == 8)
+    proba = forest.predict_proba(columns)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.array_equal(
+        np.argmax(counts, axis=1).astype(np.int32), forest.predict(columns)
+    )
+
+
+def test_single_tree_forest_matches_the_tree():
+    schema, trees = _random_forest(11, 1)
+    forest = compile_forest(trees)
+    columns = treegen.random_columns(schema, 500, seed=12, wild=True)
+    assert np.array_equal(
+        forest.predict(columns), compiled_for(trees[0]).predict(columns)
+    )
+
+
+# -- structure ---------------------------------------------------------------
+
+def test_concatenated_layout_offsets_and_children():
+    schema, trees = _random_forest(13, 5)
+    members = [compiled_for(t) for t in trees]
+    forest = compile_forest(trees)
+    assert forest.n_trees == 5
+    assert forest.tree_offsets[0] == 0
+    assert forest.tree_offsets[-1] == forest.n_nodes
+    assert forest.n_nodes == sum(m.n_nodes for m in members)
+    for t, member in enumerate(members):
+        start, stop = forest.tree_offsets[t], forest.tree_offsets[t + 1]
+        assert stop - start == member.n_nodes
+        assert np.array_equal(forest.feature[start:stop], member.feature)
+        assert np.array_equal(
+            forest.leaf_class[start:stop], member.leaf_class
+        )
+        # Global children stay inside their own tree's row range.
+        span = forest.children2[2 * start:2 * stop]
+        assert span.min() >= start and span.max() < stop
+
+
+def test_used_features_is_union_of_members():
+    schema, trees = _random_forest(17, 6)
+    forest = compile_forest(trees)
+    union = sorted(
+        {f for t in trees for f in compiled_for(t).used_features}
+    )
+    assert forest.used_features == union
+
+
+def test_mixed_schema_forest_rejected():
+    t1, _ = treegen.chain_tree(depth=2, attribute="x")
+    t2, _ = treegen.chain_tree(depth=2, attribute="y")
+    with pytest.raises(ValueError, match="different schema"):
+        compile_forest([t1, t2])
+
+
+def test_empty_forest_rejected():
+    with pytest.raises(ValueError, match="at least one tree"):
+        compile_forest([])
+
+
+# -- model surface -----------------------------------------------------------
+
+def test_compile_model_shapes():
+    schema, trees = _random_forest(19, 3)
+    tree = trees[0]
+    compiled = compiled_for(tree)
+    assert compile_model(tree) is compiled
+    assert compile_model(compiled) is compiled
+    forest = compile_forest(trees)
+    assert compile_model(forest) is forest
+    assert compile_model(trees).n_trees == 3
+    with pytest.raises(TypeError):
+        compile_model(42)
+    assert compiled.kind == "tree" and compiled.n_trees == 1
+    assert forest.kind == "forest"
+
+
+def test_missing_column_named_in_error():
+    schema = Schema(
+        [continuous("salary"), categorical("zip", 4)],
+        class_names=("A", "B"),
+    )
+    trees = [
+        treegen.random_tree(schema, max_depth=4, seed=s, leaf_prob=0.0)
+        for s in (1, 2)
+    ]
+    forest = compile_forest(trees)
+    columns = treegen.random_columns(schema, 10, seed=3)
+    used = forest.used_features
+    name = schema.attribute_names[used[0]]
+    del columns[name]
+    with pytest.raises(ValueError, match=name):
+        forest.predict(columns)
+
+
+def test_narrow_float_columns_route_exactly():
+    """float32 continuous inputs divert to the exact per-tree routers and
+    still match the oracle computed on the same narrow columns."""
+    schema = Schema([continuous("x"), continuous("y")],
+                    class_names=("A", "B", "C"))
+    trees = [
+        treegen.random_tree(schema, max_depth=6, seed=s, leaf_prob=0.1)
+        for s in (5, 6, 7)
+    ]
+    forest = compile_forest(trees)
+    rng = np.random.default_rng(0)
+    columns = {
+        "x": rng.uniform(-20, 20, 400).astype(np.float32),
+        "y": rng.uniform(-20, 20, 400).astype(np.float32),
+    }
+    reference = predict_forest_oracle(trees, columns)
+    assert np.array_equal(forest.predict(columns), reference)
+    if native_available():
+        with pytest.raises(ValueError, match="narrow-float"):
+            forest.predict(columns, backend="native")
+
+
+def test_zero_rows():
+    schema, trees = _random_forest(23, 4)
+    forest = compile_forest(trees)
+    empty = {a.name: np.zeros(0) for a in schema.attributes}
+    out = forest.predict(empty)
+    assert out.shape == (0,) and out.dtype == np.int32
+    assert forest.vote_counts(empty).shape == (0, schema.n_classes)
+
+
+def test_unknown_backend_rejected():
+    schema, trees = _random_forest(29, 2)
+    forest = compile_forest(trees)
+    columns = treegen.random_columns(schema, 8, seed=1)
+    with pytest.raises(ValueError, match="unknown backend"):
+        forest.predict(columns, backend="cuda")

@@ -1,0 +1,202 @@
+"""Serialize v3: forest containers, migration, and offset validation."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.classify import treegen
+from repro.classify.forest import (
+    CompiledForest,
+    compile_forest,
+    predict_forest_oracle,
+)
+from repro.core.builder import build_classifier
+from repro.core.serialize import (
+    FOREST_FORMAT_VERSION,
+    forest_from_dict,
+    forest_to_dict,
+    load_model,
+    load_tree,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+    save_tree,
+    tree_from_dict,
+)
+from repro.core.tree import DecisionTree
+from repro.ensemble import train_forest
+
+
+def _random_forest(seed, n_trees=4, max_depth=6):
+    rng = np.random.default_rng(seed)
+    schema = treegen.random_schema(rng)
+    trees = [
+        treegen.random_tree(schema, max_depth=max_depth, seed=seed * 100 + t)
+        for t in range(n_trees)
+    ]
+    return schema, compile_forest(trees)
+
+
+class TestForestRoundTrip:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_forest_predictions_preserved(self, seed):
+        """Property: any random forest round-trips bit-identically."""
+        schema, forest = _random_forest(seed)
+        restored = forest_from_dict(forest_to_dict(forest))
+        assert isinstance(restored, CompiledForest)
+        assert restored.n_trees == forest.n_trees
+        assert restored.n_nodes == forest.n_nodes
+        columns = treegen.random_columns(schema, 503, seed=seed, wild=True)
+        np.testing.assert_array_equal(
+            restored.predict(columns), forest.predict(columns)
+        )
+
+    def test_trained_forest_file_round_trip(self, small_f2, tmp_path):
+        result = train_forest(small_f2, 5, subsample=0.7, feature_frac=0.6,
+                              seed=3)
+        path = str(tmp_path / "forest.json")
+        save_model(result.forest, path)
+        restored = load_model(path)
+        np.testing.assert_array_equal(
+            restored.predict(small_f2),
+            predict_forest_oracle(result.trees, small_f2),
+        )
+        assert [t.signature() for t in (m.to_tree() for m in restored.trees)] \
+            == [t.signature() for t in result.trees]
+
+    def test_document_shape(self, small_f2, tmp_path):
+        result = train_forest(small_f2, 3, seed=1)
+        path = str(tmp_path / "forest.json")
+        save_model(result.forest, path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["format"] == "repro-decision-tree"
+        assert doc["version"] == FOREST_FORMAT_VERSION
+        assert doc["kind"] == "forest"
+        assert doc["n_trees"] == 3
+        offsets = doc["tree_offsets"]
+        assert offsets[0] == 0 and offsets[-1] == doc["nodes"]["count"]
+        assert offsets == sorted(offsets)
+
+    def test_splits_survive_round_trip(self, car_insurance):
+        """Categorical subsets inside member trees stay exact."""
+        trees = [build_classifier(car_insurance).tree for _ in range(2)]
+        restored = forest_from_dict(forest_to_dict(compile_forest(trees)))
+        node = restored.trees[0].to_tree().root.right
+        assert node.split.subset == frozenset({1})
+
+
+class TestMigration:
+    def test_v2_single_tree_still_loads_via_model_api(self, small_f2,
+                                                      tmp_path):
+        """Forward compat: v2 files keep working through load_model."""
+        tree = build_classifier(small_f2).tree
+        path = str(tmp_path / "tree.json")
+        save_tree(tree, path)
+        model = load_model(path)
+        assert isinstance(model, DecisionTree)
+        assert model.signature() == tree.signature()
+
+    def test_v1_single_tree_still_loads_via_model_api(self, small_f2,
+                                                      tmp_path):
+        tree = build_classifier(small_f2).tree
+        path = str(tmp_path / "tree.json")
+        save_tree(tree, path, version=1)
+        assert load_model(path).signature() == tree.signature()
+
+    def test_save_model_writes_trees_as_v2(self, small_f2, tmp_path):
+        tree = build_classifier(small_f2).tree
+        path = str(tmp_path / "tree.json")
+        save_model(tree, path)
+        with open(path) as f:
+            assert json.load(f)["version"] == 2
+        assert load_tree(path).signature() == tree.signature()
+
+    def test_load_tree_rejects_forest_with_pointed_message(self, small_f2,
+                                                           tmp_path):
+        result = train_forest(small_f2, 2, seed=1)
+        path = str(tmp_path / "forest.json")
+        save_model(result.forest, path)
+        with pytest.raises(ValueError, match="forest container"):
+            load_tree(path)
+
+    def test_tree_from_dict_rejects_forest(self, small_f2):
+        result = train_forest(small_f2, 2, seed=1)
+        with pytest.raises(ValueError, match="load_model"):
+            tree_from_dict(forest_to_dict(result.forest))
+
+    def test_model_to_dict_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            model_to_dict({"not": "a model"})
+
+    def test_model_from_dict_rejects_unknown_version(self, small_f2):
+        result = train_forest(small_f2, 2, seed=1)
+        doc = forest_to_dict(result.forest)
+        doc["version"] = 9
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(doc)
+
+
+class TestOffsetValidation:
+    @pytest.fixture()
+    def doc(self, small_f2):
+        result = train_forest(small_f2, 3, subsample=0.5, seed=2)
+        return forest_to_dict(result.forest)
+
+    def test_self_check(self, doc):
+        forest_from_dict(copy.deepcopy(doc))  # sanity: valid as produced
+
+    def test_negative_offset_rejected(self, doc):
+        doc["tree_offsets"][1] = -3
+        with pytest.raises(ValueError, match="tree_offsets"):
+            forest_from_dict(doc)
+
+    def test_overlapping_offsets_rejected(self, doc):
+        doc["tree_offsets"][2] = doc["tree_offsets"][1] - 1
+        with pytest.raises(ValueError, match="tree_offsets"):
+            forest_from_dict(doc)
+
+    def test_equal_offsets_rejected(self, doc):
+        """An empty tree range is as corrupt as an overlapping one."""
+        doc["tree_offsets"][2] = doc["tree_offsets"][1]
+        with pytest.raises(ValueError, match="tree_offsets"):
+            forest_from_dict(doc)
+
+    def test_wrong_length_rejected(self, doc):
+        doc["tree_offsets"] = doc["tree_offsets"][:-1]
+        with pytest.raises(ValueError, match="entries"):
+            forest_from_dict(doc)
+
+    def test_not_starting_at_zero_rejected(self, doc):
+        doc["tree_offsets"] = [o + 1 for o in doc["tree_offsets"]]
+        with pytest.raises(ValueError, match="start at 0"):
+            forest_from_dict(doc)
+
+    def test_end_must_match_node_count(self, doc):
+        doc["tree_offsets"][-1] += 7
+        with pytest.raises(ValueError, match="node table"):
+            forest_from_dict(doc)
+
+    def test_non_integer_offsets_rejected(self, doc):
+        doc["tree_offsets"][1] = float(doc["tree_offsets"][1])
+        with pytest.raises(ValueError, match="integers"):
+            forest_from_dict(doc)
+
+    def test_cross_tree_child_rejected(self, doc):
+        """A child index escaping its own tree's row range is corrupt
+        even when it is a valid row of the concatenated table."""
+        start = doc["tree_offsets"][1]
+        # First internal node of tree 1: point its left child at tree 0.
+        for i in range(start, doc["tree_offsets"][2]):
+            if doc["nodes"]["feature"][i] >= 0:
+                doc["nodes"]["left"][i] = 0
+                break
+        with pytest.raises(ValueError, match="escapes"):
+            forest_from_dict(doc)
+
+    def test_missing_n_trees_rejected(self, doc):
+        del doc["n_trees"]
+        with pytest.raises(ValueError, match="n_trees"):
+            forest_from_dict(doc)

@@ -10,7 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core.builder import build_classifier
-from repro.core.serialize import save_tree
+from repro.core.serialize import save_model, save_tree
+from repro.ensemble import train_forest
 from repro.serve import ModelRegistry, ServeServer
 
 
@@ -289,6 +290,86 @@ class TestHttp:
             f.close()
             sock.close()
         assert jsonl_reply["class"] == http_reply["class"]
+
+
+class TestForestServing:
+    @pytest.fixture
+    def forest(self, small_f2):
+        return train_forest(small_f2, 4, subsample=0.8, seed=5).forest
+
+    def test_models_doc_exposes_kind_and_tree_counts(self, tier, forest):
+        registry, server = tier
+        registry.add("woods", forest, version="f1", workers=2)
+        status, doc = _http(server, "/models")
+        assert status == 200
+        by_name = {m["model"]: m for m in doc["models"]}
+        assert by_name["alpha"]["kind"] == "tree"
+        assert by_name["alpha"]["n_trees"] == 1
+        assert by_name["alpha"]["n_nodes"] > 0
+        assert by_name["woods"]["kind"] == "forest"
+        assert by_name["woods"]["n_trees"] == 4
+        assert by_name["woods"]["n_nodes"] == forest.n_nodes
+
+    def test_healthz_and_snapshot_carry_model_kind(self, tier, forest,
+                                                   small_f2):
+        from repro.obs.telemetry import TelemetryServer
+
+        registry, server = tier
+        registry.add("woods", forest, version="f1")
+        status, doc = _http(server, "/healthz")
+        assert status == 200
+        assert doc["models"]["woods"]["kind"] == "forest"
+        assert doc["models"]["woods"]["n_trees"] == 4
+        assert doc["models"]["alpha"]["kind"] == "tree"
+        with TelemetryServer.for_registry(registry) as telemetry:
+            snapshot = telemetry.snapshot()
+        assert snapshot["health"]["models"]["woods"]["kind"] == "forest"
+        assert (
+            snapshot["health"]["models"]["woods"]["n_nodes"]
+            == forest.n_nodes
+        )
+
+    def test_forest_predictions_over_both_protocols(self, tier, forest,
+                                                    small_f2):
+        registry, server = tier
+        registry.add("woods", forest, version="f1", workers=2)
+        batch = {k: v[:8].tolist() for k, v in small_f2.columns.items()}
+        status, http_reply = _http(
+            server, "/predict", body={"data": batch, "model": "woods"}
+        )
+        assert status == 200
+        assert http_reply["class_indices"] == forest.predict(
+            {k: np.asarray(v) for k, v in batch.items()}
+        ).tolist()
+        sock, f = _jsonl_client(server)
+        try:
+            reply = _roundtrip(f, {"data": batch, "model": "woods"})
+        finally:
+            f.close()
+            sock.close()
+        assert reply["class_indices"] == http_reply["class_indices"]
+
+    def test_hot_swap_tree_to_forest(self, tier, model, forest, small_f2,
+                                     tmp_path):
+        """A v3 forest file swaps in over a serving tree atomically."""
+        registry, server = tier
+        path = tmp_path / "forest.json"
+        save_model(forest, str(path))
+        status, doc = _http(
+            server, "/models/alpha/swap",
+            body={"path": str(path), "version": "f2"},
+        )
+        assert status == 200 and doc["version"] == "f2"
+        status, models = _http(server, "/models")
+        entry = models["models"][0]
+        assert entry["kind"] == "forest"
+        assert entry["n_trees"] == 4
+        batch = {k: v[:8].tolist() for k, v in small_f2.columns.items()}
+        status, reply = _http(server, "/predict", body=batch)
+        assert reply["version"] == "f2"
+        assert reply["class_indices"] == forest.predict(
+            {k: np.asarray(v) for k, v in batch.items()}
+        ).tolist()
 
 
 class TestLifecycleAndTelemetry:

@@ -221,6 +221,98 @@ class TestPredictCommand:
         assert "served 2 request(s)" in captured.err
 
 
+class TestForestCli:
+    @pytest.fixture
+    def forest_file(self, dataset_file, tmp_path, capsys):
+        path = str(tmp_path / "forest.json")
+        code = main(
+            ["build", "-i", dataset_file, "--forest", "4",
+             "--subsample", "0.8", "--feature-frac", "0.75",
+             "--forest-seed", "7", "-o", path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forest of 4 tree(s)" in out
+        assert "training accuracy" in out
+        assert "(v3 container)" in out
+        return path
+
+    def test_build_writes_v3_container(self, forest_file):
+        doc = json.load(open(forest_file))
+        assert doc["version"] == 3
+        assert doc["kind"] == "forest"
+        assert doc["n_trees"] == 4
+
+    def test_build_forest_deterministic(self, dataset_file, tmp_path,
+                                        capsys):
+        paths = [str(tmp_path / f"f{i}.json") for i in (1, 2)]
+        for path, workers in zip(paths, ("1", "3")):
+            assert main(
+                ["build", "-i", dataset_file, "--forest", "3",
+                 "--forest-seed", "9", "--forest-workers", workers,
+                 "-o", path]
+            ) == 0
+        capsys.readouterr()
+        assert json.load(open(paths[0])) == json.load(open(paths[1]))
+
+    def test_classify_accepts_forest(self, dataset_file, forest_file,
+                                     capsys):
+        code = main(
+            ["classify", "-i", dataset_file, "--tree", forest_file]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_predict_accepts_forest(self, dataset_file, forest_file,
+                                    capsys):
+        code = main(
+            ["predict", "--model", forest_file, "--data", dataset_file,
+             "--batch-size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "800 rows" in out
+        assert "label agreement" in out
+
+    def test_serve_accepts_forest(self, dataset_file, forest_file, capsys,
+                                  monkeypatch):
+        import io
+
+        from repro.data.io import load_dataset_npz
+
+        dataset = load_dataset_npz(dataset_file)
+        row = {k: float(v) for k, v in dataset.tuple_at(0).items()}
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(row) + "\n"))
+        assert main(["serve", "--model", forest_file]) == 0
+        reply = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert reply["class"] in ("A", "B")
+
+    def test_oracle_on_forest_is_a_clean_error(self, dataset_file,
+                                               forest_file, capsys):
+        """Satellite fix: `predict --oracle` on a v3 forest must explain
+        itself instead of dumping a traceback."""
+        code = main(
+            ["predict", "--model", forest_file, "--data", dataset_file,
+             "--oracle"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "v3 forest container" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_oracle_on_tree_verifies(self, dataset_file, tmp_path, capsys):
+        tree_path = str(tmp_path / "tree.json")
+        main(["build", "-i", dataset_file, "-o", tree_path])
+        capsys.readouterr()
+        code = main(
+            ["predict", "--model", tree_path, "--data", dataset_file,
+             "--oracle"]
+        )
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+
 class TestCrossValidate:
     def test_runs(self, dataset_file, capsys):
         code = main(
