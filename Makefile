@@ -1,7 +1,7 @@
 # Developer entry points.  Everything also works as plain pytest/pip
 # commands; these are just the short spellings.
 
-.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard bench-serve bench-forest check-schemas check-regression examples trace-demo top-demo clean
+.PHONY: install test bench bench-full bench-kernels bench-wallclock bench-predict bench-build-native bench-shard bench-serve bench-forest bench-native-threads check-schemas check-regression examples trace-demo top-demo clean
 
 install:
 	pip install -e .
@@ -58,6 +58,13 @@ bench-serve:
 # BENCH_forest.json (schema bench_forest/1).
 bench-forest:
 	PYTHONPATH=src python benchmarks/bench_forest.py --out BENCH_forest.json
+
+# In-kernel thread scaling: the pthreads worker pool under the scan,
+# partition, and route/forest kernels across a lane sweep, every cell
+# checked bit-identical; writes BENCH_native_threads.json (schema
+# bench_native_threads/1).
+bench-native-threads:
+	PYTHONPATH=src python benchmarks/bench_native_threads.py --out BENCH_native_threads.json
 
 # Validate every committed BENCH_*.json against its declared schema.
 check-schemas:

@@ -152,6 +152,22 @@ PLANS = {
             ("fused_speedup_vs_pertree_at_32x64k", "higher"),
         ),
     },
+    "bench_native_threads/1": {
+        "rows": [
+            {
+                "path": ("results",),
+                "key": ("kernel", "rows", "threads"),
+                "metrics": (
+                    # Identity is the pool's contract and holds on any
+                    # host; the lane-scaling ratio is banded only where
+                    # lanes can actually run in parallel.
+                    ("bit_identical", "bool"),
+                    ("speedup_vs_1", "higher"),
+                ),
+            },
+        ],
+        "summary": (("all_bit_identical", "bool"),),
+    },
     "bench_serve/1": {
         "rows": [
             {

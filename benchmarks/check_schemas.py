@@ -30,6 +30,7 @@ SCHEMA_OWNERS = {
     "bench_shard/1": "bench_shard",
     "bench_serve/1": "bench_serve",
     "bench_forest/1": "bench_forest",
+    "bench_native_threads/1": "bench_native_threads",
 }
 
 

@@ -31,7 +31,7 @@ import subprocess
 import sys
 import tempfile
 import threading
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 #: Set ``REPRO_NATIVE=0`` to force the pure-numpy kernels everywhere.
 ENV_FLAG = "REPRO_NATIVE"
@@ -128,33 +128,40 @@ def find_compiler() -> Optional[str]:
     return None
 
 
-def source_tag(source: str) -> str:
-    """Cache key of a C source string (content + platform)."""
-    return hashlib.sha256((source + sys.platform).encode()).hexdigest()[:16]
+def source_tag(source: str, extra_flags: Sequence[str] = ()) -> str:
+    """Cache key of a C source string (content + flags + platform)."""
+    blob = source + "\x00" + " ".join(extra_flags) + "\x00" + sys.platform
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
-def compile_cached(source: str, stem: str) -> Optional[str]:
+def compile_cached(
+    source: str, stem: str, extra_flags: Sequence[str] = ()
+) -> Optional[str]:
     """Compile ``source`` into the shared cache; return the ``.so`` path.
 
-    The object is keyed by a hash of the source, so editing the embedded
-    C transparently rebuilds while identical sources (across processes
-    and across kernel families) share one artifact.  Returns ``None`` on
-    any failure — no compiler, compile error, unwritable cache — and
-    memoizes that outcome per process so a broken toolchain is probed
-    once, not per call.
+    The object is keyed by a hash of the source (and any extra compiler
+    flags, e.g. ``-pthread`` for the worker pool), so editing the
+    embedded C transparently rebuilds while identical sources (across
+    processes and across kernel families) share one artifact.  Returns
+    ``None`` on any failure — no compiler, compile error, unwritable
+    cache — and memoizes that outcome per process so a broken toolchain
+    is probed once, not per call.
     """
-    tag = source_tag(source)
+    flags: Tuple[str, ...] = tuple(extra_flags)
+    tag = source_tag(source, flags)
     cached = _compiled.get(tag)
     if cached is not None or tag in _compiled:
         return cached
     with _compile_lock:
         if tag in _compiled:
             return _compiled[tag]
-        _compiled[tag] = _compile_uncached(source, stem, tag)
+        _compiled[tag] = _compile_uncached(source, stem, tag, flags)
         return _compiled[tag]
 
 
-def _compile_uncached(source: str, stem: str, tag: str) -> Optional[str]:
+def _compile_uncached(
+    source: str, stem: str, tag: str, extra_flags: Tuple[str, ...] = ()
+) -> Optional[str]:
     global _invocations
     compiler = find_compiler()
     if not compiler:
@@ -172,7 +179,7 @@ def _compile_uncached(source: str, stem: str, tag: str) -> Optional[str]:
                 f.write(source)
             tmp_so = os.path.join(tmp, f"{stem}.so")
             proc = subprocess.run(
-                [compiler, *CFLAGS, "-o", tmp_so, c_path],
+                [compiler, *CFLAGS, *extra_flags, "-o", tmp_so, c_path],
                 capture_output=True,
                 timeout=120,
             )

@@ -63,6 +63,18 @@ def backend_rows(kernel: str = "route") -> Dict[str, int]:
     return out
 
 
+def pool_snapshot() -> Dict[str, int]:
+    """In-kernel worker-pool utilization, zeros when the pool never ran.
+
+    Read lazily from :mod:`repro._native.pool` so importing this module
+    (or scraping a numpy-only process) never compiles or loads the pool
+    shared object.
+    """
+    from repro._native import pool
+
+    return pool.stats()
+
+
 def fold_into(registry) -> None:
     """Publish the counters into a metrics registry (idempotent).
 
@@ -80,3 +92,13 @@ def fold_into(registry) -> None:
             "kernel_rows_total", labels,
             help="rows processed by kernel and backend",
         ).value = float(rows)
+    snap = pool_snapshot()
+    if snap["loaded"]:
+        registry.gauge(
+            "native_pool_threads",
+            help="configured in-kernel worker-pool lanes",
+        ).set(snap["threads"])
+        registry.counter(
+            "native_pool_tasks_total",
+            help="parallel regions dispatched through the native pool",
+        ).value = float(snap["tasks_total"])

@@ -43,6 +43,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.classify import native
 from repro.classify.compiled import CompiledTree
 from repro.classify.forest import CompiledForest, Model, compile_model
 from repro.core.tree import DecisionTree
@@ -404,10 +405,22 @@ class InferenceEngine:
             starts = [0]
         else:
             starts = list(range(0, n, self.batch_size))
+        if len(starts) > 1 and native.parallel_rows_active():
+            # The threaded native kernel row-blocks the whole batch
+            # across the in-kernel pool; chunking here would serialize
+            # that fan-out on one engine worker.
+            starts = [0]
+        n_chunks = len(starts)
         predict_s = 0.0
         for start in starts:
-            stop = min(start + self.batch_size, n)
-            chunk = {k: v[start:stop] for k, v in columns.items()}
+            stop = n if n_chunks == 1 else min(start + self.batch_size, n)
+            # Single chunk: the merged columns already are the batch —
+            # no sliced-dict rebuild.
+            chunk = (
+                columns
+                if n_chunks == 1
+                else {k: v[start:stop] for k, v in columns.items()}
+            )
             t0 = time.perf_counter()
             out[start:stop] = self.compiled.predict(chunk)
             t1 = time.perf_counter()
@@ -420,7 +433,7 @@ class InferenceEngine:
                 self.collector.record(
                     wid, "busy", t0 - self._t0, t1 - self._t0
                 )
-        return out, len(starts), predict_s
+        return out, n_chunks, predict_s
 
     def _finish(
         self,

@@ -44,6 +44,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro._native import cc
+from repro._native import pool
 from repro._native import stats as kernel_stats
 
 #: Set ``REPRO_NATIVE=0`` to force the pure-numpy router (re-exported
@@ -264,6 +265,153 @@ void route_rows_cont(
 }
 """
 
+# Pool-threaded spellings, appended only when the worker pool
+# (:mod:`repro._native.pool`) loaded.  Rows walk independently, so the
+# decomposition is trivial: static row blocks, each task walking its
+# range with the serial kernel through per-block shifted column
+# pointers.  Per-row outputs (and per-row votes) make the result
+# blocking-invariant — bit-identical at any lane count by construction.
+MT_SOURCE = r"""
+#include <stdlib.h>
+
+#define REPRO_ROUTE_GRAIN 8192
+#define REPRO_FOREST_GRAIN 2048
+
+typedef struct {
+    const double **cols; int n_attrs; int is_cont;
+    const int32_t *feature; const double *threshold;
+    const int32_t *children2;
+    const int64_t *subset_offset; const int32_t *subset_nwords;
+    const uint64_t *subset_words;
+    const double **shifted; /* blocks * n_attrs */
+    int64_t *out;
+} route_mt_ctx;
+
+static void route_mt_task(void *p, int64_t r0, int64_t r1, int block)
+{
+    route_mt_ctx *c = (route_mt_ctx *)p;
+    const double **cs = c->shifted + (int64_t)block * c->n_attrs;
+    int a;
+    for (a = 0; a < c->n_attrs; a++)
+        cs[a] = c->cols[a] + r0;
+    if (c->is_cont)
+        route_rows_cont(cs, r1 - r0, c->feature, c->threshold,
+                        c->children2, c->out + r0);
+    else
+        route_rows(cs, r1 - r0, c->feature, c->threshold, c->children2,
+                   c->subset_offset, c->subset_nwords, c->subset_words,
+                   c->out + r0);
+}
+
+void route_rows_mt(
+    const double **cols, int32_t n_attrs, int32_t is_cont, int64_t n_rows,
+    const int32_t *feature, const double *threshold,
+    const int32_t *children2,
+    const int64_t *subset_offset, const int32_t *subset_nwords,
+    const uint64_t *subset_words,
+    int64_t *out)
+{
+    int blocks = repro_pool_blocks(n_rows, REPRO_ROUTE_GRAIN);
+    const double **shifted;
+    route_mt_ctx ctx;
+    if (blocks >= 2)
+        shifted = (const double **)malloc(
+            (size_t)blocks * (size_t)(n_attrs > 0 ? n_attrs : 1)
+            * sizeof(double *));
+    else
+        shifted = 0;
+    if (!shifted) {
+        if (is_cont)
+            route_rows_cont(cols, n_rows, feature, threshold, children2,
+                            out);
+        else
+            route_rows(cols, n_rows, feature, threshold, children2,
+                       subset_offset, subset_nwords, subset_words, out);
+        return;
+    }
+    ctx.cols = cols; ctx.n_attrs = n_attrs; ctx.is_cont = is_cont;
+    ctx.feature = feature; ctx.threshold = threshold;
+    ctx.children2 = children2;
+    ctx.subset_offset = subset_offset; ctx.subset_nwords = subset_nwords;
+    ctx.subset_words = subset_words;
+    ctx.shifted = shifted; ctx.out = out;
+    repro_parallel_for(n_rows, blocks, route_mt_task, &ctx);
+    free(shifted);
+}
+
+typedef struct {
+    const double **cols; int n_attrs;
+    const int64_t *roots; int32_t n_trees;
+    const int32_t *feature; const double *threshold;
+    const int32_t *children2;
+    const int64_t *subset_offset; const int32_t *subset_nwords;
+    const uint64_t *subset_words;
+    const int32_t *leaf_class; int32_t n_classes;
+    const double **shifted; /* blocks * n_attrs */
+    int32_t *votes;         /* blocks * FBLOCK * n_classes */
+    int32_t *out;
+} forest_mt_ctx;
+
+static void forest_mt_task(void *p, int64_t r0, int64_t r1, int block)
+{
+    forest_mt_ctx *c = (forest_mt_ctx *)p;
+    const double **cs = c->shifted + (int64_t)block * c->n_attrs;
+    int a;
+    for (a = 0; a < c->n_attrs; a++)
+        cs[a] = c->cols[a] + r0;
+    predict_forest(cs, r1 - r0, c->roots, c->n_trees, c->feature,
+                   c->threshold, c->children2, c->subset_offset,
+                   c->subset_nwords, c->subset_words, c->leaf_class,
+                   c->n_classes,
+                   c->votes + (int64_t)block * FBLOCK * c->n_classes,
+                   c->out + r0);
+}
+
+void predict_forest_mt(
+    const double **cols, int32_t n_attrs, int64_t n_rows,
+    const int64_t *roots, int32_t n_trees,
+    const int32_t *feature, const double *threshold,
+    const int32_t *children2,
+    const int64_t *subset_offset, const int32_t *subset_nwords,
+    const uint64_t *subset_words,
+    const int32_t *leaf_class, int32_t n_classes,
+    int32_t *votes,
+    int32_t *out)
+{
+    int blocks = repro_pool_blocks(n_rows, REPRO_FOREST_GRAIN);
+    const double **shifted = 0;
+    int32_t *bvotes = 0;
+    forest_mt_ctx ctx;
+    if (blocks >= 2) {
+        shifted = (const double **)malloc(
+            (size_t)blocks * (size_t)(n_attrs > 0 ? n_attrs : 1)
+            * sizeof(double *));
+        bvotes = (int32_t *)malloc(
+            (size_t)blocks * FBLOCK * (size_t)n_classes
+            * sizeof(int32_t));
+    }
+    if (!shifted || !bvotes) {
+        free(shifted);
+        free(bvotes);
+        predict_forest(cols, n_rows, roots, n_trees, feature, threshold,
+                       children2, subset_offset, subset_nwords,
+                       subset_words, leaf_class, n_classes, votes, out);
+        return;
+    }
+    ctx.cols = cols; ctx.n_attrs = n_attrs;
+    ctx.roots = roots; ctx.n_trees = n_trees;
+    ctx.feature = feature; ctx.threshold = threshold;
+    ctx.children2 = children2;
+    ctx.subset_offset = subset_offset; ctx.subset_nwords = subset_nwords;
+    ctx.subset_words = subset_words;
+    ctx.leaf_class = leaf_class; ctx.n_classes = n_classes;
+    ctx.shifted = shifted; ctx.votes = bvotes; ctx.out = out;
+    repro_parallel_for(n_rows, blocks, forest_mt_task, &ctx);
+    free(shifted);
+    free(bvotes);
+}
+"""
+
 
 class NativeKernel:
     """ctypes binding of the compiled routing kernel."""
@@ -276,6 +424,16 @@ class NativeKernel:
         self._cont.restype = None
         self._forest = lib.predict_forest
         self._forest.restype = None
+        # Pool-threaded spellings, present only when the worker pool
+        # loaded and the MT source compiled in.
+        try:
+            self._route_mt = lib.route_rows_mt
+            self._route_mt.restype = None
+            self._forest_mt = lib.predict_forest_mt
+            self._forest_mt.restype = None
+        except AttributeError:
+            self._route_mt = None
+            self._forest_mt = None
         self._pad_words = np.zeros(1, dtype=np.uint64)
         #: Block size of the fused forest walk; the vote scratch passed
         #: to C is sized FBLOCK * n_classes.  Must match the C FBLOCK.
@@ -314,7 +472,22 @@ class NativeKernel:
             return a.ctypes.data_as(ctypes.c_void_p)
 
         children2 = compiled.children2
-        if compiled.subset_words.size == 0:
+        is_cont = compiled.subset_words.size == 0
+        lanes = pool.sync() if self._route_mt is not None else 0
+        if lanes >= 2:
+            # Row-blocked across the in-kernel pool; per-row outputs
+            # make the result blocking-invariant, so this is
+            # bit-identical to the serial walk at any lane count.
+            self._route_mt(
+                ptrs, ctypes.c_int32(compiled.schema.n_attributes),
+                ctypes.c_int32(1 if is_cont else 0), ctypes.c_int64(n),
+                p(compiled.feature), p(compiled.threshold), p(children2),
+                p(compiled.subset_offset), p(compiled.subset_nwords),
+                p(compiled.subset_words if compiled.subset_words.size
+                  else self._pad_words),
+                p(out),
+            )
+        elif is_cont:
             self._cont(
                 ptrs, ctypes.c_int64(n),
                 p(compiled.feature), p(compiled.threshold), p(children2),
@@ -349,16 +522,31 @@ class NativeKernel:
         def p(a: np.ndarray) -> ctypes.c_void_p:
             return a.ctypes.data_as(ctypes.c_void_p)
 
-        self._forest(
-            ptrs, ctypes.c_int64(n),
-            p(forest.tree_offsets), ctypes.c_int32(forest.n_trees),
-            p(forest.feature), p(forest.threshold), p(forest.children2),
-            p(forest.subset_offset), p(forest.subset_nwords),
-            p(forest.subset_words if forest.subset_words.size
-              else self._pad_words),
-            p(forest.leaf_class), ctypes.c_int32(k),
-            p(votes), p(out),
-        )
+        lanes = pool.sync() if self._forest_mt is not None else 0
+        if lanes >= 2:
+            self._forest_mt(
+                ptrs, ctypes.c_int32(forest.schema.n_attributes),
+                ctypes.c_int64(n),
+                p(forest.tree_offsets), ctypes.c_int32(forest.n_trees),
+                p(forest.feature), p(forest.threshold),
+                p(forest.children2),
+                p(forest.subset_offset), p(forest.subset_nwords),
+                p(forest.subset_words if forest.subset_words.size
+                  else self._pad_words),
+                p(forest.leaf_class), ctypes.c_int32(k),
+                p(votes), p(out),
+            )
+        else:
+            self._forest(
+                ptrs, ctypes.c_int64(n),
+                p(forest.tree_offsets), ctypes.c_int32(forest.n_trees),
+                p(forest.feature), p(forest.threshold), p(forest.children2),
+                p(forest.subset_offset), p(forest.subset_nwords),
+                p(forest.subset_words if forest.subset_words.size
+                  else self._pad_words),
+                p(forest.leaf_class), ctypes.c_int32(k),
+                p(votes), p(out),
+            )
         # One row-walk per (row, tree) pair, same accounting as the
         # per-tree fallback which records n once per member tree.
         kernel_stats.record("route", "native", n * forest.n_trees)
@@ -386,16 +574,47 @@ def native_kernel() -> Optional[NativeKernel]:
     with _lock:
         if _tried:
             return _kernel
-        so_path = cc.compile_cached(C_SOURCE, "route")
-        if so_path is not None:
-            try:
-                _kernel = NativeKernel(ctypes.CDLL(so_path), so_path)
-            except OSError:
-                _kernel = None
+        _kernel = _compile_and_bind()
         _tried = True
         return _kernel
+
+
+def _compile_and_bind() -> Optional[NativeKernel]:
+    # With the worker pool loaded, compile the pool-threaded spellings
+    # in (externs bind against the RTLD_GLOBAL pool at dlopen); on any
+    # failure fall back to the plain single-threaded source.
+    if pool.load() is not None:
+        so_path = cc.compile_cached(
+            pool.POOL_DECLS + C_SOURCE + MT_SOURCE, "route-mt"
+        )
+        if so_path is not None:
+            try:
+                return NativeKernel(ctypes.CDLL(so_path), so_path)
+            except OSError:
+                pass
+    so_path = cc.compile_cached(C_SOURCE, "route")
+    if so_path is not None:
+        try:
+            return NativeKernel(ctypes.CDLL(so_path), so_path)
+        except OSError:
+            pass
+    return None
 
 
 def native_available() -> bool:
     """True when the compiled kernel loaded (builds it on first call)."""
     return native_kernel() is not None
+
+
+def parallel_rows_active() -> bool:
+    """True when the native router will row-block across pool threads.
+
+    The :class:`~repro.classify.engine.InferenceEngine` uses this to
+    hand a whole batch to one kernel call (which fans it out in C)
+    instead of looping batch-size chunks serially on an engine worker.
+    Re-checks the gate and the thread-count configuration every call.
+    """
+    kernel = native_kernel()
+    if kernel is None or kernel._route_mt is None:
+        return False
+    return pool.sync() >= 2

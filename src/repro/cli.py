@@ -60,14 +60,21 @@ def _add_native_flag(sub: argparse.ArgumentParser) -> None:
         help="C training kernels: auto (default) follows REPRO_NATIVE, "
              "on/off override the environment",
     )
+    sub.add_argument(
+        "--native-threads", type=int, default=0, metavar="N",
+        help="in-kernel worker-pool threads for the native kernels "
+             "(0 = follow REPRO_NATIVE_THREADS, then all available "
+             "CPUs; 1 = serial kernels)",
+    )
 
 
 def _apply_native_mode(args: argparse.Namespace) -> None:
     """Install the --native override; precedence: flag > env > default-on."""
-    from repro._native import cc
+    from repro._native import cc, pool
     from repro.sprint import native as sprint_native
 
     cc.set_native_override(args.native)
+    pool.set_thread_override(getattr(args, "native_threads", 0) or None)
     if args.native == "on" and not sprint_native.native_available():
         print(
             "warning: --native on, but the C kernels are unavailable "
@@ -237,6 +244,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     from repro.classify.engine import InferenceEngine
     from repro.classify.forest import compile_model
 
+    _apply_native_mode(args)
     model = load_model(args.model)
     compiled = compile_model(model)
     if args.oracle and compiled.kind == "forest":
@@ -333,6 +341,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ModelRegistry, ServeServer, submit_and_wait
 
+    _apply_native_mode(args)
     model = load_model(args.model)
     registry = ModelRegistry()
     registry.add(
@@ -758,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
              "recursive reference implementation (single-tree models "
              "only; fails with a clear error on forest containers)",
     )
+    _add_native_flag(p)
     p.set_defaults(func=cmd_predict)
 
     s = sub.add_parser(
@@ -803,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on exit, write the buffered request traces as a Chrome "
              "trace JSON (one track per engine worker)",
     )
+    _add_native_flag(s)
     s.set_defaults(func=cmd_serve)
 
     o = sub.add_parser(

@@ -319,6 +319,18 @@ def render_dashboard(
         )
         lines.append(f"  kernel backend split (route): {parts}")
 
+    pool_threads = None
+    for entry in index.get("native_pool_threads", ()):
+        pool_threads = entry.get("value", 0.0)
+    if pool_threads is not None:
+        tasks = 0.0
+        for entry in index.get("native_pool_tasks_total", ()):
+            tasks = entry.get("value", 0.0)
+        lines.append(
+            f"  native pool: {int(pool_threads)} thread(s), "
+            f"{int(tasks):,} parallel region(s)"
+        )
+
     traces = snapshot_doc.get("traces", ())
     if traces:
         last = traces[-1]

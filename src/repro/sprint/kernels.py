@@ -34,8 +34,14 @@ is open (``REPRO_NATIVE`` / the CLI's ``--native``; see
 :mod:`repro._native.cc`), the gini split scan, the categorical count
 tensor and the stable partition run in :mod:`repro.sprint.native`
 instead — same results bit-for-bit, but the loops release the GIL so
-the real-thread runtime overlaps them across cores.  The numpy
-spellings below remain the fallback and the differential reference.
+the real-thread runtime overlaps them across cores.  With the
+persistent worker pool loaded (:mod:`repro._native.pool`) and more
+than one lane configured (``REPRO_NATIVE_THREADS`` / the CLI's
+``--native-threads``), those C kernels additionally fan the scan,
+count, and partition out *inside* the call — deterministic block
+decompositions merged in block order keep the results bit-identical
+at any thread count.  The numpy spellings below remain the fallback
+and the differential reference.
 """
 
 from __future__ import annotations

@@ -5,6 +5,8 @@ import threading
 import numpy as np
 import pytest
 
+from repro._native import pool
+from repro.classify import native as cnative
 from repro.classify.engine import InferenceEngine
 from repro.classify.predict import predict
 from repro.core.builder import build_classifier
@@ -36,7 +38,11 @@ class TestSubmit:
         assert out.shape == (0,)
 
     def test_oversized_request_is_chunked(self, model, small_f2):
-        with InferenceEngine(model, batch_size=64) as engine:
+        # One pool lane: with in-kernel threading active the engine
+        # hands the whole batch to the kernel instead of chunking.
+        with pool.thread_override(1), InferenceEngine(
+            model, batch_size=64
+        ) as engine:
             out = engine.predict_batch(small_f2.columns, timeout=30)
             stats = engine.stats()
         np.testing.assert_array_equal(out, predict(model, small_f2))
@@ -233,7 +239,7 @@ class TestRejectionBreakdown:
 
 class TestTracing:
     def test_completed_request_trace_fields(self, model, small_f2):
-        with InferenceEngine(
+        with pool.thread_override(1), InferenceEngine(
             model, batch_size=64, name="traced"
         ) as engine:
             handle = engine.submit(small_f2.columns)
@@ -486,3 +492,89 @@ class TestZeroRowBatch:
         for out in outs[:3]:
             assert out.shape == (0,)
         np.testing.assert_array_equal(outs[3], _predict(model, small_f2))
+
+
+def _mt_route_available() -> bool:
+    kernel = cnative.native_kernel()
+    return kernel is not None and kernel._route_mt is not None
+
+
+class _CompiledSpy:
+    """Delegates to a CompiledTree, recording every predict() argument."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.chunks = []
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def predict(self, chunk):
+        self.chunks.append(chunk)
+        return self.inner.predict(chunk)
+
+
+class TestInKernelParallelism:
+    """Engine chunking vs the native pool's in-kernel row blocking."""
+
+    def test_single_chunk_passes_columns_through(self, model, small_f2):
+        # A request that fits one batch must reach predict() as the
+        # merged columns object itself — no sliced-dict rebuild.
+        cols = small_f2.columns
+        with InferenceEngine(model, batch_size=4096) as engine:
+            spy = _CompiledSpy(engine.compiled)
+            engine.compiled = spy
+            out, chunks, _ = engine._predict_chunked(
+                0, cols, small_f2.n_records
+            )
+        assert chunks == 1
+        assert len(spy.chunks) == 1
+        assert spy.chunks[0] is cols
+        np.testing.assert_array_equal(out, predict(model, small_f2))
+
+    def test_one_lane_still_chunks(self, model, small_f2):
+        cols = small_f2.columns
+        with pool.thread_override(1), InferenceEngine(
+            model, batch_size=64
+        ) as engine:
+            spy = _CompiledSpy(engine.compiled)
+            engine.compiled = spy
+            out, chunks, _ = engine._predict_chunked(
+                0, cols, small_f2.n_records
+            )
+        assert chunks == -(-small_f2.n_records // 64)
+        assert all(chunk is not cols for chunk in spy.chunks)
+        np.testing.assert_array_equal(out, predict(model, small_f2))
+
+    @pytest.mark.skipif(
+        not _mt_route_available(),
+        reason="threaded native router unavailable",
+    )
+    def test_threaded_kernel_takes_whole_batch(self, model, small_f2):
+        # With >=2 pool lanes the engine stops chunking: one kernel
+        # call row-blocks the batch across the in-kernel pool.
+        cols = small_f2.columns
+        with pool.thread_override(4), InferenceEngine(
+            model, batch_size=64
+        ) as engine:
+            spy = _CompiledSpy(engine.compiled)
+            engine.compiled = spy
+            out, chunks, _ = engine._predict_chunked(
+                0, cols, small_f2.n_records
+            )
+        assert chunks == 1
+        assert spy.chunks == [cols]
+        np.testing.assert_array_equal(out, predict(model, small_f2))
+
+    @pytest.mark.skipif(
+        not _mt_route_available(),
+        reason="threaded native router unavailable",
+    )
+    def test_predictions_identical_across_lane_counts(self, model, small_f2):
+        ref = predict(model, small_f2)
+        for lanes in (1, 2, 4):
+            with pool.thread_override(lanes), InferenceEngine(
+                model, batch_size=64
+            ) as engine:
+                out = engine.predict_batch(small_f2.columns, timeout=30)
+            np.testing.assert_array_equal(out, ref)

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import os
 
-from repro.smp.cpus import available_cpus
+import pytest
+
+from repro.smp.cpus import (
+    available_cpus,
+    cgroup_quota_cpus,
+    env_thread_override,
+)
 from repro.smp.threads import RealThreadRuntime
 
 
@@ -12,11 +18,77 @@ class TestAvailableCpus:
     def test_positive(self):
         assert available_cpus() >= 1
 
-    def test_matches_affinity_mask(self):
+    def test_matches_affinity_mask(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
         if hasattr(os, "sched_getaffinity"):
-            assert available_cpus() == max(1, len(os.sched_getaffinity(0)))
+            affinity = max(1, len(os.sched_getaffinity(0)))
         else:
-            assert available_cpus() == max(1, os.cpu_count() or 1)
+            affinity = max(1, os.cpu_count() or 1)
+        quota = cgroup_quota_cpus()
+        expect = affinity if quota is None else min(affinity, quota)
+        assert available_cpus() == max(1, expect)
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "7")
+        assert available_cpus() == 7
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "four", ""])
+    def test_env_override_ignores_nonpositive_and_garbage(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", raw)
+        assert env_thread_override() is None
+        assert available_cpus() >= 1
+
+    def test_env_thread_override_parses(self):
+        assert env_thread_override({"REPRO_NATIVE_THREADS": "4"}) == 4
+        assert env_thread_override({"REPRO_NATIVE_THREADS": "0"}) is None
+        assert env_thread_override({"REPRO_NATIVE_THREADS": "x"}) is None
+        assert env_thread_override({}) is None
+
+
+class TestCgroupQuota:
+    def test_v2_limited(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("150000 100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) == 2  # ceil(1.5)
+
+    def test_v2_exact(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("400000 100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) == 4
+
+    def test_v2_unlimited(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) is None
+
+    def test_v2_fractional_floors_at_one(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("50000 100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) == 1
+
+    def test_v1_limited(self, tmp_path):
+        cpu = tmp_path / "cpu"
+        cpu.mkdir()
+        (cpu / "cpu.cfs_quota_us").write_text("250000\n")
+        (cpu / "cpu.cfs_period_us").write_text("100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) == 3  # ceil(2.5)
+
+    def test_v1_unlimited(self, tmp_path):
+        cpu = tmp_path / "cpu"
+        cpu.mkdir()
+        (cpu / "cpu.cfs_quota_us").write_text("-1\n")
+        (cpu / "cpu.cfs_period_us").write_text("100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) is None
+
+    def test_no_cgroup_files(self, tmp_path):
+        assert cgroup_quota_cpus(str(tmp_path)) is None
+
+    def test_v2_beats_v1(self, tmp_path):
+        # A v2 "unlimited" must not fall through to a stale v1 quota.
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        cpu = tmp_path / "cpu"
+        cpu.mkdir()
+        (cpu / "cpu.cfs_quota_us").write_text("100000\n")
+        (cpu / "cpu.cfs_period_us").write_text("100000\n")
+        assert cgroup_quota_cpus(str(tmp_path)) is None
 
 
 class TestCallers:
